@@ -1,0 +1,69 @@
+// Reproduction of Fig. 2 and Table 5: weak scaling of the standardized case
+// on four flagship supercomputers, from each system's base case to its
+// full-system limit case. The series plotted in Fig. 2 is grindtime x ranks
+// (constant under ideal weak scaling); Table 5 summarizes the end-to-end
+// efficiency.
+//
+// The decomposition and halo-message geometry are computed by the same code
+// the real decomposed solver runs; per-byte and per-flop costs come from the
+// device roofline and interconnect models (see DESIGN.md substitutions).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/table.hpp"
+#include "perf/scaling.hpp"
+
+int main() {
+    using namespace mfc;
+    using namespace mfc::perf;
+
+    std::printf("== Fig. 2: weak scaling on flagship systems ==\n\n");
+
+    TextTable summary({"System", "Base case", "Limit case", "Efficiency",
+                       "Paper"});
+    summary.set_align(3, TextTable::Align::Right);
+    summary.set_align(4, TextTable::Align::Right);
+
+    for (const SystemSpec& sys : system_catalog()) {
+        const ScalingSimulator sim(sys, NumericsModel{});
+        std::vector<int> sweep;
+        for (int r = sys.base_ranks; r < sys.limit_ranks; r *= 2) {
+            sweep.push_back(r);
+        }
+        sweep.push_back(sys.limit_ranks);
+        const auto points = sim.weak_sweep(sweep);
+
+        std::printf("-- %s (%s, %d^3 cells/rank, %s) --\n", sys.name.c_str(),
+                    sys.device_name.c_str(), sys.weak_edge,
+                    sys.network.name.c_str());
+        TextTable t({"Ranks", "Cells [B]", "Step [ms]", "Grind x ranks [ns]",
+                     "Comm %", "Efficiency"});
+        for (std::size_t col = 0; col < 6; ++col) {
+            t.set_align(col, TextTable::Align::Right);
+        }
+        for (const ScalingPoint& p : points) {
+            t.add_row({std::to_string(p.ranks),
+                       format_fixed(static_cast<double>(p.global.cells()) / 1e9, 2),
+                       format_fixed(p.step_seconds * 1e3, 2),
+                       format_fixed(p.grindtime_ns * p.ranks, 2),
+                       format_fixed(100.0 * p.comm_fraction, 1),
+                       format_fixed(100.0 * p.efficiency, 1) + "%"});
+        }
+        std::fputs(t.str().c_str(), stdout);
+        std::printf("\n");
+
+        summary.add_row({sys.name,
+                         std::to_string(sys.base_ranks) + " " + sys.rank_label,
+                         std::to_string(sys.limit_ranks) + " " + sys.rank_label,
+                         format_fixed(100.0 * points.back().efficiency, 0) + "%",
+                         format_fixed(100.0 * sys.paper_efficiency, 0) + "%"});
+    }
+
+    std::printf("== Table 5: weak-scaling efficiency summary ==\n\n");
+    std::fputs(summary.str().c_str(), stdout);
+    std::printf("\nPaper: \"weak scaling efficiencies above 95%% for all "
+                "systems, spanning three orders of\nmagnitude in problem size "
+                "and scaling to full systems.\"\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks of the kernels whose cost structure defines grindtime:
+// WENO reconstruction, the HLLC/HLL Riemann solve, primitive<->conservative
+// conversion, and a full RHS evaluation. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "numerics/riemann.hpp"
+#include "numerics/weno.hpp"
+#include "solver/rhs.hpp"
+#include "solver/simulation.hpp"
+
+namespace {
+
+using namespace mfc;
+
+void BM_WenoEdges(benchmark::State& state) {
+    const int order = static_cast<int>(state.range(0));
+    std::vector<double> v(1024 + 8);
+    Rng rng(1);
+    for (double& x : v) x = rng.uniform(0.5, 2.0);
+    double l = 0.0, r = 0.0;
+    for (auto _ : state) {
+        for (std::size_t i = 4; i < 1024 + 4; ++i) {
+            weno_edges(v.data() + i, order, 1e-16, l, r);
+            benchmark::DoNotOptimize(l);
+            benchmark::DoNotOptimize(r);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WenoEdges)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_RiemannSolve(benchmark::State& state) {
+    const auto kind = static_cast<RiemannSolverKind>(state.range(0));
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 3);
+    const std::vector<StiffenedGas> fluids = {{4.4, 6000.0}, {1.4, 0.0}};
+    std::vector<double> l(8, 0.0), r(8, 0.0);
+    l[0] = 999.0; l[1] = 1e-6; l[5] = 10.0; l[6] = 1.0 - 1e-6; l[7] = 1e-6;
+    r[0] = 1e-3; r[1] = 1.0; r[5] = 1.0; r[6] = 1e-6; r[7] = 1.0 - 1e-6;
+    l[2] = 0.5;
+    r[2] = -0.25;
+    double flux[8];
+    for (auto _ : state) {
+        const double uf =
+            solve_riemann(kind, lay, fluids, l.data(), r.data(), 0, flux);
+        benchmark::DoNotOptimize(uf);
+        benchmark::DoNotOptimize(flux[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RiemannSolve)
+    ->Arg(static_cast<int>(RiemannSolverKind::HLL))
+    ->Arg(static_cast<int>(RiemannSolverKind::HLLC));
+
+void BM_ConsToPrim(benchmark::State& state) {
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 3);
+    const std::vector<StiffenedGas> fluids = {{4.4, 6000.0}, {1.4, 0.0}};
+    double prim[8] = {999.0, 1e-6, 0.5, -0.2, 0.1, 10.0, 1.0 - 1e-6, 1e-6};
+    double cons[8], back[8];
+    prim_to_cons(lay, fluids, prim, cons);
+    for (auto _ : state) {
+        cons_to_prim(lay, fluids, cons, back);
+        benchmark::DoNotOptimize(back[5]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsToPrim);
+
+/// Full RHS evaluation on an n^3 block: items processed are
+/// cell-equation units, so "time per item" here is directly comparable
+/// to grindtime per RHS evaluation.
+void BM_FullRhs(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    CaseConfig c = standardized_benchmark_case(n, 1);
+    Simulation sim(c);
+    sim.initialize();
+    // One step primes ghost cells and sigma warm starts.
+    sim.step();
+
+    RhsEvaluator rhs(c, LocalBlock{c.grid.cells, {0, 0, 0}});
+    StateArray dq(sim.layout().num_eqns(), c.grid.cells, rhs.ghost_layers());
+    for (auto _ : state) {
+        rhs.evaluate(sim.state(), dq);
+        benchmark::DoNotOptimize(dq.eq(0)(0, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * c.grid.total_cells() *
+                            sim.layout().num_eqns());
+}
+BENCHMARK(BM_FullRhs)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_IgrRhs(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    CaseConfig c = standardized_benchmark_case(n, 1);
+    c.igr.enabled = true;
+    c.igr.num_iters = 4;
+    c.igr.num_warm_start_iters = 4;
+    Simulation sim(c);
+    sim.initialize();
+    sim.step();
+
+    RhsEvaluator rhs(c, LocalBlock{c.grid.cells, {0, 0, 0}});
+    StateArray dq(sim.layout().num_eqns(), c.grid.cells, rhs.ghost_layers());
+    for (auto _ : state) {
+        rhs.evaluate(sim.state(), dq);
+        benchmark::DoNotOptimize(dq.eq(0)(0, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * c.grid.total_cells() *
+                            sim.layout().num_eqns());
+}
+BENCHMARK(BM_IgrRhs)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

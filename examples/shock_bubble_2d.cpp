@@ -1,0 +1,101 @@
+// Shock-bubble interaction: a planar shock in water strikes a cylindrical
+// air bubble — the canonical multiphase benchmark motivating MFC's
+// numerics (5-equation model, WENO5, HLLC, SSP-RK3). Prints bubble volume,
+// interface extent, and conservation diagnostics as the run progresses.
+//
+// Build & run:  ./build/examples/shock_bubble_2d
+
+#include <cstdio>
+
+#include "solver/simulation.hpp"
+
+int main() {
+    using namespace mfc;
+
+    CaseConfig c;
+    c.title = "2D_shock_bubble";
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{4.4, 6000.0}, {1.4, 0.0}}; // stiffened water, air
+    c.grid.cells = Extents{96, 64, 1};
+    c.grid.lo = {0.0, 0.0, 0.0};
+    c.grid.hi = {1.5, 1.0, 1.0};
+    c.weno_order = 5;
+    c.riemann_solver = RiemannSolverKind::HLLC;
+    c.time_stepper = TimeStepper::RK3;
+    c.dt = 2.0e-5;
+    c.t_step_stop = 40; // per reporting interval below
+    c.bc = {{{BcType::Extrapolation, BcType::Extrapolation},
+             {BcType::Reflective, BcType::Reflective},
+             {BcType::Periodic, BcType::Periodic}}};
+
+    const double eps = 1.0e-6;
+    Patch water;
+    water.alpha_rho = {1000.0 * (1.0 - eps), 1.0 * eps};
+    water.alpha = {1.0 - eps, eps};
+    water.pressure = 1.0;
+    c.patches.push_back(water);
+
+    Patch shocked;
+    shocked.geometry = Patch::Geometry::HalfSpace;
+    shocked.dir = 0;
+    shocked.position = 0.3;
+    shocked.alpha_rho = {1200.0 * (1.0 - eps), 1.0 * eps};
+    shocked.alpha = {1.0 - eps, eps};
+    shocked.pressure = 300.0;
+    shocked.velocity = {0.5, 0.0, 0.0};
+    c.patches.push_back(shocked);
+
+    Patch bubble;
+    bubble.geometry = Patch::Geometry::Sphere;
+    bubble.center = {0.7, 0.5, 0.5};
+    bubble.radius = 0.2;
+    bubble.alpha_rho = {1000.0 * eps, 1.0 * (1.0 - eps)};
+    bubble.alpha = {eps, 1.0 - eps};
+    bubble.pressure = 1.0;
+    c.patches.push_back(bubble);
+
+    Simulation sim(c);
+    sim.initialize();
+    const EquationLayout lay = sim.layout();
+
+    const auto bubble_stats = [&](double& volume, double& x_min, double& x_max) {
+        volume = 0.0;
+        x_min = 1e9;
+        x_max = -1e9;
+        const double cell_area = c.grid.dx(0) * c.grid.dx(1);
+        const Field& a2 = sim.state().eq(lay.adv(1));
+        for (int j = 0; j < c.grid.cells.ny; ++j) {
+            for (int i = 0; i < c.grid.cells.nx; ++i) {
+                const double a = a2(i, j, 0);
+                volume += a * cell_area;
+                if (a > 0.5) {
+                    const double x = c.grid.center(0, i);
+                    x_min = std::min(x_min, x);
+                    x_max = std::max(x_max, x);
+                }
+            }
+        }
+    };
+
+    std::printf("2D shock-bubble interaction (water/air, %d x %d cells)\n",
+                c.grid.cells.nx, c.grid.cells.ny);
+    std::printf("%8s %12s %12s %12s %14s\n", "step", "bubble vol", "x_front",
+                "x_back", "total energy");
+    for (int interval = 0; interval <= 5; ++interval) {
+        double vol = 0.0, xlo = 0.0, xhi = 0.0;
+        bubble_stats(vol, xlo, xhi);
+        const double energy =
+            sim.conserved_totals()[static_cast<std::size_t>(lay.energy())];
+        std::printf("%8d %12.5e %12.4f %12.4f %14.6e\n", interval * c.t_step_stop,
+                    vol, xlo, xhi, energy);
+        if (interval < 5) sim.run();
+    }
+
+    std::printf("\nwall %.2f s, grindtime %.1f ns/point/eqn/rhs\n",
+                sim.wall_seconds(), sim.grindtime());
+    const auto [a2_lo, a2_hi] = sim.minmax(lay.adv(1));
+    std::printf("air volume fraction range: [%.3e, %.3f] — bounded, no NaN\n",
+                a2_lo, a2_hi);
+    return (a2_hi == a2_hi && a2_hi < 1.5) ? 0 : 1;
+}

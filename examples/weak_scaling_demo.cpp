@@ -1,0 +1,70 @@
+// Weak scaling on this machine, for real: the same standardized-style case
+// is decomposed over 1, 2, 4, and 8 simMPI ranks with a fixed local block
+// per rank (Section 6.2's methodology at desk scale), reporting the
+// grindtime x ranks product that should stay constant under ideal weak
+// scaling. The modeled Frontier numbers are printed beside, connecting the
+// host experiment to the Fig. 2 reproduction.
+//
+// Note: this host exposes a single core, so thread ranks time-share it —
+// grindtime x ranks staying ~constant is exactly the expected signature
+// (each step does R times the work in R times the wall time).
+
+#include <cstdio>
+
+#include "comm/cart.hpp"
+#include "core/table.hpp"
+#include "perf/scaling.hpp"
+#include "solver/simulation.hpp"
+
+int main() {
+    using namespace mfc;
+
+    constexpr int kLocalEdge = 16;
+    constexpr int kSteps = 4;
+
+    std::printf("Weak scaling on this host: %d^3 cells per rank, %d steps\n\n",
+                kLocalEdge, kSteps);
+
+    TextTable t({"Ranks", "Global grid", "Wall [s]", "Grindtime [ns]",
+                 "Grind x ranks [ns]"});
+    for (std::size_t col = 2; col < 5; ++col) t.set_align(col, TextTable::Align::Right);
+
+    for (const int ranks : {1, 2, 4, 8}) {
+        const std::array<int, 3> dims = comm::dims_create(ranks, 3);
+        CaseConfig c = standardized_benchmark_case(kLocalEdge, kSteps);
+        c.grid.cells = Extents{dims[0] * kLocalEdge, dims[1] * kLocalEdge,
+                               dims[2] * kLocalEdge};
+
+        double wall = 0.0, grind = 0.0;
+        comm::World world(ranks);
+        world.run([&](comm::Communicator& comm) {
+            comm::CartComm cart(comm, dims, {false, false, false});
+            Simulation sim(c, cart);
+            sim.initialize();
+            comm.barrier();
+            sim.run();
+            comm.barrier();
+            if (comm.rank() == 0) {
+                wall = sim.wall_seconds();
+                grind = sim.grindtime();
+            }
+        });
+
+        t.add_row({std::to_string(ranks),
+                   std::to_string(c.grid.cells.nx) + " x " +
+                       std::to_string(c.grid.cells.ny) + " x " +
+                       std::to_string(c.grid.cells.nz),
+                   format_fixed(wall, 3), format_fixed(grind, 1),
+                   format_fixed(grind * ranks, 1)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    std::printf("\nModeled OLCF Frontier (200^3 per GCD), for comparison:\n");
+    const perf::ScalingSimulator sim(perf::find_system("OLCF Frontier"),
+                                     perf::NumericsModel{});
+    for (const auto& p : sim.weak_sweep({128, 8192, 65536})) {
+        std::printf("  %6d GCDs: grindtime x ranks = %.2f ns, efficiency %.1f%%\n",
+                    p.ranks, p.grindtime_ns * p.ranks, 100.0 * p.efficiency);
+    }
+    return 0;
+}

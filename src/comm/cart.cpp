@@ -1,0 +1,74 @@
+#include "comm/cart.hpp"
+
+#include <algorithm>
+
+namespace mfc::comm {
+
+CartComm::CartComm(Communicator& comm, std::array<int, 3> dims,
+                   std::array<bool, 3> periodic)
+    : comm_(comm), dims_(dims), periodic_(periodic) {
+    MFC_REQUIRE(dims[0] >= 1 && dims[1] >= 1 && dims[2] >= 1,
+                "CartComm: dims must be positive");
+    MFC_REQUIRE(dims[0] * dims[1] * dims[2] == comm.size(),
+                "CartComm: dims do not cover the communicator size");
+}
+
+std::array<int, 3> CartComm::coords_of(int rank) const {
+    MFC_REQUIRE(rank >= 0 && rank < comm_.size(), "CartComm: bad rank");
+    std::array<int, 3> c{};
+    c[2] = rank % dims_[2];
+    c[1] = (rank / dims_[2]) % dims_[1];
+    c[0] = rank / (dims_[1] * dims_[2]);
+    return c;
+}
+
+int CartComm::rank_of(std::array<int, 3> coords) const {
+    for (int d = 0; d < 3; ++d) {
+        MFC_REQUIRE(coords[d] >= 0 && coords[d] < dims_[d],
+                    "CartComm: coords out of range");
+    }
+    return (coords[0] * dims_[1] + coords[1]) * dims_[2] + coords[2];
+}
+
+int CartComm::neighbor(int dim, int disp) const {
+    MFC_REQUIRE(dim >= 0 && dim < 3, "CartComm: bad dimension");
+    MFC_REQUIRE(disp == 1 || disp == -1, "CartComm: displacement must be +-1");
+    std::array<int, 3> c = coords();
+    int nc = c[dim] + disp;
+    if (nc < 0 || nc >= dims_[dim]) {
+        if (!periodic_[dim]) return kProcNull;
+        nc = (nc + dims_[dim]) % dims_[dim];
+    }
+    c[dim] = nc;
+    return rank_of(c);
+}
+
+CartComm::Shift CartComm::shift(int dim) const {
+    return Shift{neighbor(dim, -1), neighbor(dim, +1)};
+}
+
+std::array<int, 3> dims_create(int nranks, int ndims) {
+    MFC_REQUIRE(nranks >= 1, "dims_create: nranks must be positive");
+    MFC_REQUIRE(ndims >= 1 && ndims <= 3, "dims_create: ndims must be 1..3");
+    std::array<int, 3> dims{1, 1, 1};
+    int remaining = nranks;
+    // Peel off factors largest-prime-first, assigning each to the
+    // currently smallest dimension to keep the box near-cubic.
+    std::vector<int> factors;
+    for (int f = 2; f * f <= remaining; ++f) {
+        while (remaining % f == 0) {
+            factors.push_back(f);
+            remaining /= f;
+        }
+    }
+    if (remaining > 1) factors.push_back(remaining);
+    std::sort(factors.rbegin(), factors.rend());
+    for (const int f : factors) {
+        auto it = std::min_element(dims.begin(), dims.begin() + ndims);
+        *it *= f;
+    }
+    std::sort(dims.begin(), dims.begin() + ndims);
+    return dims;
+}
+
+} // namespace mfc::comm

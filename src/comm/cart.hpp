@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+
+#include "comm/comm.hpp"
+
+namespace mfc::comm {
+
+/// Rank that does not exist (MPI_PROC_NULL analog); sends/recvs to it are
+/// skipped by the halo exchange.
+inline constexpr int kProcNull = -1;
+
+/// Cartesian process topology over an existing communicator, mirroring
+/// MPI_Cart_create / MPI_Cart_shift. Row-major rank ordering: the z
+/// coordinate varies fastest, matching MPI's default.
+class CartComm {
+public:
+    CartComm(Communicator& comm, std::array<int, 3> dims,
+             std::array<bool, 3> periodic);
+
+    [[nodiscard]] Communicator& comm() { return comm_; }
+    [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+    [[nodiscard]] const std::array<bool, 3>& periodic() const { return periodic_; }
+
+    [[nodiscard]] std::array<int, 3> coords() const { return coords_of(comm_.rank()); }
+    [[nodiscard]] std::array<int, 3> coords_of(int rank) const;
+    [[nodiscard]] int rank_of(std::array<int, 3> coords) const;
+
+    /// Neighbor ranks along `dim` at displacement ±1. Returns
+    /// {source, dest} for a displacement of +1 (MPI_Cart_shift), with
+    /// kProcNull at non-periodic boundaries.
+    struct Shift {
+        int source = kProcNull; ///< rank we receive from (coord - 1)
+        int dest = kProcNull;   ///< rank we send to (coord + 1)
+    };
+    [[nodiscard]] Shift shift(int dim) const;
+
+    /// Neighbor at coord displacement `disp` (±1) along `dim`, or
+    /// kProcNull outside a non-periodic boundary.
+    [[nodiscard]] int neighbor(int dim, int disp) const;
+
+private:
+    Communicator& comm_;
+    std::array<int, 3> dims_;
+    std::array<bool, 3> periodic_;
+};
+
+/// Near-cubic factorization of `nranks` into dims[0] x dims[1] x dims[2]
+/// with dims sorted ascending (MPI_Dims_create analog for 3D). Dimensions
+/// beyond `ndims` active directions are fixed to 1.
+[[nodiscard]] std::array<int, 3> dims_create(int nranks, int ndims);
+
+} // namespace mfc::comm

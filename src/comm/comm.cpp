@@ -1,0 +1,233 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace mfc::comm {
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
+    MFC_REQUIRE(dest >= 0 && dest < world_->size(), "send: bad destination rank");
+    World::Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+
+    World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(dest)];
+    {
+        const std::lock_guard<std::mutex> lock(box.mutex);
+        box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+    world_->messages_.fetch_add(1, std::memory_order_relaxed);
+    world_->bytes_.fetch_add(static_cast<std::int64_t>(bytes),
+                             std::memory_order_relaxed);
+}
+
+void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
+    MFC_REQUIRE(source >= 0 && source < world_->size(), "recv: bad source rank");
+    World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+        const auto it = std::find_if(
+            box.queue.begin(), box.queue.end(), [&](const World::Message& m) {
+                return m.source == source && m.tag == tag;
+            });
+        if (it != box.queue.end()) {
+            MFC_REQUIRE(it->payload.size() == bytes,
+                        "recv: message size mismatch");
+            if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
+            box.queue.erase(it);
+            return;
+        }
+        MFC_REQUIRE(!world_->failed_.load(), "recv: a peer rank failed");
+        box.cv.wait(lock);
+    }
+}
+
+void Communicator::sendrecv(int dest, int send_tag, const void* send_data,
+                            int source, int recv_tag, void* recv_data,
+                            std::size_t bytes) {
+    // Buffered sends cannot deadlock, so the naive ordering is safe.
+    send(dest, send_tag, send_data, bytes);
+    recv(source, recv_tag, recv_data, bytes);
+}
+
+Communicator::Request::~Request() {
+    // An unwaited pending receive would silently drop a message.
+    MFC_ASSERT(!pending_);
+}
+
+void Communicator::Request::wait() {
+    if (!pending_) return;
+    comm_->recv(source_, tag_, data_, bytes_);
+    pending_ = false;
+}
+
+Communicator::Request Communicator::isend(int dest, int tag, const void* data,
+                                          std::size_t bytes) {
+    // Buffered semantics: the payload is copied out immediately.
+    send(dest, tag, data, bytes);
+    return Request{};
+}
+
+Communicator::Request Communicator::irecv(int source, int tag, void* data,
+                                          std::size_t bytes) {
+    return Request(this, source, tag, data, bytes);
+}
+
+void Communicator::wait_all(std::vector<Request>& requests) {
+    for (Request& r : requests) r.wait();
+}
+
+void Communicator::barrier() {
+    World::BarrierState& b = world_->barrier_;
+    std::unique_lock<std::mutex> lock(b.mutex);
+    MFC_REQUIRE(!world_->failed_.load(), "barrier: a peer rank failed");
+    const std::uint64_t gen = b.generation;
+    if (++b.waiting == world_->size()) {
+        b.waiting = 0;
+        ++b.generation;
+        lock.unlock();
+        b.cv.notify_all();
+        return;
+    }
+    b.cv.wait(lock, [&] {
+        return b.generation != gen || world_->failed_.load();
+    });
+    if (b.generation == gen) {
+        // Released by a failure, not by barrier completion: withdraw our
+        // contribution and unwind.
+        --b.waiting;
+        fail("barrier: a peer rank failed");
+    }
+}
+
+namespace {
+
+double reduce2(double a, double b, Communicator::Op op) {
+    switch (op) {
+    case Communicator::Op::Sum: return a + b;
+    case Communicator::Op::Min: return std::min(a, b);
+    case Communicator::Op::Max: return std::max(a, b);
+    }
+    MFC_ASSERT(false);
+}
+
+constexpr int kTagReduce = -101;
+constexpr int kTagBcast = -102;
+constexpr int kTagGather = -103;
+
+} // namespace
+
+double Communicator::allreduce(double value, Op op) {
+    std::vector<double> v{value};
+    allreduce(v, op);
+    return v[0];
+}
+
+void Communicator::allreduce(std::vector<double>& values, Op op) {
+    const std::size_t n = values.size();
+    if (size() == 1) return;
+    if (rank_ == 0) {
+        std::vector<double> incoming(n);
+        for (int r = 1; r < size(); ++r) {
+            recv_doubles(r, kTagReduce, incoming.data(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                values[i] = reduce2(values[i], incoming[i], op);
+            }
+        }
+    } else {
+        send_doubles(0, kTagReduce, values.data(), n);
+    }
+    bcast(values.data(), n * sizeof(double), 0);
+}
+
+void Communicator::bcast(void* data, std::size_t bytes, int root) {
+    if (size() == 1) return;
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r != root) send(r, kTagBcast, data, bytes);
+        }
+    } else {
+        recv(root, kTagBcast, data, bytes);
+    }
+}
+
+std::vector<double> Communicator::gather(double value, int root) {
+    if (rank_ == root) {
+        std::vector<double> out(static_cast<std::size_t>(size()));
+        out[static_cast<std::size_t>(root)] = value;
+        for (int r = 0; r < size(); ++r) {
+            if (r != root) recv_doubles(r, kTagGather, &out[static_cast<std::size_t>(r)], 1);
+        }
+        return out;
+    }
+    send_doubles(root, kTagGather, &value, 1);
+    return {};
+}
+
+World::World(int nranks) : nranks_(nranks) {
+    MFC_REQUIRE(nranks >= 1, "World: need at least one rank");
+    mailboxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+        threads.emplace_back([this, r, &fn, &errors] {
+            Communicator comm(*this, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                errors[static_cast<std::size_t>(r)] = std::current_exception();
+                abort_all();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& err : errors) {
+        if (err) std::rethrow_exception(err);
+    }
+    // A rank may have been unwound by a peer's failure without recording
+    // its own error (all errors identical); failed_ stays set so reuse of
+    // this World is rejected by the next blocking call.
+}
+
+void World::abort_all() {
+    failed_.store(true);
+    {
+        const std::lock_guard<std::mutex> lock(barrier_.mutex);
+        barrier_.cv.notify_all();
+    }
+    for (const auto& box : mailboxes_) {
+        const std::lock_guard<std::mutex> lock(box->mutex);
+        box->cv.notify_all();
+    }
+}
+
+Traffic World::launch(int nranks, const std::function<void(Communicator&)>& fn) {
+    World world(nranks);
+    world.run(fn);
+    return world.traffic();
+}
+
+Traffic World::traffic() const {
+    return Traffic{messages_.load(), bytes_.load()};
+}
+
+void World::reset_traffic() {
+    messages_.store(0);
+    bytes_.store(0);
+}
+
+} // namespace mfc::comm

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mfc::comm {
+
+/// simMPI: a message-passing runtime whose ranks are threads in one
+/// process. It exists because this reproduction has no MPI or
+/// interconnect available (DESIGN.md substitution table): the solver's
+/// decomposition, halo-exchange, and reduction code paths run unchanged
+/// against this runtime, and its traffic accounting feeds the network
+/// performance model used by the scaling benchmarks.
+///
+/// Semantics follow the MPI subset MFC needs: buffered (non-blocking)
+/// tagged sends, blocking receives matched on (source, tag) in FIFO
+/// order, and collectives built on point-to-point messages.
+
+class World;
+
+/// Aggregate communication statistics for a run; the scaling simulator
+/// converts these into modeled network time.
+struct Traffic {
+    std::int64_t messages = 0;
+    std::int64_t bytes = 0;
+};
+
+/// Per-rank handle passed to the rank function; the MPI_Comm analog.
+class Communicator {
+public:
+    Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int size() const;
+
+    /// Buffered send: enqueues immediately (MPI_Bsend semantics), so
+    /// symmetric halo exchanges cannot deadlock.
+    void send(int dest, int tag, const void* data, std::size_t bytes);
+    /// Blocking receive matched on exact (source, tag); message size must
+    /// equal `bytes` (mismatch is a logic error and throws).
+    void recv(int source, int tag, void* data, std::size_t bytes);
+    void sendrecv(int dest, int send_tag, const void* send_data,
+                  int source, int recv_tag, void* recv_data,
+                  std::size_t bytes);
+
+    /// Nonblocking operation handle (MPI_Request analog). Sends complete
+    /// immediately under buffered semantics; receives complete at wait().
+    /// Destroying an unwaited request is a logic error caught by assert.
+    class Request {
+    public:
+        Request() = default;
+        Request(Request&& other) noexcept { steal(other); }
+        Request& operator=(Request&& other) noexcept {
+            if (this != &other) {
+                MFC_ASSERT(!pending_); // do not overwrite a live receive
+                steal(other);
+            }
+            return *this;
+        }
+        ~Request();
+
+        void wait();
+        [[nodiscard]] bool done() const { return !pending_; }
+
+    private:
+        friend class Communicator;
+        Request(Communicator* comm, int source, int tag, void* data,
+                std::size_t bytes)
+            : comm_(comm), source_(source), tag_(tag), data_(data),
+              bytes_(bytes), pending_(true) {}
+
+        void steal(Request& other) {
+            comm_ = other.comm_;
+            source_ = other.source_;
+            tag_ = other.tag_;
+            data_ = other.data_;
+            bytes_ = other.bytes_;
+            pending_ = other.pending_;
+            other.pending_ = false;
+        }
+
+        Communicator* comm_ = nullptr;
+        int source_ = 0;
+        int tag_ = 0;
+        void* data_ = nullptr;
+        std::size_t bytes_ = 0;
+        bool pending_ = false;
+    };
+
+    /// Immediate-mode send: buffered, so the request is already complete.
+    Request isend(int dest, int tag, const void* data, std::size_t bytes);
+    /// Deferred receive: matching happens at wait() (or wait_all()).
+    [[nodiscard]] Request irecv(int source, int tag, void* data,
+                                std::size_t bytes);
+    /// Complete every request, in any order (MPI_Waitall).
+    static void wait_all(std::vector<Request>& requests);
+
+    /// Typed convenience wrappers for contiguous double payloads.
+    void send_doubles(int dest, int tag, const double* data, std::size_t count) {
+        send(dest, tag, data, count * sizeof(double));
+    }
+    void recv_doubles(int source, int tag, double* data, std::size_t count) {
+        recv(source, tag, data, count * sizeof(double));
+    }
+
+    void barrier();
+
+    enum class Op { Sum, Min, Max };
+    /// Allreduce over one double (gather-to-root + broadcast).
+    [[nodiscard]] double allreduce(double value, Op op);
+    /// Element-wise allreduce over a vector.
+    void allreduce(std::vector<double>& values, Op op);
+    /// Broadcast `bytes` bytes from `root` into `data` on every rank.
+    void bcast(void* data, std::size_t bytes, int root);
+    /// Gather one double per rank to `root`; non-root ranks get {}.
+    [[nodiscard]] std::vector<double> gather(double value, int root);
+
+private:
+    World* world_;
+    int rank_;
+};
+
+/// Shared state for one simMPI "job". Create with the rank count, then
+/// launch with run(); or use the one-shot static helper.
+class World {
+public:
+    explicit World(int nranks);
+
+    [[nodiscard]] int size() const { return nranks_; }
+
+    /// Execute fn on every rank (one thread each) and join. Exceptions
+    /// thrown by any rank are collected and the first is rethrown.
+    void run(const std::function<void(Communicator&)>& fn);
+
+    /// One-shot: build a world, run, and return its traffic accounting.
+    static Traffic launch(int nranks,
+                          const std::function<void(Communicator&)>& fn);
+
+    [[nodiscard]] Traffic traffic() const;
+    void reset_traffic();
+
+private:
+    friend class Communicator;
+
+    struct Message {
+        int source;
+        int tag;
+        std::vector<unsigned char> payload;
+    };
+
+    struct Mailbox {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Message> queue;
+    };
+
+    struct BarrierState {
+        std::mutex mutex;
+        std::condition_variable cv;
+        int waiting = 0;
+        std::uint64_t generation = 0;
+    };
+
+    /// Mark the job failed and wake every blocked rank so the run can
+    /// unwind instead of hanging (peers see an Error from their blocking
+    /// call).
+    void abort_all();
+
+    int nranks_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    BarrierState barrier_;
+    std::atomic<bool> failed_{false};
+    std::atomic<std::int64_t> messages_{0};
+    std::atomic<std::int64_t> bytes_{0};
+};
+
+} // namespace mfc::comm

@@ -1,0 +1,15 @@
+#include "core/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfc {
+
+void fail(const std::string& message) { throw Error(message); }
+
+void assert_fail(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "MFC_ASSERT failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+} // namespace mfc

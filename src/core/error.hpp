@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mfc {
+
+/// Exception type thrown for all recoverable library errors (bad case
+/// parameters, malformed files, toolchain misuse). Fatal internal logic
+/// errors use MFC_ASSERT which aborts.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail(const std::string& message);
+
+/// Abort with file:line context when an internal invariant is violated.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+} // namespace mfc
+
+#define MFC_ASSERT(expr)                                                       \
+    do {                                                                       \
+        if (!(expr)) { ::mfc::assert_fail(#expr, __FILE__, __LINE__); }        \
+    } while (false)
+
+#define MFC_REQUIRE(expr, msg)                                                 \
+    do {                                                                       \
+        if (!(expr)) { ::mfc::fail(msg); }                                     \
+    } while (false)
+
+// Hot-path assertion: checked in debug builds, compiled out under NDEBUG
+// so inner kernels stay branch-free in release benchmarking builds.
+#ifdef NDEBUG
+#define MFC_DBG_ASSERT(expr) ((void)0)
+#else
+#define MFC_DBG_ASSERT(expr) MFC_ASSERT(expr)
+#endif

@@ -1,0 +1,22 @@
+#include "core/hash.hpp"
+
+#include <array>
+
+namespace mfc {
+
+std::string uuid8(std::string_view data) {
+    static constexpr std::array<char, 16> digits = {'0', '1', '2', '3', '4', '5',
+                                                    '6', '7', '8', '9', 'A', 'B',
+                                                    'C', 'D', 'E', 'F'};
+    // Fold the 64-bit hash to 32 bits so collisions behave like MFC's
+    // 8-hex-digit identifiers.
+    const std::uint64_t h64 = fnv1a64(data);
+    const auto h = static_cast<std::uint32_t>(h64 ^ (h64 >> 32));
+    std::string out(8, '0');
+    for (int i = 0; i < 8; ++i) {
+        out[static_cast<std::size_t>(7 - i)] = digits[(h >> (4 * i)) & 0xF];
+    }
+    return out;
+}
+
+} // namespace mfc

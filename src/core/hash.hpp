@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfc {
+
+/// 64-bit FNV-1a hash; deterministic across platforms and runs, used to
+/// derive stable test-case UUIDs from their parameter traces (Section 4).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// Eight-hex-digit universally-unique identifier string as used by the MFC
+/// regression suite ("an eight-digit universally unique identifier (UUID)
+/// is associated with it", Section 4).
+[[nodiscard]] std::string uuid8(std::string_view data);
+
+} // namespace mfc

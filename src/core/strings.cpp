@@ -1,0 +1,109 @@
+#include "core/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, begin);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(begin));
+            return out;
+        }
+        out.emplace_back(s.substr(begin, pos - begin));
+        begin = pos + 1;
+    }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+        std::size_t b = i;
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) == 0) ++i;
+        if (i > b) out.emplace_back(s.substr(b, i - b));
+    }
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+    if (from.empty()) return s;
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+std::string format_sci(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.16E", v);
+    return std::string(buf);
+}
+
+long long parse_int(std::string_view s) {
+    const std::string t = trim(s);
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || ptr != t.data() + t.size()) {
+        fail("parse_int: not an integer: '" + t + "'");
+    }
+    return value;
+}
+
+double parse_double(std::string_view s) {
+    const std::string t = trim(s);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || ptr != t.data() + t.size()) {
+        fail("parse_double: not a number: '" + t + "'");
+    }
+    return value;
+}
+
+} // namespace mfc

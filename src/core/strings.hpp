@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfc {
+
+/// String helpers shared by the toolchain parsers (modules registry, YAML
+/// reader, golden files, template engine).
+
+[[nodiscard]] std::string trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+/// Split on runs of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+/// Replace every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string s, std::string_view from,
+                                      std::string_view to);
+
+/// Format a double the way MFC's serial output formatter does: full
+/// round-trip precision, fixed-width scientific notation so golden files
+/// diff cleanly across systems.
+[[nodiscard]] std::string format_sci(double v);
+
+/// Parse helpers that raise mfc::Error with context on malformed input.
+[[nodiscard]] long long parse_int(std::string_view s);
+[[nodiscard]] double parse_double(std::string_view s);
+
+} // namespace mfc

@@ -1,0 +1,72 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::Left) {}
+
+void TextTable::set_align(std::size_t column, Align align) {
+    MFC_REQUIRE(column < align_.size(), "TextTable: column out of range");
+    align_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    MFC_REQUIRE(cells.size() == header_.size(),
+                "TextTable: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    const auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        out += '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = width[c] - row[c].size();
+            out += ' ';
+            if (align_[c] == Align::Right) out.append(pad, ' ');
+            out += row[c];
+            if (align_[c] == Align::Left) out.append(pad, ' ');
+            out += " |";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header_, out);
+    out += '|';
+    for (const std::size_t w : width) {
+        out.append(w + 2, '-');
+        out += '|';
+    }
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+std::string format_fixed(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return std::string(buf);
+}
+
+std::string format_sig2(double v) {
+    if (v == 0.0) return "0.0";
+    const double mag = std::floor(std::log10(std::fabs(v)));
+    const int decimals = std::max(0, 1 - static_cast<int>(mag));
+    return format_fixed(v, decimals);
+}
+
+} // namespace mfc

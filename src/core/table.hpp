@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfc {
+
+/// Plain-text table printer used by the benchmark reproductions and the
+/// `bench_diff` tool ("prints a human-readable summary table", Section 5).
+class TextTable {
+public:
+    /// Column alignment; numbers read best right-aligned.
+    enum class Align { Left, Right };
+
+    explicit TextTable(std::vector<std::string> header);
+
+    void set_align(std::size_t column, Align align);
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<Align> align_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting for table cells.
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+/// Format like the paper's Table 3 "Time" column: two significant digits
+/// (0.32, 1.4, 10, 63).
+[[nodiscard]] std::string format_sig2(double v);
+
+} // namespace mfc

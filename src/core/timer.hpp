@@ -1,0 +1,42 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mfc {
+
+/// Monotonic wall-clock timer used for all performance measurements.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed wall time in seconds since construction or last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double nanoseconds() const { return seconds() * 1.0e9; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Grindtime: nanoseconds of wall time per grid point, per equation, per
+/// right-hand-side evaluation — the paper's figure of merit (Section 1).
+///
+/// `rhs_evals` is the total number of RHS evaluations over the run, i.e.
+/// time steps multiplied by Runge-Kutta stages.
+[[nodiscard]] constexpr double grindtime_ns(double wall_seconds,
+                                            std::int64_t grid_points,
+                                            std::int64_t equations,
+                                            std::int64_t rhs_evals) {
+    const double work = static_cast<double>(grid_points) *
+                        static_cast<double>(equations) *
+                        static_cast<double>(rhs_evals);
+    return work > 0.0 ? wall_seconds * 1.0e9 / work : 0.0;
+}
+
+} // namespace mfc

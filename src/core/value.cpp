@@ -1,0 +1,72 @@
+#include "core/value.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace mfc {
+
+bool Value::as_bool() const {
+    if (const auto* b = std::get_if<bool>(&v_)) return *b;
+    if (const auto* s = std::get_if<std::string>(&v_)) {
+        if (*s == "T") return true;
+        if (*s == "F") return false;
+    }
+    fail("Value: not a bool: " + to_string());
+}
+
+long long Value::as_int() const {
+    if (const auto* i = std::get_if<long long>(&v_)) return *i;
+    fail("Value: not an int: " + to_string());
+}
+
+double Value::as_double() const {
+    if (const auto* d = std::get_if<double>(&v_)) return *d;
+    if (const auto* i = std::get_if<long long>(&v_)) return static_cast<double>(*i);
+    fail("Value: not a real: " + to_string());
+}
+
+const std::string& Value::as_string() const {
+    if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+    fail("Value: not a string: " + to_string());
+}
+
+std::string Value::to_string() const {
+    struct Visitor {
+        std::string operator()(bool b) const { return b ? "T" : "F"; }
+        std::string operator()(long long i) const { return std::to_string(i); }
+        std::string operator()(double d) const {
+            // Shortest representation that round-trips; integers-valued
+            // reals keep a trailing ".0" so the type survives reparsing.
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.17g", d);
+            std::string s(buf);
+            if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+            return s;
+        }
+        std::string operator()(const std::string& s) const { return s; }
+    };
+    return std::visit(Visitor{}, v_);
+}
+
+Value Value::parse(std::string_view text) {
+    const std::string t = trim(text);
+    if (t == "T") return Value(true);
+    if (t == "F") return Value(false);
+    {
+        long long i = 0;
+        const auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), i);
+        if (ec == std::errc{} && p == t.data() + t.size()) return Value(i);
+    }
+    {
+        double d = 0.0;
+        const auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), d);
+        if (ec == std::errc{} && p == t.data() + t.size()) return Value(d);
+    }
+    return Value(t);
+}
+
+} // namespace mfc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mfc {
+
+/// A dynamically-typed case-file value. MFC case files are Python
+/// dictionaries mapping parameter names to bools ('T'/'F'), integers,
+/// reals, or strings; Value is the C++ equivalent used throughout the
+/// toolchain (case stack, case files, YAML summaries).
+class Value {
+public:
+    Value() : v_(std::string{}) {}
+    Value(bool b) : v_(b) {}                         // NOLINT(google-explicit-constructor)
+    Value(int i) : v_(static_cast<long long>(i)) {}  // NOLINT(google-explicit-constructor)
+    Value(long i) : v_(static_cast<long long>(i)) {} // NOLINT(google-explicit-constructor)
+    Value(long long i) : v_(i) {}                    // NOLINT(google-explicit-constructor)
+    Value(double d) : v_(d) {}                       // NOLINT(google-explicit-constructor)
+    Value(const char* s) : v_(std::string(s)) {}     // NOLINT(google-explicit-constructor)
+    Value(std::string s) : v_(std::move(s)) {}       // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_int() const { return std::holds_alternative<long long>(v_); }
+    [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+    /// Typed accessors; throw mfc::Error on type mismatch (as_double
+    /// accepts ints, matching how case parameters are consumed).
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] long long as_int() const;
+    [[nodiscard]] double as_double() const;
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Canonical text form used in traces, YAML output, and UUID hashing.
+    /// Bools render as 'T'/'F' following MFC case-file conventions.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Inverse of to_string(): recognizes T/F, integers, reals; anything
+    /// else parses as a string.
+    [[nodiscard]] static Value parse(std::string_view text);
+
+    [[nodiscard]] bool operator==(const Value& other) const { return v_ == other.v_; }
+
+private:
+    std::variant<bool, long long, double, std::string> v_;
+};
+
+} // namespace mfc

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace mfc {
+
+/// Minimal YAML subset used by the benchmarking toolchain: the paper's
+/// `bench` tool writes "a single yaml file" per run with wall time,
+/// grindtime, and the invocation summary (Section 3, step 4). Supported:
+/// nested maps (2-space indentation), scalar values, and lists of
+/// scalars ("- item"). Comments (#) and blank lines are ignored.
+class Yaml {
+public:
+    enum class Kind { Scalar, Map, List };
+
+    Yaml() : kind_(Kind::Map) {}
+    explicit Yaml(Value v) : kind_(Kind::Scalar), scalar_(std::move(v)) {}
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_scalar() const { return kind_ == Kind::Scalar; }
+    [[nodiscard]] bool is_map() const { return kind_ == Kind::Map; }
+    [[nodiscard]] bool is_list() const { return kind_ == Kind::List; }
+
+    /// Map access. operator[] creates missing keys (and converts an empty
+    /// node to a map); at() throws mfc::Error on a missing key.
+    Yaml& operator[](const std::string& key);
+    [[nodiscard]] const Yaml& at(const std::string& key) const;
+    [[nodiscard]] bool contains(const std::string& key) const;
+    /// Keys in insertion order (stable output for golden comparisons).
+    [[nodiscard]] const std::vector<std::string>& keys() const { return order_; }
+
+    /// List access.
+    void push_back(Yaml node);
+    [[nodiscard]] const std::vector<Yaml>& items() const { return list_; }
+
+    /// Scalar access.
+    void set(Value v);
+    [[nodiscard]] const Value& value() const;
+
+    /// Serialize with 2-space indentation.
+    [[nodiscard]] std::string dump() const;
+    /// Parse text produced by dump() (or hand-written files in the subset).
+    [[nodiscard]] static Yaml parse(const std::string& text);
+
+    /// File helpers; throw mfc::Error on I/O failure.
+    void save(const std::string& path) const;
+    [[nodiscard]] static Yaml load(const std::string& path);
+
+private:
+    void dump_into(std::string& out, int indent) const;
+
+    Kind kind_;
+    Value scalar_;
+    std::map<std::string, Yaml> map_;
+    std::vector<std::string> order_;
+    std::vector<Yaml> list_;
+};
+
+} // namespace mfc

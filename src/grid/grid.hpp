@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+
+#include "core/field.hpp"
+
+namespace mfc {
+
+/// Uniform structured grid over an axis-aligned box. MFC's standardized
+/// benchmark and scaling cases all use uniform Cartesian grids; dx is the
+/// common spacing requirement for the CFL step and the IGR operator.
+struct GlobalGrid {
+    Extents cells;                    ///< global cell counts
+    std::array<double, 3> lo{0, 0, 0}; ///< domain lower corner
+    std::array<double, 3> hi{1, 1, 1}; ///< domain upper corner
+
+    [[nodiscard]] double dx(int dim) const {
+        const int n = dim == 0 ? cells.nx : dim == 1 ? cells.ny : cells.nz;
+        return (hi[static_cast<std::size_t>(dim)] -
+                lo[static_cast<std::size_t>(dim)]) /
+               static_cast<double>(n);
+    }
+
+    /// Cell-center coordinate of global index i along dim.
+    [[nodiscard]] double center(int dim, int i) const {
+        return lo[static_cast<std::size_t>(dim)] + (i + 0.5) * dx(dim);
+    }
+
+    [[nodiscard]] long long total_cells() const { return cells.cells(); }
+    [[nodiscard]] int dims() const { return cells.dims(); }
+};
+
+/// One rank's sub-block of the global grid.
+struct LocalBlock {
+    Extents cells;                 ///< local cell counts
+    std::array<int, 3> offset{};   ///< global index of local cell (0,0,0)
+
+    [[nodiscard]] int global_index(int dim, int local) const {
+        return offset[static_cast<std::size_t>(dim)] + local;
+    }
+};
+
+/// Block-decompose `global` cells over a `dims` process box. Remainder
+/// cells are distributed one per low-coordinate rank, as MPI codes
+/// conventionally do, so any rank count divides any grid.
+[[nodiscard]] LocalBlock decompose(const Extents& global,
+                                   const std::array<int, 3>& dims,
+                                   const std::array<int, 3>& coords);
+
+} // namespace mfc

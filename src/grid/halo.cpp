@@ -1,0 +1,128 @@
+#include "grid/halo.hpp"
+
+#include <vector>
+
+namespace mfc {
+
+namespace {
+
+/// Iteration box for one face slab of `f` normal to `dim`. The transverse
+/// dimensions span the full allocated range (interior plus ghosts) so
+/// sequential per-dimension exchanges fill edge and corner ghosts.
+struct Box {
+    int lo[3];
+    int hi[3]; // exclusive
+};
+
+int ghosts_along(const Field& f, int dim) {
+    return dim == 0 ? f.gx() : dim == 1 ? f.gy() : f.gz();
+}
+
+int extent_along(const Field& f, int dim) {
+    return dim == 0 ? f.nx() : dim == 1 ? f.ny() : f.nz();
+}
+
+Box face_box(const Field& f, int dim, int side, bool interior) {
+    Box b;
+    b.lo[0] = -f.gx(); b.hi[0] = f.nx() + f.gx();
+    b.lo[1] = -f.gy(); b.hi[1] = f.ny() + f.gy();
+    b.lo[2] = -f.gz(); b.hi[2] = f.nz() + f.gz();
+    const int g = ghosts_along(f, dim);
+    const int n = extent_along(f, dim);
+    MFC_REQUIRE(g > 0, "halo: no ghost layers along requested dimension");
+    if (side < 0) {
+        b.lo[dim] = interior ? 0 : -g;
+        b.hi[dim] = interior ? g : 0;
+    } else {
+        b.lo[dim] = interior ? n - g : n;
+        b.hi[dim] = interior ? n : n + g;
+    }
+    return b;
+}
+
+template <typename CellFn>
+void for_box(const Box& b, CellFn&& fn) {
+    for (int k = b.lo[2]; k < b.hi[2]; ++k) {
+        for (int j = b.lo[1]; j < b.hi[1]; ++j) {
+            for (int i = b.lo[0]; i < b.hi[0]; ++i) fn(i, j, k);
+        }
+    }
+}
+
+std::size_t box_cells(const Box& b) {
+    return static_cast<std::size_t>(b.hi[0] - b.lo[0]) *
+           static_cast<std::size_t>(b.hi[1] - b.lo[1]) *
+           static_cast<std::size_t>(b.hi[2] - b.lo[2]);
+}
+
+} // namespace
+
+std::size_t halo_slab_doubles(const StateArray& state, int dim) {
+    if (state.num_eqns() == 0) return 0;
+    const Box b = face_box(state.eq(0), dim, -1, true);
+    return box_cells(b) * static_cast<std::size_t>(state.num_eqns());
+}
+
+void pack_face(const Field& f, int dim, int side, bool interior, double* buf) {
+    std::size_t n = 0;
+    for_box(face_box(f, dim, side, interior),
+            [&](int i, int j, int k) { buf[n++] = f(i, j, k); });
+}
+
+void unpack_face(Field& f, int dim, int side, bool interior, const double* buf) {
+    std::size_t n = 0;
+    for_box(face_box(f, dim, side, interior),
+            [&](int i, int j, int k) { f(i, j, k) = buf[n++]; });
+}
+
+void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
+    if (state.num_eqns() == 0) return;
+    const Field& f0 = state.eq(0);
+    const int g = ghosts_along(f0, dim);
+    if (g == 0) return; // inactive dimension
+
+    const std::size_t count = halo_slab_doubles(state, dim);
+    const std::size_t per_eq = count / static_cast<std::size_t>(state.num_eqns());
+    std::vector<double> send_lo(count), send_hi(count);
+    std::vector<double> recv_lo(count), recv_hi(count);
+
+    for (int q = 0; q < state.num_eqns(); ++q) {
+        pack_face(state.eq(q), dim, -1, true,
+                  send_lo.data() + per_eq * static_cast<std::size_t>(q));
+        pack_face(state.eq(q), dim, +1, true,
+                  send_hi.data() + per_eq * static_cast<std::size_t>(q));
+    }
+
+    const int lo_nbr = cart.neighbor(dim, -1);
+    const int hi_nbr = cart.neighbor(dim, +1);
+    const int tag_up = 2 * dim;       // data moving toward +dim
+    const int tag_down = 2 * dim + 1; // data moving toward -dim
+
+    comm::Communicator& comm = cart.comm();
+    if (hi_nbr != comm::kProcNull) {
+        comm.send_doubles(hi_nbr, tag_up, send_hi.data(), count);
+    }
+    if (lo_nbr != comm::kProcNull) {
+        comm.send_doubles(lo_nbr, tag_down, send_lo.data(), count);
+    }
+    if (lo_nbr != comm::kProcNull) {
+        comm.recv_doubles(lo_nbr, tag_up, recv_lo.data(), count);
+        for (int q = 0; q < state.num_eqns(); ++q) {
+            unpack_face(state.eq(q), dim, -1, false,
+                        recv_lo.data() + per_eq * static_cast<std::size_t>(q));
+        }
+    }
+    if (hi_nbr != comm::kProcNull) {
+        comm.recv_doubles(hi_nbr, tag_down, recv_hi.data(), count);
+        for (int q = 0; q < state.num_eqns(); ++q) {
+            unpack_face(state.eq(q), dim, +1, false,
+                        recv_hi.data() + per_eq * static_cast<std::size_t>(q));
+        }
+    }
+}
+
+void exchange_halos(comm::CartComm& cart, StateArray& state) {
+    for (int dim = 0; dim < 3; ++dim) exchange_halos_dim(cart, state, dim);
+}
+
+} // namespace mfc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "comm/cart.hpp"
+#include "core/field.hpp"
+
+namespace mfc {
+
+/// Halo (ghost-layer) exchange between neighboring ranks of a Cartesian
+/// decomposition. Dimensions are processed sequentially and each face
+/// slab spans the *extended* transverse range (including ghosts of the
+/// dimensions already processed), so edge and corner ghosts are filled
+/// transitively — the standard dimensional-sweep scheme. Hyperbolic
+/// sweeps only need the face bands; the viscous cross-derivatives and any
+/// multi-dimensional stencil get valid corners for free.
+///
+/// At a kProcNull neighbor (non-periodic physical boundary) the ghost
+/// cells are left untouched; the physical boundary condition fills them
+/// in the same per-dimension interleaving (see Simulation::fill_ghosts).
+
+/// Number of doubles in one (extended) face slab of `state` normal to
+/// `dim`.
+[[nodiscard]] std::size_t halo_slab_doubles(const StateArray& state, int dim);
+
+/// Exchange the face halos of `state` along one dimension.
+void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim);
+
+/// Exchange all face halos of `state` along every active dimension, in
+/// ascending dimension order (fills corners when called on a fully
+/// interior rank; physical boundaries need the interleaved BC fill).
+void exchange_halos(comm::CartComm& cart, StateArray& state);
+
+/// Pack/unpack primitives (exposed for tests and the traffic model).
+/// `side` is -1 for the low face, +1 for the high face. `interior` selects
+/// interior cells (for sending) versus ghost cells (for receiving).
+void pack_face(const Field& f, int dim, int side, bool interior, double* buf);
+void unpack_face(Field& f, int dim, int side, bool interior, const double* buf);
+
+} // namespace mfc

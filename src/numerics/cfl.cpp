@@ -1,0 +1,39 @@
+#include "numerics/cfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+double max_wave_speed(const EquationLayout& lay,
+                      const std::vector<StiffenedGas>& fluids,
+                      const StateArray& prim) {
+    const Extents e = prim.extents();
+    double vmax = 0.0;
+    std::vector<double> point(static_cast<std::size_t>(lay.num_eqns()));
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                for (int q = 0; q < lay.num_eqns(); ++q) {
+                    point[static_cast<std::size_t>(q)] = prim.eq(q)(i, j, k);
+                }
+                const double c = mixture_sound_speed(lay, fluids, point.data());
+                for (int d = 0; d < lay.dims(); ++d) {
+                    vmax = std::max(vmax, std::abs(point[static_cast<std::size_t>(
+                                              lay.mom(d))]) + c);
+                }
+            }
+        }
+    }
+    return vmax;
+}
+
+double cfl_dt(double cfl, double dx, double max_speed) {
+    MFC_REQUIRE(cfl > 0.0 && dx > 0.0, "cfl_dt: cfl and dx must be positive");
+    MFC_REQUIRE(max_speed > 0.0, "cfl_dt: vanishing wave speed");
+    return cfl * dx / max_speed;
+}
+
+} // namespace mfc

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "physics/model.hpp"
+
+namespace mfc {
+
+/// Maximum characteristic speed max(|u_d| + c) over the interior of a
+/// primitive-variable state, taken over all active directions. Used for
+/// the CFL-limited time step dt = cfl * dx / max_wave_speed.
+[[nodiscard]] double max_wave_speed(const EquationLayout& lay,
+                                    const std::vector<StiffenedGas>& fluids,
+                                    const StateArray& prim);
+
+/// CFL time step for uniform spacing dx.
+[[nodiscard]] double cfl_dt(double cfl, double dx, double max_speed);
+
+} // namespace mfc

@@ -1,0 +1,62 @@
+#include "numerics/igr.hpp"
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+std::string to_string(const IgrParams& p) {
+    if (!p.enabled) return "igr=F";
+    return "igr=T order=" + std::to_string(p.order) +
+           " alf=" + std::to_string(p.alf_factor) +
+           " iters=" + std::to_string(p.num_iters) +
+           " solver=" + (p.iter_solver == 1 ? std::string("Jacobi")
+                                            : std::string("Gauss-Seidel"));
+}
+
+void igr_elliptic_solve(const IgrParams& params, const Field& source,
+                        double dx, bool warm, Field& sigma) {
+    MFC_REQUIRE(params.iter_solver == 1 || params.iter_solver == 2,
+                "igr_iter_solver must be 1 (Jacobi) or 2 (Gauss-Seidel)");
+    const Extents e = source.extents();
+    const double alf = params.alf_factor * dx * dx;
+    const double inv_dx2 = 1.0 / (dx * dx);
+
+    // Active-dimension neighbor count for the discrete Laplacian.
+    const int active = e.dims() == 0 ? 1 : e.dims();
+    const double diag = 1.0 + alf * inv_dx2 * 2.0 * active;
+    const double off = alf * inv_dx2;
+
+    const int iters = params.num_iters + (warm ? 0 : params.num_warm_start_iters);
+    if (!warm) sigma.fill(0.0);
+
+    Field next = sigma; // Jacobi needs a second buffer
+    for (int it = 0; it < iters; ++it) {
+        Field& dst = params.iter_solver == 1 ? next : sigma;
+        for (int k = 0; k < e.nz; ++k) {
+            for (int j = 0; j < e.ny; ++j) {
+                for (int i = 0; i < e.nx; ++i) {
+                    double nb = 0.0;
+                    // Jacobi reads the previous iterate (sigma) and writes
+                    // `next`; Gauss-Seidel reads and writes sigma in place.
+                    const Field& s = sigma;
+                    if (e.nx > 1) {
+                        nb += (i > 0 ? s(i - 1, j, k) : s(i, j, k)) +
+                              (i < e.nx - 1 ? s(i + 1, j, k) : s(i, j, k));
+                    }
+                    if (e.ny > 1) {
+                        nb += (j > 0 ? s(i, j - 1, k) : s(i, j, k)) +
+                              (j < e.ny - 1 ? s(i, j + 1, k) : s(i, j, k));
+                    }
+                    if (e.nz > 1) {
+                        nb += (k > 0 ? s(i, j, k - 1) : s(i, j, k)) +
+                              (k < e.nz - 1 ? s(i, j, k + 1) : s(i, j, k));
+                    }
+                    dst(i, j, k) = (source(i, j, k) + off * nb) / diag;
+                }
+            }
+        }
+        if (params.iter_solver == 1) std::swap(sigma, next);
+    }
+}
+
+} // namespace mfc

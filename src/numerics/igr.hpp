@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "core/field.hpp"
+
+namespace mfc {
+
+/// Information geometric regularization (IGR) — the "alternative numerics"
+/// of Section 6.3 (CSCS Alps strong scaling) and the igr test family of
+/// Listing 2. Instead of WENO reconstruction + Riemann solves, fluxes are
+/// centered and shocks are regularized by an entropic pressure Sigma that
+/// solves the screened-Poisson-type elliptic problem
+///
+///     (I - alf grad^2) Sigma = alf * rho * [(div u)^2 + grad u : grad u]
+///
+/// with alf = alf_factor * dx^2. The elliptic solve is iterated with
+/// either Jacobi (igr_iter_solver = 1) or Gauss-Seidel (2), optionally
+/// warm-started from the previous time step's Sigma.
+struct IgrParams {
+    bool enabled = false;
+    int order = 5;                  ///< igr_order: central flux order (3 or 5)
+    double alf_factor = 10.0;       ///< regularization strength, units of dx^2
+    int num_iters = 10;             ///< num_igr_iters per RHS evaluation
+    int num_warm_start_iters = 10;  ///< extra iterations on the first call
+    int iter_solver = 1;            ///< 1 = Jacobi, 2 = Gauss-Seidel
+};
+
+[[nodiscard]] std::string to_string(const IgrParams& p);
+
+/// One elliptic solve for the entropic pressure. `sigma` is read as the
+/// warm start and overwritten with the regularized result; `source` holds
+/// alf * rho * velocity-gradient contraction, precomputed by the caller.
+/// dx is the (uniform) grid spacing; inactive dimensions are skipped.
+void igr_elliptic_solve(const IgrParams& params, const Field& source,
+                        double dx, bool warm, Field& sigma);
+
+} // namespace mfc

@@ -1,0 +1,57 @@
+#include "numerics/relaxation.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+void pressure_relaxation(const EquationLayout& lay,
+                         const std::vector<StiffenedGas>& fluids,
+                         StateArray& cons) {
+    MFC_REQUIRE(lay.model() == ModelKind::SixEquation,
+                "pressure_relaxation applies to the six-equation model only");
+    const Extents e = cons.extents();
+    const int nf = lay.num_fluids();
+    std::vector<double> point(static_cast<std::size_t>(lay.num_eqns()));
+
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                double rho = 0.0;
+                for (int f = 0; f < nf; ++f) rho += cons.eq(lay.cont(f))(i, j, k);
+                MFC_DBG_ASSERT(rho > 0.0);
+
+                double ke = 0.0;
+                for (int d = 0; d < lay.dims(); ++d) {
+                    const double m = cons.eq(lay.mom(d))(i, j, k);
+                    ke += 0.5 * m * m / rho;
+                }
+                const double rho_e = cons.eq(lay.energy())(i, j, k) - ke;
+
+                double alpha[8];
+                double big_g = 0.0;
+                double big_pi = 0.0;
+                for (int f = 0; f < nf; ++f) {
+                    alpha[f] = cons.eq(lay.adv(f))(i, j, k);
+                    const StiffenedGas& g = fluids[static_cast<std::size_t>(f)];
+                    big_g += alpha[f] * g.big_g();
+                    big_pi += alpha[f] * g.big_pi();
+                }
+                // Equilibrium pressure from the conserved total energy.
+                const double p_eq = (rho_e - big_pi) / big_g;
+
+                // Reset per-fluid internal energies to the common pressure;
+                // their sum equals rho_e by construction, so total energy
+                // is conserved to round-off.
+                for (int f = 0; f < nf; ++f) {
+                    const StiffenedGas& g = fluids[static_cast<std::size_t>(f)];
+                    cons.eq(lay.internal_energy(f))(i, j, k) =
+                        alpha[f] * (g.big_g() * p_eq + g.big_pi());
+                }
+            }
+        }
+    }
+}
+
+} // namespace mfc

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "physics/model.hpp"
+
+namespace mfc {
+
+/// Infinite-rate pressure relaxation for the six-equation model of Saurel,
+/// Petitpas & Berry (2009) — applied after every Runge-Kutta stage. The
+/// per-fluid internal energies are reset to the common mixture pressure
+/// recovered from the conserved total energy, which drives the per-fluid
+/// pressures to equilibrium while conserving mass, momentum, and total
+/// energy exactly.
+void pressure_relaxation(const EquationLayout& lay,
+                         const std::vector<StiffenedGas>& fluids,
+                         StateArray& cons);
+
+} // namespace mfc

@@ -1,0 +1,78 @@
+#include "numerics/time_stepper.hpp"
+
+#include "core/error.hpp"
+
+namespace mfc {
+
+std::string to_string(TimeStepper ts) {
+    switch (ts) {
+    case TimeStepper::RK1: return "RK1";
+    case TimeStepper::RK2: return "RK2";
+    case TimeStepper::RK3: return "RK3";
+    }
+    MFC_ASSERT(false);
+}
+
+TimeStepper stepper_from_int(int k) {
+    MFC_REQUIRE(k >= 1 && k <= 3, "time_stepper must be 1, 2, or 3");
+    return static_cast<TimeStepper>(k);
+}
+
+int num_stages(TimeStepper ts) { return static_cast<int>(ts); }
+
+void linear_combine(double a, const StateArray& qa, double b,
+                    const StateArray& qb, double c_dt, const StateArray& dq,
+                    StateArray& q_out) {
+    MFC_DBG_ASSERT(qa.num_eqns() == q_out.num_eqns());
+    for (int q = 0; q < q_out.num_eqns(); ++q) {
+        const auto& va = qa.eq(q).raw();
+        const auto& vb = qb.eq(q).raw();
+        const auto& vd = dq.eq(q).raw();
+        auto& vo = q_out.eq(q).raw();
+        for (std::size_t n = 0; n < vo.size(); ++n) {
+            vo[n] = a * va[n] + b * vb[n] + c_dt * vd[n];
+        }
+    }
+}
+
+void advance(TimeStepper ts, const RhsFn& rhs, double dt, StateArray& q,
+             StateArray& scratch1, StateArray& scratch2,
+             const StageFixupFn& fixup) {
+    StateArray& q1 = scratch1;
+    StateArray& dq = scratch2;
+
+    const auto apply_fixup = [&](StateArray& s) {
+        if (fixup) fixup(s);
+    };
+
+    switch (ts) {
+    case TimeStepper::RK1:
+        rhs(q, dq);
+        linear_combine(1.0, q, 0.0, q, dt, dq, q);
+        apply_fixup(q);
+        return;
+    case TimeStepper::RK2:
+        rhs(q, dq);
+        linear_combine(1.0, q, 0.0, q, dt, dq, q1);
+        apply_fixup(q1);
+        rhs(q1, dq);
+        linear_combine(0.5, q, 0.5, q1, 0.5 * dt, dq, q);
+        apply_fixup(q);
+        return;
+    case TimeStepper::RK3:
+        // Gottlieb & Shu SSP-RK3.
+        rhs(q, dq);
+        linear_combine(1.0, q, 0.0, q, dt, dq, q1);
+        apply_fixup(q1);
+        rhs(q1, dq);
+        linear_combine(0.75, q, 0.25, q1, 0.25 * dt, dq, q1);
+        apply_fixup(q1);
+        rhs(q1, dq);
+        linear_combine(1.0 / 3.0, q, 2.0 / 3.0, q1, (2.0 / 3.0) * dt, dq, q);
+        apply_fixup(q);
+        return;
+    }
+    MFC_ASSERT(false);
+}
+
+} // namespace mfc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/field.hpp"
+
+namespace mfc {
+
+/// Strong-stability-preserving Runge-Kutta time integrators. MFC exposes
+/// time_stepper = 1|2|3 (first- through third-order); the standardized
+/// benchmark uses the third-order scheme of Gottlieb & Shu. The number of
+/// stages equals the order, which is what makes grindtime (per RHS
+/// evaluation) independent of the integrator choice.
+enum class TimeStepper { RK1 = 1, RK2 = 2, RK3 = 3 };
+
+[[nodiscard]] std::string to_string(TimeStepper ts);
+[[nodiscard]] TimeStepper stepper_from_int(int k);
+[[nodiscard]] int num_stages(TimeStepper ts);
+
+/// RHS callback: fill `dq` with L(q). Boundary handling (ghost fill and
+/// halo exchange) is the callback's responsibility, so the stepper works
+/// identically in serial and rank-decomposed runs.
+using RhsFn = std::function<void(const StateArray& q, StateArray& dq)>;
+
+/// Optional per-stage fixup applied after each stage update (used for the
+/// six-equation model's infinite-rate pressure relaxation).
+using StageFixupFn = std::function<void(StateArray& q)>;
+
+/// Advance `q` by one step of size dt. `scratch1`/`scratch2` must match
+/// the shape of q (reused across steps to avoid allocation in the loop).
+void advance(TimeStepper ts, const RhsFn& rhs, double dt, StateArray& q,
+             StateArray& scratch1, StateArray& scratch2,
+             const StageFixupFn& fixup = nullptr);
+
+/// q_out = a*qa + b*qb + c*dt*dq over the full storage (ghosts included;
+/// they are overwritten by the next boundary fill anyway).
+void linear_combine(double a, const StateArray& qa, double b,
+                    const StateArray& qb, double c_dt, const StateArray& dq,
+                    StateArray& q_out);
+
+} // namespace mfc

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "perf/device.hpp"
+
+namespace mfc::perf {
+
+/// Roofline model of MFC's RHS kernels. The solved work unit is one
+/// (grid point, equation, RHS evaluation) — the denominator of grindtime.
+///
+/// The per-unit resource counts are derived from the structure of this
+/// repository's own RHS (see src/solver/rhs.cpp): per cell and direction,
+/// WENO reconstruction reads a (2r+1)-point stencil per equation, the
+/// Riemann solve touches both neighbor states, and the state is streamed
+/// once per Runge-Kutta stage. Summed over three directions and divided
+/// by the equation count this amounts to O(1 kB) of effective DRAM
+/// traffic and a few hundred FLOPs per unit.
+struct KernelModel {
+    double bytes_per_unit = 1250.0; ///< effective DRAM bytes / unit
+    double flops_per_unit = 450.0;  ///< FP64 operations / unit
+
+    /// Section 5: without --case-optimization (compile-time-constant case
+    /// parameters) grindtime degrades by roughly this factor.
+    double case_optimization_speedup = 10.0;
+
+    /// Modeled grindtime (ns per unit) for a device: the roofline
+    /// max(memory time, compute time) with the device's calibrated
+    /// sustained-efficiency factors.
+    [[nodiscard]] double grindtime_ns(const DeviceSpec& dev,
+                                      bool case_optimized = true) const {
+        const double mem_ns = bytes_per_unit / (dev.mem_bw_gbs * dev.eff_bw);
+        const double flop_ns =
+            (flops_per_unit / 1000.0) / (dev.fp64_tflops * dev.eff_flops);
+        const double base = mem_ns > flop_ns ? mem_ns : flop_ns;
+        return case_optimized ? base : base * case_optimization_speedup;
+    }
+
+    /// Wall seconds for `rhs_evals` RHS evaluations over `cells` points
+    /// and `eqns` equations on one device.
+    [[nodiscard]] double compute_seconds(const DeviceSpec& dev, double cells,
+                                         int eqns, double rhs_evals,
+                                         bool case_optimized = true) const {
+        return grindtime_ns(dev, case_optimized) * cells *
+               static_cast<double>(eqns) * rhs_evals * 1.0e-9;
+    }
+};
+
+} // namespace mfc::perf

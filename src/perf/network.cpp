@@ -1,0 +1,25 @@
+#include "perf/network.hpp"
+
+namespace mfc::perf {
+
+NetworkModel slingshot11() {
+    NetworkModel n;
+    n.name = "Slingshot-11";
+    n.latency_us = 2.0;
+    n.bw_gbs_per_device = 25.0; // one 200 Gb/s NIC per device
+    n.host_link_gbs = 36.0;     // Infinity Fabric CPU<->GCD
+    n.overlap_fraction = 0.5;
+    return n;
+}
+
+NetworkModel infiniband_edr_dual_rail() {
+    NetworkModel n;
+    n.name = "EDR InfiniBand (dual rail)";
+    n.latency_us = 1.5;
+    n.bw_gbs_per_device = 4.2; // 2 x 12.5 GB/s per node shared by 6 GPUs
+    n.host_link_gbs = 50.0;    // NVLink2 CPU<->GPU
+    n.overlap_fraction = 0.5;
+    return n;
+}
+
+} // namespace mfc::perf

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+namespace mfc::perf {
+
+/// Interconnect model for halo exchange: per-message latency plus
+/// bandwidth term, with an optional host-staging penalty when GPU-aware
+/// MPI (RDMA) is disabled — the effect shown in Fig. 3(a).
+struct NetworkModel {
+    std::string name;
+    double latency_us = 2.0;       ///< per-message one-way latency
+    double bw_gbs_per_device = 12.5; ///< injection bandwidth per device/GCD
+    double host_link_gbs = 36.0;   ///< device<->host link for staged copies
+    /// Fraction of communication hidden behind compute (asynchronous
+    /// progress / overlap); 0 = fully exposed.
+    double overlap_fraction = 0.5;
+
+    /// Seconds to exchange `bytes` in `messages` point-to-point messages,
+    /// with or without GPU-aware MPI.
+    [[nodiscard]] double exchange_seconds(double bytes, double messages,
+                                          bool gpu_aware) const {
+        double t = messages * latency_us * 1.0e-6 +
+                   bytes / (bw_gbs_per_device * 1.0e9);
+        if (!gpu_aware) {
+            // Staging through host memory adds a device->host and a
+            // host->device copy on the two endpoints' links.
+            t += 2.0 * bytes / (host_link_gbs * 1.0e9);
+        }
+        return t;
+    }
+
+    /// Effective exposed communication time after compute overlap.
+    [[nodiscard]] double exposed_seconds(double exchange_s) const {
+        return exchange_s * (1.0 - overlap_fraction);
+    }
+};
+
+/// Named interconnects used by the Table 5 systems.
+[[nodiscard]] NetworkModel slingshot11();
+[[nodiscard]] NetworkModel infiniband_edr_dual_rail();
+
+} // namespace mfc::perf

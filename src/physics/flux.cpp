@@ -1,0 +1,49 @@
+#include "physics/flux.hpp"
+
+namespace mfc {
+
+void physical_flux(const EquationLayout& lay,
+                   const std::vector<StiffenedGas>& fluids, const double* prim,
+                   int dir, double* flux) {
+    const int nf = lay.num_fluids();
+    const int d = lay.dims();
+    const double un = prim[lay.mom(dir)];
+    const double p = prim[lay.energy()];
+    const double rho = mixture_density(lay, prim);
+
+    for (int f = 0; f < nf; ++f) flux[lay.cont(f)] = prim[lay.cont(f)] * un;
+
+    for (int i = 0; i < d; ++i) {
+        flux[lay.mom(i)] = rho * prim[lay.mom(i)] * un + (i == dir ? p : 0.0);
+    }
+
+    double ke = 0.0;
+    for (int i = 0; i < d; ++i) ke += 0.5 * rho * prim[lay.mom(i)] * prim[lay.mom(i)];
+    const Mixture m = [&] {
+        double alpha[8];
+        volume_fractions(lay, prim, alpha);
+        return mix(fluids, alpha, nf);
+    }();
+    const double e_total = m.energy(p) + ke;
+    flux[lay.energy()] = (e_total + p) * un;
+
+    for (int f = 0; f < lay.num_adv(); ++f) flux[lay.adv(f)] = prim[lay.adv(f)] * un;
+
+    if (lay.model() == ModelKind::SixEquation) {
+        for (int f = 0; f < nf; ++f) {
+            const StiffenedGas& g = fluids[static_cast<std::size_t>(f)];
+            const double a = prim[lay.adv(f)];
+            const double aie = a * (g.big_g() * prim[lay.internal_energy(f)] +
+                                    g.big_pi());
+            flux[lay.internal_energy(f)] = aie * un;
+        }
+    }
+}
+
+void conservative_state(const EquationLayout& lay,
+                        const std::vector<StiffenedGas>& fluids,
+                        const double* prim, double* cons) {
+    prim_to_cons(lay, fluids, prim, cons);
+}
+
+} // namespace mfc

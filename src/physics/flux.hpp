@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "physics/model.hpp"
+
+namespace mfc {
+
+/// Physical flux of the coupled system along direction `dir` (0..2),
+/// evaluated from a primitive-variable state. The advection equations and
+/// six-equation internal energies are written in quasi-conservative form
+/// with flux alpha_i u (resp. alpha_i rho_i e_i u); their non-conservative
+/// source terms (alpha div u, alpha p div u) are added by the RHS assembly
+/// from Riemann-solver face velocities.
+void physical_flux(const EquationLayout& lay,
+                   const std::vector<StiffenedGas>& fluids, const double* prim,
+                   int dir, double* flux);
+
+/// Conservative state corresponding to a primitive state (thin wrapper,
+/// used by Riemann solvers which need both U and F(U)).
+void conservative_state(const EquationLayout& lay,
+                        const std::vector<StiffenedGas>& fluids,
+                        const double* prim, double* cons);
+
+} // namespace mfc

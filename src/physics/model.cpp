@@ -1,0 +1,145 @@
+#include "physics/model.hpp"
+
+#include <cmath>
+
+#include "core/strings.hpp"
+
+namespace mfc {
+
+std::string to_string(ModelKind m) {
+    switch (m) {
+    case ModelKind::Euler: return "euler";
+    case ModelKind::FiveEquation: return "5eqn";
+    case ModelKind::SixEquation: return "6eqn";
+    }
+    MFC_ASSERT(false);
+}
+
+ModelKind model_from_string(const std::string& s) {
+    const std::string t = to_lower(s);
+    if (t == "euler" || t == "1") return ModelKind::Euler;
+    if (t == "5eqn" || t == "2") return ModelKind::FiveEquation;
+    if (t == "6eqn" || t == "3") return ModelKind::SixEquation;
+    fail("unknown model: " + s);
+}
+
+EquationLayout::EquationLayout(ModelKind model, int num_fluids, int dims)
+    : model_(model), nf_(num_fluids), dims_(dims) {
+    MFC_REQUIRE(dims >= 1 && dims <= 3, "EquationLayout: dims must be 1..3");
+    switch (model) {
+    case ModelKind::Euler:
+        MFC_REQUIRE(num_fluids == 1, "Euler model requires num_fluids = 1");
+        num_adv_ = 0;
+        break;
+    case ModelKind::FiveEquation:
+    case ModelKind::SixEquation:
+        MFC_REQUIRE(num_fluids >= 2, "two-phase models require num_fluids >= 2");
+        num_adv_ = num_fluids;
+        break;
+    }
+    num_eqns_ = nf_ + dims_ + 1 + num_adv_ +
+                (model == ModelKind::SixEquation ? nf_ : 0);
+}
+
+void volume_fractions(const EquationLayout& lay, const double* prim,
+                      double* alpha) {
+    if (lay.model() == ModelKind::Euler) {
+        alpha[0] = 1.0;
+        return;
+    }
+    for (int f = 0; f < lay.num_fluids(); ++f) alpha[f] = prim[lay.adv(f)];
+}
+
+double mixture_density(const EquationLayout& lay, const double* prim) {
+    double rho = 0.0;
+    for (int f = 0; f < lay.num_fluids(); ++f) rho += prim[lay.cont(f)];
+    return rho;
+}
+
+namespace {
+
+Mixture mixture_at(const EquationLayout& lay,
+                   const std::vector<StiffenedGas>& fluids, const double* vars) {
+    double alpha[8];
+    MFC_DBG_ASSERT(lay.num_fluids() <= 8);
+    volume_fractions(lay, vars, alpha);
+    return mix(fluids, alpha, lay.num_fluids());
+}
+
+} // namespace
+
+double mixture_sound_speed(const EquationLayout& lay,
+                           const std::vector<StiffenedGas>& fluids,
+                           const double* prim) {
+    const Mixture m = mixture_at(lay, fluids, prim);
+    const double rho = mixture_density(lay, prim);
+    return m.sound_speed(rho, prim[lay.energy()]);
+}
+
+void cons_to_prim(const EquationLayout& lay,
+                  const std::vector<StiffenedGas>& fluids, const double* cons,
+                  double* prim) {
+    const int nf = lay.num_fluids();
+    const int d = lay.dims();
+
+    // Partial densities and advected fractions copy straight across.
+    for (int f = 0; f < nf; ++f) prim[lay.cont(f)] = cons[lay.cont(f)];
+    for (int f = 0; f < lay.num_adv(); ++f) prim[lay.adv(f)] = cons[lay.adv(f)];
+
+    double rho = 0.0;
+    for (int f = 0; f < nf; ++f) rho += cons[lay.cont(f)];
+    MFC_DBG_ASSERT(rho > 0.0);
+
+    double ke = 0.0;
+    for (int i = 0; i < d; ++i) {
+        const double u = cons[lay.mom(i)] / rho;
+        prim[lay.mom(i)] = u;
+        ke += 0.5 * rho * u * u;
+    }
+
+    const Mixture m = mixture_at(lay, fluids, cons);
+    const double rho_e = cons[lay.energy()] - ke;
+    prim[lay.energy()] = m.pressure(rho_e);
+
+    if (lay.model() == ModelKind::SixEquation) {
+        // Per-fluid pressures from per-fluid volumetric internal energies:
+        // alpha_i rho_i e_i = alpha_i (G_i p_i + Pi_i).
+        for (int f = 0; f < nf; ++f) {
+            const double a = std::max(cons[lay.adv(f)], 1e-12);
+            const StiffenedGas& g = fluids[static_cast<std::size_t>(f)];
+            prim[lay.internal_energy(f)] =
+                (cons[lay.internal_energy(f)] / a - g.big_pi()) / g.big_g();
+        }
+    }
+}
+
+void prim_to_cons(const EquationLayout& lay,
+                  const std::vector<StiffenedGas>& fluids, const double* prim,
+                  double* cons) {
+    const int nf = lay.num_fluids();
+    const int d = lay.dims();
+
+    for (int f = 0; f < nf; ++f) cons[lay.cont(f)] = prim[lay.cont(f)];
+    for (int f = 0; f < lay.num_adv(); ++f) cons[lay.adv(f)] = prim[lay.adv(f)];
+
+    const double rho = mixture_density(lay, prim);
+    double ke = 0.0;
+    for (int i = 0; i < d; ++i) {
+        cons[lay.mom(i)] = rho * prim[lay.mom(i)];
+        ke += 0.5 * rho * prim[lay.mom(i)] * prim[lay.mom(i)];
+    }
+
+    const Mixture m = mixture_at(lay, fluids, prim);
+    cons[lay.energy()] = m.energy(prim[lay.energy()]) + ke;
+
+    if (lay.model() == ModelKind::SixEquation) {
+        for (int f = 0; f < nf; ++f) {
+            const StiffenedGas& g = fluids[static_cast<std::size_t>(f)];
+            const double a = prim[lay.adv(f)];
+            cons[lay.internal_energy(f)] =
+                a * (g.big_g() * prim[lay.internal_energy(f)] + g.big_pi());
+        }
+    }
+}
+
+} // namespace mfc

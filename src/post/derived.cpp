@@ -1,0 +1,180 @@
+#include "post/derived.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfc::post {
+
+namespace {
+
+constexpr int kMaxEqns = 16;
+
+/// Apply fn(point_prim, i, j, k) over the interior with the state
+/// converted to primitives per cell.
+template <typename Fn>
+void for_prim(const EquationLayout& lay, const std::vector<StiffenedGas>& fluids,
+              const StateArray& cons, Fn&& fn) {
+    const Extents e = cons.extents();
+    double cbuf[kMaxEqns];
+    double pbuf[kMaxEqns];
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                for (int q = 0; q < lay.num_eqns(); ++q) {
+                    cbuf[q] = cons.eq(q)(i, j, k);
+                }
+                cons_to_prim(lay, fluids, cbuf, pbuf);
+                fn(pbuf, i, j, k);
+            }
+        }
+    }
+}
+
+/// Centered difference of `f` along `dim`, one-sided at the block edges.
+double diff(const Field& f, int i, int j, int k, int dim, double dx) {
+    const Extents e = f.extents();
+    const int n = dim == 0 ? e.nx : dim == 1 ? e.ny : e.nz;
+    if (n == 1) return 0.0;
+    const int c = dim == 0 ? i : dim == 1 ? j : k;
+    const int lo = std::max(0, c - 1);
+    const int hi = std::min(n - 1, c + 1);
+    const auto at = [&](int cc) {
+        return dim == 0 ? f(cc, j, k) : dim == 1 ? f(i, cc, k) : f(i, j, cc);
+    };
+    return (at(hi) - at(lo)) / (static_cast<double>(hi - lo) * dx);
+}
+
+} // namespace
+
+Field pressure(const EquationLayout& lay, const std::vector<StiffenedGas>& fluids,
+               const StateArray& cons) {
+    Field out(cons.extents(), 0);
+    for_prim(lay, fluids, cons, [&](const double* prim, int i, int j, int k) {
+        out(i, j, k) = prim[lay.energy()];
+    });
+    return out;
+}
+
+Field velocity(const EquationLayout& lay, const StateArray& cons, int d) {
+    MFC_REQUIRE(d >= 0 && d < lay.dims(), "velocity: bad direction");
+    Field out(cons.extents(), 0);
+    const Extents e = cons.extents();
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                double rho = 0.0;
+                for (int f = 0; f < lay.num_fluids(); ++f) {
+                    rho += cons.eq(lay.cont(f))(i, j, k);
+                }
+                out(i, j, k) = cons.eq(lay.mom(d))(i, j, k) / rho;
+            }
+        }
+    }
+    return out;
+}
+
+Field density(const EquationLayout& lay, const StateArray& cons) {
+    Field out(cons.extents(), 0);
+    const Extents e = cons.extents();
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                double rho = 0.0;
+                for (int f = 0; f < lay.num_fluids(); ++f) {
+                    rho += cons.eq(lay.cont(f))(i, j, k);
+                }
+                out(i, j, k) = rho;
+            }
+        }
+    }
+    return out;
+}
+
+Field sound_speed(const EquationLayout& lay,
+                  const std::vector<StiffenedGas>& fluids,
+                  const StateArray& cons) {
+    Field out(cons.extents(), 0);
+    for_prim(lay, fluids, cons, [&](const double* prim, int i, int j, int k) {
+        out(i, j, k) = mixture_sound_speed(lay, fluids, prim);
+    });
+    return out;
+}
+
+Field mach_number(const EquationLayout& lay,
+                  const std::vector<StiffenedGas>& fluids,
+                  const StateArray& cons) {
+    Field out(cons.extents(), 0);
+    for_prim(lay, fluids, cons, [&](const double* prim, int i, int j, int k) {
+        double u2 = 0.0;
+        for (int d = 0; d < lay.dims(); ++d) {
+            u2 += prim[lay.mom(d)] * prim[lay.mom(d)];
+        }
+        out(i, j, k) = std::sqrt(u2) / mixture_sound_speed(lay, fluids, prim);
+    });
+    return out;
+}
+
+Field vorticity_magnitude(const EquationLayout& lay, const StateArray& cons,
+                          const GlobalGrid& grid) {
+    const Extents e = cons.extents();
+    Field out(e, 0);
+    if (lay.dims() < 2) return out; // identically zero in 1D
+
+    std::vector<Field> u;
+    u.reserve(static_cast<std::size_t>(lay.dims()));
+    for (int d = 0; d < lay.dims(); ++d) u.push_back(velocity(lay, cons, d));
+
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                const double dvdx = diff(u[1], i, j, k, 0, grid.dx(0));
+                const double dudy = diff(u[0], i, j, k, 1, grid.dx(1));
+                double wx = 0.0, wy = 0.0;
+                const double wz = dvdx - dudy;
+                if (lay.dims() == 3) {
+                    const double dwdy = diff(u[2], i, j, k, 1, grid.dx(1));
+                    const double dvdz = diff(u[1], i, j, k, 2, grid.dx(2));
+                    const double dudz = diff(u[0], i, j, k, 2, grid.dx(2));
+                    const double dwdx = diff(u[2], i, j, k, 0, grid.dx(0));
+                    wx = dwdy - dvdz;
+                    wy = dudz - dwdx;
+                }
+                out(i, j, k) = std::sqrt(wx * wx + wy * wy + wz * wz);
+            }
+        }
+    }
+    return out;
+}
+
+Field numerical_schlieren(const EquationLayout& lay, const StateArray& cons,
+                          const GlobalGrid& grid, double amplification) {
+    const Extents e = cons.extents();
+    const Field rho = density(lay, cons);
+    Field grad(e, 0);
+    double grad_max = 0.0;
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                double g2 = 0.0;
+                for (int d = 0; d < 3; ++d) {
+                    const double g = diff(rho, i, j, k, d, grid.dx(d));
+                    g2 += g * g;
+                }
+                grad(i, j, k) = std::sqrt(g2);
+                grad_max = std::max(grad_max, grad(i, j, k));
+            }
+        }
+    }
+    Field out(e, 0);
+    const double inv = grad_max > 0.0 ? 1.0 / grad_max : 0.0;
+    for (int k = 0; k < e.nz; ++k) {
+        for (int j = 0; j < e.ny; ++j) {
+            for (int i = 0; i < e.nx; ++i) {
+                out(i, j, k) = std::exp(-amplification * grad(i, j, k) * inv);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mfc::post

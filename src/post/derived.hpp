@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "grid/grid.hpp"
+#include "physics/model.hpp"
+
+namespace mfc::post {
+
+/// Post-processing: derived flow quantities computed from the
+/// conservative state (MFC's post_process target). All functions read
+/// interior cells only and use one-sided differences at block edges, so
+/// they apply to any rank-local block without ghost information.
+
+/// Mixture pressure field.
+[[nodiscard]] Field pressure(const EquationLayout& lay,
+                             const std::vector<StiffenedGas>& fluids,
+                             const StateArray& cons);
+
+/// Velocity component d (0..dims-1).
+[[nodiscard]] Field velocity(const EquationLayout& lay, const StateArray& cons,
+                             int d);
+
+/// Mixture density (sum of partial densities).
+[[nodiscard]] Field density(const EquationLayout& lay, const StateArray& cons);
+
+/// Frozen mixture sound speed.
+[[nodiscard]] Field sound_speed(const EquationLayout& lay,
+                                const std::vector<StiffenedGas>& fluids,
+                                const StateArray& cons);
+
+/// Local Mach number |u| / c.
+[[nodiscard]] Field mach_number(const EquationLayout& lay,
+                                const std::vector<StiffenedGas>& fluids,
+                                const StateArray& cons);
+
+/// Vorticity magnitude |curl u| from centered (one-sided at edges)
+/// velocity differences; zero in 1D.
+[[nodiscard]] Field vorticity_magnitude(const EquationLayout& lay,
+                                        const StateArray& cons,
+                                        const GlobalGrid& grid);
+
+/// Numerical schlieren: exp(-k |grad rho| / max|grad rho|), the standard
+/// shock/interface visualization (k = amplification, default 40).
+[[nodiscard]] Field numerical_schlieren(const EquationLayout& lay,
+                                        const StateArray& cons,
+                                        const GlobalGrid& grid,
+                                        double amplification = 40.0);
+
+} // namespace mfc::post

@@ -1,0 +1,66 @@
+#include "post/io_profile.hpp"
+
+#include "core/error.hpp"
+
+namespace mfc::post {
+
+std::string to_string(IoStrategy s) {
+    return s == IoStrategy::SharedFile ? "shared-file" : "file-per-process";
+}
+
+IoStrategy select_io_strategy(std::int64_t ranks, std::int64_t total_cells) {
+    MFC_REQUIRE(ranks >= 1 && total_cells >= 0,
+                "select_io_strategy: invalid arguments");
+    if (ranks > kFilePerProcessRankThreshold ||
+        total_cells > kFilePerProcessCellThreshold) {
+        return IoStrategy::FilePerProcess;
+    }
+    return IoStrategy::SharedFile;
+}
+
+void IoProfile::record(std::string label, std::int64_t bytes,
+                       std::int64_t files, double seconds) {
+    MFC_REQUIRE(bytes >= 0 && files >= 0 && seconds >= 0.0,
+                "IoProfile: negative event quantities");
+    events_.push_back(Event{std::move(label), bytes, files, seconds});
+}
+
+std::int64_t IoProfile::total_bytes() const {
+    std::int64_t total = 0;
+    for (const Event& e : events_) total += e.bytes;
+    return total;
+}
+
+double IoProfile::total_seconds() const {
+    double total = 0.0;
+    for (const Event& e : events_) total += e.seconds;
+    return total;
+}
+
+double IoProfile::bandwidth_gbs() const {
+    const double s = total_seconds();
+    return s > 0.0 ? static_cast<double>(total_bytes()) / s / 1.0e9 : 0.0;
+}
+
+double IoProfile::io_fraction(double run_seconds) const {
+    MFC_REQUIRE(run_seconds > 0.0, "IoProfile: run time must be positive");
+    return total_seconds() / run_seconds;
+}
+
+Yaml IoProfile::summary(IoStrategy strategy) const {
+    Yaml root;
+    root["strategy"].set(Value(to_string(strategy)));
+    Yaml& ev = root["events"];
+    for (const Event& e : events_) {
+        Yaml& node = ev[e.label];
+        node["bytes"].set(Value(static_cast<long long>(e.bytes)));
+        node["files"].set(Value(static_cast<long long>(e.files)));
+        node["seconds"].set(Value(e.seconds));
+    }
+    root["total_bytes"].set(Value(static_cast<long long>(total_bytes())));
+    root["total_seconds"].set(Value(total_seconds()));
+    root["bandwidth_gbs"].set(Value(bandwidth_gbs()));
+    return root;
+}
+
+} // namespace mfc::post

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/yaml.hpp"
+
+namespace mfc::post {
+
+/// Output file layout strategies. Section 6.2: "The file-per-process I/O
+/// strategy ... is used when the number of MPI ranks exceeds 10^4 or the
+/// total problem size exceeds 100 billion spatially discretized grid
+/// cells"; smaller runs write one shared file.
+enum class IoStrategy { SharedFile, FilePerProcess };
+
+[[nodiscard]] std::string to_string(IoStrategy s);
+
+inline constexpr std::int64_t kFilePerProcessRankThreshold = 10'000;
+inline constexpr std::int64_t kFilePerProcessCellThreshold = 100'000'000'000;
+
+/// Strategy selection rule from Section 6.2.
+[[nodiscard]] IoStrategy select_io_strategy(std::int64_t ranks,
+                                            std::int64_t total_cells);
+
+/// Per-case I/O profile. Section 1: "MFC writes an I/O profile for each
+/// case, which can be used to evaluate I/O performance or bottlenecks if
+/// unexpected behavior is observed." Records each output event (bytes,
+/// seconds, file count) and summarizes totals, bandwidth, and the
+/// fraction of run time spent in I/O — which grindtime deliberately
+/// excludes.
+class IoProfile {
+public:
+    struct Event {
+        std::string label;
+        std::int64_t bytes = 0;
+        std::int64_t files = 0;
+        double seconds = 0.0;
+    };
+
+    void record(std::string label, std::int64_t bytes, std::int64_t files,
+                double seconds);
+
+    [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+    [[nodiscard]] std::int64_t total_bytes() const;
+    [[nodiscard]] double total_seconds() const;
+    /// Aggregate write bandwidth in GB/s (0 when no time was recorded).
+    [[nodiscard]] double bandwidth_gbs() const;
+    /// Fraction of `run_seconds` spent in I/O.
+    [[nodiscard]] double io_fraction(double run_seconds) const;
+
+    /// YAML summary, one node per event plus totals.
+    [[nodiscard]] Yaml summary(IoStrategy strategy) const;
+
+private:
+    std::vector<Event> events_;
+};
+
+} // namespace mfc::post

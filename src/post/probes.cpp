@@ -1,0 +1,87 @@
+#include "post/probes.hpp"
+
+#include <cmath>
+
+#include "core/strings.hpp"
+
+namespace mfc::post {
+
+std::optional<std::array<int, 3>> Probe::cell(const GlobalGrid& grid) const {
+    std::array<int, 3> idx{0, 0, 0};
+    for (int d = 0; d < 3; ++d) {
+        const auto dd = static_cast<std::size_t>(d);
+        const int n = d == 0 ? grid.cells.nx : d == 1 ? grid.cells.ny
+                                                      : grid.cells.nz;
+        if (n == 1) {
+            idx[dd] = 0;
+            continue;
+        }
+        const double rel = (position_[dd] - grid.lo[dd]) / grid.dx(d);
+        const int i = static_cast<int>(std::floor(rel));
+        if (i < 0 || i >= n) return std::nullopt;
+        idx[dd] = i;
+    }
+    return idx;
+}
+
+bool Probe::owned_by(const GlobalGrid& grid, const LocalBlock& block) const {
+    const auto idx = cell(grid);
+    if (!idx) return false;
+    for (int d = 0; d < 3; ++d) {
+        const auto dd = static_cast<std::size_t>(d);
+        const int n = d == 0 ? block.cells.nx : d == 1 ? block.cells.ny
+                                                       : block.cells.nz;
+        const int local = (*idx)[dd] - block.offset[dd];
+        if (local < 0 || local >= n) return false;
+    }
+    return true;
+}
+
+void Probe::record(double time, const EquationLayout& lay,
+                   const std::vector<StiffenedGas>& fluids,
+                   const StateArray& cons, const GlobalGrid& grid,
+                   const LocalBlock& block) {
+    if (!owned_by(grid, block)) return;
+    const auto idx = *cell(grid);
+    const int i = idx[0] - block.offset[0];
+    const int j = idx[1] - block.offset[1];
+    const int k = idx[2] - block.offset[2];
+
+    std::vector<double> c(static_cast<std::size_t>(lay.num_eqns()));
+    std::vector<double> p(c.size());
+    for (int q = 0; q < lay.num_eqns(); ++q) {
+        c[static_cast<std::size_t>(q)] = cons.eq(q)(i, j, k);
+    }
+    cons_to_prim(lay, fluids, c.data(), p.data());
+
+    ProbeSample s;
+    s.time = time;
+    s.density = mixture_density(lay, p.data());
+    for (int d = 0; d < lay.dims(); ++d) {
+        s.velocity[static_cast<std::size_t>(d)] =
+            p[static_cast<std::size_t>(lay.mom(d))];
+    }
+    s.pressure = p[static_cast<std::size_t>(lay.energy())];
+    samples_.push_back(s);
+}
+
+std::string Probe::serialize(int dims) const {
+    std::string out = "# probe " + name_ + " at (" + format_sci(position_[0]) +
+                      ", " + format_sci(position_[1]) + ", " +
+                      format_sci(position_[2]) + ")\n";
+    for (const ProbeSample& s : samples_) {
+        out += format_sci(s.time);
+        out += ' ';
+        out += format_sci(s.density);
+        for (int d = 0; d < dims; ++d) {
+            out += ' ';
+            out += format_sci(s.velocity[static_cast<std::size_t>(d)]);
+        }
+        out += ' ';
+        out += format_sci(s.pressure);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mfc::post

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+#include "grid/grid.hpp"
+#include "physics/model.hpp"
+
+namespace mfc::post {
+
+/// Time-series probes (MFC's probe_wrt): sample flow quantities at fixed
+/// physical locations every time an observer calls record(). Each sample
+/// stores density, velocity components, and pressure of the nearest cell.
+struct ProbeSample {
+    double time = 0.0;
+    double density = 0.0;
+    std::array<double, 3> velocity{0, 0, 0};
+    double pressure = 0.0;
+};
+
+class Probe {
+public:
+    Probe(std::string name, std::array<double, 3> position)
+        : name_(std::move(name)), position_(position) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::array<double, 3>& position() const {
+        return position_;
+    }
+
+    /// Global cell index holding the probe, or nullopt when the probe
+    /// lies outside the domain.
+    [[nodiscard]] std::optional<std::array<int, 3>>
+    cell(const GlobalGrid& grid) const;
+
+    /// Whether a rank-local block owns the probe's cell.
+    [[nodiscard]] bool owned_by(const GlobalGrid& grid,
+                                const LocalBlock& block) const;
+
+    /// Sample the state (cons, with the block's local indexing) at `time`.
+    /// No-op when the block does not own the probe.
+    void record(double time, const EquationLayout& lay,
+                const std::vector<StiffenedGas>& fluids, const StateArray& cons,
+                const GlobalGrid& grid, const LocalBlock& block);
+
+    [[nodiscard]] const std::vector<ProbeSample>& samples() const {
+        return samples_;
+    }
+
+    /// One line per sample: "time density u [v [w]] pressure".
+    [[nodiscard]] std::string serialize(int dims) const;
+
+private:
+    std::string name_;
+    std::array<double, 3> position_;
+    std::vector<ProbeSample> samples_;
+};
+
+} // namespace mfc::post

@@ -1,0 +1,53 @@
+#include "post/vtk.hpp"
+
+#include <fstream>
+
+#include "core/strings.hpp"
+
+namespace mfc::post {
+
+std::string vtk_text(const GlobalGrid& grid,
+                     const std::vector<std::pair<std::string, Field>>& fields) {
+    const Extents e = grid.cells;
+    std::string out;
+    out += "# vtk DataFile Version 3.0\n";
+    out += "mfcpp flow field\n";
+    out += "ASCII\n";
+    out += "DATASET STRUCTURED_POINTS\n";
+    // Point dimensions are cell counts + 1 for CELL_DATA.
+    out += "DIMENSIONS " + std::to_string(e.nx + 1) + " " +
+           std::to_string(e.ny + 1) + " " + std::to_string(e.nz + 1) + "\n";
+    out += "ORIGIN " + format_sci(grid.lo[0]) + " " + format_sci(grid.lo[1]) +
+           " " + format_sci(grid.lo[2]) + "\n";
+    out += "SPACING " + format_sci(grid.dx(0)) + " " + format_sci(grid.dx(1)) +
+           " " + format_sci(grid.dx(2)) + "\n";
+    out += "CELL_DATA " + std::to_string(e.cells()) + "\n";
+
+    for (const auto& [name, field] : fields) {
+        MFC_REQUIRE(field.extents() == e, "vtk: field '" + name +
+                                              "' does not match the grid");
+        MFC_REQUIRE(name.find_first_of(" \t\n") == std::string::npos,
+                    "vtk: field name must not contain whitespace");
+        out += "SCALARS " + name + " double 1\n";
+        out += "LOOKUP_TABLE default\n";
+        for (int k = 0; k < e.nz; ++k) {
+            for (int j = 0; j < e.ny; ++j) {
+                for (int i = 0; i < e.nx; ++i) {
+                    out += format_sci(field(i, j, k));
+                    out += '\n';
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void write_vtk(const std::string& path, const GlobalGrid& grid,
+               const std::vector<std::pair<std::string, Field>>& fields) {
+    std::ofstream f(path);
+    MFC_REQUIRE(f.good(), "vtk: cannot open for write: " + path);
+    f << vtk_text(grid, fields);
+    MFC_REQUIRE(f.good(), "vtk: write failed: " + path);
+}
+
+} // namespace mfc::post

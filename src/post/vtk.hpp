@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/field.hpp"
+#include "grid/grid.hpp"
+
+namespace mfc::post {
+
+/// Legacy-VTK structured-points writer (ASCII). MFC writes silo/hdf5 for
+/// visualization; VTK legacy is the self-contained equivalent this
+/// reproduction ships (readable by ParaView/VisIt without external
+/// libraries — see DESIGN.md substitutions).
+///
+/// Fields are written as CELL_DATA scalars over the grid's cells, in the
+/// order given. Throws mfc::Error on I/O failure or shape mismatch.
+void write_vtk(const std::string& path, const GlobalGrid& grid,
+               const std::vector<std::pair<std::string, Field>>& fields);
+
+/// Render the VTK text without touching the filesystem (for tests).
+[[nodiscard]] std::string
+vtk_text(const GlobalGrid& grid,
+         const std::vector<std::pair<std::string, Field>>& fields);
+
+} // namespace mfc::post

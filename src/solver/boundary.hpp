@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+
+#include "core/field.hpp"
+#include "physics/model.hpp"
+#include "solver/case_config.hpp"
+
+namespace mfc {
+
+/// Which faces of the local block coincide with a physical domain
+/// boundary. In serial runs every face is physical unless periodic (which
+/// is then applied as a local wrap copy); in decomposed runs interior and
+/// periodic faces are serviced by the halo exchange instead.
+struct PhysicalFaces {
+    std::array<std::array<bool, 2>, 3> face{{{true, true},
+                                             {true, true},
+                                             {true, true}}};
+};
+
+/// Fill ghost layers on the physical faces normal to `dim`. The
+/// transverse extent spans interior plus ghosts, so interleaving this
+/// with the per-dimension halo exchange (ascending dim order) yields
+/// valid edge and corner ghosts. `serial_periodic` selects whether
+/// Periodic faces are wrapped locally (single-block runs) or skipped
+/// (the CartComm halo exchange already filled them).
+void apply_boundary_conditions_dim(
+    const EquationLayout& lay, const std::array<std::array<BcType, 2>, 3>& bc,
+    const PhysicalFaces& faces, bool serial_periodic, int dim,
+    StateArray& cons);
+
+/// All dimensions, ascending (single-block ghost fill).
+void apply_boundary_conditions(const EquationLayout& lay,
+                               const std::array<std::array<BcType, 2>, 3>& bc,
+                               const PhysicalFaces& faces, bool serial_periodic,
+                               StateArray& cons);
+
+} // namespace mfc

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/value.hpp"
+#include "grid/grid.hpp"
+#include "numerics/igr.hpp"
+#include "numerics/riemann.hpp"
+#include "numerics/weno.hpp"
+#include "numerics/time_stepper.hpp"
+#include "physics/model.hpp"
+
+namespace mfc {
+
+/// Physical boundary condition codes, following MFC's bc_x%beg integers.
+enum class BcType {
+    Periodic = -1,
+    Reflective = -2,    ///< free-slip wall: normal velocity mirrored
+    Extrapolation = -3,
+    NoSlip = -16,       ///< viscous wall: all velocity components mirrored
+};
+
+[[nodiscard]] BcType bc_from_int(int code);
+[[nodiscard]] std::string to_string(BcType bc);
+
+/// Initial-condition patch, the analog of MFC's patch_icpp entries. Each
+/// patch overwrites the primitive state in the region it covers; patches
+/// are applied in order, later ones painting over earlier ones.
+struct Patch {
+    enum class Geometry {
+        Domain,    ///< whole domain (background state)
+        HalfSpace, ///< x_d < position (planar interface / shock setup)
+        Sphere,    ///< |x - center| < radius (bubble)
+        Box,       ///< axis-aligned box [lo, hi]
+    };
+
+    Geometry geometry = Geometry::Domain;
+    int dir = 0;                           ///< HalfSpace normal direction
+    double position = 0.5;                 ///< HalfSpace plane coordinate
+    std::array<double, 3> center{0.5, 0.5, 0.5};
+    double radius = 0.25;
+    std::array<double, 3> lo{0, 0, 0};
+    std::array<double, 3> hi{1, 1, 1};
+
+    /// Primitive state painted by the patch.
+    std::vector<double> alpha_rho;         ///< partial densities, size nf
+    std::array<double, 3> velocity{0, 0, 0};
+    double pressure = 1.0;
+    std::vector<double> alpha;             ///< volume fractions, size nf
+
+    [[nodiscard]] bool contains(const GlobalGrid& grid,
+                                std::array<double, 3> x) const;
+};
+
+/// Full description of one simulation case: the C++ analog of an MFC
+/// case file. Every regression-suite and benchmark case is an instance.
+struct CaseConfig {
+    std::string title = "case";
+
+    // Physics
+    ModelKind model = ModelKind::FiveEquation;
+    int num_fluids = 2;
+    std::vector<StiffenedGas> fluids{{4.4, 6000.0}, {1.4, 0.0}};
+
+    // Grid
+    GlobalGrid grid{Extents{64, 1, 1}};
+
+    // Numerics
+    int weno_order = 5;
+    double weno_eps = 1.0e-16;
+    WenoVariant weno_variant = WenoVariant::JS; ///< mapped_weno / wenoz flags
+    /// Characteristic-wise WENO reconstruction (Euler model only):
+    /// stencils are projected onto the flux Jacobian's eigenvectors at
+    /// each face before reconstruction.
+    bool char_decomp = false;
+    RiemannSolverKind riemann_solver = RiemannSolverKind::HLLC;
+    TimeStepper time_stepper = TimeStepper::RK3;
+    IgrParams igr;
+
+    // Time marching: fixed step (MFC-style t_step counting), or
+    // CFL-adaptive steps when adaptive_dt is set (MFC's cfl_adap_dt).
+    double dt = 1.0e-4;
+    int t_step_stop = 10;
+    bool adaptive_dt = false;
+    double cfl = 0.3;
+
+    // Viscous stress (compressible Navier-Stokes): per-fluid dynamic
+    // viscosities, volume-fraction mixed. Enabled by the `viscous` flag
+    // as in MFC case files.
+    bool viscous = false;
+    std::vector<double> viscosity{0.0, 0.0}; ///< one entry per fluid
+
+    // Constant body force (gravity), applied to momenta and energy.
+    std::array<double, 3> gravity{0.0, 0.0, 0.0};
+
+    // Acoustic monopole sources (MFC's 'Monopole' feature): each adds a
+    // Gaussian-supported sinusoidal energy source
+    //   s(x, t) = mag * sin(2 pi freq t) * exp(-|x - loc|^2 / support^2).
+    struct Monopole {
+        std::array<double, 3> location{0.5, 0.5, 0.5};
+        double magnitude = 1.0;
+        double frequency = 1.0;
+        double support = 0.1;
+    };
+    std::vector<Monopole> monopoles;
+
+    // Boundary conditions per direction (beg, end)
+    std::array<std::array<BcType, 2>, 3> bc{{{BcType::Periodic, BcType::Periodic},
+                                             {BcType::Periodic, BcType::Periodic},
+                                             {BcType::Periodic, BcType::Periodic}}};
+
+    // Initial condition
+    std::vector<Patch> patches;
+
+    // Toolchain-facing switches (modeled, not executed, on this host)
+    bool rdma_mpi = false;          ///< GPU-aware MPI (Section 6.3)
+    bool case_optimization = false; ///< compile-time-constant kernels (Section 5)
+
+    [[nodiscard]] EquationLayout layout() const {
+        return EquationLayout(model, num_fluids, grid.dims());
+    }
+
+    /// Validate parameter consistency; throws mfc::Error with a message
+    /// naming the offending parameter.
+    void validate() const;
+};
+
+/// MFC-style case dictionary: parameter name -> value. The toolchain's
+/// case-stack and test-suite machinery manipulate dictionaries; this
+/// converts them to a typed CaseConfig (unknown keys are rejected so test
+/// definitions cannot silently misspell parameters).
+using CaseDict = std::map<std::string, Value>;
+
+[[nodiscard]] CaseConfig config_from_dict(const CaseDict& dict);
+/// Inverse of config_from_dict for the parameters it understands.
+[[nodiscard]] CaseDict dict_from_config(const CaseConfig& config);
+
+/// The standardized 3D two-phase benchmark case of Section 6.1 (8 PDEs,
+/// WENO5 + HLLC + RK3), scaled to `cells_per_dim`^3 grid cells.
+[[nodiscard]] CaseConfig standardized_benchmark_case(int cells_per_dim,
+                                                     int t_step_stop = 10);
+
+} // namespace mfc

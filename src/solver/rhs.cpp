@@ -1,0 +1,651 @@
+#include "solver/rhs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/weno.hpp"
+#include "physics/characteristics.hpp"
+#include "physics/flux.hpp"
+
+namespace mfc {
+
+namespace {
+
+constexpr int kMaxEqns = 16;
+
+int extent_along(const Extents& e, int dim) {
+    return dim == 0 ? e.nx : dim == 1 ? e.ny : e.nz;
+}
+
+bool active(const Extents& e, int dim) { return extent_along(e, dim) > 1; }
+
+} // namespace
+
+int RhsEvaluator::ghost_layers_for(const CaseConfig& config) {
+    const int order = config.igr.enabled ? config.igr.order : config.weno_order;
+    const int hyperbolic = WenoScheme::required_ghosts(order);
+    // Viscous face fluxes need cell-centered velocity gradients on both
+    // sides of every interior face: two ghost layers.
+    return std::max(hyperbolic, config.viscous ? 2 : 0);
+}
+
+RhsEvaluator::RhsEvaluator(const CaseConfig& config, const LocalBlock& block)
+    : lay_(config.layout()),
+      fluids_(config.fluids),
+      grid_(config.grid),
+      block_(block),
+      local_(block.cells),
+      ng_(ghost_layers_for(config)),
+      weno_order_(config.weno_order),
+      weno_eps_(config.weno_eps),
+      weno_variant_(config.weno_variant),
+      char_decomp_(config.char_decomp),
+      monopoles_(config.monopoles),
+      riemann_(config.riemann_solver),
+      igr_(config.igr),
+      viscous_(config.viscous),
+      viscosity_(config.viscosity),
+      gravity_(config.gravity) {
+    MFC_REQUIRE(lay_.num_eqns() <= kMaxEqns, "too many equations");
+    for (int d = 0; d < 3; ++d) dx_[static_cast<std::size_t>(d)] = config.grid.dx(d);
+
+    prim_ = StateArray(lay_.num_eqns(), local_, ng_);
+    if (igr_.enabled) {
+        sigma_ = Field(local_, 1);
+        igr_source_ = Field(local_, 0);
+    }
+
+    const int nmax = std::max({local_.nx, local_.ny, local_.nz});
+    const auto cells = static_cast<std::size_t>(nmax + 2);
+    const auto neq = static_cast<std::size_t>(lay_.num_eqns());
+    edge_left_.resize(cells * neq);
+    edge_right_.resize(cells * neq);
+    flux_row_.resize((cells + 1) * neq);
+    uface_row_.resize(cells + 1);
+}
+
+void RhsEvaluator::compute_primitives(const StateArray& cons) {
+    double cbuf[kMaxEqns];
+    double pbuf[kMaxEqns];
+    const int neq = lay_.num_eqns();
+
+    const auto convert_box = [&](int ilo, int ihi, int jlo, int jhi, int klo,
+                                 int khi) {
+        for (int k = klo; k < khi; ++k) {
+            for (int j = jlo; j < jhi; ++j) {
+                for (int i = ilo; i < ihi; ++i) {
+                    for (int q = 0; q < neq; ++q) cbuf[q] = cons.eq(q)(i, j, k);
+                    cons_to_prim(lay_, fluids_, cbuf, pbuf);
+                    for (int q = 0; q < neq; ++q) prim_.eq(q)(i, j, k) = pbuf[q];
+                }
+            }
+        }
+    };
+
+    // The full extended box: the dimension-interleaved ghost fill leaves
+    // every ghost (face, edge, and corner) valid, so primitives are
+    // converted everywhere the sweeps and viscous cross-derivatives may
+    // read.
+    const Field& ref = prim_.eq(0);
+    convert_box(-ref.gx(), local_.nx + ref.gx(), -ref.gy(),
+                local_.ny + ref.gy(), -ref.gz(), local_.nz + ref.gz());
+}
+
+void RhsEvaluator::evaluate(const StateArray& cons, StateArray& dq) {
+    for (int q = 0; q < dq.num_eqns(); ++q) dq.eq(q).fill(0.0);
+    compute_primitives(cons);
+    if (igr_.enabled) {
+        compute_igr_sigma();
+        for (int d = 0; d < 3; ++d) {
+            if (active(local_, d)) sweep_igr(d, dq);
+        }
+    } else {
+        for (int d = 0; d < 3; ++d) {
+            if (active(local_, d)) sweep_weno(d, dq);
+        }
+    }
+    if (viscous_) {
+        for (int d = 0; d < 3; ++d) {
+            if (active(local_, d)) sweep_viscous(d, dq);
+        }
+    }
+    const bool has_gravity =
+        gravity_[0] != 0.0 || gravity_[1] != 0.0 || gravity_[2] != 0.0;
+    if (has_gravity) add_body_forces(dq);
+    if (!monopoles_.empty()) add_monopole_sources(dq);
+}
+
+void RhsEvaluator::add_monopole_sources(StateArray& dq) {
+    // Acoustic monopoles: a Gaussian-supported sinusoidal source on the
+    // energy equation,
+    //   dE/dt += mag * sin(2 pi f t) * exp(-|x - loc|^2 / support^2),
+    // radiating pressure waves at the mixture sound speed.
+    constexpr double kTwoPi = 6.283185307179586;
+    for (const CaseConfig::Monopole& m : monopoles_) {
+        const double amplitude =
+            m.magnitude * std::sin(kTwoPi * m.frequency * time_);
+        if (amplitude == 0.0) continue;
+        const double inv_s2 = 1.0 / (m.support * m.support);
+        for (int k = 0; k < local_.nz; ++k) {
+            for (int j = 0; j < local_.ny; ++j) {
+                for (int i = 0; i < local_.nx; ++i) {
+                    double r2 = 0.0;
+                    const int gidx[3] = {block_.global_index(0, i),
+                                         block_.global_index(1, j),
+                                         block_.global_index(2, k)};
+                    for (int d = 0; d < 3; ++d) {
+                        if ((d == 0 ? grid_.cells.nx : d == 1 ? grid_.cells.ny
+                                                              : grid_.cells.nz) == 1) {
+                            continue; // inactive dimension
+                        }
+                        const double delta =
+                            grid_.center(d, gidx[d]) -
+                            m.location[static_cast<std::size_t>(d)];
+                        r2 += delta * delta;
+                    }
+                    const double g = std::exp(-r2 * inv_s2);
+                    if (g < 1e-14) continue;
+                    dq.eq(lay_.energy())(i, j, k) += amplitude * g;
+                }
+            }
+        }
+    }
+}
+
+void RhsEvaluator::sweep_viscous(int dim, StateArray& dq) {
+    // Diffusive flux of the compressible Navier-Stokes stress
+    //   tau = mu (grad u + grad u^T - (2/3)(div u) I)
+    // in dimension-split face-flux form: at each face normal to `dim`,
+    // the normal derivative is a compact two-point difference and the
+    // transverse derivatives are averages of centered cell gradients.
+    // Momentum gains d(tau_{a,dim})/dx_dim; energy gains d(tau.u)/dx_dim.
+    const int n = extent_along(local_, dim);
+    const double inv_dx = 1.0 / dx(dim);
+    const int dims = lay_.dims();
+
+    const int lim_t1 = dim == 0 ? local_.ny : local_.nx;
+    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+
+    // Cell-centered velocity gradient du_a/dx_b via central differences.
+    const auto cell_grad = [&](int i, int j, int k, int a, int b) {
+        const Field& u = prim_.eq(lay_.mom(a));
+        switch (b) {
+        case 0:
+            return active(local_, 0)
+                       ? (u(i + 1, j, k) - u(i - 1, j, k)) / (2.0 * dx(0))
+                       : 0.0;
+        case 1:
+            return active(local_, 1)
+                       ? (u(i, j + 1, k) - u(i, j - 1, k)) / (2.0 * dx(1))
+                       : 0.0;
+        default:
+            return active(local_, 2)
+                       ? (u(i, j, k + 1) - u(i, j, k - 1)) / (2.0 * dx(2))
+                       : 0.0;
+        }
+    };
+
+    const auto mixture_mu = [&](int i, int j, int k) {
+        if (lay_.model() == ModelKind::Euler) {
+            return viscosity_[0];
+        }
+        double mu = 0.0;
+        for (int f = 0; f < lay_.num_fluids(); ++f) {
+            mu += prim_.eq(lay_.adv(f))(i, j, k) *
+                  viscosity_[static_cast<std::size_t>(f)];
+        }
+        return mu;
+    };
+
+    std::vector<double> mom_flux(static_cast<std::size_t>((n + 1) * dims));
+    std::vector<double> energy_flux(static_cast<std::size_t>(n + 1));
+
+    for (int t2 = 0; t2 < lim_t2; ++t2) {
+        for (int t1 = 0; t1 < lim_t1; ++t1) {
+            const auto cell_index = [&](int c, int& i, int& j, int& k) {
+                switch (dim) {
+                case 0: i = c; j = t1; k = t2; return;
+                case 1: i = t1; j = c; k = t2; return;
+                default: i = t1; j = t2; k = c; return;
+                }
+            };
+
+            for (int f = 0; f <= n; ++f) {
+                int il = 0, jl = 0, kl = 0, ir = 0, jr = 0, kr = 0;
+                cell_index(f - 1, il, jl, kl);
+                cell_index(f, ir, jr, kr);
+
+                double grad[3][3];
+                for (int a = 0; a < 3; ++a) {
+                    for (int b = 0; b < 3; ++b) grad[a][b] = 0.0;
+                }
+                for (int a = 0; a < dims; ++a) {
+                    for (int b = 0; b < dims; ++b) {
+                        if (b == dim) {
+                            // Compact normal derivative across the face.
+                            const Field& u = prim_.eq(lay_.mom(a));
+                            grad[a][b] =
+                                (u(ir, jr, kr) - u(il, jl, kl)) * inv_dx;
+                        } else {
+                            grad[a][b] = 0.5 * (cell_grad(il, jl, kl, a, b) +
+                                                cell_grad(ir, jr, kr, a, b));
+                        }
+                    }
+                }
+                double div = 0.0;
+                for (int a = 0; a < dims; ++a) div += grad[a][a];
+
+                const double mu = 0.5 * (mixture_mu(il, jl, kl) +
+                                         mixture_mu(ir, jr, kr));
+                double u_face[3] = {0.0, 0.0, 0.0};
+                for (int a = 0; a < dims; ++a) {
+                    u_face[a] = 0.5 * (prim_.eq(lay_.mom(a))(il, jl, kl) +
+                                       prim_.eq(lay_.mom(a))(ir, jr, kr));
+                }
+
+                double tau_dot_u = 0.0;
+                for (int a = 0; a < dims; ++a) {
+                    double tau = mu * (grad[a][dim] + grad[dim][a]);
+                    if (a == dim) tau -= (2.0 / 3.0) * mu * div;
+                    mom_flux[static_cast<std::size_t>(f * dims + a)] = tau;
+                    tau_dot_u += tau * u_face[a];
+                }
+                energy_flux[static_cast<std::size_t>(f)] = tau_dot_u;
+            }
+
+            for (int c = 0; c < n; ++c) {
+                int i = 0, j = 0, k = 0;
+                cell_index(c, i, j, k);
+                for (int a = 0; a < dims; ++a) {
+                    dq.eq(lay_.mom(a))(i, j, k) +=
+                        (mom_flux[static_cast<std::size_t>((c + 1) * dims + a)] -
+                         mom_flux[static_cast<std::size_t>(c * dims + a)]) *
+                        inv_dx;
+                }
+                dq.eq(lay_.energy())(i, j, k) +=
+                    (energy_flux[static_cast<std::size_t>(c + 1)] -
+                     energy_flux[static_cast<std::size_t>(c)]) *
+                    inv_dx;
+            }
+        }
+    }
+}
+
+void RhsEvaluator::add_body_forces(StateArray& dq) {
+    // Gravity: d(rho u)/dt += rho g, dE/dt += rho u . g.
+    for (int k = 0; k < local_.nz; ++k) {
+        for (int j = 0; j < local_.ny; ++j) {
+            for (int i = 0; i < local_.nx; ++i) {
+                double rho = 0.0;
+                for (int f = 0; f < lay_.num_fluids(); ++f) {
+                    rho += prim_.eq(lay_.cont(f))(i, j, k);
+                }
+                double u_dot_g = 0.0;
+                for (int d = 0; d < lay_.dims(); ++d) {
+                    const double g = gravity_[static_cast<std::size_t>(d)];
+                    if (g == 0.0) continue;
+                    dq.eq(lay_.mom(d))(i, j, k) += rho * g;
+                    u_dot_g += prim_.eq(lay_.mom(d))(i, j, k) * g;
+                }
+                dq.eq(lay_.energy())(i, j, k) += rho * u_dot_g;
+            }
+        }
+    }
+}
+
+void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
+    const int n = extent_along(local_, dim);
+    const int neq = lay_.num_eqns();
+    const int r = (weno_order_ - 1) / 2;
+    const double inv_dx = 1.0 / dx(dim);
+
+    const int lim_j = dim == 1 ? 1 : local_.ny;
+    const int lim_k = dim == 2 ? 1 : local_.nz;
+    const int lim_t = dim == 0 ? local_.ny : local_.nx; // transverse fast index
+
+    // Iterate transverse indices (t1 fast, t2 slow); map to (i, j, k).
+    const int lim_t1 = dim == 0 ? lim_j : lim_t;
+    const int lim_t2 = dim == 2 ? local_.ny : lim_k;
+
+    double stencil[8];
+    for (int t2 = 0; t2 < lim_t2; ++t2) {
+        for (int t1 = 0; t1 < lim_t1; ++t1) {
+            const auto cell_index = [&](int c, int& i, int& j, int& k) {
+                switch (dim) {
+                case 0: i = c; j = t1; k = t2; return;
+                case 1: i = t1; j = c; k = t2; return;
+                default: i = t1; j = t2; k = c; return;
+                }
+            };
+
+            if (char_decomp_) {
+                // Characteristic-wise reconstruction (Euler): at each face
+                // project the conservative stencil onto the flux
+                // Jacobian's eigenvectors at the face-average state,
+                // reconstruct the two adjacent cells' edge values in
+                // characteristic space, and project back.
+                double prim_avg[kMaxEqns];
+                double cons_stencil[8][kMaxEqns]; // cells f-1-r .. f+r
+                double w_stencil[8][kMaxEqns];
+                double w_edge[kMaxEqns];
+                double cons_edge[kMaxEqns];
+                double prim_l[kMaxEqns];
+                double prim_r[kMaxEqns];
+                double row[8];
+                for (int f = 0; f <= n; ++f) {
+                    int i = 0, j = 0, k = 0;
+                    for (int q = 0; q < neq; ++q) {
+                        cell_index(f - 1, i, j, k);
+                        const double a = prim_.eq(q)(i, j, k);
+                        cell_index(f, i, j, k);
+                        prim_avg[q] = 0.5 * (a + prim_.eq(q)(i, j, k));
+                    }
+                    const EulerEigenvectors eig =
+                        euler_eigenvectors(lay_, fluids_, prim_avg, dim);
+
+                    const int cells = 2 * r + 2; // f-1-r .. f+r
+                    double point[kMaxEqns];
+                    for (int s = 0; s < cells; ++s) {
+                        for (int q = 0; q < neq; ++q) {
+                            cell_index(f - 1 - r + s, i, j, k);
+                            point[q] = prim_.eq(q)(i, j, k);
+                        }
+                        prim_to_cons(lay_, fluids_, point, cons_stencil[s]);
+                        eig.to_characteristic(cons_stencil[s], w_stencil[s]);
+                    }
+
+                    // Cell f-1 sits at stencil slot r; cell f at r+1.
+                    for (int q = 0; q < neq; ++q) {
+                        for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
+                        double el = 0.0, er = 0.0;
+                        weno_edges(row + r, weno_order_, weno_eps_, el, er,
+                                   weno_variant_);
+                        w_edge[q] = er; // right edge of cell f-1
+                    }
+                    eig.from_characteristic(w_edge, cons_edge);
+                    cons_to_prim(lay_, fluids_, cons_edge, prim_l);
+                    for (int q = 0; q < neq; ++q) {
+                        for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
+                        double el = 0.0, er = 0.0;
+                        weno_edges(row + r + 1, weno_order_, weno_eps_, el, er,
+                                   weno_variant_);
+                        w_edge[q] = el; // left edge of cell f
+                    }
+                    eig.from_characteristic(w_edge, cons_edge);
+                    cons_to_prim(lay_, fluids_, cons_edge, prim_r);
+
+                    // Positivity fallback to the adjacent cell averages.
+                    if (prim_l[lay_.cont(0)] <= 0.0 ||
+                        prim_l[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
+                        for (int q = 0; q < neq; ++q) {
+                            cell_index(f - 1, i, j, k);
+                            prim_l[q] = prim_.eq(q)(i, j, k);
+                        }
+                    }
+                    if (prim_r[lay_.cont(0)] <= 0.0 ||
+                        prim_r[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
+                        for (int q = 0; q < neq; ++q) {
+                            cell_index(f, i, j, k);
+                            prim_r[q] = prim_.eq(q)(i, j, k);
+                        }
+                    }
+
+                    uface_row_[static_cast<std::size_t>(f)] = solve_riemann(
+                        riemann_, lay_, fluids_, prim_l, prim_r, dim,
+                        &flux_row_[static_cast<std::size_t>(f) *
+                                   static_cast<std::size_t>(neq)]);
+                }
+            } else {
+            // Edge reconstruction for cells [-1, n].
+            for (int c = -1; c <= n; ++c) {
+                int i = 0, j = 0, k = 0;
+                for (int q = 0; q < neq; ++q) {
+                    const Field& pf = prim_.eq(q);
+                    for (int o = -r; o <= r; ++o) {
+                        cell_index(c + o, i, j, k);
+                        stencil[o + r] = pf(i, j, k);
+                    }
+                    double el = 0.0, er = 0.0;
+                    weno_edges(stencil + r, weno_order_, weno_eps_, el, er,
+                               weno_variant_);
+                    const auto slot = static_cast<std::size_t>(c + 1) *
+                                          static_cast<std::size_t>(neq) +
+                                      static_cast<std::size_t>(q);
+                    edge_left_[slot] = el;
+                    edge_right_[slot] = er;
+                }
+                // Positivity safeguard: at severely under-resolved fronts
+                // high-order edge values can undershoot into negative
+                // density or pressure; fall back to the (positive) cell
+                // average for this cell, preserving design order where
+                // the solution is resolved.
+                const auto base = static_cast<std::size_t>(c + 1) *
+                                  static_cast<std::size_t>(neq);
+                double rho_l = 0.0, rho_r = 0.0;
+                for (int f = 0; f < lay_.num_fluids(); ++f) {
+                    const auto cq = static_cast<std::size_t>(lay_.cont(f));
+                    rho_l += edge_left_[base + cq];
+                    rho_r += edge_right_[base + cq];
+                }
+                // For stiffened fluids the physical bound is p > -pi_inf
+                // of the mixture (c^2 > 0), not p > 0.
+                const auto sound_ok = [&](const double* edge) {
+                    double alpha[8];
+                    volume_fractions(lay_, edge, alpha);
+                    const Mixture m = mix(fluids_, alpha, lay_.num_fluids());
+                    return edge[lay_.energy()] + m.pi_inf() > 0.0;
+                };
+                const bool bad = rho_l <= 0.0 || rho_r <= 0.0 ||
+                                 !sound_ok(&edge_left_[base]) ||
+                                 !sound_ok(&edge_right_[base]);
+                if (bad) {
+                    cell_index(c, i, j, k);
+                    for (int q = 0; q < neq; ++q) {
+                        const double v = prim_.eq(q)(i, j, k);
+                        edge_left_[base + static_cast<std::size_t>(q)] = v;
+                        edge_right_[base + static_cast<std::size_t>(q)] = v;
+                    }
+                }
+            }
+
+            // Riemann fluxes at faces [0, n]. Face f separates cells f-1, f.
+            for (int f = 0; f <= n; ++f) {
+                const double* prim_l =
+                    &edge_right_[static_cast<std::size_t>(f) *
+                                 static_cast<std::size_t>(neq)];
+                const double* prim_r =
+                    &edge_left_[static_cast<std::size_t>(f + 1) *
+                                static_cast<std::size_t>(neq)];
+                uface_row_[static_cast<std::size_t>(f)] = solve_riemann(
+                    riemann_, lay_, fluids_, prim_l, prim_r, dim,
+                    &flux_row_[static_cast<std::size_t>(f) *
+                               static_cast<std::size_t>(neq)]);
+            }
+            } // component-wise (non-characteristic) path
+
+            // Flux divergence and non-conservative sources.
+            for (int c = 0; c < n; ++c) {
+                int i = 0, j = 0, k = 0;
+                cell_index(c, i, j, k);
+                const auto flo = static_cast<std::size_t>(c) *
+                                 static_cast<std::size_t>(neq);
+                const auto fhi = static_cast<std::size_t>(c + 1) *
+                                 static_cast<std::size_t>(neq);
+                for (int q = 0; q < neq; ++q) {
+                    dq.eq(q)(i, j, k) -=
+                        (flux_row_[fhi + static_cast<std::size_t>(q)] -
+                         flux_row_[flo + static_cast<std::size_t>(q)]) *
+                        inv_dx;
+                }
+                const double du = (uface_row_[static_cast<std::size_t>(c + 1)] -
+                                   uface_row_[static_cast<std::size_t>(c)]) *
+                                  inv_dx;
+                for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
+                    dq.eq(lay_.adv(f2))(i, j, k) +=
+                        prim_.eq(lay_.adv(f2))(i, j, k) * du;
+                }
+                if (lay_.model() == ModelKind::SixEquation) {
+                    for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
+                        const double a = prim_.eq(lay_.adv(f2))(i, j, k);
+                        const double p = prim_.eq(lay_.internal_energy(f2))(i, j, k);
+                        dq.eq(lay_.internal_energy(f2))(i, j, k) -= a * p * du;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void RhsEvaluator::compute_igr_sigma() {
+    // Source: alf * rho * [ (div u)^2 + tr((grad u)^2) ] from centered
+    // velocity gradients; ghost layers supply the one-sided neighbors.
+    const double alf = igr_.alf_factor * dx(0) * dx(0);
+    double grad[3][3];
+    for (int k = 0; k < local_.nz; ++k) {
+        for (int j = 0; j < local_.ny; ++j) {
+            for (int i = 0; i < local_.nx; ++i) {
+                for (auto& row : grad) row[0] = row[1] = row[2] = 0.0;
+                for (int a = 0; a < lay_.dims(); ++a) {
+                    const Field& u = prim_.eq(lay_.mom(a));
+                    if (active(local_, 0)) {
+                        grad[a][0] = (u(i + 1, j, k) - u(i - 1, j, k)) /
+                                     (2.0 * dx(0));
+                    }
+                    if (active(local_, 1)) {
+                        grad[a][1] = (u(i, j + 1, k) - u(i, j - 1, k)) /
+                                     (2.0 * dx(1));
+                    }
+                    if (active(local_, 2)) {
+                        grad[a][2] = (u(i, j, k + 1) - u(i, j, k - 1)) /
+                                     (2.0 * dx(2));
+                    }
+                }
+                double div = 0.0;
+                double contraction = 0.0;
+                for (int a = 0; a < 3; ++a) {
+                    div += grad[a][a];
+                    for (int b = 0; b < 3; ++b) contraction += grad[a][b] * grad[b][a];
+                }
+                double rho = 0.0;
+                for (int f = 0; f < lay_.num_fluids(); ++f) {
+                    rho += prim_.eq(lay_.cont(f))(i, j, k);
+                }
+                igr_source_(i, j, k) = alf * rho * (div * div + contraction);
+            }
+        }
+    }
+    igr_elliptic_solve(igr_, igr_source_, dx(0), sigma_warm_, sigma_);
+    sigma_warm_ = true;
+}
+
+void RhsEvaluator::sweep_igr(int dim, StateArray& dq) {
+    const int n = extent_along(local_, dim);
+    const int neq = lay_.num_eqns();
+    const double inv_dx = 1.0 / dx(dim);
+
+    const int lim_t1 = dim == 0 ? local_.ny : local_.nx;
+    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+
+    double pface[kMaxEqns];
+    double pcell_l[kMaxEqns], pcell_r[kMaxEqns];
+    double cons_l[kMaxEqns], cons_r[kMaxEqns];
+    double face_flux[kMaxEqns];
+
+    for (int t2 = 0; t2 < lim_t2; ++t2) {
+        for (int t1 = 0; t1 < lim_t1; ++t1) {
+            const auto cell_index = [&](int c, int& i, int& j, int& k) {
+                switch (dim) {
+                case 0: i = c; j = t1; k = t2; return;
+                case 1: i = t1; j = c; k = t2; return;
+                default: i = t1; j = t2; k = c; return;
+                }
+            };
+            const auto sigma_at = [&](int c) {
+                int i = 0, j = 0, k = 0;
+                // Sigma is only solved on the interior; clamp to the
+                // nearest interior cell at block edges (homogeneous
+                // Neumann, consistent with the elliptic solve).
+                cell_index(std::clamp(c, 0, n - 1), i, j, k);
+                return sigma_(i, j, k);
+            };
+
+            for (int f = 0; f <= n; ++f) {
+                int i = 0, j = 0, k = 0;
+                // Central interpolation of primitives to the face.
+                for (int q = 0; q < neq; ++q) {
+                    const Field& pf = prim_.eq(q);
+                    const auto at = [&](int c) {
+                        cell_index(c, i, j, k);
+                        return pf(i, j, k);
+                    };
+                    if (igr_.order >= 5) {
+                        pface[q] = (-at(f - 2) + 7.0 * at(f - 1) + 7.0 * at(f) -
+                                    at(f + 1)) /
+                                   12.0;
+                    } else {
+                        pface[q] = 0.5 * (at(f - 1) + at(f));
+                    }
+                }
+                // Entropic pressure augments the face pressure.
+                const double sig = 0.5 * (sigma_at(f - 1) + sigma_at(f));
+                pface[lay_.energy()] += sig;
+                physical_flux(lay_, fluids_, pface, dim, face_flux);
+
+                // Rusanov dissipation from the adjacent cell averages keeps
+                // the central scheme stable at under-resolved fronts.
+                for (int q = 0; q < neq; ++q) {
+                    const Field& pf = prim_.eq(q);
+                    cell_index(f - 1, i, j, k);
+                    pcell_l[q] = pf(i, j, k);
+                    cell_index(f, i, j, k);
+                    pcell_r[q] = pf(i, j, k);
+                }
+                prim_to_cons(lay_, fluids_, pcell_l, cons_l);
+                prim_to_cons(lay_, fluids_, pcell_r, cons_r);
+                const double cl = mixture_sound_speed(lay_, fluids_, pcell_l);
+                const double cr = mixture_sound_speed(lay_, fluids_, pcell_r);
+                const double lam =
+                    std::max(std::abs(pcell_l[lay_.mom(dim)]) + cl,
+                             std::abs(pcell_r[lay_.mom(dim)]) + cr);
+                for (int q = 0; q < neq; ++q) {
+                    face_flux[q] -= 0.5 * lam * (cons_r[q] - cons_l[q]);
+                    flux_row_[static_cast<std::size_t>(f) *
+                                  static_cast<std::size_t>(neq) +
+                              static_cast<std::size_t>(q)] = face_flux[q];
+                }
+                uface_row_[static_cast<std::size_t>(f)] = pface[lay_.mom(dim)];
+            }
+
+            for (int c = 0; c < n; ++c) {
+                int i = 0, j = 0, k = 0;
+                cell_index(c, i, j, k);
+                const auto flo = static_cast<std::size_t>(c) *
+                                 static_cast<std::size_t>(neq);
+                const auto fhi = static_cast<std::size_t>(c + 1) *
+                                 static_cast<std::size_t>(neq);
+                for (int q = 0; q < neq; ++q) {
+                    dq.eq(q)(i, j, k) -=
+                        (flux_row_[fhi + static_cast<std::size_t>(q)] -
+                         flux_row_[flo + static_cast<std::size_t>(q)]) *
+                        inv_dx;
+                }
+                const double du = (uface_row_[static_cast<std::size_t>(c + 1)] -
+                                   uface_row_[static_cast<std::size_t>(c)]) *
+                                  inv_dx;
+                for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
+                    dq.eq(lay_.adv(f2))(i, j, k) +=
+                        prim_.eq(lay_.adv(f2))(i, j, k) * du;
+                }
+                if (lay_.model() == ModelKind::SixEquation) {
+                    for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
+                        const double a = prim_.eq(lay_.adv(f2))(i, j, k);
+                        const double p = prim_.eq(lay_.internal_energy(f2))(i, j, k);
+                        dq.eq(lay_.internal_energy(f2))(i, j, k) -= a * p * du;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace mfc

@@ -1,0 +1,331 @@
+#include "solver/simulation.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <cmath>
+
+#include "core/timer.hpp"
+#include "grid/halo.hpp"
+#include "numerics/cfl.hpp"
+#include "numerics/relaxation.hpp"
+
+namespace mfc {
+
+std::vector<std::string> output_variable_names(const EquationLayout& lay) {
+    std::vector<std::string> names;
+    for (int f = 1; f <= lay.num_fluids(); ++f) {
+        names.push_back("alpha_rho" + std::to_string(f));
+    }
+    const char* axes[3] = {"x", "y", "z"};
+    for (int d = 0; d < lay.dims(); ++d) {
+        names.push_back(std::string("mom_") + axes[d]);
+    }
+    names.emplace_back("energy");
+    for (int f = 1; f <= lay.num_adv(); ++f) {
+        names.push_back("alpha" + std::to_string(f));
+    }
+    if (lay.model() == ModelKind::SixEquation) {
+        for (int f = 1; f <= lay.num_fluids(); ++f) {
+            names.push_back("internal_energy" + std::to_string(f));
+        }
+    }
+    MFC_ASSERT(static_cast<int>(names.size()) == lay.num_eqns());
+    return names;
+}
+
+Simulation::Simulation(const CaseConfig& config)
+    : cfg_(config), lay_(config.layout()) {
+    cfg_.validate();
+    block_.cells = cfg_.grid.cells;
+    block_.offset = {0, 0, 0};
+    rhs_ = std::make_unique<RhsEvaluator>(cfg_, block_);
+    const int ng = rhs_->ghost_layers();
+    q_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    scratch1_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    scratch2_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    // Serial: every face is physical.
+}
+
+Simulation::Simulation(const CaseConfig& config, comm::CartComm& cart)
+    : cfg_(config), lay_(config.layout()), cart_(&cart) {
+    cfg_.validate();
+    block_ = decompose(cfg_.grid.cells, cart.dims(), cart.coords());
+    rhs_ = std::make_unique<RhsEvaluator>(cfg_, block_);
+    const int ng = rhs_->ghost_layers();
+    q_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    scratch1_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    scratch2_ = StateArray(lay_.num_eqns(), block_.cells, ng);
+    for (int d = 0; d < 3; ++d) {
+        faces_.face[static_cast<std::size_t>(d)][0] =
+            cart.neighbor(d, -1) == comm::kProcNull;
+        faces_.face[static_cast<std::size_t>(d)][1] =
+            cart.neighbor(d, +1) == comm::kProcNull;
+    }
+}
+
+void Simulation::initialize() {
+    const int nf = cfg_.num_fluids;
+    std::vector<double> prim(static_cast<std::size_t>(lay_.num_eqns()));
+    std::vector<double> cons(static_cast<std::size_t>(lay_.num_eqns()));
+
+    for (int k = 0; k < block_.cells.nz; ++k) {
+        for (int j = 0; j < block_.cells.ny; ++j) {
+            for (int i = 0; i < block_.cells.nx; ++i) {
+                const std::array<double, 3> x = {
+                    cfg_.grid.center(0, block_.global_index(0, i)),
+                    cfg_.grid.center(1, block_.global_index(1, j)),
+                    cfg_.grid.center(2, block_.global_index(2, k))};
+                const Patch* last = nullptr;
+                for (const Patch& p : cfg_.patches) {
+                    if (p.contains(cfg_.grid, x)) last = &p;
+                }
+                MFC_REQUIRE(last != nullptr,
+                            "initialize: cell not covered by any patch");
+
+                std::fill(prim.begin(), prim.end(), 0.0);
+                for (int f = 0; f < nf; ++f) {
+                    prim[static_cast<std::size_t>(lay_.cont(f))] =
+                        last->alpha_rho[static_cast<std::size_t>(f)];
+                }
+                for (int d = 0; d < lay_.dims(); ++d) {
+                    prim[static_cast<std::size_t>(lay_.mom(d))] =
+                        last->velocity[static_cast<std::size_t>(d)];
+                }
+                prim[static_cast<std::size_t>(lay_.energy())] = last->pressure;
+                for (int f = 0; f < lay_.num_adv(); ++f) {
+                    prim[static_cast<std::size_t>(lay_.adv(f))] =
+                        last->alpha[static_cast<std::size_t>(f)];
+                }
+                if (lay_.model() == ModelKind::SixEquation) {
+                    // Start in pressure equilibrium.
+                    for (int f = 0; f < nf; ++f) {
+                        prim[static_cast<std::size_t>(lay_.internal_energy(f))] =
+                            last->pressure;
+                    }
+                }
+
+                prim_to_cons(lay_, cfg_.fluids, prim.data(), cons.data());
+                for (int q = 0; q < lay_.num_eqns(); ++q) {
+                    q_.eq(q)(i, j, k) = cons[static_cast<std::size_t>(q)];
+                }
+            }
+        }
+    }
+}
+
+void Simulation::fill_ghosts(StateArray& q) {
+    // Per-dimension interleaving of halo exchange and physical BC fill:
+    // after dimension d, all ghosts of dimensions <= d are valid,
+    // including the edge/corner ghosts multi-dimensional stencils
+    // (viscous cross-derivatives) read.
+    if (cart_ != nullptr) {
+        for (int d = 0; d < 3; ++d) {
+            exchange_halos_dim(*cart_, q, d);
+            apply_boundary_conditions_dim(lay_, cfg_.bc, faces_,
+                                          /*serial_periodic=*/false, d, q);
+        }
+    } else {
+        const PhysicalFaces all;
+        for (int d = 0; d < 3; ++d) {
+            apply_boundary_conditions_dim(lay_, cfg_.bc, all,
+                                          /*serial_periodic=*/true, d, q);
+        }
+    }
+}
+
+double Simulation::stable_dt() {
+    // CFL-limited step from the current state (MFC's cfl_adap_dt): the
+    // global maximum characteristic speed needs an allreduce in
+    // decomposed runs — the per-step collective whose latency the scaling
+    // model charges.
+    std::vector<double> cons(static_cast<std::size_t>(lay_.num_eqns()));
+    std::vector<double> prim(cons.size());
+    double vmax = 0.0;
+    for (int k = 0; k < block_.cells.nz; ++k) {
+        for (int j = 0; j < block_.cells.ny; ++j) {
+            for (int i = 0; i < block_.cells.nx; ++i) {
+                for (int q = 0; q < lay_.num_eqns(); ++q) {
+                    cons[static_cast<std::size_t>(q)] = q_.eq(q)(i, j, k);
+                }
+                cons_to_prim(lay_, cfg_.fluids, cons.data(), prim.data());
+                const double c =
+                    mixture_sound_speed(lay_, cfg_.fluids, prim.data());
+                for (int d = 0; d < lay_.dims(); ++d) {
+                    vmax = std::max(
+                        vmax,
+                        std::abs(prim[static_cast<std::size_t>(lay_.mom(d))]) + c);
+                }
+            }
+        }
+    }
+    if (cart_ != nullptr) {
+        vmax = cart_->comm().allreduce(vmax, comm::Communicator::Op::Max);
+    }
+    double dx_min = 1e300;
+    if (cfg_.grid.cells.nx > 1) dx_min = std::min(dx_min, cfg_.grid.dx(0));
+    if (cfg_.grid.cells.ny > 1) dx_min = std::min(dx_min, cfg_.grid.dx(1));
+    if (cfg_.grid.cells.nz > 1) dx_min = std::min(dx_min, cfg_.grid.dx(2));
+    return cfl_dt(cfg_.cfl, dx_min, vmax);
+}
+
+void Simulation::step() {
+    const RhsFn rhs_fn = [this](const StateArray& q, StateArray& dq) {
+        // The stepper hands back the state it is about to differentiate;
+        // ghosts must be refreshed for every stage.
+        fill_ghosts(const_cast<StateArray&>(q));
+        rhs_->evaluate(q, dq);
+        ++rhs_count_;
+    };
+    StageFixupFn fixup;
+    if (cfg_.model == ModelKind::SixEquation) {
+        fixup = [this](StateArray& q) {
+            pressure_relaxation(lay_, cfg_.fluids, q);
+        };
+    }
+    const double dt = cfg_.adaptive_dt ? stable_dt() : cfg_.dt;
+    last_dt_ = dt;
+    rhs_->set_time(sim_time_); // time-dependent sources (monopoles)
+    advance(cfg_.time_stepper, rhs_fn, dt, q_, scratch1_, scratch2_, fixup);
+    sim_time_ += dt;
+    ++steps_done_;
+}
+
+namespace {
+
+constexpr std::uint64_t kRestartMagic = 0x4d46435265737430ull; // "MFCRest0"
+
+} // namespace
+
+void Simulation::save_restart(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    MFC_REQUIRE(out.good(), "restart: cannot open for write: " + path);
+    const auto put = [&](const void* data, std::size_t bytes) {
+        out.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(bytes));
+    };
+    const std::int32_t shape[4] = {block_.cells.nx, block_.cells.ny,
+                                   block_.cells.nz, lay_.num_eqns()};
+    put(&kRestartMagic, sizeof kRestartMagic);
+    put(shape, sizeof shape);
+    put(&sim_time_, sizeof sim_time_);
+    const std::int32_t steps = steps_done_;
+    put(&steps, sizeof steps);
+    std::vector<double> flat;
+    for (int q = 0; q < lay_.num_eqns(); ++q) {
+        flat.clear();
+        for (int k = 0; k < block_.cells.nz; ++k) {
+            for (int j = 0; j < block_.cells.ny; ++j) {
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    flat.push_back(q_.eq(q)(i, j, k));
+                }
+            }
+        }
+        put(flat.data(), flat.size() * sizeof(double));
+    }
+    MFC_REQUIRE(out.good(), "restart: write failed: " + path);
+}
+
+void Simulation::load_restart(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    MFC_REQUIRE(in.good(), "restart: cannot open for read: " + path);
+    const auto get = [&](void* data, std::size_t bytes) {
+        in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+        MFC_REQUIRE(in.good(), "restart: truncated file: " + path);
+    };
+    std::uint64_t magic = 0;
+    get(&magic, sizeof magic);
+    MFC_REQUIRE(magic == kRestartMagic, "restart: not a restart file: " + path);
+    std::int32_t shape[4];
+    get(shape, sizeof shape);
+    MFC_REQUIRE(shape[0] == block_.cells.nx && shape[1] == block_.cells.ny &&
+                    shape[2] == block_.cells.nz && shape[3] == lay_.num_eqns(),
+                "restart: shape mismatch with the configured case");
+    get(&sim_time_, sizeof sim_time_);
+    std::int32_t steps = 0;
+    get(&steps, sizeof steps);
+    steps_done_ = steps;
+    std::vector<double> flat(
+        static_cast<std::size_t>(block_.cells.cells()));
+    for (int q = 0; q < lay_.num_eqns(); ++q) {
+        get(flat.data(), flat.size() * sizeof(double));
+        std::size_t n = 0;
+        for (int k = 0; k < block_.cells.nz; ++k) {
+            for (int j = 0; j < block_.cells.ny; ++j) {
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    q_.eq(q)(i, j, k) = flat[n++];
+                }
+            }
+        }
+    }
+}
+
+void Simulation::run() {
+    const Timer timer;
+    for (int s = 0; s < cfg_.t_step_stop; ++s) step();
+    wall_ += timer.seconds();
+}
+
+double Simulation::grindtime() const {
+    return grindtime_ns(wall_, cfg_.grid.total_cells(), lay_.num_eqns(),
+                        rhs_count_);
+}
+
+std::vector<double> Simulation::conserved_totals() {
+    // Cell volume over active dimensions only (1D/2D cases collapse the
+    // inactive directions).
+    double vol = 1.0;
+    if (cfg_.grid.cells.nx > 1) vol *= cfg_.grid.dx(0);
+    if (cfg_.grid.cells.ny > 1) vol *= cfg_.grid.dx(1);
+    if (cfg_.grid.cells.nz > 1) vol *= cfg_.grid.dx(2);
+    std::vector<double> totals(static_cast<std::size_t>(lay_.num_eqns()));
+    for (int q = 0; q < lay_.num_eqns(); ++q) {
+        totals[static_cast<std::size_t>(q)] = q_.eq(q).interior_sum() * vol;
+    }
+    if (cart_ != nullptr) {
+        cart_->comm().allreduce(totals, comm::Communicator::Op::Sum);
+    }
+    return totals;
+}
+
+std::pair<double, double> Simulation::minmax(int eq) {
+    const Field& f = q_.eq(eq);
+    double lo = f(0, 0, 0);
+    double hi = lo;
+    for (int k = 0; k < block_.cells.nz; ++k) {
+        for (int j = 0; j < block_.cells.ny; ++j) {
+            for (int i = 0; i < block_.cells.nx; ++i) {
+                lo = std::min(lo, f(i, j, k));
+                hi = std::max(hi, f(i, j, k));
+            }
+        }
+    }
+    if (cart_ != nullptr) {
+        lo = cart_->comm().allreduce(lo, comm::Communicator::Op::Min);
+        hi = cart_->comm().allreduce(hi, comm::Communicator::Op::Max);
+    }
+    return {lo, hi};
+}
+
+std::vector<std::pair<std::string, std::vector<double>>>
+Simulation::flattened_outputs() const {
+    MFC_REQUIRE(cart_ == nullptr,
+                "flattened_outputs: golden output uses serial runs");
+    std::vector<std::pair<std::string, std::vector<double>>> out;
+    const std::vector<std::string> names = output_variable_names(lay_);
+    for (int q = 0; q < lay_.num_eqns(); ++q) {
+        std::vector<double> flat;
+        flat.reserve(static_cast<std::size_t>(block_.cells.cells()));
+        for (int k = 0; k < block_.cells.nz; ++k) {
+            for (int j = 0; j < block_.cells.ny; ++j) {
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    flat.push_back(q_.eq(q)(i, j, k));
+                }
+            }
+        }
+        out.emplace_back(names[static_cast<std::size_t>(q)], std::move(flat));
+    }
+    return out;
+}
+
+} // namespace mfc

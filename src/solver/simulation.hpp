@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "grid/grid.hpp"
+#include "solver/boundary.hpp"
+#include "solver/case_config.hpp"
+#include "solver/rhs.hpp"
+
+namespace mfc {
+
+/// One simulation instance: state storage, time marching, and the
+/// instrumentation from which grindtime is computed. Works identically
+/// in serial (single block) and rank-decomposed (CartComm) runs; the
+/// decomposed path exchanges halos through simMPI exactly where an MPI
+/// build would call MPI_Sendrecv.
+class Simulation {
+public:
+    /// Serial, single-block run over the whole global grid.
+    explicit Simulation(const CaseConfig& config);
+
+    /// Rank-local run on a Cartesian decomposition. The local block is
+    /// derived from this rank's coordinates. All ranks must construct
+    /// with identical configs.
+    Simulation(const CaseConfig& config, comm::CartComm& cart);
+
+    /// Paint the initial condition from the case's patches.
+    void initialize();
+
+    /// CFL-limited time step for the current state (used every step when
+    /// adaptive_dt is enabled; exposed for diagnostics and tests).
+    [[nodiscard]] double stable_dt();
+
+    /// Advance one time step (all Runge-Kutta stages).
+    void step();
+
+    /// Step size used by the most recent step() (== config dt unless
+    /// adaptive_dt).
+    [[nodiscard]] double last_dt() const { return last_dt_; }
+
+    /// Accumulated simulation time and completed step count.
+    [[nodiscard]] double time() const { return sim_time_; }
+    [[nodiscard]] int steps_done() const { return steps_done_; }
+
+    /// Checkpoint/restart: binary snapshot of the (rank-local) state,
+    /// simulation time, and step count. Loading validates that the case
+    /// shape (equations, extents) matches; runs continued from a restart
+    /// are bitwise-identical to uninterrupted ones.
+    void save_restart(const std::string& path) const;
+    void load_restart(const std::string& path);
+
+    /// Run t_step_stop steps with wall-clock instrumentation. Only the
+    /// time-marching loop is timed — initialization and output are
+    /// excluded, matching the paper's grindtime definition (Section 1).
+    void run();
+
+    [[nodiscard]] const CaseConfig& config() const { return cfg_; }
+    [[nodiscard]] const LocalBlock& block() const { return block_; }
+    [[nodiscard]] const StateArray& state() const { return q_; }
+    [[nodiscard]] StateArray& state() { return q_; }
+    [[nodiscard]] const EquationLayout& layout() const { return lay_; }
+
+    [[nodiscard]] double wall_seconds() const { return wall_; }
+    [[nodiscard]] long long rhs_evals() const { return rhs_count_; }
+    /// ns per (global) grid point, equation, and RHS evaluation.
+    [[nodiscard]] double grindtime() const;
+
+    /// Global conserved totals (density per fluid, momenta, energy),
+    /// scaled by cell volume; allreduced across ranks when decomposed.
+    [[nodiscard]] std::vector<double> conserved_totals();
+
+    /// Global min/max of one conservative variable across ranks.
+    [[nodiscard]] std::pair<double, double> minmax(int eq);
+
+    /// Flattened interior arrays, one per conservative variable, in the
+    /// serial output format used for golden files ("Each line in
+    /// golden.txt contains a flattened array storing a single simulation
+    /// output", Section 4.2). Serial runs only.
+    [[nodiscard]] std::vector<std::pair<std::string, std::vector<double>>>
+    flattened_outputs() const;
+
+private:
+    void fill_ghosts(StateArray& q);
+
+    CaseConfig cfg_;
+    EquationLayout lay_;
+    comm::CartComm* cart_ = nullptr;
+    LocalBlock block_;
+    PhysicalFaces faces_;
+    std::unique_ptr<RhsEvaluator> rhs_;
+    StateArray q_;
+    StateArray scratch1_;
+    StateArray scratch2_;
+    double wall_ = 0.0;
+    double last_dt_ = 0.0;
+    double sim_time_ = 0.0;
+    long long rhs_count_ = 0;
+    int steps_done_ = 0;
+};
+
+/// Variable names in output order: alpha_rho1.., mom_x.., E, alpha1..,
+/// (6-eqn: internal_energy1..).
+[[nodiscard]] std::vector<std::string> output_variable_names(const EquationLayout& lay);
+
+} // namespace mfc

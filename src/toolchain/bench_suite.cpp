@@ -1,0 +1,178 @@
+#include "toolchain/bench_suite.hpp"
+
+#include <cmath>
+
+#include "comm/cart.hpp"
+#include "core/error.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc::toolchain {
+
+namespace {
+
+/// Approximate state memory per cell: the solver holds the conservative
+/// state, two Runge-Kutta scratch copies, and primitives (4 arrays of
+/// num_eqns doubles), plus ghost-layer overhead.
+double bytes_per_cell(int num_eqns) { return 48.0 * num_eqns; }
+
+int edge_from_memory(double mem_gb, int num_eqns) {
+    const double cells = mem_gb * 1.0e9 / bytes_per_cell(num_eqns);
+    const int edge = static_cast<int>(std::cbrt(std::max(cells, 1.0)));
+    return std::max(edge, 8);
+}
+
+} // namespace
+
+BenchSuite::BenchSuite(double mem_per_rank_gb, int ranks)
+    : mem_gb_(mem_per_rank_gb), ranks_(ranks) {
+    MFC_REQUIRE(mem_per_rank_gb > 0.0, "bench: --mem must be positive");
+    MFC_REQUIRE(ranks >= 1, "bench: -n must be positive");
+}
+
+const std::vector<std::string>& BenchSuite::case_names() {
+    static const std::vector<std::string> names = {
+        "5eq_weno5_hllc",  // the standardized two-phase configuration
+        "euler_weno5_hllc", // single-fluid Euler
+        "6eq_weno5_hllc",  // six-equation model with pressure relaxation
+        "5eq_weno3_hll",   // low-order alternative numerics
+        "igr_jacobi",      // IGR regularized central scheme
+    };
+    return names;
+}
+
+CaseConfig BenchSuite::case_config(const std::string& name) const {
+    // The per-rank memory target fixes the local block edge; the global
+    // grid scales with the rank count, keeping memory per rank constant
+    // ("automatically scales to any number of MPI ranks", Section 5).
+    const int base_eqns = 8;
+    int edge = edge_from_memory(mem_gb_, base_eqns);
+    const double rank_scale = std::cbrt(static_cast<double>(ranks_));
+    edge = std::max(8, static_cast<int>(edge * rank_scale));
+
+    CaseConfig c = standardized_benchmark_case(edge, /*t_step_stop=*/5);
+    c.title = name;
+    if (name == "5eq_weno5_hllc") return c;
+    if (name == "euler_weno5_hllc") {
+        c.model = ModelKind::Euler;
+        c.num_fluids = 1;
+        c.fluids = {{1.4, 0.0}};
+        // Rescale the two-phase patches into single-fluid equivalents.
+        for (Patch& p : c.patches) {
+            const double rho = p.alpha_rho[0] + p.alpha_rho[1];
+            p.alpha_rho = {rho};
+            p.alpha.clear();
+            p.pressure = std::min(p.pressure, 10.0);
+        }
+        c.dt = 1.0e-3 * 64.0 / edge;
+        c.validate();
+        return c;
+    }
+    if (name == "6eq_weno5_hllc") {
+        c.model = ModelKind::SixEquation;
+        c.validate();
+        return c;
+    }
+    if (name == "5eq_weno3_hll") {
+        c.weno_order = 3;
+        c.riemann_solver = RiemannSolverKind::HLL;
+        c.validate();
+        return c;
+    }
+    if (name == "igr_jacobi") {
+        c.igr.enabled = true;
+        c.igr.order = 5;
+        c.igr.alf_factor = 10.0;
+        c.igr.num_iters = 4;
+        c.igr.num_warm_start_iters = 4;
+        c.igr.iter_solver = 1;
+        c.validate();
+        return c;
+    }
+    fail("bench: unknown case '" + name + "'");
+}
+
+BenchCaseResult BenchSuite::run_case(const std::string& name) const {
+    const CaseConfig config = case_config(name);
+    BenchCaseResult r;
+    r.name = name;
+    r.cells = config.grid.total_cells();
+    r.eqns = config.layout().num_eqns();
+    r.steps = config.t_step_stop;
+    r.ranks = ranks_;
+
+    if (ranks_ == 1) {
+        Simulation sim(config);
+        sim.initialize();
+        sim.run();
+        r.wall_s = sim.wall_seconds();
+        r.grindtime_ns = sim.grindtime();
+        return r;
+    }
+
+    // Decomposed execution through simMPI; rank 0 reports timing.
+    double wall = 0.0;
+    double grind = 0.0;
+    comm::World world(ranks_);
+    world.run([&](comm::Communicator& comm) {
+        const std::array<int, 3> dims = comm::dims_create(ranks_, 3);
+        std::array<bool, 3> periodic{};
+        for (int d = 0; d < 3; ++d) {
+            periodic[static_cast<std::size_t>(d)] =
+                config.bc[static_cast<std::size_t>(d)][0] == BcType::Periodic;
+        }
+        comm::CartComm cart(comm, dims, periodic);
+        Simulation sim(config, cart);
+        sim.initialize();
+        comm.barrier();
+        sim.run();
+        comm.barrier();
+        if (comm.rank() == 0) {
+            wall = sim.wall_seconds();
+            grind = sim.grindtime();
+        }
+    });
+    r.wall_s = wall;
+    r.grindtime_ns = grind;
+    return r;
+}
+
+Yaml BenchSuite::run_all(const std::string& invocation) const {
+    Yaml root;
+    root["metadata"]["invocation"].set(Value(invocation));
+    root["metadata"]["mem_per_rank_gb"].set(Value(mem_gb_));
+    root["metadata"]["ranks"].set(Value(static_cast<long long>(ranks_)));
+    for (const std::string& name : case_names()) {
+        const BenchCaseResult r = run_case(name);
+        Yaml& node = root["cases"][name];
+        node["walltime_s"].set(Value(r.wall_s));
+        node["grindtime_ns"].set(Value(r.grindtime_ns));
+        node["cells"].set(Value(r.cells));
+        node["eqns"].set(Value(static_cast<long long>(r.eqns)));
+        node["steps"].set(Value(static_cast<long long>(r.steps)));
+    }
+    return root;
+}
+
+TextTable bench_diff(const Yaml& reference, const Yaml& candidate) {
+    TextTable table({"Case", "Reference [ns]", "Candidate [ns]", "Speedup"});
+    table.set_align(1, TextTable::Align::Right);
+    table.set_align(2, TextTable::Align::Right);
+    table.set_align(3, TextTable::Align::Right);
+    const Yaml& ref_cases = reference.at("cases");
+    const Yaml& cand_cases = candidate.at("cases");
+    for (const std::string& name : ref_cases.keys()) {
+        const double ref_g = ref_cases.at(name).at("grindtime_ns").value().as_double();
+        std::string cand = "n/a";
+        std::string speedup = "n/a";
+        if (cand_cases.contains(name)) {
+            const double cand_g =
+                cand_cases.at(name).at("grindtime_ns").value().as_double();
+            cand = format_fixed(cand_g, 3);
+            speedup = format_fixed(ref_g / cand_g, 2) + "x";
+        }
+        table.add_row({name, format_fixed(ref_g, 3), cand, speedup});
+    }
+    return table;
+}
+
+} // namespace mfc::toolchain

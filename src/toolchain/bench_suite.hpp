@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/yaml.hpp"
+#include "solver/case_config.hpp"
+
+namespace mfc::toolchain {
+
+/// One benchmark case's measured performance.
+struct BenchCaseResult {
+    std::string name;
+    long long cells = 0;
+    int eqns = 0;
+    int steps = 0;
+    int ranks = 1;
+    double wall_s = 0.0;
+    double grindtime_ns = 0.0;
+};
+
+/// The automated benchmark suite (Section 5): five cases covering the
+/// most commonly used features, each sized from a memory-per-rank target
+/// and scalable to any rank count, with results summarized in a single
+/// YAML file. Executed for real on this host — serially for one rank,
+/// through simMPI threads otherwise.
+class BenchSuite {
+public:
+    /// `mem_per_rank_gb` is the --mem argument (Table 2): approximate
+    /// problem size per rank in GB of state memory.
+    BenchSuite(double mem_per_rank_gb, int ranks);
+
+    [[nodiscard]] static const std::vector<std::string>& case_names();
+
+    /// The case configuration a named benchmark runs (sized per rank
+    /// memory and rank count); exposed for tests and documentation.
+    [[nodiscard]] CaseConfig case_config(const std::string& name) const;
+
+    [[nodiscard]] BenchCaseResult run_case(const std::string& name) const;
+
+    /// Run all five cases; `invocation` is recorded in the YAML summary
+    /// ("a summary of the invocation used to run the benchmark").
+    [[nodiscard]] Yaml run_all(const std::string& invocation) const;
+
+private:
+    double mem_gb_;
+    int ranks_;
+};
+
+/// The bench_diff tool: compare two benchmark YAML summaries and render
+/// the human-readable table (reference vs candidate grindtime, speedup).
+[[nodiscard]] TextTable bench_diff(const Yaml& reference, const Yaml& candidate);
+
+} // namespace mfc::toolchain

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "toolchain/case_stack.hpp"
+
+namespace mfc::toolchain {
+
+/// Generators for the regression suite (Section 4). Each alter_* function
+/// mirrors MFC's suite definition style (Listing 2): it pushes feature
+/// parameters onto the shared stack, defines cases for the feature's
+/// variants, and pops the stack back to its original state. The full
+/// suite composes them over every dimensionality and model, yielding the
+/// "over 500 unique cases" scale the paper describes.
+
+using CaseList = std::vector<TestCaseDef>;
+
+/// Base stack parameters for a d-dimensional quick-running case
+/// (small grid, a few steps) — the "generic case file" of Section 4.
+[[nodiscard]] CaseDict base_case_dict(int dims);
+
+/// Model parameter block (model_eqns, fluids) for a named model.
+[[nodiscard]] CaseDict model_params(const std::string& model);
+
+/// Initial-condition parameter block consistent with `model` in `dims`
+/// dimensions. Variants: "halfspace" (shock tube), "sphere" (bubble,
+/// 2D/3D only), "box" (slab), "moving" (uniform advection).
+[[nodiscard]] CaseDict ic_params(const std::string& model, int dims,
+                                 const std::string& variant);
+
+/// Listing 2, verbatim: IGR with orders 3 and 5, Jacobi and (order 5
+/// only) Gauss-Seidel iterative solvers.
+void alter_igr(CaseStack& stack, CaseList& cases);
+
+/// WENO order and smoothness-eps sweep.
+void alter_weno(CaseStack& stack, CaseList& cases);
+
+/// HLL vs HLLC.
+void alter_riemann(CaseStack& stack, CaseList& cases);
+
+/// SSP-RK1/2/3.
+void alter_time_steppers(CaseStack& stack, CaseList& cases);
+
+/// Boundary-condition sweep over every active direction: periodic,
+/// reflective, extrapolation, and mixed beg/end pairs.
+void alter_bcs(CaseStack& stack, CaseList& cases, int dims);
+
+/// Stiffened-gas parameter variants.
+void alter_fluids(CaseStack& stack, CaseList& cases);
+
+/// Full numerics-by-model feature matrix (weno x riemann x stepper x
+/// model x IC variant).
+void alter_feature_matrix(CaseStack& stack, CaseList& cases, int dims);
+
+/// Three-fluid five-equation and capillary-free six-equation extensions.
+void alter_num_fluids(CaseStack& stack, CaseList& cases);
+
+/// Viscous (Navier-Stokes) sweep: per-fluid viscosities x weno order.
+void alter_viscosity(CaseStack& stack, CaseList& cases);
+
+/// Body-force (gravity) sweep over the active directions.
+void alter_gravity(CaseStack& stack, CaseList& cases, int dims);
+
+/// CFL-adaptive time stepping at several CFL targets.
+void alter_adaptive_dt(CaseStack& stack, CaseList& cases);
+
+/// Acoustic monopole source at two drive frequencies.
+void alter_monopole(CaseStack& stack, CaseList& cases);
+
+/// Characteristic-wise WENO reconstruction (Euler model).
+void alter_char_decomp(CaseStack& stack, CaseList& cases, int dims);
+
+/// The complete regression suite across 1D/2D/3D.
+[[nodiscard]] CaseList generate_full_suite();
+
+} // namespace mfc::toolchain

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "solver/case_config.hpp"
+
+namespace mfc::toolchain {
+
+/// Plain-text case files — the `./mfc.sh run <case>` input format. One
+/// parameter per line:
+///
+///     # 1D two-fluid shock tube
+///     nx           = 200
+///     model_eqns   = 5eqn
+///     patch1_geometry = domain
+///
+/// Values parse with the same rules as MFC case dictionaries (T/F bools,
+/// integers, reals, strings). '=' is optional; '#' starts a comment.
+[[nodiscard]] CaseDict parse_case_text(const std::string& text);
+[[nodiscard]] CaseDict load_case_file(const std::string& path);
+
+/// Serialize a dictionary back to the case-file format (sorted keys).
+[[nodiscard]] std::string dump_case_text(const CaseDict& dict);
+void save_case_file(const CaseDict& dict, const std::string& path);
+
+} // namespace mfc::toolchain

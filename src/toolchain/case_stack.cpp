@@ -1,0 +1,61 @@
+#include "toolchain/case_stack.hpp"
+
+#include "core/hash.hpp"
+
+namespace mfc::toolchain {
+
+CaseStack::CaseStack(CaseDict base) : base_(std::move(base)) {}
+
+void CaseStack::push(const std::string& trace, const CaseDict& mods) {
+    frames_.push_back(Frame{trace, mods});
+}
+
+void CaseStack::pop() {
+    MFC_REQUIRE(!frames_.empty(), "CaseStack: pop on empty stack");
+    frames_.pop_back();
+}
+
+CaseDict CaseStack::flatten() const {
+    CaseDict out = base_;
+    for (const Frame& f : frames_) {
+        for (const auto& [k, v] : f.mods) out[k] = v;
+    }
+    return out;
+}
+
+std::string CaseStack::trace() const {
+    std::string out;
+    for (const Frame& f : frames_) {
+        if (f.trace.empty()) continue;
+        if (!out.empty()) out += " -> ";
+        out += f.trace;
+    }
+    return out;
+}
+
+std::string canonical_dict(const CaseDict& dict) {
+    std::string out;
+    for (const auto& [k, v] : dict) { // std::map: already sorted by key
+        out += k;
+        out += '=';
+        out += v.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+TestCaseDef define_case_d(const CaseStack& stack, const std::string& trace_entry,
+                          const CaseDict& extra) {
+    TestCaseDef def;
+    def.trace = stack.trace();
+    if (!trace_entry.empty()) {
+        if (!def.trace.empty()) def.trace += " -> ";
+        def.trace += trace_entry;
+    }
+    def.params = stack.flatten();
+    for (const auto& [k, v] : extra) def.params[k] = v;
+    def.uuid = uuid8(def.trace + "\n" + canonical_dict(def.params));
+    return def;
+}
+
+} // namespace mfc::toolchain

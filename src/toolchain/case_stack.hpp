@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/case_config.hpp"
+
+namespace mfc::toolchain {
+
+/// The stack mechanism of Section 4.1 / Listing 2: test cases are built
+/// from a generic base case by pushing parameter modifications (each with
+/// a human-readable trace entry) and popping them to restore the stack.
+/// This lets suite generators enable or disable any feature without
+/// knowing about the others.
+class CaseStack {
+public:
+    explicit CaseStack(CaseDict base = {});
+
+    /// Push a trace label and the parameters it adds/overrides.
+    void push(const std::string& trace, const CaseDict& mods);
+    /// Pop the most recent push, restoring the previous state.
+    void pop();
+
+    [[nodiscard]] std::size_t depth() const { return frames_.size(); }
+
+    /// The effective case dictionary: base overlaid with every pushed
+    /// frame in order (later frames win).
+    [[nodiscard]] CaseDict flatten() const;
+
+    /// The human-readable trace, e.g. "3D -> IGR -> igr_order=5", printed
+    /// alongside each case's UUID so users can identify it (Section 4.1).
+    [[nodiscard]] std::string trace() const;
+
+private:
+    struct Frame {
+        std::string trace;
+        CaseDict mods;
+    };
+    CaseDict base_;
+    std::vector<Frame> frames_;
+};
+
+/// A fully-defined regression test case: its stable 8-hex-digit UUID,
+/// trace, and flattened parameter dictionary.
+struct TestCaseDef {
+    std::string uuid;
+    std::string trace;
+    CaseDict params;
+};
+
+/// The define_case_d() of Listing 2: capture the stack plus a final trace
+/// entry and extra parameters into a TestCaseDef. The UUID is an FNV-1a
+/// hash of the trace and canonicalized parameters, so it is stable across
+/// runs and platforms.
+[[nodiscard]] TestCaseDef define_case_d(const CaseStack& stack,
+                                        const std::string& trace_entry,
+                                        const CaseDict& extra = {});
+
+/// Canonical text form of a dictionary (sorted key=value lines) used for
+/// hashing and metadata.
+[[nodiscard]] std::string canonical_dict(const CaseDict& dict);
+
+} // namespace mfc::toolchain

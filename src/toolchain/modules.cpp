@@ -1,0 +1,148 @@
+#include "toolchain/modules.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace mfc::toolchain {
+
+std::string LoadPlan::shell_script() const {
+    std::string out;
+    out += "# environment for " + system_name + " (" + config + ")\n";
+    out += "module purge\n";
+    for (const std::string& m : modules) out += "module load " + m + "\n";
+    for (const auto& [k, v] : env) out += "export " + k + "=" + v + "\n";
+    return out;
+}
+
+ModulesRegistry ModulesRegistry::parse(const std::string& text) {
+    ModulesRegistry reg;
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#') continue;
+        const std::vector<std::string> tokens = split_ws(line);
+        MFC_ASSERT(!tokens.empty());
+        const std::string& key = tokens[0];
+
+        const std::size_t dash = key.find('-');
+        if (dash == std::string::npos) {
+            // System header: "<id> <Display Name...>".
+            MFC_REQUIRE(tokens.size() >= 2,
+                        "modules: system header needs a name (line " +
+                            std::to_string(lineno) + ")");
+            SystemModules sys;
+            sys.id = key;
+            std::vector<std::string> name(tokens.begin() + 1, tokens.end());
+            sys.name = join(name, " ");
+            reg.systems_.push_back(std::move(sys));
+            continue;
+        }
+
+        // Configuration line: "<id>-<all|cpu|gpu> token token ...".
+        const std::string id = key.substr(0, dash);
+        const std::string config = key.substr(dash + 1);
+        MFC_REQUIRE(config == "all" || config == "cpu" || config == "gpu",
+                    "modules: unknown configuration '" + config + "' (line " +
+                        std::to_string(lineno) + ")");
+        MFC_REQUIRE(!reg.systems_.empty() && reg.systems_.back().id == id,
+                    "modules: configuration for '" + id +
+                        "' before its system header (line " +
+                        std::to_string(lineno) + ")");
+        SystemModules& sys = reg.systems_.back();
+        for (std::size_t t = 1; t < tokens.size(); ++t) {
+            const std::string& tok = tokens[t];
+            const std::size_t eq = tok.find('=');
+            if (eq != std::string::npos) {
+                const std::string var = tok.substr(0, eq);
+                const std::string val = tok.substr(eq + 1);
+                auto& env = config == "all" ? sys.env_all
+                            : config == "cpu" ? sys.env_cpu
+                                              : sys.env_gpu;
+                env[var] = val;
+            } else {
+                auto& mods = config == "all" ? sys.modules_all
+                             : config == "cpu" ? sys.modules_cpu
+                                               : sys.modules_gpu;
+                mods.push_back(tok);
+            }
+        }
+    }
+    return reg;
+}
+
+const ModulesRegistry& ModulesRegistry::builtin() {
+    static const ModulesRegistry reg = parse(R"(# toolchain/modules — supported systems
+# Listing 1 of the paper: NCSA Delta
+d     NCSA Delta
+d-all python/3.11.6
+d-cpu gcc/11.4.0 openmpi
+d-gpu nvhpc/24.1 cuda/12.3.0 openmpi/4.1.5+cuda
+d-gpu CC=nvc CXX=nvc++ FC=nvfortran
+d-gpu MFC_CUDA_CC=80,86
+
+f     OLCF Frontier
+f-all cmake/3.23.2 python/3.10
+f-cpu gcc/12.2.0 cray-mpich/8.1.26
+f-gpu cce/17.0.0 rocm/5.7.1 craype-accel-amd-gfx90a cray-mpich/8.1.26
+f-gpu CC=cc CXX=CC FC=ftn
+f-gpu MFC_HIP_ARCH=gfx90a
+
+s     OLCF Summit
+s-all cmake python/3.8
+s-cpu gcc/9.1.0 spectrum-mpi
+s-gpu nvhpc/22.11 cuda/11.7.1 spectrum-mpi
+s-gpu CC=nvc CXX=nvc++ FC=nvfortran
+s-gpu MFC_CUDA_CC=70
+
+a     CSCS Alps
+a-all cray-python
+a-gpu nvhpc/24.1 cuda/12.3 cray-mpich
+a-gpu CC=nvc CXX=nvc++ FC=nvfortran
+a-gpu MFC_CUDA_CC=90
+
+e     LLNL El Capitan
+e-all cmake python
+e-gpu cce/18.0.0 rocm/6.2.0 craype-accel-amd-gfx942 cray-mpich
+e-gpu CC=cc CXX=CC FC=ftn
+e-gpu MFC_HIP_ARCH=gfx942
+
+l     Localhost
+l-cpu openmpi
+l-cpu CC=gcc CXX=g++ FC=gfortran
+)");
+    return reg;
+}
+
+const SystemModules& ModulesRegistry::find(const std::string& id) const {
+    for (const SystemModules& s : systems_) {
+        if (s.id == id) return s;
+    }
+    fail("modules: unknown system id '" + id + "'");
+}
+
+LoadPlan ModulesRegistry::load(const std::string& id,
+                               const std::string& config) const {
+    const std::string cfg = to_lower(config);
+    const bool gpu = cfg == "g" || cfg == "gpu";
+    const bool cpu = cfg == "c" || cfg == "cpu";
+    MFC_REQUIRE(gpu || cpu, "load: configuration must be (c|cpu) or (g|gpu)");
+
+    const SystemModules& sys = find(id);
+    LoadPlan plan;
+    plan.system_name = sys.name;
+    plan.config = gpu ? "gpu" : "cpu";
+    // `all` modules and environment load first (Section 3, Step 1).
+    plan.modules = sys.modules_all;
+    const auto& extra = gpu ? sys.modules_gpu : sys.modules_cpu;
+    plan.modules.insert(plan.modules.end(), extra.begin(), extra.end());
+    plan.env = sys.env_all;
+    for (const auto& [k, v] : gpu ? sys.env_gpu : sys.env_cpu) plan.env[k] = v;
+    return plan;
+}
+
+} // namespace mfc::toolchain

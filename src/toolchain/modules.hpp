@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mfc::toolchain {
+
+/// The toolchain/modules registry of Step 1 (Listing 1): each supported
+/// system has a one-letter-or-word identifier, a display name, and
+/// per-configuration module lists and environment variables, e.g.
+///
+///     d     NCSA Delta
+///     d-all python/3.11.6
+///     d-cpu gcc/11.4.0 openmpi
+///     d-gpu nvhpc/24.1 cuda/12.3.0 openmpi/4.1.5+cuda
+///     d-gpu CC=nvc CXX=nvc++ FC=nvfortran
+///
+/// Tokens containing '=' are environment variables; all others are Lmod
+/// modules. `all` entries apply to both CPU and GPU configurations and
+/// load first.
+struct SystemModules {
+    std::string id;
+    std::string name;
+    std::vector<std::string> modules_all;
+    std::vector<std::string> modules_cpu;
+    std::vector<std::string> modules_gpu;
+    std::map<std::string, std::string> env_all;
+    std::map<std::string, std::string> env_cpu;
+    std::map<std::string, std::string> env_gpu;
+};
+
+/// Result of `source ./mfc.sh load` for one system + configuration: the
+/// ordered module loads and environment settings to apply.
+struct LoadPlan {
+    std::string system_name;
+    std::string config; ///< "cpu" or "gpu"
+    std::vector<std::string> modules; ///< in load order (all first)
+    std::map<std::string, std::string> env;
+
+    /// The shell commands an interactive `load` would execute
+    /// (module purge/load and exports), for display and templating.
+    [[nodiscard]] std::string shell_script() const;
+};
+
+class ModulesRegistry {
+public:
+    /// Parse registry text in the Listing 1 format; comments (#) and
+    /// blank lines are ignored. Throws mfc::Error on malformed entries
+    /// or configuration lines preceding their system's header.
+    [[nodiscard]] static ModulesRegistry parse(const std::string& text);
+
+    /// The registry shipped with this repository (NCSA Delta, OLCF
+    /// Frontier & Summit, CSCS Alps, LLNL El Capitan, and a generic
+    /// localhost entry).
+    [[nodiscard]] static const ModulesRegistry& builtin();
+
+    [[nodiscard]] const std::vector<SystemModules>& systems() const {
+        return systems_;
+    }
+    [[nodiscard]] const SystemModules& find(const std::string& id) const;
+
+    /// Step 1's `load`: resolve system + configuration ("c"/"cpu" or
+    /// "g"/"gpu") into the module loads and environment to apply.
+    [[nodiscard]] LoadPlan load(const std::string& id,
+                                const std::string& config) const;
+
+private:
+    std::vector<SystemModules> systems_;
+};
+
+} // namespace mfc::toolchain

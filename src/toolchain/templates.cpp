@@ -1,0 +1,208 @@
+#include "toolchain/templates.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace mfc::toolchain {
+
+namespace {
+
+bool truthy(const std::string& v) { return !v.empty() && v != "0" && v != "F"; }
+
+std::string substitute(const std::string& line,
+                       const std::map<std::string, std::string>& vars) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        const std::size_t open = line.find("${", pos);
+        if (open == std::string::npos) {
+            out += line.substr(pos);
+            break;
+        }
+        out += line.substr(pos, open - pos);
+        const std::size_t close = line.find('}', open + 2);
+        MFC_REQUIRE(close != std::string::npos,
+                    "template: unterminated ${...} in: " + line);
+        const std::string name = line.substr(open + 2, close - open - 2);
+        const auto it = vars.find(name);
+        MFC_REQUIRE(it != vars.end(), "template: undefined variable '" + name + "'");
+        out += it->second;
+        pos = close + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string TemplateEngine::render(const std::string& text,
+                                   const std::map<std::string, std::string>& vars) {
+    std::istringstream in(text);
+    std::string line;
+    std::string out;
+    std::vector<bool> emit_stack{true};
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (!t.empty() && t[0] == '%') {
+            const std::string directive = trim(t.substr(1));
+            if (starts_with(directive, "if ")) {
+                std::string cond = trim(directive.substr(3));
+                if (!cond.empty() && cond.back() == ':') cond.pop_back();
+                const auto it = vars.find(trim(cond));
+                const bool value = it != vars.end() && truthy(it->second);
+                emit_stack.push_back(emit_stack.back() && value);
+            } else if (directive == "endif") {
+                MFC_REQUIRE(emit_stack.size() > 1, "template: unmatched endif");
+                emit_stack.pop_back();
+            } else {
+                fail("template: unknown directive '" + directive + "'");
+            }
+            continue;
+        }
+        if (emit_stack.back()) {
+            out += substitute(line, vars);
+            out += '\n';
+        }
+    }
+    MFC_REQUIRE(emit_stack.size() == 1, "template: unterminated if block");
+    return out;
+}
+
+std::string to_string(Scheduler s) {
+    switch (s) {
+    case Scheduler::Interactive: return "interactive";
+    case Scheduler::Slurm: return "slurm";
+    case Scheduler::Pbs: return "pbs";
+    case Scheduler::Lsf: return "lsf";
+    case Scheduler::Flux: return "flux";
+    }
+    MFC_ASSERT(false);
+}
+
+Scheduler scheduler_from_string(const std::string& s) {
+    const std::string t = to_lower(s);
+    if (t == "interactive") return Scheduler::Interactive;
+    if (t == "slurm") return Scheduler::Slurm;
+    if (t == "pbs") return Scheduler::Pbs;
+    if (t == "lsf") return Scheduler::Lsf;
+    if (t == "flux") return Scheduler::Flux;
+    fail("unknown scheduler: " + s);
+}
+
+std::string builtin_template(Scheduler s) {
+    // Shared epilogue: run-time environment irrelevant to compilation
+    // (Section 3, Step 1) and the launch line itself.
+    static const std::string body = R"(
+% if unlimited_stack:
+ulimit -s unlimited
+% endif
+% if gpu_aware_mpi:
+export MPICH_GPU_SUPPORT_ENABLED=1
+% endif
+${extra_env}
+% if profile:
+PROFILE_CMD="nsys profile -o ${job_name}"
+% endif
+${launch} ${command}
+)";
+    switch (s) {
+    case Scheduler::Interactive:
+        return "#!/bin/bash\n# interactive launch of ${job_name}\n" + body;
+    case Scheduler::Slurm:
+        return R"(#!/bin/bash
+#SBATCH --job-name=${job_name}
+#SBATCH --nodes=${nodes}
+#SBATCH --ntasks-per-node=${tasks_per_node}
+% if gpus_per_node:
+#SBATCH --gpus-per-node=${gpus_per_node}
+% endif
+#SBATCH --time=${walltime}
+% if partition:
+#SBATCH --partition=${partition}
+% endif
+% if account:
+#SBATCH --account=${account}
+% endif
+)" + body;
+    case Scheduler::Pbs:
+        return R"(#!/bin/bash
+#PBS -N ${job_name}
+#PBS -l select=${nodes}:mpiprocs=${tasks_per_node}
+#PBS -l walltime=${walltime}
+% if account:
+#PBS -A ${account}
+% endif
+)" + body;
+    case Scheduler::Lsf:
+        return R"(#!/bin/bash
+#BSUB -J ${job_name}
+#BSUB -nnodes ${nodes}
+#BSUB -W ${walltime}
+% if account:
+#BSUB -P ${account}
+% endif
+)" + body;
+    case Scheduler::Flux:
+        return R"(#!/bin/bash
+#flux: --job-name=${job_name}
+#flux: -N ${nodes}
+#flux: -n ${total_tasks}
+#flux: -t ${walltime}
+% if account:
+#flux: --setattr=bank=${account}
+% endif
+)" + body;
+    }
+    MFC_ASSERT(false);
+}
+
+std::string job_script(Scheduler s, const JobOptions& opts) {
+    const int total = opts.nodes * opts.tasks_per_node;
+    std::string launch;
+    switch (s) {
+    case Scheduler::Interactive:
+        launch = "mpirun -np " + std::to_string(total);
+        break;
+    case Scheduler::Slurm:
+        launch = "srun -n " + std::to_string(total);
+        break;
+    case Scheduler::Pbs:
+        launch = "mpiexec -n " + std::to_string(total);
+        break;
+    case Scheduler::Lsf:
+        launch = "jsrun -n " + std::to_string(total);
+        break;
+    case Scheduler::Flux:
+        launch = "flux run -n " + std::to_string(total);
+        break;
+    }
+
+    std::string extra_env;
+    for (const auto& [k, v] : opts.extra_env) {
+        extra_env += "export " + k + "=" + v + "\n";
+    }
+    if (!extra_env.empty() && extra_env.back() == '\n') extra_env.pop_back();
+
+    const std::map<std::string, std::string> vars = {
+        {"job_name", opts.job_name},
+        {"nodes", std::to_string(opts.nodes)},
+        {"tasks_per_node", std::to_string(opts.tasks_per_node)},
+        {"gpus_per_node",
+         opts.gpus_per_node > 0 ? std::to_string(opts.gpus_per_node) : ""},
+        {"total_tasks", std::to_string(total)},
+        {"walltime", opts.walltime},
+        {"partition", opts.partition},
+        {"account", opts.account},
+        {"command", opts.command},
+        {"gpu_aware_mpi", opts.gpu_aware_mpi ? "1" : ""},
+        {"unlimited_stack", opts.unlimited_stack ? "1" : ""},
+        {"profile", opts.profile ? "1" : ""},
+        {"extra_env", extra_env},
+        {"launch", launch},
+    };
+    return TemplateEngine::render(builtin_template(s), vars);
+}
+
+} // namespace mfc::toolchain

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace mfc::toolchain {
+
+/// Minimal Mako-style template engine (Section 3, Step 1: MFC uses the
+/// Mako library for system-specific job templates). Supported syntax:
+///
+///   ${name}            — variable substitution (error if undefined)
+///   % if name:         — include the block when `name` is truthy
+///   % endif            — ("", "0", and "F" are falsy; anything else true)
+///
+/// Directive lines must start with '%' after optional whitespace.
+class TemplateEngine {
+public:
+    [[nodiscard]] static std::string
+    render(const std::string& text,
+           const std::map<std::string, std::string>& vars);
+};
+
+/// Schedulers the templates support ("multiple scheduling systems, such
+/// as Slurm, PBS, LSF, and Flux, without requiring future users to be
+/// familiar with the details").
+enum class Scheduler { Interactive, Slurm, Pbs, Lsf, Flux };
+
+[[nodiscard]] std::string to_string(Scheduler s);
+[[nodiscard]] Scheduler scheduler_from_string(const std::string& s);
+
+/// Batch-job parameters gathered by the wrapper script.
+struct JobOptions {
+    std::string job_name = "mfc";
+    int nodes = 1;
+    int tasks_per_node = 1;
+    int gpus_per_node = 0;
+    std::string walltime = "01:00:00";
+    std::string partition;
+    std::string account;
+    std::string command = "./mfc.sh run case.py";
+    bool gpu_aware_mpi = false; ///< sets MPICH_GPU_SUPPORT_ENABLED=1
+    bool unlimited_stack = true; ///< ulimit -s unlimited for large cases
+    bool profile = false;        ///< wrap the run in a profiler
+    std::map<std::string, std::string> extra_env;
+};
+
+/// The built-in template text for a scheduler (the file a user would
+/// place in toolchain/templates/).
+[[nodiscard]] std::string builtin_template(Scheduler s);
+
+/// Render a ready-to-submit batch script for the scheduler.
+[[nodiscard]] std::string job_script(Scheduler s, const JobOptions& opts);
+
+} // namespace mfc::toolchain

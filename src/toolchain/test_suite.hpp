@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "toolchain/case_generators.hpp"
+#include "toolchain/golden.hpp"
+
+namespace mfc::toolchain {
+
+/// What `./mfc.sh test` should do with each case (Section 4.2).
+enum class TestMode {
+    Compare,         ///< run and compare against the stored golden file
+    Generate,        ///< run and (re)write golden.txt + golden-metadata.txt
+    AddNewVariables, ///< run and append outputs missing from golden.txt
+};
+
+struct TestOutcome {
+    std::string uuid;
+    std::string trace;
+    bool passed = false;
+    std::string detail; ///< failure reason or "generated"/"updated"
+};
+
+struct SuiteSummary {
+    int total = 0;
+    int passed = 0;
+    int failed = 0;
+    std::vector<TestOutcome> failures;
+};
+
+/// Regression-test runner: executes each case's simulation serially and
+/// manages its golden directory `<root>/<UUID>/golden.txt` (plus
+/// golden-metadata.txt), following the layout Section 4 describes.
+class TestSuite {
+public:
+    TestSuite(CaseList cases, std::string golden_root);
+
+    [[nodiscard]] const CaseList& cases() const { return cases_; }
+
+    /// Locate a case by UUID (the `-o <UUID>` selector); throws if absent.
+    [[nodiscard]] const TestCaseDef& case_by_uuid(const std::string& uuid) const;
+
+    /// Run one case under the given mode.
+    [[nodiscard]] TestOutcome run_case(const TestCaseDef& def, TestMode mode) const;
+
+    /// Run every case (or the subset whose UUIDs are given).
+    [[nodiscard]] SuiteSummary run_all(TestMode mode) const;
+    [[nodiscard]] SuiteSummary run_selected(const std::vector<std::string>& uuids,
+                                            TestMode mode) const;
+
+    [[nodiscard]] std::string golden_path(const std::string& uuid) const;
+    [[nodiscard]] std::string metadata_path(const std::string& uuid) const;
+
+    /// Execute a case dictionary and collect its flattened outputs — the
+    /// simulation step shared by every mode.
+    [[nodiscard]] static GoldenFile execute_case(const CaseDict& params);
+
+private:
+    CaseList cases_;
+    std::string root_;
+};
+
+} // namespace mfc::toolchain

@@ -1,0 +1,136 @@
+#include "toolchain/toolchain.hpp"
+
+#include "core/error.hpp"
+#include "post/derived.hpp"
+#include "solver/simulation.hpp"
+#include "post/vtk.hpp"
+
+namespace mfc::toolchain {
+
+std::string to_string(OffloadModel m) {
+    switch (m) {
+    case OffloadModel::None: return "no-gpu";
+    case OffloadModel::OpenAcc: return "gpu=acc";
+    case OffloadModel::OpenMp: return "gpu=mp";
+    }
+    MFC_ASSERT(false);
+}
+
+std::string BuildPlan::summary() const {
+    std::string out = "build[" + to_string(offload);
+    if (case_optimization) out += ", case-optimization";
+    out += "] targets:";
+    for (const std::string& t : targets) out += " " + t;
+    out += " deps:";
+    for (const std::string& d : dependencies) out += " " + d;
+    return out;
+}
+
+const std::vector<ToolInfo>& Toolchain::tools() {
+    static const std::vector<ToolInfo> list = {
+        {"load", "Load modules and initialize environment"},
+        {"build", "Build MFC's source and dependencies"},
+        {"test", "Run the regression test suite"},
+        {"bench", "Run the benchmark suite"},
+        {"bench_diff", "Compare benchmark results"},
+        {"run", "Run a user-defined case file"},
+    };
+    return list;
+}
+
+LoadPlan Toolchain::load(const std::string& system_id,
+                         const std::string& config) const {
+    return ModulesRegistry::builtin().load(system_id, config);
+}
+
+BuildPlan Toolchain::build(const LoadPlan& env, const std::string& gpu_model,
+                           bool case_optimization) const {
+    BuildPlan plan;
+    if (gpu_model.empty() || gpu_model == "no-gpu") {
+        plan.offload = OffloadModel::None;
+    } else if (gpu_model == "acc") {
+        plan.offload = OffloadModel::OpenAcc;
+    } else if (gpu_model == "mp") {
+        plan.offload = OffloadModel::OpenMp;
+    } else {
+        fail("build: --gpu must be 'acc' or 'mp' (got '" + gpu_model + "')");
+    }
+    MFC_REQUIRE(plan.offload == OffloadModel::None || env.config == "gpu",
+                "build: GPU offload requested with a CPU environment loaded");
+
+    plan.case_optimization = case_optimization;
+    plan.env = env.env;
+
+    // Dependencies as CMake resolves them (Section 3, Step 2): silo and
+    // hdf5 always; the FFT backend follows the target hardware.
+    plan.dependencies = {"silo", "hdf5"};
+    if (plan.offload == OffloadModel::None) {
+        plan.dependencies.push_back("fftw");
+    } else if (env.env.count("MFC_CUDA_CC") > 0) {
+        plan.dependencies.push_back("cufft");
+    } else {
+        plan.dependencies.push_back("hipfft");
+    }
+    return plan;
+}
+
+TestSuite Toolchain::test_suite(const std::string& golden_root) const {
+    return TestSuite(generate_full_suite(), golden_root);
+}
+
+BenchSuite Toolchain::bench(double mem_per_rank_gb, int ranks) const {
+    return BenchSuite(mem_per_rank_gb, ranks);
+}
+
+GoldenFile Toolchain::run(const CaseDict& case_file) const {
+    return TestSuite::execute_case(case_file);
+}
+
+void Toolchain::pre_process(const CaseDict& case_file,
+                            const std::string& snapshot_path) const {
+    const CaseConfig config = config_from_dict(case_file);
+    Simulation sim(config);
+    sim.initialize();
+    sim.save_restart(snapshot_path);
+}
+
+void Toolchain::simulation(const CaseDict& case_file,
+                           const std::string& in_snapshot,
+                           const std::string& out_snapshot) const {
+    const CaseConfig config = config_from_dict(case_file);
+    Simulation sim(config);
+    sim.initialize();
+    sim.load_restart(in_snapshot);
+    sim.run();
+    sim.save_restart(out_snapshot);
+}
+
+std::vector<std::string>
+Toolchain::post_process(const CaseDict& case_file,
+                        const std::string& snapshot_path,
+                        const std::string& vtk_path) const {
+    const CaseConfig config = config_from_dict(case_file);
+    Simulation sim(config);
+    sim.initialize();
+    sim.load_restart(snapshot_path);
+
+    const EquationLayout lay = sim.layout();
+    std::vector<std::pair<std::string, Field>> fields;
+    fields.emplace_back("density", post::density(lay, sim.state()));
+    fields.emplace_back("pressure", post::pressure(lay, config.fluids, sim.state()));
+    fields.emplace_back("mach", post::mach_number(lay, config.fluids, sim.state()));
+    if (lay.dims() >= 2) {
+        fields.emplace_back("vorticity",
+                            post::vorticity_magnitude(lay, sim.state(), config.grid));
+    }
+    fields.emplace_back("schlieren",
+                        post::numerical_schlieren(lay, sim.state(), config.grid));
+    post::write_vtk(vtk_path, config.grid, fields);
+
+    std::vector<std::string> names;
+    names.reserve(fields.size());
+    for (const auto& [name, f] : fields) names.push_back(name);
+    return names;
+}
+
+} // namespace mfc::toolchain

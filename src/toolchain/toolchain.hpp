@@ -1,0 +1,97 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "toolchain/bench_suite.hpp"
+#include "toolchain/case_generators.hpp"
+#include "toolchain/modules.hpp"
+#include "toolchain/templates.hpp"
+#include "toolchain/test_suite.hpp"
+
+namespace mfc::toolchain {
+
+/// Offload programming model selected at build time: MFC's
+/// `./mfc.sh build --gpu acc|mp` or `--no-gpu` (Section 3, Step 2).
+enum class OffloadModel { None, OpenAcc, OpenMp };
+
+[[nodiscard]] std::string to_string(OffloadModel m);
+
+/// A resolved build: targets, dependencies, and flags — what Step 2's
+/// `build` assembles before invoking CMake. On this host the "build" is
+/// the already-compiled library, so the plan records the configuration a
+/// real system would compile with (and tests verify its consistency).
+struct BuildPlan {
+    OffloadModel offload = OffloadModel::None;
+    bool case_optimization = false;
+    std::vector<std::string> targets = {"pre_process", "simulation",
+                                        "post_process"};
+    std::vector<std::string> dependencies;   ///< silo/hdf5/FFT backend
+    std::map<std::string, std::string> env;  ///< from the LoadPlan
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// One entry of Table 1's tool list.
+struct ToolInfo {
+    std::string name;
+    std::string description;
+};
+
+/// The wrapper-script facade (mfc.sh): ties together environment loading,
+/// build planning, regression testing, and benchmarking in the order a
+/// user follows to bring up a new system (Table 1 / Fig. 1).
+class Toolchain {
+public:
+    /// Table 1, verbatim.
+    [[nodiscard]] static const std::vector<ToolInfo>& tools();
+
+    /// Step 1: `source ./mfc.sh load` — resolve modules + environment.
+    [[nodiscard]] LoadPlan load(const std::string& system_id,
+                                const std::string& config) const;
+
+    /// Step 2: `./mfc.sh build` — assemble the build plan. `gpu_model`
+    /// is "acc", "mp", or "" (CPU build). The FFT and I/O dependencies
+    /// are selected from the offload model as CMake would.
+    [[nodiscard]] BuildPlan build(const LoadPlan& env, const std::string& gpu_model,
+                                  bool case_optimization) const;
+
+    /// Step 3: `./mfc.sh test` — the regression suite over the golden
+    /// directory.
+    [[nodiscard]] TestSuite test_suite(const std::string& golden_root) const;
+
+    /// Step 4: `./mfc.sh bench` — the five-case benchmark suite.
+    [[nodiscard]] BenchSuite bench(double mem_per_rank_gb, int ranks) const;
+
+    /// Step 4b: `./mfc.sh bench_diff` — comparison table of two summaries.
+    [[nodiscard]] TextTable bench_diff(const Yaml& reference,
+                                       const Yaml& candidate) const {
+        return toolchain::bench_diff(reference, candidate);
+    }
+
+    /// Step 5: `./mfc.sh run` — execute one user-defined case dictionary
+    /// and return its outputs.
+    [[nodiscard]] GoldenFile run(const CaseDict& case_file) const;
+
+    /// MFC's three build targets (Fig. 1) as library operations. The
+    /// pre_process target paints the initial condition and writes it as a
+    /// restart-format snapshot; simulation() advances it and writes a new
+    /// snapshot; post_process() turns a snapshot into visualization
+    /// output (VTK here, silo/hdf5 in MFC) and returns the field names
+    /// written.
+    void pre_process(const CaseDict& case_file,
+                     const std::string& snapshot_path) const;
+    void simulation(const CaseDict& case_file, const std::string& in_snapshot,
+                    const std::string& out_snapshot) const;
+    [[nodiscard]] std::vector<std::string>
+    post_process(const CaseDict& case_file, const std::string& snapshot_path,
+                 const std::string& vtk_path) const;
+
+    /// Batch-script generation through the system template (Step 1's
+    /// final setup action).
+    [[nodiscard]] std::string job_script(Scheduler s, const JobOptions& o) const {
+        return toolchain::job_script(s, o);
+    }
+};
+
+} // namespace mfc::toolchain

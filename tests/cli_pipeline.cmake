@@ -1,0 +1,17 @@
+# End-to-end CLI pipeline: pre_process -> simulation -> post_process -> run.
+file(MAKE_DIRECTORY ${WORK})
+foreach(step
+    "pre_process;${CASE};--out;${WORK}/ic.bin"
+    "simulation;${CASE};--in;${WORK}/ic.bin;--out;${WORK}/final.bin"
+    "post_process;${CASE};--in;${WORK}/final.bin;--out;${WORK}/flow.vtk"
+    "run;${CASE};--out;${WORK}/golden.txt")
+  execute_process(COMMAND ${MFC} ${step} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mfc ${step} failed with ${rc}")
+  endif()
+endforeach()
+foreach(artifact ic.bin final.bin flow.vtk golden.txt)
+  if(NOT EXISTS ${WORK}/${artifact})
+    message(FATAL_ERROR "missing ${artifact}")
+  endif()
+endforeach()

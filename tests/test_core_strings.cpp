@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace mfc {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\tabc\n"), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, TrimOfAllWhitespaceIsEmpty) {
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, TrimKeepsInteriorWhitespace) {
+    EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Strings, SplitOnSeparator) {
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyTokens) {
+    const auto parts = split("a,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsCollapsesRuns) {
+    const auto parts = split_ws("  a \t b\n c  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+    EXPECT_TRUE(split_ws("").empty());
+    EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("bc_x_beg", "bc_"));
+    EXPECT_FALSE(starts_with("bc", "bc_"));
+    EXPECT_TRUE(ends_with("golden.txt", ".txt"));
+    EXPECT_FALSE(ends_with("txt", ".txt"));
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(to_lower("HLLC"), "hllc");
+    EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, " -> "), "a -> b -> c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ReplaceAll) {
+    EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+    EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+}
+
+TEST(Strings, FormatSciRoundTrips) {
+    for (const double v : {1.0, -2.5e-13, 3.14159265358979, 1e300, 0.0}) {
+        EXPECT_EQ(parse_double(format_sci(v)), v);
+    }
+}
+
+TEST(Strings, ParseIntValid) {
+    EXPECT_EQ(parse_int("42"), 42);
+    EXPECT_EQ(parse_int(" -7 "), -7);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+    EXPECT_THROW((void)parse_int("4x"), Error);
+    EXPECT_THROW((void)parse_int(""), Error);
+    EXPECT_THROW((void)parse_int("1.5"), Error);
+}
+
+TEST(Strings, ParseDoubleValid) {
+    EXPECT_DOUBLE_EQ(parse_double("2.5e-3"), 2.5e-3);
+    EXPECT_DOUBLE_EQ(parse_double(" -1 "), -1.0);
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+    EXPECT_THROW((void)parse_double("abc"), Error);
+    EXPECT_THROW((void)parse_double("1.0junk"), Error);
+}
+
+} // namespace
+} // namespace mfc

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/value.hpp"
+
+namespace mfc {
+namespace {
+
+TEST(Value, BoolRendersAsMfcStyle) {
+    EXPECT_EQ(Value(true).to_string(), "T");
+    EXPECT_EQ(Value(false).to_string(), "F");
+}
+
+TEST(Value, IntRoundTrip) {
+    const Value v(42);
+    EXPECT_TRUE(v.is_int());
+    EXPECT_EQ(v.as_int(), 42);
+    EXPECT_EQ(Value::parse(v.to_string()), v);
+}
+
+TEST(Value, DoubleRoundTrip) {
+    const Value v(2.5e-13);
+    EXPECT_TRUE(v.is_double());
+    EXPECT_EQ(Value::parse(v.to_string()), v);
+}
+
+TEST(Value, IntegerValuedDoubleKeepsType) {
+    const Value v(10.0);
+    EXPECT_EQ(v.to_string(), "10.0");
+    EXPECT_TRUE(Value::parse("10.0").is_double());
+    EXPECT_TRUE(Value::parse("10").is_int());
+}
+
+TEST(Value, StringFallback) {
+    const Value v = Value::parse("halfspace");
+    EXPECT_TRUE(v.is_string());
+    EXPECT_EQ(v.as_string(), "halfspace");
+}
+
+TEST(Value, ParseRecognizesBools) {
+    EXPECT_TRUE(Value::parse("T").is_bool());
+    EXPECT_TRUE(Value::parse("F").is_bool());
+    EXPECT_TRUE(Value::parse("T").as_bool());
+    EXPECT_FALSE(Value::parse("F").as_bool());
+}
+
+TEST(Value, AsDoubleAcceptsInt) {
+    EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+}
+
+TEST(Value, AsBoolAcceptsTfStrings) {
+    EXPECT_TRUE(Value("T").as_bool());
+    EXPECT_FALSE(Value("F").as_bool());
+}
+
+TEST(Value, TypeMismatchThrows) {
+    EXPECT_THROW((void)Value("abc").as_int(), Error);
+    EXPECT_THROW((void)Value(1.5).as_int(), Error);
+    EXPECT_THROW((void)Value("abc").as_double(), Error);
+    EXPECT_THROW((void)Value(1).as_string(), Error);
+    EXPECT_THROW((void)Value("x").as_bool(), Error);
+}
+
+TEST(Value, EqualityIsTypeAware) {
+    EXPECT_EQ(Value(1), Value(1));
+    EXPECT_FALSE(Value(1) == Value(1.0));
+    EXPECT_FALSE(Value(true) == Value("T"));
+}
+
+TEST(Value, NegativeNumbersParse) {
+    EXPECT_EQ(Value::parse("-3").as_int(), -3);
+    EXPECT_DOUBLE_EQ(Value::parse("-3.5").as_double(), -3.5);
+}
+
+} // namespace
+} // namespace mfc

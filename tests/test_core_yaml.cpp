@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "core/yaml.hpp"
+
+namespace mfc {
+namespace {
+
+TEST(Yaml, ScalarMapRoundTrip) {
+    Yaml root;
+    root["walltime_s"].set(Value(1.5));
+    root["ranks"].set(Value(8));
+    root["label"].set(Value("bench"));
+    const Yaml parsed = Yaml::parse(root.dump());
+    EXPECT_DOUBLE_EQ(parsed.at("walltime_s").value().as_double(), 1.5);
+    EXPECT_EQ(parsed.at("ranks").value().as_int(), 8);
+    EXPECT_EQ(parsed.at("label").value().as_string(), "bench");
+}
+
+TEST(Yaml, NestedMaps) {
+    Yaml root;
+    root["cases"]["two_phase"]["grindtime_ns"].set(Value(0.55));
+    root["cases"]["euler"]["grindtime_ns"].set(Value(0.38));
+    const Yaml parsed = Yaml::parse(root.dump());
+    EXPECT_DOUBLE_EQ(
+        parsed.at("cases").at("two_phase").at("grindtime_ns").value().as_double(),
+        0.55);
+    EXPECT_DOUBLE_EQ(
+        parsed.at("cases").at("euler").at("grindtime_ns").value().as_double(),
+        0.38);
+}
+
+TEST(Yaml, KeyOrderIsPreserved) {
+    Yaml root;
+    root["zebra"].set(Value(1));
+    root["alpha"].set(Value(2));
+    root["mid"].set(Value(3));
+    ASSERT_EQ(root.keys().size(), 3u);
+    EXPECT_EQ(root.keys()[0], "zebra");
+    EXPECT_EQ(root.keys()[1], "alpha");
+    EXPECT_EQ(root.keys()[2], "mid");
+}
+
+TEST(Yaml, ListsOfScalars) {
+    Yaml root;
+    root["systems"].push_back(Yaml(Value("frontier")));
+    root["systems"].push_back(Yaml(Value("summit")));
+    const Yaml parsed = Yaml::parse(root.dump());
+    ASSERT_EQ(parsed.at("systems").items().size(), 2u);
+    EXPECT_EQ(parsed.at("systems").items()[0].value().as_string(), "frontier");
+}
+
+TEST(Yaml, CommentsAndBlankLinesIgnored) {
+    const Yaml parsed = Yaml::parse("# header\n\nkey: 1\n  # not here\n");
+    EXPECT_EQ(parsed.at("key").value().as_int(), 1);
+}
+
+TEST(Yaml, MissingKeyThrows) {
+    Yaml root;
+    root["a"].set(Value(1));
+    EXPECT_THROW((void)root.at("b"), Error);
+    EXPECT_TRUE(root.contains("a"));
+    EXPECT_FALSE(root.contains("b"));
+}
+
+TEST(Yaml, ValueOnMapThrows) {
+    Yaml root;
+    root["a"]["b"].set(Value(1));
+    EXPECT_THROW((void)root.at("a").value(), Error);
+}
+
+TEST(Yaml, MalformedIndentationThrows) {
+    EXPECT_THROW((void)Yaml::parse(" key: 1\n"), Error); // odd indent
+}
+
+TEST(Yaml, MissingColonThrows) {
+    EXPECT_THROW((void)Yaml::parse("just a line\n"), Error);
+}
+
+TEST(Yaml, SaveLoadFile) {
+    Yaml root;
+    root["metadata"]["invocation"].set(Value("bench --mem 1"));
+    root["cases"]["c1"]["grindtime_ns"].set(Value(4.2));
+    const std::string path = testing::TempDir() + "/mfcpp_yaml_test.yml";
+    root.save(path);
+    const Yaml loaded = Yaml::load(path);
+    EXPECT_EQ(loaded.at("metadata").at("invocation").value().as_string(),
+              "bench --mem 1");
+    EXPECT_DOUBLE_EQ(loaded.at("cases").at("c1").at("grindtime_ns").value().as_double(),
+                     4.2);
+    std::remove(path.c_str());
+}
+
+TEST(Yaml, LoadMissingFileThrows) {
+    EXPECT_THROW((void)Yaml::load("/nonexistent/path.yml"), Error);
+}
+
+TEST(Yaml, DeepNestingRoundTrip) {
+    Yaml root;
+    root["a"]["b"]["c"]["d"].set(Value(7));
+    const Yaml parsed = Yaml::parse(root.dump());
+    EXPECT_EQ(parsed.at("a").at("b").at("c").at("d").value().as_int(), 7);
+}
+
+} // namespace
+} // namespace mfc

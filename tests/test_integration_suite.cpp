@@ -1,0 +1,75 @@
+// Integration: the complete regression-suite round trip, end to end —
+// generate golden files for EVERY generated case (558 at last count, all
+// executed through the real solver) and then re-run the whole suite in
+// compare mode, as `./mfc.sh test --generate` followed by `./mfc.sh test`
+// would on a new machine (Section 3, steps 3).
+
+#include "core/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "toolchain/test_suite.hpp"
+#include "toolchain/toolchain.hpp"
+
+namespace mfc::toolchain {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(IntegrationSuite, FullGenerateThenCompareCycle) {
+    const std::string root = testing::TempDir() + "/mfcpp_full_suite";
+    fs::remove_all(root);
+
+    const Toolchain tc;
+    const TestSuite suite = tc.test_suite(root);
+    ASSERT_GT(suite.cases().size(), 500u);
+
+    // Step 3a: --generate for every case. A failure here means some
+    // feature combination crashed or produced non-finite output.
+    const SuiteSummary gen = suite.run_all(TestMode::Generate);
+    EXPECT_EQ(gen.failed, 0);
+    for (const TestOutcome& f : gen.failures) {
+        ADD_FAILURE() << f.uuid << "  " << f.trace << ": " << f.detail;
+        if (&f - gen.failures.data() > 8) break; // cap the noise
+    }
+
+    // Every case produced its golden pair.
+    std::size_t golden_count = 0;
+    for (const auto& entry : fs::directory_iterator(root)) {
+        if (fs::exists(entry.path() / "golden.txt") &&
+            fs::exists(entry.path() / "golden-metadata.txt")) {
+            ++golden_count;
+        }
+    }
+    EXPECT_EQ(golden_count, suite.cases().size());
+
+    // Step 3b: plain `test` — everything must compare clean against the
+    // goldens just written (determinism of the entire stack).
+    const SuiteSummary cmp = suite.run_all(TestMode::Compare);
+    EXPECT_EQ(cmp.failed, 0);
+    EXPECT_EQ(cmp.passed, static_cast<int>(suite.cases().size()));
+    for (const TestOutcome& f : cmp.failures) {
+        ADD_FAILURE() << f.uuid << "  " << f.trace << ": " << f.detail;
+        if (&f - cmp.failures.data() > 8) break;
+    }
+
+    fs::remove_all(root);
+}
+
+TEST(IntegrationSuite, GoldenOutputsAreFinite) {
+    // Spot-sweep across the suite: every 7th case's outputs are finite.
+    const CaseList all = generate_full_suite();
+    for (std::size_t i = 0; i < all.size(); i += 7) {
+        const GoldenFile out = TestSuite::execute_case(all[i].params);
+        for (const auto& [name, values] : out.entries()) {
+            for (const double v : values) {
+                ASSERT_TRUE(std::isfinite(v)) << all[i].trace << " / " << name;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mfc::toolchain

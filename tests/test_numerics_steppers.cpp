@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/cfl.hpp"
+#include "numerics/igr.hpp"
+#include "numerics/relaxation.hpp"
+#include "numerics/time_stepper.hpp"
+
+namespace mfc {
+namespace {
+
+// Integrate the scalar ODE y' = -y from y(0)=1 by hijacking a 1-cell
+// StateArray, and measure the observed convergence order of each SSP-RK
+// scheme against exp(-T).
+double ode_error(TimeStepper ts, int steps) {
+    const double T = 1.0;
+    const double dt = T / steps;
+    StateArray y(1, Extents{1, 1, 1}, 0), s1(1, Extents{1, 1, 1}, 0),
+        s2(1, Extents{1, 1, 1}, 0);
+    y.eq(0)(0, 0, 0) = 1.0;
+    const RhsFn rhs = [](const StateArray& q, StateArray& dq) {
+        dq.eq(0)(0, 0, 0) = -q.eq(0)(0, 0, 0);
+    };
+    for (int i = 0; i < steps; ++i) advance(ts, rhs, dt, y, s1, s2);
+    return std::abs(y.eq(0)(0, 0, 0) - std::exp(-T));
+}
+
+class StepperOrder : public testing::TestWithParam<TimeStepper> {};
+
+TEST_P(StepperOrder, ObservedConvergenceOrder) {
+    const TimeStepper ts = GetParam();
+    const double e1 = ode_error(ts, 40);
+    const double e2 = ode_error(ts, 80);
+    const double rate = std::log2(e1 / e2);
+    const double expected = static_cast<double>(num_stages(ts));
+    EXPECT_GT(rate, expected - 0.25) << "errors " << e1 << " " << e2;
+    EXPECT_LT(rate, expected + 0.35);
+}
+
+TEST_P(StepperOrder, ExactForConstantSolution) {
+    const TimeStepper ts = GetParam();
+    StateArray y(1, Extents{1, 1, 1}, 0), s1 = y, s2 = y;
+    y.eq(0)(0, 0, 0) = 3.0;
+    const RhsFn rhs = [](const StateArray&, StateArray& dq) {
+        dq.eq(0)(0, 0, 0) = 0.0;
+    };
+    advance(ts, rhs, 0.1, y, s1, s2);
+    EXPECT_DOUBLE_EQ(y.eq(0)(0, 0, 0), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSteppers, StepperOrder,
+                         testing::Values(TimeStepper::RK1, TimeStepper::RK2,
+                                         TimeStepper::RK3));
+
+TEST(Stepper, StageCountEqualsOrder) {
+    // This equality is what makes grindtime independent of the
+    // integrator (Section 1).
+    EXPECT_EQ(num_stages(TimeStepper::RK1), 1);
+    EXPECT_EQ(num_stages(TimeStepper::RK2), 2);
+    EXPECT_EQ(num_stages(TimeStepper::RK3), 3);
+}
+
+TEST(Stepper, RhsEvaluationCountMatchesStages) {
+    for (const TimeStepper ts :
+         {TimeStepper::RK1, TimeStepper::RK2, TimeStepper::RK3}) {
+        StateArray y(1, Extents{1, 1, 1}, 0), s1 = y, s2 = y;
+        int count = 0;
+        const RhsFn rhs = [&count](const StateArray&, StateArray& dq) {
+            dq.eq(0)(0, 0, 0) = 0.0;
+            ++count;
+        };
+        advance(ts, rhs, 0.1, y, s1, s2);
+        EXPECT_EQ(count, num_stages(ts));
+    }
+}
+
+TEST(Stepper, FixupRunsAfterEveryStage) {
+    StateArray y(1, Extents{1, 1, 1}, 0), s1 = y, s2 = y;
+    const RhsFn rhs = [](const StateArray&, StateArray& dq) {
+        dq.eq(0)(0, 0, 0) = 0.0;
+    };
+    int fixups = 0;
+    const StageFixupFn fix = [&fixups](StateArray&) { ++fixups; };
+    advance(TimeStepper::RK3, rhs, 0.1, y, s1, s2, fix);
+    EXPECT_EQ(fixups, 3);
+}
+
+TEST(Stepper, FromIntValidation) {
+    EXPECT_EQ(stepper_from_int(3), TimeStepper::RK3);
+    EXPECT_THROW((void)stepper_from_int(0), Error);
+    EXPECT_THROW((void)stepper_from_int(4), Error);
+}
+
+TEST(Stepper, LinearCombine) {
+    StateArray a(1, Extents{2, 1, 1}, 0), b = a, d = a, out = a;
+    a.eq(0)(0, 0, 0) = 1.0;
+    b.eq(0)(0, 0, 0) = 2.0;
+    d.eq(0)(0, 0, 0) = 10.0;
+    linear_combine(0.25, a, 0.75, b, 0.1, d, out);
+    EXPECT_DOUBLE_EQ(out.eq(0)(0, 0, 0), 0.25 + 1.5 + 1.0);
+}
+
+// --- CFL -------------------------------------------------------------------
+
+TEST(Cfl, MaxWaveSpeedOfQuiescentGasIsSoundSpeed) {
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}};
+    StateArray prim(3, Extents{4, 1, 1}, 0);
+    for (int i = 0; i < 4; ++i) {
+        prim.eq(0)(i, 0, 0) = 1.0;
+        prim.eq(1)(i, 0, 0) = 0.0;
+        prim.eq(2)(i, 0, 0) = 1.0;
+    }
+    EXPECT_NEAR(max_wave_speed(lay, fluids, prim), std::sqrt(1.4), 1e-12);
+}
+
+TEST(Cfl, VelocityAddsToWaveSpeed) {
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}};
+    StateArray prim(3, Extents{2, 1, 1}, 0);
+    for (int i = 0; i < 2; ++i) {
+        prim.eq(0)(i, 0, 0) = 1.0;
+        prim.eq(1)(i, 0, 0) = i == 0 ? -2.0 : 0.5;
+        prim.eq(2)(i, 0, 0) = 1.0;
+    }
+    EXPECT_NEAR(max_wave_speed(lay, fluids, prim), 2.0 + std::sqrt(1.4), 1e-12);
+}
+
+TEST(Cfl, DtFormulaAndValidation) {
+    EXPECT_DOUBLE_EQ(cfl_dt(0.5, 0.1, 2.0), 0.025);
+    EXPECT_THROW((void)cfl_dt(-1.0, 0.1, 1.0), Error);
+    EXPECT_THROW((void)cfl_dt(0.5, 0.1, 0.0), Error);
+}
+
+// --- IGR elliptic solve ------------------------------------------------
+
+TEST(Igr, ZeroSourceGivesZeroSigma) {
+    IgrParams p;
+    p.enabled = true;
+    Field src(Extents{8, 1, 1}, 0);
+    Field sigma(Extents{8, 1, 1}, 1);
+    igr_elliptic_solve(p, src, 0.1, /*warm=*/false, sigma);
+    for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(sigma(i, 0, 0), 0.0);
+}
+
+TEST(Igr, PositiveSourceGivesPositiveSigma) {
+    IgrParams p;
+    p.enabled = true;
+    p.num_iters = 50;
+    Field src(Extents{16, 1, 1}, 0);
+    src(8, 0, 0) = 1.0;
+    Field sigma(Extents{16, 1, 1}, 1);
+    igr_elliptic_solve(p, src, 0.1, false, sigma);
+    EXPECT_GT(sigma(8, 0, 0), 0.0);
+    EXPECT_GT(sigma(7, 0, 0), 0.0); // screening spreads the source
+    EXPECT_LT(sigma(7, 0, 0), sigma(8, 0, 0));
+}
+
+TEST(Igr, JacobiAndGaussSeidelAgreeAtConvergence) {
+    Field src(Extents{12, 1, 1}, 0);
+    for (int i = 0; i < 12; ++i) src(i, 0, 0) = std::sin(0.5 * i);
+    IgrParams jac;
+    jac.num_iters = 400;
+    jac.iter_solver = 1;
+    IgrParams gs = jac;
+    gs.iter_solver = 2;
+    Field sj(Extents{12, 1, 1}, 1), sg(Extents{12, 1, 1}, 1);
+    igr_elliptic_solve(jac, src, 0.1, false, sj);
+    igr_elliptic_solve(gs, src, 0.1, false, sg);
+    for (int i = 0; i < 12; ++i) {
+        EXPECT_NEAR(sj(i, 0, 0), sg(i, 0, 0), 1e-8) << i;
+    }
+}
+
+TEST(Igr, WarmStartSkipsExtraIterations) {
+    // With warm = true only num_iters run; from a converged state the
+    // answer must not move.
+    IgrParams p;
+    p.num_iters = 300;
+    Field src(Extents{10, 1, 1}, 0);
+    src(5, 0, 0) = 2.0;
+    Field sigma(Extents{10, 1, 1}, 1);
+    igr_elliptic_solve(p, src, 0.1, false, sigma);
+    Field converged = sigma;
+    p.num_iters = 5;
+    igr_elliptic_solve(p, src, 0.1, /*warm=*/true, sigma);
+    for (int i = 0; i < 10; ++i) {
+        // Warm-started iterations may refine the tail slightly but must
+        // stay at the converged fixed point.
+        EXPECT_NEAR(sigma(i, 0, 0), converged(i, 0, 0), 1e-6);
+    }
+}
+
+TEST(Igr, InvalidSolverThrows) {
+    IgrParams p;
+    p.iter_solver = 3;
+    Field src(Extents{4, 1, 1}, 0);
+    Field sigma(Extents{4, 1, 1}, 1);
+    EXPECT_THROW(igr_elliptic_solve(p, src, 0.1, false, sigma), Error);
+}
+
+TEST(Igr, ParamsToString) {
+    IgrParams p;
+    p.enabled = true;
+    p.iter_solver = 2;
+    const std::string s = to_string(p);
+    EXPECT_NE(s.find("Gauss-Seidel"), std::string::npos);
+    EXPECT_EQ(to_string(IgrParams{}), "igr=F");
+}
+
+// --- six-equation pressure relaxation -------------------------------------
+
+TEST(Relaxation, EquilibratesPerFluidPressures) {
+    const EquationLayout lay(ModelKind::SixEquation, 2, 1);
+    const std::vector<StiffenedGas> fluids = {{4.4, 100.0}, {1.4, 0.0}};
+    StateArray cons(lay.num_eqns(), Extents{2, 1, 1}, 0);
+
+    // Build a cell whose per-fluid pressures disagree.
+    for (int i = 0; i < 2; ++i) {
+        const double a1 = 0.6;
+        cons.eq(lay.cont(0))(i, 0, 0) = 800.0 * a1;
+        cons.eq(lay.cont(1))(i, 0, 0) = 1.0 * (1.0 - a1);
+        cons.eq(lay.mom(0))(i, 0, 0) = 100.0;
+        cons.eq(lay.adv(0))(i, 0, 0) = a1;
+        cons.eq(lay.adv(1))(i, 0, 0) = 1.0 - a1;
+        // Internal energies at p1 = 5, p2 = 2 (disequilibrium).
+        cons.eq(lay.internal_energy(0))(i, 0, 0) =
+            a1 * (fluids[0].big_g() * 5.0 + fluids[0].big_pi());
+        cons.eq(lay.internal_energy(1))(i, 0, 0) =
+            (1.0 - a1) * (fluids[1].big_g() * 2.0 + fluids[1].big_pi());
+        // Total energy consistent with the stored internal energies.
+        const double rho = 800.0 * a1 + 1.0 * (1.0 - a1);
+        const double ke = 0.5 * 100.0 * 100.0 / rho;
+        cons.eq(lay.energy())(i, 0, 0) = cons.eq(lay.internal_energy(0))(i, 0, 0) +
+                                         cons.eq(lay.internal_energy(1))(i, 0, 0) +
+                                         ke;
+    }
+
+    const double e_before = cons.eq(lay.energy())(0, 0, 0);
+    pressure_relaxation(lay, fluids, cons);
+
+    // Per-fluid pressures recovered from the relaxed energies agree.
+    const double a1 = 0.6;
+    const double p1 = (cons.eq(lay.internal_energy(0))(0, 0, 0) / a1 -
+                       fluids[0].big_pi()) /
+                      fluids[0].big_g();
+    const double p2 = (cons.eq(lay.internal_energy(1))(0, 0, 0) / (1.0 - a1) -
+                       fluids[1].big_pi()) /
+                      fluids[1].big_g();
+    EXPECT_NEAR(p1, p2, 1e-9);
+    // Mass, momentum, total energy untouched.
+    EXPECT_DOUBLE_EQ(cons.eq(lay.energy())(0, 0, 0), e_before);
+    EXPECT_DOUBLE_EQ(cons.eq(lay.cont(0))(0, 0, 0), 800.0 * 0.6);
+    EXPECT_DOUBLE_EQ(cons.eq(lay.mom(0))(0, 0, 0), 100.0);
+    // Internal energies sum to rho e.
+    const double rho = 800.0 * 0.6 + 0.4;
+    const double ke = 0.5 * 100.0 * 100.0 / rho;
+    EXPECT_NEAR(cons.eq(lay.internal_energy(0))(0, 0, 0) +
+                    cons.eq(lay.internal_energy(1))(0, 0, 0),
+                e_before - ke, 1e-9);
+}
+
+TEST(Relaxation, NoOpAtEquilibrium) {
+    const EquationLayout lay(ModelKind::SixEquation, 2, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    StateArray cons(lay.num_eqns(), Extents{1, 1, 1}, 0);
+    const double a1 = 0.3, p = 2.0;
+    cons.eq(lay.cont(0))(0, 0, 0) = a1 * 1.0;
+    cons.eq(lay.cont(1))(0, 0, 0) = (1.0 - a1) * 0.5;
+    cons.eq(lay.adv(0))(0, 0, 0) = a1;
+    cons.eq(lay.adv(1))(0, 0, 0) = 1.0 - a1;
+    cons.eq(lay.internal_energy(0))(0, 0, 0) = a1 * fluids[0].energy(p);
+    cons.eq(lay.internal_energy(1))(0, 0, 0) = (1.0 - a1) * fluids[1].energy(p);
+    cons.eq(lay.energy())(0, 0, 0) = cons.eq(lay.internal_energy(0))(0, 0, 0) +
+                                     cons.eq(lay.internal_energy(1))(0, 0, 0);
+    const double ie1 = cons.eq(lay.internal_energy(0))(0, 0, 0);
+    pressure_relaxation(lay, fluids, cons);
+    EXPECT_NEAR(cons.eq(lay.internal_energy(0))(0, 0, 0), ie1, 1e-12);
+}
+
+TEST(Relaxation, RejectsWrongModel) {
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    StateArray cons(lay.num_eqns(), Extents{1, 1, 1}, 0);
+    EXPECT_THROW(pressure_relaxation(lay, fluids, cons), Error);
+}
+
+} // namespace
+} // namespace mfc

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "physics/eos.hpp"
+#include "physics/flux.hpp"
+#include "physics/model.hpp"
+
+namespace mfc {
+namespace {
+
+// --- stiffened-gas EOS -------------------------------------------------
+
+TEST(Eos, IdealGasLimit) {
+    const StiffenedGas air{1.4, 0.0};
+    // p = (gamma-1) rho e  ->  rho e = p/(gamma-1).
+    EXPECT_DOUBLE_EQ(air.energy(1.0), 2.5);
+    EXPECT_DOUBLE_EQ(air.pressure(2.5), 1.0);
+}
+
+TEST(Eos, PressureEnergyInverse) {
+    const StiffenedGas water{4.4, 6000.0};
+    for (const double p : {0.1, 1.0, 1000.0}) {
+        EXPECT_NEAR(water.pressure(water.energy(p)), p, 1e-9);
+    }
+}
+
+TEST(Eos, SoundSpeedIdealGas) {
+    const StiffenedGas air{1.4, 0.0};
+    EXPECT_NEAR(air.sound_speed(1.0, 1.0), std::sqrt(1.4), 1e-14);
+}
+
+TEST(Eos, StiffeningRaisesSoundSpeed) {
+    const StiffenedGas water{4.4, 6000.0};
+    const StiffenedGas air{1.4, 0.0};
+    EXPECT_GT(water.sound_speed(1000.0, 1.0), air.sound_speed(1.0, 1.0));
+}
+
+TEST(Eos, MixtureRecoversPureFluids) {
+    const std::vector<StiffenedGas> fluids = {{4.4, 6000.0}, {1.4, 0.0}};
+    const double a1[2] = {1.0, 0.0};
+    const Mixture m1 = mix(fluids, a1, 2);
+    EXPECT_NEAR(m1.gamma(), 4.4, 1e-12);
+    EXPECT_NEAR(m1.pi_inf(), 6000.0, 1e-9);
+    const double a2[2] = {0.0, 1.0};
+    const Mixture m2 = mix(fluids, a2, 2);
+    EXPECT_NEAR(m2.gamma(), 1.4, 1e-12);
+    EXPECT_NEAR(m2.pi_inf(), 0.0, 1e-12);
+}
+
+TEST(Eos, MixtureEnergyIsAlphaWeighted) {
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    const double alpha[2] = {0.3, 0.7};
+    const Mixture m = mix(fluids, alpha, 2);
+    const double p = 2.0;
+    EXPECT_NEAR(m.energy(p),
+                alpha[0] * fluids[0].energy(p) + alpha[1] * fluids[1].energy(p),
+                1e-12);
+}
+
+// --- equation layouts --------------------------------------------------
+
+TEST(Layout, FiveEquationTwoFluid3DHasEightPdes) {
+    // Section 6.1: "a system of eight coupled PDEs".
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 3);
+    EXPECT_EQ(lay.num_eqns(), 8);
+    EXPECT_EQ(lay.cont(0), 0);
+    EXPECT_EQ(lay.mom(0), 2);
+    EXPECT_EQ(lay.energy(), 5);
+    EXPECT_EQ(lay.adv(0), 6);
+    EXPECT_EQ(lay.adv(1), 7);
+}
+
+TEST(Layout, SixEquationTwoFluid3DHasTenPdes) {
+    // Section 6.1: the six-equation model is "(10 PDEs)".
+    const EquationLayout lay(ModelKind::SixEquation, 2, 3);
+    EXPECT_EQ(lay.num_eqns(), 10);
+    EXPECT_EQ(lay.internal_energy(0), 8);
+    EXPECT_EQ(lay.internal_energy(1), 9);
+}
+
+TEST(Layout, Euler3DHasFiveEquations) {
+    const EquationLayout lay(ModelKind::Euler, 1, 3);
+    EXPECT_EQ(lay.num_eqns(), 5);
+    EXPECT_EQ(lay.num_adv(), 0);
+}
+
+TEST(Layout, DimensionalityShrinksSystem) {
+    EXPECT_EQ(EquationLayout(ModelKind::FiveEquation, 2, 1).num_eqns(), 6);
+    EXPECT_EQ(EquationLayout(ModelKind::FiveEquation, 2, 2).num_eqns(), 7);
+}
+
+TEST(Layout, InvalidConfigurationsThrow) {
+    EXPECT_THROW(EquationLayout(ModelKind::Euler, 2, 3), Error);
+    EXPECT_THROW(EquationLayout(ModelKind::FiveEquation, 1, 3), Error);
+    EXPECT_THROW(EquationLayout(ModelKind::FiveEquation, 2, 4), Error);
+}
+
+TEST(Layout, ModelNamesRoundTrip) {
+    for (const ModelKind m : {ModelKind::Euler, ModelKind::FiveEquation,
+                              ModelKind::SixEquation}) {
+        EXPECT_EQ(model_from_string(to_string(m)), m);
+    }
+    EXPECT_THROW((void)model_from_string("bogus"), Error);
+}
+
+// --- prim <-> cons round trips -------------------------------------------
+
+class PrimConsRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(PrimConsRoundTrip, RandomStatesSurviveConversion) {
+    const int dims = GetParam();
+    const EquationLayout lay(ModelKind::FiveEquation, 2, dims);
+    const std::vector<StiffenedGas> fluids = {{4.4, 600.0}, {1.4, 0.0}};
+    Rng rng(42 + static_cast<std::uint64_t>(dims));
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> prim(static_cast<std::size_t>(lay.num_eqns()));
+        const double a1 = rng.uniform(1e-6, 1.0 - 1e-6);
+        prim[static_cast<std::size_t>(lay.cont(0))] = rng.uniform(0.1, 1000.0) * a1;
+        prim[static_cast<std::size_t>(lay.cont(1))] =
+            rng.uniform(0.1, 10.0) * (1.0 - a1);
+        for (int d = 0; d < dims; ++d) {
+            prim[static_cast<std::size_t>(lay.mom(d))] = rng.uniform(-3.0, 3.0);
+        }
+        prim[static_cast<std::size_t>(lay.energy())] = rng.uniform(0.01, 100.0);
+        prim[static_cast<std::size_t>(lay.adv(0))] = a1;
+        prim[static_cast<std::size_t>(lay.adv(1))] = 1.0 - a1;
+
+        std::vector<double> cons(prim.size());
+        std::vector<double> back(prim.size());
+        prim_to_cons(lay, fluids, prim.data(), cons.data());
+        cons_to_prim(lay, fluids, cons.data(), back.data());
+        for (std::size_t q = 0; q < prim.size(); ++q) {
+            EXPECT_NEAR(back[q], prim[q], 1e-9 * (1.0 + std::abs(prim[q])))
+                << "eqn " << q << " trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, PrimConsRoundTrip, testing::Values(1, 2, 3));
+
+TEST(PrimCons, SixEquationRoundTrip) {
+    const EquationLayout lay(ModelKind::SixEquation, 2, 3);
+    const std::vector<StiffenedGas> fluids = {{4.4, 600.0}, {1.4, 0.0}};
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> prim(static_cast<std::size_t>(lay.num_eqns()));
+        const double a1 = rng.uniform(1e-4, 1.0 - 1e-4);
+        prim[static_cast<std::size_t>(lay.cont(0))] = 800.0 * a1;
+        prim[static_cast<std::size_t>(lay.cont(1))] = 1.2 * (1.0 - a1);
+        for (int d = 0; d < 3; ++d) {
+            prim[static_cast<std::size_t>(lay.mom(d))] = rng.uniform(-1.0, 1.0);
+        }
+        const double p = rng.uniform(0.1, 50.0);
+        prim[static_cast<std::size_t>(lay.energy())] = p;
+        prim[static_cast<std::size_t>(lay.adv(0))] = a1;
+        prim[static_cast<std::size_t>(lay.adv(1))] = 1.0 - a1;
+        prim[static_cast<std::size_t>(lay.internal_energy(0))] = p;
+        prim[static_cast<std::size_t>(lay.internal_energy(1))] = p;
+
+        std::vector<double> cons(prim.size());
+        std::vector<double> back(prim.size());
+        prim_to_cons(lay, fluids, prim.data(), cons.data());
+        cons_to_prim(lay, fluids, cons.data(), back.data());
+        for (std::size_t q = 0; q < prim.size(); ++q) {
+            EXPECT_NEAR(back[q], prim[q], 1e-8 * (1.0 + std::abs(prim[q])));
+        }
+    }
+}
+
+TEST(PrimCons, EulerTotalEnergyDefinition) {
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}};
+    const double prim[3] = {1.0, 2.0, 1.0}; // rho, u, p
+    double cons[3];
+    prim_to_cons(lay, fluids, prim, cons);
+    EXPECT_DOUBLE_EQ(cons[0], 1.0);
+    EXPECT_DOUBLE_EQ(cons[1], 2.0);
+    // E = p/(gamma-1) + rho u^2/2 = 2.5 + 2.
+    EXPECT_DOUBLE_EQ(cons[2], 4.5);
+}
+
+// --- physical flux --------------------------------------------------------
+
+TEST(Flux, QuiescentStateCarriesOnlyPressure) {
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 3);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    std::vector<double> prim(8, 0.0);
+    prim[0] = 0.5;
+    prim[1] = 0.3;
+    prim[5] = 2.0; // pressure
+    prim[6] = 0.5;
+    prim[7] = 0.5;
+    std::vector<double> flux(8);
+    physical_flux(lay, fluids, prim.data(), 0, flux.data());
+    EXPECT_DOUBLE_EQ(flux[0], 0.0);              // no mass flux
+    EXPECT_DOUBLE_EQ(flux[lay.mom(0)], 2.0);     // pressure only
+    EXPECT_DOUBLE_EQ(flux[lay.mom(1)], 0.0);
+    EXPECT_DOUBLE_EQ(flux[lay.energy()], 0.0);
+    EXPECT_DOUBLE_EQ(flux[lay.adv(0)], 0.0);
+}
+
+TEST(Flux, GalileanMassFlux) {
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}};
+    const double prim[3] = {2.0, 3.0, 1.0};
+    double flux[3];
+    physical_flux(lay, fluids, prim, 0, flux);
+    EXPECT_DOUBLE_EQ(flux[0], 6.0);              // rho u
+    EXPECT_DOUBLE_EQ(flux[1], 2.0 * 9.0 + 1.0);  // rho u^2 + p
+}
+
+TEST(Flux, DirectionSelectsNormalVelocity) {
+    const EquationLayout lay(ModelKind::FiveEquation, 2, 3);
+    const std::vector<StiffenedGas> fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    std::vector<double> prim(8, 0.0);
+    prim[0] = 1.0;
+    prim[1] = 0.0;
+    prim[lay.mom(0)] = 0.0;
+    prim[lay.mom(1)] = 2.0; // only v
+    prim[lay.mom(2)] = 0.0;
+    prim[lay.energy()] = 1.0;
+    prim[lay.adv(0)] = 1.0 - 1e-6;
+    prim[lay.adv(1)] = 1e-6;
+    std::vector<double> fx(8), fy(8);
+    physical_flux(lay, fluids, prim.data(), 0, fx.data());
+    physical_flux(lay, fluids, prim.data(), 1, fy.data());
+    EXPECT_DOUBLE_EQ(fx[0], 0.0);
+    EXPECT_DOUBLE_EQ(fy[0], 2.0);
+}
+
+} // namespace
+} // namespace mfc

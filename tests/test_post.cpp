@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "post/derived.hpp"
+#include "post/io_profile.hpp"
+#include "post/probes.hpp"
+#include "post/vtk.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc::post {
+namespace {
+
+/// Uniform 2D Euler state with a known velocity field painted afterwards.
+struct Fixture {
+    EquationLayout lay{ModelKind::Euler, 1, 2};
+    std::vector<StiffenedGas> fluids{{1.4, 0.0}};
+    GlobalGrid grid{Extents{8, 8, 1}};
+    StateArray cons{lay.num_eqns(), Extents{8, 8, 1}, 0};
+
+    /// Fill from primitive (rho, u, v, p) functions of cell indices.
+    template <typename F>
+    void fill(F&& prim_of) {
+        double p[8], c[8];
+        for (int j = 0; j < 8; ++j) {
+            for (int i = 0; i < 8; ++i) {
+                prim_of(i, j, p);
+                prim_to_cons(lay, fluids, p, c);
+                for (int q = 0; q < lay.num_eqns(); ++q) cons.eq(q)(i, j, 0) = c[q];
+            }
+        }
+    }
+};
+
+TEST(Derived, PressureAndDensityOfUniformState) {
+    Fixture f;
+    f.fill([](int, int, double* p) {
+        p[0] = 2.0;
+        p[1] = 0.3;
+        p[2] = -0.1;
+        p[3] = 1.5;
+    });
+    const Field pr = pressure(f.lay, f.fluids, f.cons);
+    const Field rho = density(f.lay, f.cons);
+    for (int j = 0; j < 8; ++j) {
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_NEAR(pr(i, j, 0), 1.5, 1e-12);
+            EXPECT_NEAR(rho(i, j, 0), 2.0, 1e-12);
+        }
+    }
+}
+
+TEST(Derived, VelocityRecoversComponents) {
+    Fixture f;
+    f.fill([](int i, int, double* p) {
+        p[0] = 1.0 + 0.1 * i;
+        p[1] = 0.5;
+        p[2] = -0.25;
+        p[3] = 1.0;
+    });
+    const Field u = velocity(f.lay, f.cons, 0);
+    const Field v = velocity(f.lay, f.cons, 1);
+    EXPECT_NEAR(u(3, 4, 0), 0.5, 1e-12);
+    EXPECT_NEAR(v(3, 4, 0), -0.25, 1e-12);
+    EXPECT_THROW((void)velocity(f.lay, f.cons, 2), Error);
+}
+
+TEST(Derived, MachNumberOfStillGasIsZero) {
+    Fixture f;
+    f.fill([](int, int, double* p) {
+        p[0] = 1.0;
+        p[1] = 0.0;
+        p[2] = 0.0;
+        p[3] = 1.0;
+    });
+    const Field m = mach_number(f.lay, f.fluids, f.cons);
+    EXPECT_NEAR(m(4, 4, 0), 0.0, 1e-12);
+    const Field c = sound_speed(f.lay, f.fluids, f.cons);
+    EXPECT_NEAR(c(4, 4, 0), std::sqrt(1.4), 1e-12);
+}
+
+TEST(Derived, SolidBodyRotationHasUniformVorticity) {
+    // u = -omega*y, v = omega*x  =>  curl = 2*omega everywhere.
+    Fixture f;
+    const double omega = 3.0;
+    f.fill([&](int i, int j, double* p) {
+        const double x = f.grid.center(0, i);
+        const double y = f.grid.center(1, j);
+        p[0] = 1.0;
+        p[1] = -omega * y;
+        p[2] = omega * x;
+        p[3] = 1.0;
+    });
+    const Field w = vorticity_magnitude(f.lay, f.cons, f.grid);
+    for (int j = 0; j < 8; ++j) {
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_NEAR(w(i, j, 0), 2.0 * omega, 1e-9) << i << "," << j;
+        }
+    }
+}
+
+TEST(Derived, VorticityVanishesIn1D) {
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    StateArray cons(lay.num_eqns(), Extents{8, 1, 1}, 0);
+    for (int i = 0; i < 8; ++i) {
+        cons.eq(0)(i, 0, 0) = 1.0;
+        cons.eq(1)(i, 0, 0) = 0.5 * i;
+        cons.eq(2)(i, 0, 0) = 2.5 + 0.125 * i * i;
+    }
+    const Field w = vorticity_magnitude(lay, cons, GlobalGrid{Extents{8, 1, 1}});
+    for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(w(i, 0, 0), 0.0);
+}
+
+TEST(Derived, SchlierenDarkensAtDensityJump) {
+    Fixture f;
+    f.fill([](int i, int, double* p) {
+        p[0] = i < 4 ? 1.0 : 5.0; // density jump at i = 4
+        p[1] = 0.0;
+        p[2] = 0.0;
+        p[3] = 1.0;
+    });
+    const Field s = numerical_schlieren(f.lay, f.cons, f.grid);
+    EXPECT_NEAR(s(1, 4, 0), 1.0, 1e-9);       // uniform region: bright
+    EXPECT_LT(s(4, 4, 0), 1e-6);              // jump: dark
+}
+
+TEST(Derived, SchlierenOfUniformFieldIsOne) {
+    Fixture f;
+    f.fill([](int, int, double* p) {
+        p[0] = 1.0;
+        p[1] = 0.0;
+        p[2] = 0.0;
+        p[3] = 1.0;
+    });
+    const Field s = numerical_schlieren(f.lay, f.cons, f.grid);
+    EXPECT_DOUBLE_EQ(s(3, 3, 0), 1.0);
+}
+
+// --- VTK writer ---------------------------------------------------------
+
+TEST(Vtk, HeaderAndCellData) {
+    GlobalGrid grid{Extents{4, 2, 1}, {0, 0, 0}, {2, 1, 1}};
+    Field f(Extents{4, 2, 1}, 0);
+    f(0, 0, 0) = 7.0;
+    const std::string text = vtk_text(grid, {{"density", f}});
+    EXPECT_NE(text.find("# vtk DataFile Version 3.0"), std::string::npos);
+    EXPECT_NE(text.find("DIMENSIONS 5 3 2"), std::string::npos);
+    EXPECT_NE(text.find("CELL_DATA 8"), std::string::npos);
+    EXPECT_NE(text.find("SCALARS density double 1"), std::string::npos);
+    EXPECT_NE(text.find("7.0000000000000000E+00"), std::string::npos);
+}
+
+TEST(Vtk, MultipleFieldsInOrder) {
+    GlobalGrid grid{Extents{2, 1, 1}};
+    Field a(Extents{2, 1, 1}, 0), b = a;
+    const std::string text = vtk_text(grid, {{"a", a}, {"b", b}});
+    EXPECT_LT(text.find("SCALARS a"), text.find("SCALARS b"));
+}
+
+TEST(Vtk, ShapeMismatchThrows) {
+    GlobalGrid grid{Extents{4, 1, 1}};
+    Field wrong(Extents{5, 1, 1}, 0);
+    EXPECT_THROW((void)vtk_text(grid, {{"x", wrong}}), Error);
+    Field ok(Extents{4, 1, 1}, 0);
+    EXPECT_THROW((void)vtk_text(grid, {{"bad name", ok}}), Error);
+}
+
+// --- I/O strategy + profile ----------------------------------------------
+
+TEST(IoStrategy, Section62Thresholds) {
+    // "when the number of MPI ranks exceeds 10^4 or the total problem
+    // size exceeds 100 billion ... grid cells".
+    EXPECT_EQ(select_io_strategy(128, 1'000'000'000), IoStrategy::SharedFile);
+    EXPECT_EQ(select_io_strategy(10'000, 1), IoStrategy::SharedFile);
+    EXPECT_EQ(select_io_strategy(10'001, 1), IoStrategy::FilePerProcess);
+    EXPECT_EQ(select_io_strategy(8, 100'000'000'001), IoStrategy::FilePerProcess);
+    // Frontier's 65536-GCD / 524B-cell limit case uses file-per-process.
+    EXPECT_EQ(select_io_strategy(65536, 524'000'000'000),
+              IoStrategy::FilePerProcess);
+}
+
+TEST(IoProfile, AccumulatesTotalsAndBandwidth) {
+    IoProfile p;
+    p.record("restart", 2'000'000'000, 1, 1.0);
+    p.record("silo", 1'000'000'000, 8, 0.5);
+    EXPECT_EQ(p.total_bytes(), 3'000'000'000);
+    EXPECT_DOUBLE_EQ(p.total_seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(p.bandwidth_gbs(), 2.0);
+    EXPECT_DOUBLE_EQ(p.io_fraction(15.0), 0.1);
+}
+
+TEST(IoProfile, YamlSummaryRoundTrips) {
+    IoProfile p;
+    p.record("golden", 1024, 1, 0.25);
+    const Yaml y = p.summary(IoStrategy::SharedFile);
+    const Yaml back = Yaml::parse(y.dump());
+    EXPECT_EQ(back.at("strategy").value().as_string(), "shared-file");
+    EXPECT_EQ(back.at("events").at("golden").at("bytes").value().as_int(), 1024);
+    EXPECT_EQ(back.at("total_bytes").value().as_int(), 1024);
+}
+
+TEST(IoProfile, RejectsNegativeQuantities) {
+    IoProfile p;
+    EXPECT_THROW(p.record("x", -1, 0, 0.0), Error);
+    EXPECT_THROW((void)p.io_fraction(0.0), Error);
+}
+
+// --- probes ---------------------------------------------------------------
+
+TEST(Probe, LocatesCellAndRejectsOutside) {
+    GlobalGrid grid{Extents{10, 10, 1}};
+    Probe inside("p1", {0.55, 0.25, 0.0});
+    const auto cell = inside.cell(grid);
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_EQ((*cell)[0], 5);
+    EXPECT_EQ((*cell)[1], 2);
+    Probe outside("p2", {1.5, 0.5, 0.0});
+    EXPECT_FALSE(outside.cell(grid).has_value());
+}
+
+TEST(Probe, OwnershipFollowsDecomposition) {
+    GlobalGrid grid{Extents{10, 1, 1}};
+    Probe p("p", {0.75, 0.0, 0.0}); // global cell 7
+    const LocalBlock left = decompose(Extents{10, 1, 1}, {2, 1, 1}, {0, 0, 0});
+    const LocalBlock right = decompose(Extents{10, 1, 1}, {2, 1, 1}, {1, 0, 0});
+    EXPECT_FALSE(p.owned_by(grid, left));
+    EXPECT_TRUE(p.owned_by(grid, right));
+}
+
+TEST(Probe, RecordsShockArrival) {
+    // Place a probe ahead of a Sod shock; pressure must rise above the
+    // initial 0.1 as the shock passes.
+    CaseConfig c;
+    c.model = ModelKind::Euler;
+    c.num_fluids = 1;
+    c.fluids = {{1.4, 0.0}};
+    c.grid.cells = Extents{200, 1, 1};
+    c.dt = 5.0e-4;
+    c.t_step_stop = 20;
+    c.bc[0] = {BcType::Extrapolation, BcType::Extrapolation};
+    Patch right;
+    right.alpha_rho = {0.125};
+    right.pressure = 0.1;
+    c.patches.push_back(right);
+    Patch left;
+    left.geometry = Patch::Geometry::HalfSpace;
+    left.position = 0.5;
+    left.alpha_rho = {1.0};
+    left.pressure = 1.0;
+    c.patches.push_back(left);
+
+    Simulation sim(c);
+    sim.initialize();
+    Probe probe("front", {0.6, 0.0, 0.0});
+    for (int interval = 0; interval < 10; ++interval) {
+        sim.run();
+        probe.record(interval + 1.0, sim.layout(), c.fluids, sim.state(),
+                     c.grid, sim.block());
+    }
+    ASSERT_EQ(probe.samples().size(), 10u);
+    EXPECT_NEAR(probe.samples().front().pressure, 0.1, 0.01); // pre-shock
+    EXPECT_GT(probe.samples().back().pressure, 0.25);         // post-shock
+    EXPECT_GT(probe.samples().back().velocity[0], 0.5);
+    const std::string text = probe.serialize(1);
+    EXPECT_NE(text.find("# probe front"), std::string::npos);
+}
+
+TEST(Probe, SilentWhenNotOwner) {
+    GlobalGrid grid{Extents{10, 1, 1}};
+    const EquationLayout lay(ModelKind::Euler, 1, 1);
+    StateArray cons(lay.num_eqns(), Extents{5, 1, 1}, 0);
+    LocalBlock block;
+    block.cells = Extents{5, 1, 1};
+    block.offset = {0, 0, 0};
+    Probe p("far", {0.95, 0.0, 0.0}); // cell 9, not in [0,5)
+    p.record(0.0, lay, {{1.4, 0.0}}, cons, grid, block);
+    EXPECT_TRUE(p.samples().empty());
+}
+
+} // namespace
+} // namespace mfc::post

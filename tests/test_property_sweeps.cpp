@@ -1,0 +1,255 @@
+// Property-based sweeps: randomized round-trips and invariants across the
+// configuration, I/O, decomposition, and solver layers. Each property uses
+// the deterministic SplitMix64 RNG so failures are reproducible.
+
+#include "core/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/cart.hpp"
+#include "core/rng.hpp"
+#include "core/yaml.hpp"
+#include "grid/grid.hpp"
+#include "solver/simulation.hpp"
+#include "toolchain/case_io.hpp"
+#include "toolchain/golden.hpp"
+
+namespace mfc {
+namespace {
+
+// --- configuration round-trips -----------------------------------------
+
+CaseConfig random_config(Rng& rng) {
+    CaseConfig c;
+    const int model_pick = static_cast<int>(rng.bounded(3));
+    c.model = model_pick == 0 ? ModelKind::Euler
+              : model_pick == 1 ? ModelKind::FiveEquation
+                                : ModelKind::SixEquation;
+    c.num_fluids = c.model == ModelKind::Euler ? 1 : 2;
+    c.fluids.clear();
+    for (int f = 0; f < c.num_fluids; ++f) {
+        c.fluids.push_back({rng.uniform(1.1, 4.5), rng.uniform(0.0, 100.0)});
+    }
+    const int dims = 1 + static_cast<int>(rng.bounded(3));
+    c.grid.cells = Extents{8 + static_cast<int>(rng.bounded(24)),
+                           dims >= 2 ? 8 + static_cast<int>(rng.bounded(8)) : 1,
+                           dims >= 3 ? 8 : 1};
+    c.weno_order = std::array<int, 3>{1, 3, 5}[rng.bounded(3)];
+    c.weno_variant =
+        std::array<WenoVariant, 3>{WenoVariant::JS, WenoVariant::M,
+                                   WenoVariant::Z}[rng.bounded(3)];
+    c.riemann_solver = rng.bounded(2) == 0 ? RiemannSolverKind::HLL
+                                           : RiemannSolverKind::HLLC;
+    c.time_stepper = stepper_from_int(1 + static_cast<int>(rng.bounded(3)));
+    c.dt = rng.uniform(1e-5, 1e-3);
+    c.t_step_stop = 1 + static_cast<int>(rng.bounded(10));
+    c.adaptive_dt = rng.bounded(2) == 0;
+    c.cfl = rng.uniform(0.05, 0.9);
+    c.viscous = rng.bounded(3) == 0;
+    c.viscosity.assign(static_cast<std::size_t>(c.num_fluids), 0.0);
+    if (c.viscous) {
+        for (double& mu : c.viscosity) mu = rng.uniform(0.001, 0.1);
+        c.igr.enabled = false;
+    }
+    c.gravity = {rng.uniform(-1.0, 1.0), 0.0, 0.0};
+
+    Patch bg;
+    bg.alpha_rho.assign(static_cast<std::size_t>(c.num_fluids), 0.0);
+    for (double& ar : bg.alpha_rho) ar = rng.uniform(0.1, 2.0);
+    if (c.model != ModelKind::Euler) {
+        const double a1 = rng.uniform(0.05, 0.95);
+        bg.alpha = {a1, 1.0 - a1};
+    }
+    bg.pressure = rng.uniform(0.2, 5.0);
+    c.patches.push_back(bg);
+    c.validate();
+    return c;
+}
+
+TEST(PropertyConfig, DictRoundTripIsFixpoint) {
+    Rng rng(2024);
+    for (int trial = 0; trial < 60; ++trial) {
+        const CaseConfig c = random_config(rng);
+        const CaseDict d1 = dict_from_config(c);
+        const CaseConfig back = config_from_dict(d1);
+        const CaseDict d2 = dict_from_config(back);
+        EXPECT_EQ(d1, d2) << "trial " << trial;
+    }
+}
+
+TEST(PropertyConfig, CaseFileTextRoundTrip) {
+    using toolchain::dump_case_text;
+    using toolchain::parse_case_text;
+    Rng rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        const CaseDict d = dict_from_config(random_config(rng));
+        EXPECT_EQ(parse_case_text(dump_case_text(d)), d) << "trial " << trial;
+    }
+}
+
+// --- golden-file round-trips -----------------------------------------
+
+TEST(PropertyGolden, SerializeParseIsBitwise) {
+    using toolchain::GoldenFile;
+    Rng rng(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        GoldenFile g;
+        const int entries = 1 + static_cast<int>(rng.bounded(5));
+        for (int e = 0; e < entries; ++e) {
+            std::vector<double> values(1 + rng.bounded(64));
+            for (double& v : values) {
+                // Mix magnitudes, signs, and exact zeros.
+                const double mag = std::pow(10.0, rng.uniform(-300.0, 300.0));
+                v = rng.bounded(10) == 0 ? 0.0
+                                         : (rng.bounded(2) ? mag : -mag);
+            }
+            g.add("var" + std::to_string(e), std::move(values));
+        }
+        const GoldenFile back = GoldenFile::parse(g.serialize());
+        ASSERT_EQ(back.entries().size(), g.entries().size());
+        for (std::size_t e = 0; e < g.entries().size(); ++e) {
+            const auto& [name, vals] = g.entries()[e];
+            EXPECT_EQ(back.values(name), vals);
+        }
+    }
+}
+
+TEST(PropertyGolden, SelfComparisonAlwaysPasses) {
+    using toolchain::GoldenFile;
+    using toolchain::compare_golden;
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        GoldenFile g;
+        std::vector<double> values(32);
+        for (double& v : values) v = rng.uniform(-1e6, 1e6);
+        g.add("x", std::move(values));
+        EXPECT_TRUE(compare_golden(g, GoldenFile::parse(g.serialize())).ok);
+    }
+}
+
+// --- decomposition invariants ------------------------------------------
+
+TEST(PropertyDecompose, DimsCreateAlwaysFactorsExactly) {
+    Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = 1 + static_cast<int>(rng.bounded(5000));
+        const auto d = comm::dims_create(n, 3);
+        EXPECT_EQ(static_cast<long long>(d[0]) * d[1] * d[2], n);
+        EXPECT_LE(d[0], d[1]);
+        EXPECT_LE(d[1], d[2]);
+        // Near-cubic: the largest dimension never exceeds n^(1/3) by more
+        // than the smallest prime structure forces (bounded by n itself
+        // only for primes; sanity-check non-primes stay reasonable).
+    }
+}
+
+TEST(PropertyDecompose, BlocksAlwaysTile) {
+    Rng rng(13);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Extents global{4 + static_cast<int>(rng.bounded(40)),
+                             4 + static_cast<int>(rng.bounded(20)),
+                             4 + static_cast<int>(rng.bounded(10))};
+        const std::array<int, 3> dims = {
+            1 + static_cast<int>(rng.bounded(4)),
+            1 + static_cast<int>(rng.bounded(3)),
+            1 + static_cast<int>(rng.bounded(2))};
+        if (dims[0] > global.nx || dims[1] > global.ny || dims[2] > global.nz) {
+            continue;
+        }
+        long long covered = 0;
+        for (int cx = 0; cx < dims[0]; ++cx) {
+            for (int cy = 0; cy < dims[1]; ++cy) {
+                for (int cz = 0; cz < dims[2]; ++cz) {
+                    covered += decompose(global, dims, {cx, cy, cz}).cells.cells();
+                }
+            }
+        }
+        EXPECT_EQ(covered, global.cells()) << "trial " << trial;
+    }
+}
+
+// --- YAML round-trips ----------------------------------------------------
+
+TEST(PropertyYaml, RandomTreesRoundTrip) {
+    Rng rng(17);
+    for (int trial = 0; trial < 30; ++trial) {
+        Yaml root;
+        const int top = 1 + static_cast<int>(rng.bounded(4));
+        for (int t = 0; t < top; ++t) {
+            Yaml& node = root["key" + std::to_string(t)];
+            if (rng.bounded(2) == 0) {
+                node.set(Value(rng.uniform(-100.0, 100.0)));
+            } else {
+                const int leaves = 1 + static_cast<int>(rng.bounded(4));
+                for (int l = 0; l < leaves; ++l) {
+                    node["leaf" + std::to_string(l)].set(
+                        Value(static_cast<long long>(rng.bounded(1000))));
+                }
+            }
+        }
+        const Yaml back = Yaml::parse(root.dump());
+        EXPECT_EQ(back.dump(), root.dump()) << "trial " << trial;
+    }
+}
+
+// --- solver invariants -----------------------------------------------------
+
+TEST(PropertySolver, PeriodicConservationAcrossRandomConfigs) {
+    Rng rng(31);
+    int tested = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+        CaseConfig c = random_config(rng);
+        if (c.adaptive_dt) c.cfl = std::min(c.cfl, 0.4);
+        c.gravity = {0.0, 0.0, 0.0}; // gravity exchanges momentum with energy
+        for (auto& b : c.bc) b = {BcType::Periodic, BcType::Periodic};
+        c.t_step_stop = 3;
+        // Add a second patch so the run is not trivially uniform.
+        Patch blob = c.patches[0];
+        blob.geometry = Patch::Geometry::Box;
+        blob.lo = {0.25, 0.0, 0.0};
+        blob.hi = {0.75, 1.0, 1.0};
+        blob.pressure *= 1.3;
+        c.patches.push_back(blob);
+
+        Simulation sim(c);
+        sim.initialize();
+        const auto before = sim.conserved_totals();
+        sim.run();
+        const auto after = sim.conserved_totals();
+        const EquationLayout lay = sim.layout();
+        for (int f = 0; f < lay.num_fluids(); ++f) {
+            EXPECT_NEAR(after[static_cast<std::size_t>(lay.cont(f))],
+                        before[static_cast<std::size_t>(lay.cont(f))],
+                        1e-11 * (1.0 + std::abs(before[static_cast<std::size_t>(
+                                      lay.cont(f))])))
+                << "trial " << trial;
+        }
+        EXPECT_NEAR(after[static_cast<std::size_t>(lay.energy())],
+                    before[static_cast<std::size_t>(lay.energy())],
+                    1e-11 * (1.0 + std::abs(before[static_cast<std::size_t>(
+                                  lay.energy())])))
+            << "trial " << trial;
+        ++tested;
+    }
+    EXPECT_GE(tested, 10);
+}
+
+TEST(PropertySolver, OutputsStayFiniteAcrossRandomConfigs) {
+    Rng rng(37);
+    for (int trial = 0; trial < 15; ++trial) {
+        CaseConfig c = random_config(rng);
+        c.t_step_stop = 2;
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        for (int q = 0; q < sim.layout().num_eqns(); ++q) {
+            const auto [lo, hi] = sim.minmax(q);
+            ASSERT_TRUE(std::isfinite(lo)) << "trial " << trial << " eq " << q;
+            ASSERT_TRUE(std::isfinite(hi)) << "trial " << trial << " eq " << q;
+        }
+    }
+}
+
+} // namespace
+} // namespace mfc

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "comm/cart.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc {
+namespace {
+
+CaseConfig small_case_2d(int steps) {
+    CaseConfig c;
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    c.grid.cells = Extents{16, 16, 1};
+    c.dt = 5.0e-4;
+    c.t_step_stop = steps;
+    for (auto& b : c.bc) b = {BcType::Periodic, BcType::Periodic};
+    const double eps = 1e-6;
+    Patch bg;
+    bg.alpha_rho = {1.0 * (1 - eps), 0.5 * eps};
+    bg.alpha = {1 - eps, eps};
+    bg.pressure = 1.0;
+    c.patches.push_back(bg);
+    Patch blob;
+    blob.geometry = Patch::Geometry::Sphere;
+    blob.center = {0.4, 0.6, 0.5};
+    blob.radius = 0.2;
+    blob.alpha_rho = {1.0 * eps, 0.5 * (1 - eps)};
+    blob.alpha = {eps, 1 - eps};
+    blob.pressure = 0.5;
+    c.patches.push_back(blob);
+    return c;
+}
+
+/// Gather each rank's interior into one global array keyed by global
+/// indices (test-side; production gathers use Communicator::gather).
+struct GlobalCollector {
+    std::mutex mutex;
+    std::map<std::tuple<int, int, int>, double> values;
+
+    void put(const LocalBlock& b, const Field& f) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (int k = 0; k < b.cells.nz; ++k) {
+            for (int j = 0; j < b.cells.ny; ++j) {
+                for (int i = 0; i < b.cells.nx; ++i) {
+                    values[{b.global_index(0, i), b.global_index(1, j),
+                            b.global_index(2, k)}] = f(i, j, k);
+                }
+            }
+        }
+    }
+};
+
+class ParallelEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, DecomposedRunMatchesSerial) {
+    const int nranks = GetParam();
+    const CaseConfig c = small_case_2d(10);
+
+    // Serial reference.
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    // Decomposed run.
+    GlobalCollector collected[2]; // alpha_rho1, energy
+    comm::World world(nranks);
+    world.run([&](comm::Communicator& comm) {
+        const std::array<int, 3> dims = comm::dims_create(nranks, 2);
+        comm::CartComm cart(comm, dims, {true, true, true});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        collected[0].put(sim.block(), sim.state().eq(sim.layout().cont(0)));
+        collected[1].put(sim.block(), sim.state().eq(sim.layout().energy()));
+    });
+
+    const EquationLayout lay = serial.layout();
+    ASSERT_EQ(collected[0].values.size(), 16u * 16u);
+    for (const auto& [idx, v] : collected[0].values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.cont(0))(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)))
+            << i << "," << j;
+    }
+    for (const auto& [idx, v] : collected[1].values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.energy())(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelEquivalence,
+                         testing::Values(2, 4, 8));
+
+TEST(Parallel, ConservationAcrossRanks) {
+    const CaseConfig c = small_case_2d(20);
+    comm::World world(4);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {2, 2, 1}, {true, true, true});
+        Simulation sim(c, cart);
+        sim.initialize();
+        const auto before = sim.conserved_totals();
+        sim.run();
+        const auto after = sim.conserved_totals();
+        for (std::size_t q = 0; q < before.size() - 2; ++q) { // skip alphas
+            EXPECT_NEAR(after[q], before[q], 1e-11 * (1.0 + std::abs(before[q])));
+        }
+    });
+}
+
+TEST(Parallel, NonPeriodicDecomposedRunMatchesSerial) {
+    CaseConfig c = small_case_2d(10);
+    for (auto& b : c.bc) b = {BcType::Extrapolation, BcType::Extrapolation};
+
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    GlobalCollector got;
+    comm::World world(4);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {2, 2, 1}, {false, false, false});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        got.put(sim.block(), sim.state().eq(sim.layout().cont(1)));
+    });
+
+    const EquationLayout lay = serial.layout();
+    for (const auto& [idx, v] : got.values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.cont(1))(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)));
+    }
+}
+
+TEST(Parallel, ReflectiveWallsAcrossRanks) {
+    CaseConfig c = small_case_2d(10);
+    for (auto& b : c.bc) b = {BcType::Reflective, BcType::Reflective};
+
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    GlobalCollector got;
+    comm::World world(2);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {1, 2, 1}, {false, false, false});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        got.put(sim.block(), sim.state().eq(sim.layout().mom(1)));
+    });
+
+    const EquationLayout lay = serial.layout();
+    for (const auto& [idx, v] : got.values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.mom(1))(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)));
+    }
+}
+
+TEST(Parallel, ViscousDecomposedRunMatchesSerial) {
+    // The viscous cross-derivatives read edge/corner ghosts; this pins
+    // down the dimension-interleaved halo + BC fill.
+    CaseConfig c = small_case_2d(8);
+    c.viscous = true;
+    c.viscosity = {0.02, 0.01};
+    for (auto& b : c.bc) b = {BcType::Extrapolation, BcType::Extrapolation};
+
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    GlobalCollector got;
+    comm::World world(4);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {2, 2, 1}, {false, false, false});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        got.put(sim.block(), sim.state().eq(sim.layout().mom(1)));
+    });
+
+    const EquationLayout lay = serial.layout();
+    for (const auto& [idx, v] : got.values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.mom(1))(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)))
+            << i << "," << j;
+    }
+}
+
+TEST(Parallel, AdaptiveDtDecomposedRunMatchesSerial) {
+    CaseConfig c = small_case_2d(6);
+    c.adaptive_dt = true;
+    c.cfl = 0.3;
+
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    GlobalCollector got;
+    comm::World world(4);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {2, 2, 1}, {true, true, true});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        got.put(sim.block(), sim.state().eq(sim.layout().energy()));
+        EXPECT_DOUBLE_EQ(sim.last_dt(), serial.last_dt());
+    });
+
+    const EquationLayout lay = serial.layout();
+    for (const auto& [idx, v] : got.values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.energy())(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)));
+    }
+}
+
+TEST(Parallel, ThreeDimensionalEightRanks) {
+    CaseConfig c;
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    c.grid.cells = Extents{12, 12, 12};
+    c.dt = 5.0e-4;
+    c.t_step_stop = 5;
+    for (auto& b : c.bc) b = {BcType::Periodic, BcType::Periodic};
+    const double eps = 1e-6;
+    Patch bg;
+    bg.alpha_rho = {1.0 * (1 - eps), 0.5 * eps};
+    bg.alpha = {1 - eps, eps};
+    bg.pressure = 1.0;
+    c.patches.push_back(bg);
+    Patch blob;
+    blob.geometry = Patch::Geometry::Sphere;
+    blob.center = {0.5, 0.5, 0.5};
+    blob.radius = 0.25;
+    blob.alpha_rho = {1.0 * eps, 0.5 * (1 - eps)};
+    blob.alpha = {eps, 1 - eps};
+    blob.pressure = 0.5;
+    c.patches.push_back(blob);
+
+    Simulation serial(c);
+    serial.initialize();
+    serial.run();
+
+    GlobalCollector got;
+    comm::World world(8);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {2, 2, 2}, {true, true, true});
+        Simulation sim(c, cart);
+        sim.initialize();
+        sim.run();
+        got.put(sim.block(), sim.state().eq(sim.layout().energy()));
+    });
+
+    const EquationLayout lay = serial.layout();
+    ASSERT_EQ(got.values.size(), 12u * 12u * 12u);
+    for (const auto& [idx, v] : got.values) {
+        const auto [i, j, k] = idx;
+        EXPECT_NEAR(v, serial.state().eq(lay.energy())(i, j, k),
+                    1e-11 * (1.0 + std::abs(v)));
+    }
+}
+
+} // namespace
+} // namespace mfc

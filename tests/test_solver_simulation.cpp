@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/simulation.hpp"
+
+namespace mfc {
+namespace {
+
+/// 1D two-fluid shock tube used across these tests.
+CaseConfig shock_tube_case(int cells, int steps, double dt = 5.0e-4) {
+    CaseConfig c;
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    c.grid.cells = Extents{cells, 1, 1};
+    c.dt = dt;
+    c.t_step_stop = steps;
+    c.bc = {{{BcType::Extrapolation, BcType::Extrapolation},
+             {BcType::Periodic, BcType::Periodic},
+             {BcType::Periodic, BcType::Periodic}}};
+    const double eps = 1e-6;
+    Patch right;
+    right.alpha_rho = {0.125 * eps, 0.125 * (1 - eps)};
+    right.alpha = {eps, 1 - eps};
+    right.pressure = 0.1;
+    c.patches.push_back(right);
+    Patch left;
+    left.geometry = Patch::Geometry::HalfSpace;
+    left.position = 0.5;
+    left.alpha_rho = {1.0 * (1 - eps), 1.0 * eps};
+    left.alpha = {1 - eps, eps};
+    left.pressure = 1.0;
+    c.patches.push_back(left);
+    return c;
+}
+
+TEST(Simulation, InitializationPaintsPatchesInOrder) {
+    Simulation sim(shock_tube_case(64, 1));
+    sim.initialize();
+    const EquationLayout lay = sim.layout();
+    // Left cell: heavy fluid; right cell: light fluid.
+    EXPECT_NEAR(sim.state().eq(lay.cont(0))(0, 0, 0), 1.0, 1e-5);
+    EXPECT_NEAR(sim.state().eq(lay.cont(0))(63, 0, 0), 0.0, 1e-5);
+    EXPECT_NEAR(sim.state().eq(lay.adv(0))(0, 0, 0), 1.0, 1e-5);
+    EXPECT_NEAR(sim.state().eq(lay.adv(1))(63, 0, 0), 1.0, 1e-5);
+}
+
+TEST(Simulation, PeriodicConservationToRoundoff) {
+    // With periodic boundaries every conservative total is preserved.
+    CaseConfig c = shock_tube_case(64, 50);
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    Simulation sim(c);
+    sim.initialize();
+    const auto before = sim.conserved_totals();
+    sim.run();
+    const auto after = sim.conserved_totals();
+    const EquationLayout lay = sim.layout();
+    for (const int q : {lay.cont(0), lay.cont(1), lay.mom(0), lay.energy()}) {
+        EXPECT_NEAR(after[static_cast<std::size_t>(q)],
+                    before[static_cast<std::size_t>(q)],
+                    1e-12 + 1e-12 * std::abs(before[static_cast<std::size_t>(q)]))
+            << "equation " << q;
+    }
+}
+
+TEST(Simulation, ReflectiveWallsConserveMass) {
+    CaseConfig c = shock_tube_case(64, 50);
+    c.bc[0] = {BcType::Reflective, BcType::Reflective};
+    Simulation sim(c);
+    sim.initialize();
+    const auto before = sim.conserved_totals();
+    sim.run();
+    const auto after = sim.conserved_totals();
+    const EquationLayout lay = sim.layout();
+    for (const int q : {lay.cont(0), lay.cont(1), lay.energy()}) {
+        EXPECT_NEAR(after[static_cast<std::size_t>(q)],
+                    before[static_cast<std::size_t>(q)],
+                    1e-11 * std::abs(before[static_cast<std::size_t>(q)]));
+    }
+}
+
+TEST(Simulation, UniformStateStaysUniform) {
+    // A constant state is an exact steady solution; the RHS must preserve
+    // it to round-off (free-stream preservation).
+    CaseConfig c = shock_tube_case(32, 20);
+    c.patches.erase(c.patches.begin() + 1); // keep only the background
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    Simulation sim(c);
+    sim.initialize();
+    const EquationLayout lay = sim.layout();
+    const double rho0 = sim.state().eq(lay.cont(1))(5, 0, 0);
+    sim.run();
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_NEAR(sim.state().eq(lay.cont(1))(i, 0, 0), rho0, 1e-12);
+        EXPECT_NEAR(sim.state().eq(lay.mom(0))(i, 0, 0), 0.0, 1e-12);
+    }
+}
+
+TEST(Simulation, SodShockTubeMatchesExactSolution) {
+    // Single-fluid Sod problem, compared against the exact Riemann
+    // solution's star-region values at t = 0.1 (gamma = 1.4):
+    // p* = 0.30313, u* = 0.92745, rho*L = 0.42632, rho*R = 0.26557.
+    CaseConfig c;
+    c.model = ModelKind::Euler;
+    c.num_fluids = 1;
+    c.fluids = {{1.4, 0.0}};
+    c.grid.cells = Extents{400, 1, 1};
+    c.dt = 2.0e-4;
+    c.t_step_stop = 500; // t = 0.1
+    c.bc[0] = {BcType::Extrapolation, BcType::Extrapolation};
+    Patch right;
+    right.alpha_rho = {0.125};
+    right.pressure = 0.1;
+    c.patches.push_back(right);
+    Patch left;
+    left.geometry = Patch::Geometry::HalfSpace;
+    left.position = 0.5;
+    left.alpha_rho = {1.0};
+    left.pressure = 1.0;
+    c.patches.push_back(left);
+
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+
+    const EquationLayout lay = sim.layout();
+    const double t = 0.1;
+    // Sample the left star region (between contact at x=0.5+0.92745 t and
+    // the rarefaction tail) and the right star region (before the shock
+    // at x = 0.5 + 1.75216 t).
+    const auto cell_at = [&](double x) {
+        return static_cast<int>(x * 400.0);
+    };
+    const int i_starl = cell_at(0.5 + 0.4 * t);  // inside left star
+    const int i_starr = cell_at(0.5 + 1.3 * t);  // inside right star
+    const double rho_starl = sim.state().eq(lay.cont(0))(i_starl, 0, 0);
+    const double rho_starr = sim.state().eq(lay.cont(0))(i_starr, 0, 0);
+    const double u_star = sim.state().eq(lay.mom(0))(i_starr, 0, 0) / rho_starr;
+    EXPECT_NEAR(rho_starl, 0.42632, 0.02);
+    EXPECT_NEAR(rho_starr, 0.26557, 0.02);
+    EXPECT_NEAR(u_star, 0.92745, 0.03);
+}
+
+TEST(Simulation, InterfaceAdvectionPreservesPressureEquilibrium) {
+    // A material interface advected at constant velocity and pressure must
+    // not generate spurious pressure oscillations (the quasi-conservative
+    // five-equation discretization's defining property).
+    CaseConfig c = shock_tube_case(64, 100, 2.5e-4);
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    for (Patch& p : c.patches) {
+        p.pressure = 1.0;        // uniform pressure
+        p.velocity = {1.0, 0, 0}; // uniform velocity
+    }
+    // Make the interface a smooth-free jump in density only.
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    const EquationLayout lay = sim.layout();
+    // Reconstruct pressure everywhere and check deviation from 1.
+    double cons[8], prim[8];
+    const int neq = lay.num_eqns(); // 6 in 1D
+    for (int i = 0; i < 64; ++i) {
+        for (int q = 0; q < neq; ++q) cons[q] = sim.state().eq(q)(i, 0, 0);
+        cons_to_prim(lay, c.fluids, cons, prim);
+        EXPECT_NEAR(prim[lay.energy()], 1.0, 2e-3) << "cell " << i;
+        EXPECT_NEAR(prim[lay.mom(0)], 1.0, 2e-3) << "cell " << i;
+    }
+}
+
+TEST(Simulation, GrindtimeInstrumentation) {
+    CaseConfig c = shock_tube_case(64, 10);
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    // RK3 x 10 steps = 30 RHS evaluations.
+    EXPECT_EQ(sim.rhs_evals(), 30);
+    EXPECT_GT(sim.wall_seconds(), 0.0);
+    EXPECT_GT(sim.grindtime(), 0.0);
+    // Definition check: grindtime * units == wall (ns).
+    const double units = 64.0 * 6.0 * 30.0;
+    EXPECT_NEAR(sim.grindtime() * units, sim.wall_seconds() * 1e9, 1e-3);
+}
+
+TEST(Simulation, RhsEvalsTrackStepperOrder) {
+    for (const TimeStepper ts :
+         {TimeStepper::RK1, TimeStepper::RK2, TimeStepper::RK3}) {
+        CaseConfig c = shock_tube_case(32, 5);
+        c.time_stepper = ts;
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        EXPECT_EQ(sim.rhs_evals(), 5 * num_stages(ts));
+    }
+}
+
+TEST(Simulation, FlattenedOutputsShapeAndNames) {
+    CaseConfig c = shock_tube_case(16, 1);
+    Simulation sim(c);
+    sim.initialize();
+    const auto out = sim.flattened_outputs();
+    ASSERT_EQ(out.size(), 6u); // 2 + 1 + 1 + 2 equations in 1D
+    EXPECT_EQ(out[0].first, "alpha_rho1");
+    EXPECT_EQ(out[2].first, "mom_x");
+    EXPECT_EQ(out[3].first, "energy");
+    EXPECT_EQ(out[5].first, "alpha2");
+    for (const auto& [name, values] : out) {
+        EXPECT_EQ(values.size(), 16u) << name;
+    }
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+    const CaseConfig c = shock_tube_case(48, 20);
+    Simulation a(c), b(c);
+    a.initialize();
+    b.initialize();
+    a.run();
+    b.run();
+    const auto oa = a.flattened_outputs();
+    const auto ob = b.flattened_outputs();
+    for (std::size_t e = 0; e < oa.size(); ++e) {
+        for (std::size_t i = 0; i < oa[e].second.size(); ++i) {
+            EXPECT_EQ(oa[e].second[i], ob[e].second[i]); // bitwise equal
+        }
+    }
+}
+
+TEST(Simulation, TwoDimensionalSymmetryPreserved) {
+    // A centered cylindrical bubble in 2D must stay symmetric under the
+    // x <-> y exchange after many steps.
+    CaseConfig c;
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    c.grid.cells = Extents{24, 24, 1};
+    c.dt = 5.0e-4;
+    c.t_step_stop = 20;
+    for (auto& b : c.bc) b = {BcType::Extrapolation, BcType::Extrapolation};
+    const double eps = 1e-6;
+    Patch bg;
+    bg.alpha_rho = {1.0 * (1 - eps), 0.5 * eps};
+    bg.alpha = {1 - eps, eps};
+    bg.pressure = 1.0;
+    c.patches.push_back(bg);
+    Patch bubble;
+    bubble.geometry = Patch::Geometry::Sphere;
+    bubble.center = {0.5, 0.5, 0.5};
+    bubble.radius = 0.25;
+    bubble.alpha_rho = {1.0 * eps, 0.5 * (1 - eps)};
+    bubble.alpha = {eps, 1 - eps};
+    bubble.pressure = 0.2;
+    c.patches.push_back(bubble);
+
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    const EquationLayout lay = sim.layout();
+    const Field& rho1 = sim.state().eq(lay.cont(0));
+    const Field& e = sim.state().eq(lay.energy());
+    for (int j = 0; j < 24; ++j) {
+        for (int i = 0; i < 24; ++i) {
+            EXPECT_NEAR(rho1(i, j, 0), rho1(j, i, 0), 1e-11);
+            EXPECT_NEAR(e(i, j, 0), e(j, i, 0), 1e-11);
+        }
+    }
+}
+
+TEST(Simulation, MinMaxDiagnostics) {
+    CaseConfig c = shock_tube_case(32, 1);
+    Simulation sim(c);
+    sim.initialize();
+    const auto [lo, hi] = sim.minmax(sim.layout().cont(0));
+    EXPECT_LT(lo, 1e-5);
+    EXPECT_NEAR(hi, 1.0, 1e-5);
+}
+
+TEST(Simulation, SixEquationShockTubeRunsStably) {
+    CaseConfig c = shock_tube_case(64, 40);
+    c.model = ModelKind::SixEquation;
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    const EquationLayout lay = sim.layout();
+    const auto [rho_lo, rho_hi] = sim.minmax(lay.cont(0));
+    EXPECT_TRUE(std::isfinite(rho_lo));
+    EXPECT_TRUE(std::isfinite(rho_hi));
+    EXPECT_GE(rho_lo, -1e-10);
+    // Energy stays positive and finite.
+    const auto [e_lo, e_hi] = sim.minmax(lay.energy());
+    EXPECT_GT(e_lo, 0.0);
+    EXPECT_TRUE(std::isfinite(e_hi));
+}
+
+TEST(Simulation, IgrShockTubeRunsStably) {
+    CaseConfig c = shock_tube_case(64, 40);
+    c.igr.enabled = true;
+    c.igr.order = 5;
+    c.igr.num_iters = 5;
+    c.igr.num_warm_start_iters = 5;
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    const auto [lo, hi] = sim.minmax(sim.layout().energy());
+    EXPECT_TRUE(std::isfinite(lo));
+    EXPECT_TRUE(std::isfinite(hi));
+    EXPECT_GT(lo, 0.0);
+}
+
+TEST(Simulation, ViscousDecaysShearLayer) {
+    // Periodic 2D shear layer u_y(x): inviscid WENO keeps it (to numerical
+    // diffusion); with viscosity the transverse momentum decays markedly
+    // faster, and total momentum/energy stay conserved.
+    const auto run_case = [](bool viscous) {
+        CaseConfig c;
+        c.model = ModelKind::Euler;
+        c.num_fluids = 1;
+        c.fluids = {{1.4, 0.0}};
+        c.grid.cells = Extents{32, 8, 1};
+        c.dt = 1.0e-3;
+        c.t_step_stop = 60;
+        for (auto& b : c.bc) b = {BcType::Periodic, BcType::Periodic};
+        c.viscous = viscous;
+        c.viscosity = {0.05};
+        Patch bg;
+        bg.alpha_rho = {1.0};
+        bg.pressure = 1.0;
+        c.patches.push_back(bg);
+        Patch stripe;
+        stripe.geometry = Patch::Geometry::Box;
+        stripe.lo = {0.25, 0.0, 0.0};
+        stripe.hi = {0.75, 1.0, 1.0};
+        stripe.alpha_rho = {1.0};
+        stripe.pressure = 1.0;
+        stripe.velocity = {0.0, 0.2, 0.0};
+        c.patches.push_back(stripe);
+
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        // Sharpness of the shear layer: the steepest u_y jump between
+        // adjacent cells. Viscosity spreads the layer as sqrt(nu t),
+        // cutting this several-fold; the inviscid WENO run keeps it
+        // within a couple of cells.
+        const EquationLayout lay = sim.layout();
+        double max_jump = 0.0;
+        for (int i = 0; i < 32; ++i) {
+            const int ip = (i + 1) % 32;
+            const double u0 = sim.state().eq(lay.mom(1))(i, 0, 0) /
+                              sim.state().eq(lay.cont(0))(i, 0, 0);
+            const double u1 = sim.state().eq(lay.mom(1))(ip, 0, 0) /
+                              sim.state().eq(lay.cont(0))(ip, 0, 0);
+            max_jump = std::max(max_jump, std::abs(u1 - u0));
+        }
+        return max_jump;
+    };
+    const double inviscid_jump = run_case(false);
+    const double viscous_jump = run_case(true);
+    EXPECT_LT(viscous_jump, 0.5 * inviscid_jump);
+    EXPECT_GT(viscous_jump, 0.0);
+}
+
+TEST(Simulation, ViscousConservesMomentumAndEnergyPeriodic) {
+    CaseConfig c = shock_tube_case(48, 30);
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    c.viscous = true;
+    c.viscosity = {0.02, 0.01};
+    Simulation sim(c);
+    sim.initialize();
+    const auto before = sim.conserved_totals();
+    sim.run();
+    const auto after = sim.conserved_totals();
+    const EquationLayout lay = sim.layout();
+    for (const int q : {lay.cont(0), lay.mom(0), lay.energy()}) {
+        EXPECT_NEAR(after[static_cast<std::size_t>(q)],
+                    before[static_cast<std::size_t>(q)],
+                    1e-11 * (1.0 + std::abs(before[static_cast<std::size_t>(q)])));
+    }
+}
+
+TEST(Simulation, ViscousUniformFlowIsSteady) {
+    // Constant-velocity flow has zero stress: viscosity must not perturb it.
+    CaseConfig c = shock_tube_case(32, 20);
+    c.patches.erase(c.patches.begin() + 1);
+    c.patches[0].velocity = {0.3, 0.0, 0.0};
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    c.viscous = true;
+    c.viscosity = {0.1, 0.1};
+    Simulation sim(c);
+    sim.initialize();
+    const double m0 = sim.state().eq(sim.layout().mom(0))(7, 0, 0);
+    sim.run();
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_NEAR(sim.state().eq(sim.layout().mom(0))(i, 0, 0), m0, 1e-12);
+    }
+}
+
+TEST(Simulation, GravityAcceleratesUniformColumn) {
+    // Uniform periodic gas under gravity g: du/dt = g exactly
+    // (pressure stays uniform), so after T the momentum is rho g T.
+    CaseConfig c = shock_tube_case(32, 40, 5.0e-4);
+    c.patches.erase(c.patches.begin() + 1);
+    c.bc[0] = {BcType::Periodic, BcType::Periodic};
+    c.gravity = {0.5, 0.0, 0.0};
+    Simulation sim(c);
+    sim.initialize();
+    sim.run();
+    const EquationLayout lay = sim.layout();
+    const double rho = sim.state().eq(lay.cont(0))(3, 0, 0) +
+                       sim.state().eq(lay.cont(1))(3, 0, 0);
+    const double expected = rho * 0.5 * (40 * 5.0e-4);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_NEAR(sim.state().eq(lay.mom(0))(i, 0, 0), expected,
+                    1e-6 * expected);
+    }
+}
+
+TEST(Simulation, AdaptiveDtMatchesCflFormula) {
+    CaseConfig c = shock_tube_case(64, 3);
+    c.adaptive_dt = true;
+    c.cfl = 0.4;
+    Simulation sim(c);
+    sim.initialize();
+    const double dt0 = sim.stable_dt();
+    EXPECT_GT(dt0, 0.0);
+    sim.step();
+    EXPECT_DOUBLE_EQ(sim.last_dt(), dt0);
+    // CFL number implied by the chosen step is the requested one.
+    // (dx = 1/64; dt = cfl*dx/vmax.)
+    sim.run();
+    EXPECT_GT(sim.last_dt(), 0.0);
+    EXPECT_LT(sim.last_dt(), 0.4 / 64.0); // vmax > 1 for this case
+}
+
+TEST(Simulation, AdaptiveDtShrinksWhenWavesSpeedUp) {
+    CaseConfig quiet = shock_tube_case(32, 1);
+    quiet.patches[1].pressure = 1.0; // nearly uniform
+    CaseConfig loud = shock_tube_case(32, 1);
+    loud.patches[1].pressure = 50.0;
+    Simulation a(quiet), b(loud);
+    a.initialize();
+    b.initialize();
+    EXPECT_GT(a.stable_dt(), b.stable_dt());
+}
+
+TEST(Simulation, AdaptiveDtAgreesAcrossDecomposition) {
+    // The allreduce must give every rank the same (serial) step size.
+    CaseConfig c = shock_tube_case(32, 1);
+    c.adaptive_dt = true;
+    Simulation serial(c);
+    serial.initialize();
+    const double expected = serial.stable_dt();
+    comm::World world(4);
+    world.run([&](comm::Communicator& comm) {
+        comm::CartComm cart(comm, {4, 1, 1}, {false, false, false});
+        Simulation sim(c, cart);
+        sim.initialize();
+        EXPECT_DOUBLE_EQ(sim.stable_dt(), expected);
+    });
+}
+
+TEST(Simulation, IgrSolverVariantsBothRun) {
+    for (const int solver : {1, 2}) {
+        CaseConfig c = shock_tube_case(32, 10);
+        c.igr.enabled = true;
+        c.igr.iter_solver = solver;
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        const auto [lo, hi] = sim.minmax(sim.layout().cont(0));
+        EXPECT_TRUE(std::isfinite(hi));
+        EXPECT_GE(lo, -1e-10);
+    }
+}
+
+} // namespace
+} // namespace mfc

@@ -1,0 +1,121 @@
+#include "core/error.hpp"
+#include <gtest/gtest.h>
+
+#include "toolchain/bench_suite.hpp"
+#include "toolchain/toolchain.hpp"
+
+namespace mfc::toolchain {
+namespace {
+
+constexpr double kTinyMem = 2.0e-4; // GB per rank: ~10^3-cell cases
+
+TEST(Bench, FiveCasesCoveringCommonFeatures) {
+    // Section 5: "MFC's automated benchmark suite contains five test
+    // cases that cover its most commonly used features".
+    EXPECT_EQ(BenchSuite::case_names().size(), 5u);
+}
+
+TEST(Bench, CaseConfigsSpanTheModels) {
+    const BenchSuite suite(kTinyMem, 1);
+    EXPECT_EQ(suite.case_config("5eq_weno5_hllc").model, ModelKind::FiveEquation);
+    EXPECT_EQ(suite.case_config("euler_weno5_hllc").model, ModelKind::Euler);
+    EXPECT_EQ(suite.case_config("6eq_weno5_hllc").model, ModelKind::SixEquation);
+    EXPECT_EQ(suite.case_config("5eq_weno3_hll").weno_order, 3);
+    EXPECT_EQ(suite.case_config("5eq_weno3_hll").riemann_solver,
+              RiemannSolverKind::HLL);
+    EXPECT_TRUE(suite.case_config("igr_jacobi").igr.enabled);
+    EXPECT_THROW((void)suite.case_config("nope"), Error);
+}
+
+TEST(Bench, MemoryTargetScalesProblemSize) {
+    const BenchSuite small(kTinyMem, 1);
+    const BenchSuite large(8.0 * kTinyMem, 1);
+    EXPECT_GT(large.case_config("5eq_weno5_hllc").grid.total_cells(),
+              small.case_config("5eq_weno5_hllc").grid.total_cells());
+}
+
+TEST(Bench, RankCountScalesGlobalProblem) {
+    // Weak-scaling style sizing: more ranks, proportionally more cells.
+    const BenchSuite one(kTinyMem, 1);
+    const BenchSuite eight(kTinyMem, 8);
+    const double ratio =
+        static_cast<double>(eight.case_config("5eq_weno5_hllc").grid.total_cells()) /
+        static_cast<double>(one.case_config("5eq_weno5_hllc").grid.total_cells());
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 16.0);
+}
+
+TEST(Bench, RunCaseProducesPositiveGrindtime) {
+    const BenchSuite suite(kTinyMem, 1);
+    const BenchCaseResult r = suite.run_case("5eq_weno5_hllc");
+    EXPECT_GT(r.wall_s, 0.0);
+    EXPECT_GT(r.grindtime_ns, 0.0);
+    EXPECT_EQ(r.eqns, 8);
+    EXPECT_GT(r.cells, 0);
+}
+
+TEST(Bench, ParallelRunReportsResults) {
+    const BenchSuite suite(kTinyMem, 4);
+    const BenchCaseResult r = suite.run_case("euler_weno5_hllc");
+    EXPECT_GT(r.grindtime_ns, 0.0);
+    EXPECT_EQ(r.ranks, 4);
+}
+
+TEST(Bench, YamlSummaryShape) {
+    const BenchSuite suite(kTinyMem, 1);
+    const Yaml y = suite.run_all("./mfc.sh bench --mem 1 -o out.yml");
+    EXPECT_EQ(y.at("metadata").at("invocation").value().as_string(),
+              "./mfc.sh bench --mem 1 -o out.yml");
+    EXPECT_EQ(y.at("metadata").at("ranks").value().as_int(), 1);
+    for (const std::string& name : BenchSuite::case_names()) {
+        ASSERT_TRUE(y.at("cases").contains(name)) << name;
+        EXPECT_GT(y.at("cases").at(name).at("grindtime_ns").value().as_double(),
+                  0.0);
+        EXPECT_GT(y.at("cases").at(name).at("walltime_s").value().as_double(), 0.0);
+    }
+    // The YAML text round-trips.
+    const Yaml back = Yaml::parse(y.dump());
+    EXPECT_EQ(back.at("cases").keys().size(), 5u);
+}
+
+TEST(Bench, InvalidArgumentsThrow) {
+    EXPECT_THROW(BenchSuite(-1.0, 1), Error);
+    EXPECT_THROW(BenchSuite(1.0, 0), Error);
+}
+
+TEST(BenchDiff, TableComparesCaseByCase) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    ref["cases"]["b"]["grindtime_ns"].set(Value(4.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    cand["cases"]["b"]["grindtime_ns"].set(Value(8.0));
+    const TextTable t = bench_diff(ref, cand);
+    const std::string s = t.str();
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_NE(s.find("2.00x"), std::string::npos); // a: 10 -> 5
+    EXPECT_NE(s.find("0.50x"), std::string::npos); // b: 4 -> 8
+}
+
+TEST(BenchDiff, MissingCandidateCaseIsNa) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["other"]["grindtime_ns"].set(Value(1.0));
+    const std::string s = bench_diff(ref, cand).str();
+    EXPECT_NE(s.find("n/a"), std::string::npos);
+}
+
+TEST(BenchDiff, EndToEndThroughYamlFiles) {
+    // bench -> save yaml -> load -> diff, as a user would (Section 3,
+    // Step 4).
+    const Toolchain tc;
+    const Yaml ref = tc.bench(kTinyMem, 1).run_all("ref");
+    const std::string path = testing::TempDir() + "/bench_ref.yml";
+    ref.save(path);
+    const Yaml loaded = Yaml::load(path);
+    const TextTable t = tc.bench_diff(loaded, ref);
+    EXPECT_EQ(t.rows(), 5u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mfc::toolchain

@@ -1,0 +1,230 @@
+#include "core/error.hpp"
+#include <gtest/gtest.h>
+
+#include "toolchain/modules.hpp"
+#include "toolchain/templates.hpp"
+
+namespace mfc::toolchain {
+namespace {
+
+// --- modules registry (Listing 1) ---------------------------------------
+
+TEST(Modules, ParsesListing1Verbatim) {
+    const std::string listing = R"(d     NCSA Delta
+d-all python/3.11.6
+d-cpu gcc/11.4.0 openmpi
+d-gpu nvhpc/24.1 cuda/12.3.0 openmpi/4.1.5+cuda
+d-gpu CC=nvc CXX=nvc++ FC=nvfortran
+d-gpu MFC_CUDA_CC=80,86
+)";
+    const ModulesRegistry reg = ModulesRegistry::parse(listing);
+    ASSERT_EQ(reg.systems().size(), 1u);
+    const SystemModules& d = reg.find("d");
+    EXPECT_EQ(d.name, "NCSA Delta");
+    EXPECT_EQ(d.modules_all, (std::vector<std::string>{"python/3.11.6"}));
+    EXPECT_EQ(d.modules_cpu, (std::vector<std::string>{"gcc/11.4.0", "openmpi"}));
+    ASSERT_EQ(d.modules_gpu.size(), 3u);
+    EXPECT_EQ(d.modules_gpu[0], "nvhpc/24.1");
+    EXPECT_EQ(d.env_gpu.at("CC"), "nvc");
+    EXPECT_EQ(d.env_gpu.at("FC"), "nvfortran");
+    EXPECT_EQ(d.env_gpu.at("MFC_CUDA_CC"), "80,86");
+}
+
+TEST(Modules, LoadOrdersAllFirst) {
+    // "Modules and environment variables used by both CPU and GPU builds
+    // are stored in the d-all entry and loaded first" (Section 3).
+    const LoadPlan plan = ModulesRegistry::builtin().load("d", "gpu");
+    ASSERT_GE(plan.modules.size(), 2u);
+    EXPECT_EQ(plan.modules.front(), "python/3.11.6");
+    EXPECT_EQ(plan.config, "gpu");
+    EXPECT_EQ(plan.system_name, "NCSA Delta");
+    EXPECT_EQ(plan.env.at("CC"), "nvc");
+}
+
+TEST(Modules, ShortAndLongConfigNamesAccepted) {
+    const ModulesRegistry& reg = ModulesRegistry::builtin();
+    EXPECT_EQ(reg.load("d", "c").config, "cpu");
+    EXPECT_EQ(reg.load("d", "cpu").config, "cpu");
+    EXPECT_EQ(reg.load("d", "g").config, "gpu");
+    EXPECT_EQ(reg.load("d", "GPU").config, "gpu");
+    EXPECT_THROW((void)reg.load("d", "tpu"), Error);
+}
+
+TEST(Modules, CpuPlanExcludesGpuEnv) {
+    const LoadPlan plan = ModulesRegistry::builtin().load("d", "cpu");
+    EXPECT_EQ(plan.env.count("MFC_CUDA_CC"), 0u);
+    EXPECT_EQ(plan.env.count("CC"), 0u); // delta sets CC only for gpu
+}
+
+TEST(Modules, UnknownSystemThrows) {
+    EXPECT_THROW((void)ModulesRegistry::builtin().find("zz"), Error);
+}
+
+TEST(Modules, MalformedInputThrows) {
+    EXPECT_THROW((void)ModulesRegistry::parse("d-cpu gcc\n"), Error); // no header
+    EXPECT_THROW((void)ModulesRegistry::parse("d\n"), Error);         // no name
+    EXPECT_THROW((void)ModulesRegistry::parse("d Delta\nd-tpu x\n"), Error);
+}
+
+TEST(Modules, CommentsAndBlankLinesIgnored) {
+    const ModulesRegistry reg =
+        ModulesRegistry::parse("# comment\n\nl Localhost\n# more\nl-cpu gcc\n");
+    EXPECT_EQ(reg.find("l").modules_cpu, (std::vector<std::string>{"gcc"}));
+}
+
+TEST(Modules, BuiltinCoversPaperSystems) {
+    const ModulesRegistry& reg = ModulesRegistry::builtin();
+    EXPECT_EQ(reg.find("f").name, "OLCF Frontier");
+    EXPECT_EQ(reg.find("s").name, "OLCF Summit");
+    EXPECT_EQ(reg.find("a").name, "CSCS Alps");
+    EXPECT_EQ(reg.find("e").name, "LLNL El Capitan");
+}
+
+TEST(Modules, ShellScriptPurgesThenLoads) {
+    const LoadPlan plan = ModulesRegistry::builtin().load("f", "gpu");
+    const std::string sh = plan.shell_script();
+    const std::size_t purge = sh.find("module purge");
+    const std::size_t load = sh.find("module load");
+    const std::size_t exp = sh.find("export ");
+    EXPECT_NE(purge, std::string::npos);
+    EXPECT_LT(purge, load);
+    EXPECT_LT(load, exp);
+}
+
+// --- template engine -----------------------------------------------------
+
+TEST(Templates, SubstitutesVariables) {
+    const std::string out = TemplateEngine::render(
+        "#SBATCH --job-name=${name}\n", {{"name", "mfc_bench"}});
+    EXPECT_EQ(out, "#SBATCH --job-name=mfc_bench\n");
+}
+
+TEST(Templates, UndefinedVariableThrows) {
+    EXPECT_THROW((void)TemplateEngine::render("${missing}\n", {}), Error);
+}
+
+TEST(Templates, UnterminatedSubstitutionThrows) {
+    EXPECT_THROW((void)TemplateEngine::render("${oops\n", {}), Error);
+}
+
+TEST(Templates, ConditionalBlocks) {
+    const std::string tmpl = "a\n% if flag:\nb\n% endif\nc\n";
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"flag", "1"}}), "a\nb\nc\n");
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"flag", ""}}), "a\nc\n");
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"flag", "F"}}), "a\nc\n");
+    EXPECT_EQ(TemplateEngine::render(tmpl, {}), "a\nc\n");
+}
+
+TEST(Templates, NestedConditionals) {
+    const std::string tmpl =
+        "% if a:\nx\n% if b:\ny\n% endif\n% endif\n";
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"a", "1"}, {"b", "1"}}), "x\ny\n");
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"a", "1"}}), "x\n");
+    EXPECT_EQ(TemplateEngine::render(tmpl, {{"b", "1"}}), "");
+}
+
+TEST(Templates, UnbalancedIfThrows) {
+    EXPECT_THROW((void)TemplateEngine::render("% if a:\nx\n", {{"a", "1"}}), Error);
+    EXPECT_THROW((void)TemplateEngine::render("% endif\n", {}), Error);
+    EXPECT_THROW((void)TemplateEngine::render("% while 1:\n", {}), Error);
+}
+
+// --- scheduler job scripts ----------------------------------------------
+
+TEST(JobScripts, SlurmDirectives) {
+    JobOptions o;
+    o.job_name = "weak_scaling";
+    o.nodes = 16;
+    o.tasks_per_node = 8;
+    o.gpus_per_node = 8;
+    o.partition = "batch";
+    o.account = "CFD154";
+    const std::string s = job_script(Scheduler::Slurm, o);
+    EXPECT_NE(s.find("#SBATCH --job-name=weak_scaling"), std::string::npos);
+    EXPECT_NE(s.find("#SBATCH --nodes=16"), std::string::npos);
+    EXPECT_NE(s.find("#SBATCH --gpus-per-node=8"), std::string::npos);
+    EXPECT_NE(s.find("#SBATCH --account=CFD154"), std::string::npos);
+    EXPECT_NE(s.find("srun -n 128"), std::string::npos);
+}
+
+TEST(JobScripts, OptionalDirectivesDropWhenUnset) {
+    JobOptions o;
+    o.gpus_per_node = 0;
+    o.partition.clear();
+    o.account.clear();
+    const std::string s = job_script(Scheduler::Slurm, o);
+    EXPECT_EQ(s.find("--gpus-per-node"), std::string::npos);
+    EXPECT_EQ(s.find("--partition"), std::string::npos);
+    EXPECT_EQ(s.find("--account"), std::string::npos);
+}
+
+TEST(JobScripts, FrontierStyleRuntimeEnvironment) {
+    // Section 3: the Frontier template sets MPICH_GPU_SUPPORT_ENABLED=1
+    // and `ulimit -s unlimited`.
+    JobOptions o;
+    o.gpu_aware_mpi = true;
+    o.unlimited_stack = true;
+    const std::string s = job_script(Scheduler::Slurm, o);
+    EXPECT_NE(s.find("export MPICH_GPU_SUPPORT_ENABLED=1"), std::string::npos);
+    EXPECT_NE(s.find("ulimit -s unlimited"), std::string::npos);
+    JobOptions o2;
+    o2.gpu_aware_mpi = false;
+    o2.unlimited_stack = false;
+    const std::string s2 = job_script(Scheduler::Slurm, o2);
+    EXPECT_EQ(s2.find("MPICH_GPU_SUPPORT_ENABLED"), std::string::npos);
+    EXPECT_EQ(s2.find("ulimit"), std::string::npos);
+}
+
+class AllSchedulers : public testing::TestWithParam<Scheduler> {};
+
+TEST_P(AllSchedulers, ProducesRunnableScriptShell) {
+    JobOptions o;
+    o.nodes = 2;
+    o.tasks_per_node = 4;
+    o.command = "./mfc.sh run case.py";
+    const std::string s = job_script(GetParam(), o);
+    EXPECT_EQ(s.rfind("#!/bin/bash", 0), 0u);
+    EXPECT_NE(s.find("./mfc.sh run case.py"), std::string::npos);
+    EXPECT_NE(s.find(" 8"), std::string::npos); // total tasks in launch line
+    EXPECT_EQ(s.find("${"), std::string::npos); // no unexpanded variables
+}
+
+TEST_P(AllSchedulers, ProfilingHookIsOptIn) {
+    JobOptions o;
+    o.profile = true;
+    EXPECT_NE(job_script(GetParam(), o).find("PROFILE_CMD"), std::string::npos);
+    o.profile = false;
+    EXPECT_EQ(job_script(GetParam(), o).find("PROFILE_CMD"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, AllSchedulers,
+                         testing::Values(Scheduler::Interactive, Scheduler::Slurm,
+                                         Scheduler::Pbs, Scheduler::Lsf,
+                                         Scheduler::Flux));
+
+TEST(JobScripts, LauncherMatchesScheduler) {
+    JobOptions o;
+    EXPECT_NE(job_script(Scheduler::Lsf, o).find("jsrun"), std::string::npos);
+    EXPECT_NE(job_script(Scheduler::Pbs, o).find("mpiexec"), std::string::npos);
+    EXPECT_NE(job_script(Scheduler::Flux, o).find("flux run"), std::string::npos);
+    EXPECT_NE(job_script(Scheduler::Interactive, o).find("mpirun"),
+              std::string::npos);
+}
+
+TEST(JobScripts, ExtraEnvExported) {
+    JobOptions o;
+    o.extra_env = {{"OMP_NUM_THREADS", "7"}};
+    const std::string s = job_script(Scheduler::Pbs, o);
+    EXPECT_NE(s.find("export OMP_NUM_THREADS=7"), std::string::npos);
+}
+
+TEST(JobScripts, SchedulerNamesRoundTrip) {
+    for (const Scheduler s : {Scheduler::Interactive, Scheduler::Slurm,
+                              Scheduler::Pbs, Scheduler::Lsf, Scheduler::Flux}) {
+        EXPECT_EQ(scheduler_from_string(to_string(s)), s);
+    }
+    EXPECT_THROW((void)scheduler_from_string("cobalt"), Error);
+}
+
+} // namespace
+} // namespace mfc::toolchain

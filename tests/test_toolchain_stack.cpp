@@ -1,0 +1,172 @@
+#include "core/error.hpp"
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "toolchain/case_generators.hpp"
+#include "toolchain/case_stack.hpp"
+
+namespace mfc::toolchain {
+namespace {
+
+TEST(CaseStack, PushOverlaysAndPopRestores) {
+    CaseStack s({{"weno_order", Value(5)}, {"dt", Value(1.0e-3)}});
+    s.push("IGR", {{"igr", Value(true)}, {"weno_order", Value(3)}});
+    CaseDict d = s.flatten();
+    EXPECT_EQ(d.at("weno_order").as_int(), 3); // overridden
+    EXPECT_TRUE(d.at("igr").as_bool());
+    EXPECT_DOUBLE_EQ(d.at("dt").as_double(), 1.0e-3); // inherited
+
+    s.pop();
+    d = s.flatten();
+    EXPECT_EQ(d.at("weno_order").as_int(), 5); // restored
+    EXPECT_EQ(d.count("igr"), 0u);
+}
+
+TEST(CaseStack, TraceAccumulatesInOrder) {
+    CaseStack s;
+    s.push("3D", {});
+    s.push("IGR", {});
+    s.push("igr_order=5", {});
+    EXPECT_EQ(s.trace(), "3D -> IGR -> igr_order=5");
+    s.pop();
+    EXPECT_EQ(s.trace(), "3D -> IGR");
+}
+
+TEST(CaseStack, LaterFramesWin) {
+    CaseStack s;
+    s.push("a", {{"x", Value(1)}});
+    s.push("b", {{"x", Value(2)}});
+    EXPECT_EQ(s.flatten().at("x").as_int(), 2);
+}
+
+TEST(CaseStack, PopOnEmptyThrows) {
+    CaseStack s;
+    EXPECT_THROW(s.pop(), Error);
+}
+
+TEST(CaseStack, DepthTracksFrames) {
+    CaseStack s;
+    EXPECT_EQ(s.depth(), 0u);
+    s.push("a", {});
+    s.push("b", {});
+    EXPECT_EQ(s.depth(), 2u);
+    s.pop();
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(DefineCase, UuidIsStableAcrossCalls) {
+    CaseStack s(base_case_dict(1));
+    s.push("IGR", {{"igr", Value(true)}});
+    const TestCaseDef a = define_case_d(s, "Jacobi", {{"igr_iter_solver", Value(1)}});
+    const TestCaseDef b = define_case_d(s, "Jacobi", {{"igr_iter_solver", Value(1)}});
+    EXPECT_EQ(a.uuid, b.uuid);
+    EXPECT_EQ(a.uuid.size(), 8u);
+}
+
+TEST(DefineCase, UuidDependsOnParameters) {
+    CaseStack s(base_case_dict(1));
+    const TestCaseDef a = define_case_d(s, "X", {{"weno_order", Value(3)}});
+    const TestCaseDef b = define_case_d(s, "X", {{"weno_order", Value(5)}});
+    EXPECT_NE(a.uuid, b.uuid);
+}
+
+TEST(DefineCase, ExtraParamsMergeOnTop) {
+    CaseStack s({{"weno_order", Value(5)}});
+    const TestCaseDef d = define_case_d(s, "low", {{"weno_order", Value(1)}});
+    EXPECT_EQ(d.params.at("weno_order").as_int(), 1);
+}
+
+TEST(DefineCase, TraceIncludesFinalEntry) {
+    CaseStack s;
+    s.push("2D", {});
+    const TestCaseDef d = define_case_d(s, "Gauss Seidel", {});
+    EXPECT_EQ(d.trace, "2D -> Gauss Seidel");
+}
+
+TEST(Listing2, AlterIgrProducesThreeCasesAndRestoresStack) {
+    CaseStack s(base_case_dict(3));
+    s.push("3D", {});
+    s.push("5eqn", model_params("5eqn"));
+    s.push("IC", ic_params("5eqn", 3, "halfspace"));
+    const std::size_t depth = s.depth();
+    CaseList cases;
+    alter_igr(s, cases);
+    // Listing 2: igr_order 3 -> Jacobi; igr_order 5 -> Jacobi + Gauss
+    // Seidel.
+    ASSERT_EQ(cases.size(), 3u);
+    EXPECT_EQ(s.depth(), depth); // stack restored
+    EXPECT_NE(cases[0].trace.find("igr_order=3 -> Jacobi"), std::string::npos);
+    EXPECT_NE(cases[1].trace.find("igr_order=5 -> Jacobi"), std::string::npos);
+    EXPECT_NE(cases[2].trace.find("igr_order=5 -> Gauss Seidel"),
+              std::string::npos);
+    EXPECT_EQ(cases[2].params.at("igr_iter_solver").as_int(), 2);
+    EXPECT_TRUE(cases[0].params.at("igr").as_bool());
+    EXPECT_EQ(cases[0].params.at("num_igr_iters").as_int(), 10);
+}
+
+TEST(Suite, GeneratesOverFiveHundredCases) {
+    // Section 4: "The MFC regression suite tests over 500 unique cases".
+    const CaseList suite = generate_full_suite();
+    EXPECT_GT(suite.size(), 500u);
+}
+
+TEST(Suite, UuidsAreUnique) {
+    const CaseList suite = generate_full_suite();
+    std::set<std::string> uuids;
+    for (const TestCaseDef& c : suite) uuids.insert(c.uuid);
+    EXPECT_EQ(uuids.size(), suite.size());
+}
+
+TEST(Suite, TracesAreUnique) {
+    const CaseList suite = generate_full_suite();
+    std::set<std::string> traces;
+    for (const TestCaseDef& c : suite) traces.insert(c.trace);
+    EXPECT_EQ(traces.size(), suite.size());
+}
+
+TEST(Suite, EveryCaseHasAValidConfig) {
+    // Every generated dictionary must convert into a validated CaseConfig
+    // (no misspelled or inconsistent parameters anywhere in the suite).
+    const CaseList suite = generate_full_suite();
+    for (const TestCaseDef& c : suite) {
+        EXPECT_NO_THROW({ (void)config_from_dict(c.params); }) << c.trace;
+    }
+}
+
+TEST(Suite, CoversAllDimensionsModelsAndSolvers) {
+    const CaseList suite = generate_full_suite();
+    std::set<std::string> dims, models;
+    std::set<long long> rs, ts, weno;
+    bool has_igr = false;
+    for (const TestCaseDef& c : suite) {
+        dims.insert(c.trace.substr(0, 2));
+        if (c.params.count("model_eqns") > 0) {
+            models.insert(c.params.at("model_eqns").to_string());
+        }
+        if (c.params.count("riemann_solver") > 0) {
+            rs.insert(c.params.at("riemann_solver").as_int());
+        }
+        if (c.params.count("time_stepper") > 0) {
+            ts.insert(c.params.at("time_stepper").as_int());
+        }
+        if (c.params.count("weno_order") > 0) {
+            weno.insert(c.params.at("weno_order").as_int());
+        }
+        if (c.params.count("igr") > 0) has_igr = true;
+    }
+    EXPECT_EQ(dims, (std::set<std::string>{"1D", "2D", "3D"}));
+    EXPECT_EQ(models, (std::set<std::string>{"euler", "5eqn", "6eqn"}));
+    EXPECT_EQ(rs, (std::set<long long>{1, 2}));
+    EXPECT_EQ(ts, (std::set<long long>{1, 2, 3}));
+    EXPECT_EQ(weno, (std::set<long long>{1, 3, 5}));
+    EXPECT_TRUE(has_igr);
+}
+
+TEST(Suite, CanonicalDictIsSortedAndStable) {
+    const CaseDict d = {{"b", Value(2)}, {"a", Value(1)}};
+    EXPECT_EQ(canonical_dict(d), "a=1\nb=2\n");
+}
+
+} // namespace
+} // namespace mfc::toolchain

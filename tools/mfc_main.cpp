@@ -1,0 +1,396 @@
+// `mfc` — command-line interface mirroring the paper's wrapper script
+// `mfc.sh` (Table 1). Subcommands, in the order a user brings up a new
+// system (Section 3):
+//
+//   mfc tools                                  list the tools (Table 1)
+//   mfc load -c <system> -m <cpu|gpu>          modules + environment plan
+//   mfc build -c <sys> -m <cpu|gpu> [--gpu acc|mp] [--case-optimization]
+//   mfc test [--list] [--generate|--add-new-variables|--compare]
+//            [-o <UUID>]... [--golden-dir <dir>] [--max <n>]
+//   mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]
+//   mfc bench_diff <ref.yml> <new.yml>
+//   mfc run <case-file> [--out <golden.txt>]
+//   mfc batch --scheduler <slurm|pbs|lsf|flux|interactive> [options]
+//
+// Every subcommand accepts --help.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "perf/scaling.hpp"
+#include "toolchain/case_io.hpp"
+#include "toolchain/toolchain.hpp"
+
+namespace {
+
+using namespace mfc;
+using namespace mfc::toolchain;
+
+/// Tiny flag parser: --name value / --name (bool) / positionals.
+class Args {
+public:
+    Args(int argc, char** argv, std::vector<std::string> bool_flags)
+        : bool_flags_(std::move(bool_flags)) {
+        for (int i = 0; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a.rfind("--", 0) == 0 || (a.size() == 2 && a[0] == '-')) {
+                const std::string name = a.substr(a.find_first_not_of('-'));
+                if (is_bool(name)) {
+                    flags_[name] = "1";
+                } else {
+                    MFC_REQUIRE(i + 1 < argc, "missing value for " + a);
+                    flags_[name] = argv[++i];
+                }
+            } else {
+                positional_.push_back(a);
+            }
+        }
+    }
+
+    [[nodiscard]] bool has(const std::string& name) const {
+        return flags_.count(name) > 0;
+    }
+    [[nodiscard]] std::string get(const std::string& name,
+                                  const std::string& fallback = "") const {
+        const auto it = flags_.find(name);
+        return it == flags_.end() ? fallback : it->second;
+    }
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+
+private:
+    [[nodiscard]] bool is_bool(const std::string& name) const {
+        for (const auto& b : bool_flags_) {
+            if (b == name) return true;
+        }
+        return false;
+    }
+    std::vector<std::string> bool_flags_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+int cmd_tools() {
+    std::printf("%-12s %s\n", "Tool", "Description");
+    for (const ToolInfo& t : Toolchain::tools()) {
+        std::printf("%-12s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+}
+
+int cmd_load(const Args& args) {
+    if (args.has("help")) {
+        std::printf("mfc load -c <system-id> -m <cpu|gpu>\n\nSystems:\n");
+        for (const auto& s : ModulesRegistry::builtin().systems()) {
+            std::printf("  %-4s %s\n", s.id.c_str(), s.name.c_str());
+        }
+        return 0;
+    }
+    const Toolchain tc;
+    const LoadPlan plan = tc.load(args.get("c", "l"), args.get("m", "cpu"));
+    std::fputs(plan.shell_script().c_str(), stdout);
+    return 0;
+}
+
+int cmd_build(const Args& args) {
+    if (args.has("help")) {
+        std::printf("mfc build -c <system-id> -m <cpu|gpu> [--gpu acc|mp] "
+                    "[--case-optimization]\n");
+        return 0;
+    }
+    const Toolchain tc;
+    const LoadPlan env = tc.load(args.get("c", "l"), args.get("m", "cpu"));
+    const BuildPlan plan =
+        tc.build(env, args.get("gpu", ""), args.has("case-optimization"));
+    std::printf("%s\n", plan.summary().c_str());
+    return 0;
+}
+
+int cmd_test(const Args& args) {
+    if (args.has("help")) {
+        std::printf(
+            "mfc test [--list] [--generate | --add-new-variables] [-o <UUID>]\n"
+            "         [--golden-dir <dir>] [--max <n>]\n\n"
+            "Runs the regression suite against golden files (Section 4).\n");
+        return 0;
+    }
+    const Toolchain tc;
+    const TestSuite suite = tc.test_suite(args.get("golden-dir", "goldens"));
+
+    if (args.has("list")) {
+        for (const TestCaseDef& c : suite.cases()) {
+            std::printf("%s  %s\n", c.uuid.c_str(), c.trace.c_str());
+        }
+        std::printf("%zu cases\n", suite.cases().size());
+        return 0;
+    }
+
+    TestMode mode = TestMode::Compare;
+    if (args.has("generate")) mode = TestMode::Generate;
+    if (args.has("add-new-variables")) mode = TestMode::AddNewVariables;
+
+    std::vector<std::string> uuids;
+    if (args.has("o")) uuids.push_back(args.get("o"));
+    if (uuids.empty()) {
+        const std::size_t max_cases =
+            args.has("max") ? static_cast<std::size_t>(parse_int(args.get("max")))
+                            : suite.cases().size();
+        for (std::size_t i = 0; i < suite.cases().size() && i < max_cases; ++i) {
+            uuids.push_back(suite.cases()[i].uuid);
+        }
+    }
+
+    const SuiteSummary s = suite.run_selected(uuids, mode);
+    for (const TestOutcome& f : s.failures) {
+        std::printf("FAIL %s  %s: %s\n", f.uuid.c_str(), f.trace.c_str(),
+                    f.detail.c_str());
+    }
+    std::printf("%d/%d passed\n", s.passed, s.total);
+    return s.failed == 0 ? 0 : 1;
+}
+
+int cmd_bench(const Args& args) {
+    if (args.has("help")) {
+        std::printf("mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]\n");
+        return 0;
+    }
+    const Toolchain tc;
+    const double mem = parse_double(args.get("mem", "0.001"));
+    const int ranks = static_cast<int>(parse_int(args.get("n", "1")));
+    std::string invocation = "mfc bench --mem " + args.get("mem", "0.001") +
+                             " -n " + std::to_string(ranks);
+    const Yaml out = tc.bench(mem, ranks).run_all(invocation);
+    if (args.has("o")) {
+        out.save(args.get("o"));
+        std::printf("wrote %s\n", args.get("o").c_str());
+    } else {
+        std::fputs(out.dump().c_str(), stdout);
+    }
+    return 0;
+}
+
+int cmd_bench_diff(const Args& args) {
+    if (args.has("help") || args.positional().size() != 2) {
+        std::printf("mfc bench_diff <ref.yml> <new.yml>\n");
+        return args.has("help") ? 0 : 2;
+    }
+    const Toolchain tc;
+    const Yaml ref = Yaml::load(args.positional()[0]);
+    const Yaml cand = Yaml::load(args.positional()[1]);
+    std::fputs(tc.bench_diff(ref, cand).str().c_str(), stdout);
+    return 0;
+}
+
+int cmd_run(const Args& args) {
+    if (args.has("help") || args.positional().empty()) {
+        std::printf("mfc run <case-file> [--out <golden.txt>]\n");
+        return args.has("help") ? 0 : 2;
+    }
+    const Toolchain tc;
+    const CaseDict dict = load_case_file(args.positional()[0]);
+    const GoldenFile out = tc.run(dict);
+    if (args.has("out")) {
+        out.save(args.get("out"));
+        std::printf("wrote %s (%zu output arrays)\n", args.get("out").c_str(),
+                    out.entries().size());
+    } else {
+        std::fputs(out.serialize().c_str(), stdout);
+    }
+    return 0;
+}
+
+int cmd_batch(const Args& args) {
+    if (args.has("help")) {
+        std::printf(
+            "mfc batch --scheduler <slurm|pbs|lsf|flux|interactive>\n"
+            "          [--name <job>] [--nodes <n>] [--tasks-per-node <n>]\n"
+            "          [--gpus-per-node <n>] [--walltime <hh:mm:ss>]\n"
+            "          [--partition <p>] [--account <a>] [--rdma]\n"
+            "          [--profile] [--command <cmd>]\n");
+        return 0;
+    }
+    JobOptions opts;
+    opts.job_name = args.get("name", "mfc");
+    opts.nodes = static_cast<int>(parse_int(args.get("nodes", "1")));
+    opts.tasks_per_node =
+        static_cast<int>(parse_int(args.get("tasks-per-node", "1")));
+    opts.gpus_per_node =
+        static_cast<int>(parse_int(args.get("gpus-per-node", "0")));
+    opts.walltime = args.get("walltime", "01:00:00");
+    opts.partition = args.get("partition", "");
+    opts.account = args.get("account", "");
+    opts.gpu_aware_mpi = args.has("rdma");
+    opts.profile = args.has("profile");
+    opts.command = args.get("command", "./mfc run case.txt");
+    const Toolchain tc;
+    std::fputs(
+        tc.job_script(scheduler_from_string(args.get("scheduler", "slurm")), opts)
+            .c_str(),
+        stdout);
+    return 0;
+}
+
+int cmd_pre_process(const Args& args) {
+    if (args.has("help") || args.positional().empty()) {
+        std::printf("mfc pre_process <case-file> --out <snapshot.bin>\n");
+        return args.has("help") ? 0 : 2;
+    }
+    const Toolchain tc;
+    const std::string out = args.get("out", "ic.bin");
+    tc.pre_process(load_case_file(args.positional()[0]), out);
+    std::printf("wrote initial-condition snapshot %s\n", out.c_str());
+    return 0;
+}
+
+int cmd_simulation(const Args& args) {
+    if (args.has("help") || args.positional().empty()) {
+        std::printf("mfc simulation <case-file> --in <ic.bin> --out <final.bin>\n");
+        return args.has("help") ? 0 : 2;
+    }
+    const Toolchain tc;
+    const std::string in = args.get("in", "ic.bin");
+    const std::string out = args.get("out", "final.bin");
+    tc.simulation(load_case_file(args.positional()[0]), in, out);
+    std::printf("advanced %s -> %s\n", in.c_str(), out.c_str());
+    return 0;
+}
+
+int cmd_post_process(const Args& args) {
+    if (args.has("help") || args.positional().empty()) {
+        std::printf("mfc post_process <case-file> --in <final.bin> --out <flow.vtk>\n");
+        return args.has("help") ? 0 : 2;
+    }
+    const Toolchain tc;
+    const std::string in = args.get("in", "final.bin");
+    const std::string out = args.get("out", "flow.vtk");
+    const std::vector<std::string> fields =
+        tc.post_process(load_case_file(args.positional()[0]), in, out);
+    std::printf("wrote %s with fields:", out.c_str());
+    for (const std::string& f : fields) std::printf(" %s", f.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int cmd_devices(const Args& args) {
+    if (args.has("help")) {
+        std::printf("mfc devices — Table 3 hardware catalog with modeled and "
+                    "paper-reference grindtimes\n");
+        return 0;
+    }
+    const perf::KernelModel model;
+    TextTable t({"Hardware", "Type", "Usage", "Paper [ns]", "Model [ns]"});
+    t.set_align(3, TextTable::Align::Right);
+    t.set_align(4, TextTable::Align::Right);
+    for (const perf::DeviceSpec& d : perf::device_catalog()) {
+        t.add_row({d.name, perf::to_string(d.type), d.usage,
+                   format_sig2(d.paper_grindtime_ns),
+                   format_sig2(model.grindtime_ns(d))});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}
+
+int cmd_scale(const Args& args) {
+    if (args.has("help")) {
+        std::printf(
+            "mfc scale --system <name> [--strong] [--no-rdma] [--igr]\n"
+            "          [--edge <n>] [--ranks <r1,r2,...>]\n\n"
+            "Systems:\n");
+        for (const auto& s : perf::system_catalog()) {
+            std::printf("  %s\n", s.name.c_str());
+        }
+        return 0;
+    }
+    const perf::SystemSpec& sys =
+        perf::find_system(args.get("system", "OLCF Frontier"));
+    const perf::NumericsModel numerics = args.has("igr")
+                                             ? perf::NumericsModel::igr()
+                                             : perf::NumericsModel{};
+    const perf::ScalingSimulator sim(sys, numerics, !args.has("no-rdma"));
+
+    std::vector<int> ranks;
+    if (args.has("ranks")) {
+        for (const std::string& r : split(args.get("ranks"), ',')) {
+            ranks.push_back(static_cast<int>(parse_int(r)));
+        }
+    } else {
+        for (int r = sys.base_ranks; r < sys.limit_ranks; r *= 2) {
+            ranks.push_back(r);
+        }
+        ranks.push_back(sys.limit_ranks);
+    }
+
+    TextTable t({"Ranks", "Step [ms]", "Grindtime [ns]", "Speedup",
+                 "Efficiency"});
+    for (std::size_t col = 0; col < 5; ++col) t.set_align(col, TextTable::Align::Right);
+    std::vector<perf::ScalingPoint> points;
+    if (args.has("strong")) {
+        const int edge = static_cast<int>(parse_int(args.get("edge", "634")));
+        points = sim.strong_sweep(Extents{edge, edge, edge}, ranks);
+    } else {
+        points = sim.weak_sweep(ranks);
+    }
+    for (const auto& p : points) {
+        t.add_row({std::to_string(p.ranks), format_fixed(p.step_seconds * 1e3, 2),
+                   format_fixed(p.grindtime_ns, 4), format_fixed(p.speedup, 1),
+                   format_fixed(100.0 * p.efficiency, 1) + "%"});
+    }
+    std::printf("%s — %s scaling (%s)\n", sys.name.c_str(),
+                args.has("strong") ? "strong" : "weak",
+                args.has("igr") ? "IGR numerics" : "WENO numerics");
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}
+
+int usage() {
+    std::printf(
+        "mfc — testing and benchmarking toolchain (C++ reproduction of the\n"
+        "MFC wrapper script; see README.md)\n\n"
+        "usage: mfc <tool> [options]   (each tool accepts --help)\n\n");
+    (void)cmd_tools();
+    std::printf("%-12s %s\n", "batch", "Render a scheduler batch script");
+    std::printf("%-12s %s\n", "devices", "Table 3 hardware catalog");
+    std::printf("%-12s %s\n", "scale", "Model weak/strong scaling on a system");
+    std::printf("%-12s %s\n", "pre_process", "Write an initial-condition snapshot");
+    std::printf("%-12s %s\n", "simulation", "Advance a snapshot in time");
+    std::printf("%-12s %s\n", "post_process", "Snapshot -> VTK visualization");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string tool = argv[1];
+    const Args args(argc - 2, argv + 2,
+                    {"help", "list", "generate", "add-new-variables",
+                     "case-optimization", "rdma", "profile", "strong",
+                     "no-rdma", "igr"});
+    try {
+        if (tool == "tools") return cmd_tools();
+        if (tool == "load") return cmd_load(args);
+        if (tool == "build") return cmd_build(args);
+        if (tool == "test") return cmd_test(args);
+        if (tool == "bench") return cmd_bench(args);
+        if (tool == "bench_diff") return cmd_bench_diff(args);
+        if (tool == "run") return cmd_run(args);
+        if (tool == "batch") return cmd_batch(args);
+        if (tool == "devices") return cmd_devices(args);
+        if (tool == "scale") return cmd_scale(args);
+        if (tool == "pre_process") return cmd_pre_process(args);
+        if (tool == "simulation") return cmd_simulation(args);
+        if (tool == "post_process") return cmd_post_process(args);
+        std::fprintf(stderr, "unknown tool: %s\n\n", tool.c_str());
+        return usage();
+    } catch (const mfc::Error& e) {
+        std::fprintf(stderr, "mfc %s: error: %s\n", tool.c_str(), e.what());
+        return 1;
+    }
+}
