@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_case_optimization"
+  "../bench/bench_case_optimization.pdb"
+  "CMakeFiles/bench_case_optimization.dir/bench_case_optimization.cpp.o"
+  "CMakeFiles/bench_case_optimization.dir/bench_case_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_microkernels"
+  "../bench/bench_microkernels.pdb"
+  "CMakeFiles/bench_microkernels.dir/bench_microkernels.cpp.o"
+  "CMakeFiles/bench_microkernels.dir/bench_microkernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

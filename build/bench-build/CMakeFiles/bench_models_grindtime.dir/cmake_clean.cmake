@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_models_grindtime"
+  "../bench/bench_models_grindtime.pdb"
+  "CMakeFiles/bench_models_grindtime.dir/bench_models_grindtime.cpp.o"
+  "CMakeFiles/bench_models_grindtime.dir/bench_models_grindtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_grindtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_grindtime"
+  "../bench/bench_table3_grindtime.pdb"
+  "CMakeFiles/bench_table3_grindtime.dir/bench_table3_grindtime.cpp.o"
+  "CMakeFiles/bench_table3_grindtime.dir/bench_table3_grindtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_grindtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

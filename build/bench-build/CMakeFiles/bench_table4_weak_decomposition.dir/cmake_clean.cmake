@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_weak_decomposition"
+  "../bench/bench_table4_weak_decomposition.pdb"
+  "CMakeFiles/bench_table4_weak_decomposition.dir/bench_table4_weak_decomposition.cpp.o"
+  "CMakeFiles/bench_table4_weak_decomposition.dir/bench_table4_weak_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_weak_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monopole_acoustics.dir/monopole_acoustics.cpp.o"
+  "CMakeFiles/monopole_acoustics.dir/monopole_acoustics.cpp.o.d"
+  "monopole_acoustics"
+  "monopole_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monopole_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

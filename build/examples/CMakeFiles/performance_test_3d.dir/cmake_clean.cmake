@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_test_3d.dir/performance_test_3d.cpp.o"
+  "CMakeFiles/performance_test_3d.dir/performance_test_3d.cpp.o.d"
+  "performance_test_3d"
+  "performance_test_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_test_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postprocess_demo.dir/postprocess_demo.cpp.o"
+  "CMakeFiles/postprocess_demo.dir/postprocess_demo.cpp.o.d"
+  "postprocess_demo"
+  "postprocess_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postprocess_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_demo.dir/toolchain_demo.cpp.o"
+  "CMakeFiles/toolchain_demo.dir/toolchain_demo.cpp.o.d"
+  "toolchain_demo"
+  "toolchain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_scaling_demo.dir/weak_scaling_demo.cpp.o"
+  "CMakeFiles/weak_scaling_demo.dir/weak_scaling_demo.cpp.o.d"
+  "weak_scaling_demo"
+  "weak_scaling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_scaling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_comm.dir/cart.cpp.o"
+  "CMakeFiles/mfc_comm.dir/cart.cpp.o.d"
+  "CMakeFiles/mfc_comm.dir/comm.cpp.o"
+  "CMakeFiles/mfc_comm.dir/comm.cpp.o.d"
+  "libmfc_comm.a"
+  "libmfc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/error.cpp" "src/core/CMakeFiles/mfc_core.dir/error.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/error.cpp.o.d"
+  "/root/repo/src/core/hash.cpp" "src/core/CMakeFiles/mfc_core.dir/hash.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/hash.cpp.o.d"
+  "/root/repo/src/core/strings.cpp" "src/core/CMakeFiles/mfc_core.dir/strings.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/strings.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/mfc_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/mfc_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/yaml.cpp" "src/core/CMakeFiles/mfc_core.dir/yaml.cpp.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/yaml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_core.dir/error.cpp.o"
+  "CMakeFiles/mfc_core.dir/error.cpp.o.d"
+  "CMakeFiles/mfc_core.dir/hash.cpp.o"
+  "CMakeFiles/mfc_core.dir/hash.cpp.o.d"
+  "CMakeFiles/mfc_core.dir/strings.cpp.o"
+  "CMakeFiles/mfc_core.dir/strings.cpp.o.d"
+  "CMakeFiles/mfc_core.dir/table.cpp.o"
+  "CMakeFiles/mfc_core.dir/table.cpp.o.d"
+  "CMakeFiles/mfc_core.dir/value.cpp.o"
+  "CMakeFiles/mfc_core.dir/value.cpp.o.d"
+  "CMakeFiles/mfc_core.dir/yaml.cpp.o"
+  "CMakeFiles/mfc_core.dir/yaml.cpp.o.d"
+  "libmfc_core.a"
+  "libmfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_grid.dir/grid.cpp.o"
+  "CMakeFiles/mfc_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/mfc_grid.dir/halo.cpp.o"
+  "CMakeFiles/mfc_grid.dir/halo.cpp.o.d"
+  "libmfc_grid.a"
+  "libmfc_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

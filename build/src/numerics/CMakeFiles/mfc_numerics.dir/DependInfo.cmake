@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/cfl.cpp" "src/numerics/CMakeFiles/mfc_numerics.dir/cfl.cpp.o" "gcc" "src/numerics/CMakeFiles/mfc_numerics.dir/cfl.cpp.o.d"
+  "/root/repo/src/numerics/igr.cpp" "src/numerics/CMakeFiles/mfc_numerics.dir/igr.cpp.o" "gcc" "src/numerics/CMakeFiles/mfc_numerics.dir/igr.cpp.o.d"
+  "/root/repo/src/numerics/relaxation.cpp" "src/numerics/CMakeFiles/mfc_numerics.dir/relaxation.cpp.o" "gcc" "src/numerics/CMakeFiles/mfc_numerics.dir/relaxation.cpp.o.d"
+  "/root/repo/src/numerics/riemann.cpp" "src/numerics/CMakeFiles/mfc_numerics.dir/riemann.cpp.o" "gcc" "src/numerics/CMakeFiles/mfc_numerics.dir/riemann.cpp.o.d"
+  "/root/repo/src/numerics/time_stepper.cpp" "src/numerics/CMakeFiles/mfc_numerics.dir/time_stepper.cpp.o" "gcc" "src/numerics/CMakeFiles/mfc_numerics.dir/time_stepper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mfc_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_numerics.dir/cfl.cpp.o"
+  "CMakeFiles/mfc_numerics.dir/cfl.cpp.o.d"
+  "CMakeFiles/mfc_numerics.dir/igr.cpp.o"
+  "CMakeFiles/mfc_numerics.dir/igr.cpp.o.d"
+  "CMakeFiles/mfc_numerics.dir/relaxation.cpp.o"
+  "CMakeFiles/mfc_numerics.dir/relaxation.cpp.o.d"
+  "CMakeFiles/mfc_numerics.dir/riemann.cpp.o"
+  "CMakeFiles/mfc_numerics.dir/riemann.cpp.o.d"
+  "CMakeFiles/mfc_numerics.dir/time_stepper.cpp.o"
+  "CMakeFiles/mfc_numerics.dir/time_stepper.cpp.o.d"
+  "libmfc_numerics.a"
+  "libmfc_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

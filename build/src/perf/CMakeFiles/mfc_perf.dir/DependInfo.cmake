@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/device.cpp" "src/perf/CMakeFiles/mfc_perf.dir/device.cpp.o" "gcc" "src/perf/CMakeFiles/mfc_perf.dir/device.cpp.o.d"
+  "/root/repo/src/perf/network.cpp" "src/perf/CMakeFiles/mfc_perf.dir/network.cpp.o" "gcc" "src/perf/CMakeFiles/mfc_perf.dir/network.cpp.o.d"
+  "/root/repo/src/perf/scaling.cpp" "src/perf/CMakeFiles/mfc_perf.dir/scaling.cpp.o" "gcc" "src/perf/CMakeFiles/mfc_perf.dir/scaling.cpp.o.d"
+  "/root/repo/src/perf/system.cpp" "src/perf/CMakeFiles/mfc_perf.dir/system.cpp.o" "gcc" "src/perf/CMakeFiles/mfc_perf.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mfc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mfc_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_perf.dir/device.cpp.o"
+  "CMakeFiles/mfc_perf.dir/device.cpp.o.d"
+  "CMakeFiles/mfc_perf.dir/network.cpp.o"
+  "CMakeFiles/mfc_perf.dir/network.cpp.o.d"
+  "CMakeFiles/mfc_perf.dir/scaling.cpp.o"
+  "CMakeFiles/mfc_perf.dir/scaling.cpp.o.d"
+  "CMakeFiles/mfc_perf.dir/system.cpp.o"
+  "CMakeFiles/mfc_perf.dir/system.cpp.o.d"
+  "libmfc_perf.a"
+  "libmfc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/characteristics.cpp" "src/physics/CMakeFiles/mfc_physics.dir/characteristics.cpp.o" "gcc" "src/physics/CMakeFiles/mfc_physics.dir/characteristics.cpp.o.d"
+  "/root/repo/src/physics/eos.cpp" "src/physics/CMakeFiles/mfc_physics.dir/eos.cpp.o" "gcc" "src/physics/CMakeFiles/mfc_physics.dir/eos.cpp.o.d"
+  "/root/repo/src/physics/flux.cpp" "src/physics/CMakeFiles/mfc_physics.dir/flux.cpp.o" "gcc" "src/physics/CMakeFiles/mfc_physics.dir/flux.cpp.o.d"
+  "/root/repo/src/physics/model.cpp" "src/physics/CMakeFiles/mfc_physics.dir/model.cpp.o" "gcc" "src/physics/CMakeFiles/mfc_physics.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_physics.dir/characteristics.cpp.o"
+  "CMakeFiles/mfc_physics.dir/characteristics.cpp.o.d"
+  "CMakeFiles/mfc_physics.dir/eos.cpp.o"
+  "CMakeFiles/mfc_physics.dir/eos.cpp.o.d"
+  "CMakeFiles/mfc_physics.dir/flux.cpp.o"
+  "CMakeFiles/mfc_physics.dir/flux.cpp.o.d"
+  "CMakeFiles/mfc_physics.dir/model.cpp.o"
+  "CMakeFiles/mfc_physics.dir/model.cpp.o.d"
+  "libmfc_physics.a"
+  "libmfc_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

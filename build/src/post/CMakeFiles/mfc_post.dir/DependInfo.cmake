@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/post/derived.cpp" "src/post/CMakeFiles/mfc_post.dir/derived.cpp.o" "gcc" "src/post/CMakeFiles/mfc_post.dir/derived.cpp.o.d"
+  "/root/repo/src/post/io_profile.cpp" "src/post/CMakeFiles/mfc_post.dir/io_profile.cpp.o" "gcc" "src/post/CMakeFiles/mfc_post.dir/io_profile.cpp.o.d"
+  "/root/repo/src/post/probes.cpp" "src/post/CMakeFiles/mfc_post.dir/probes.cpp.o" "gcc" "src/post/CMakeFiles/mfc_post.dir/probes.cpp.o.d"
+  "/root/repo/src/post/vtk.cpp" "src/post/CMakeFiles/mfc_post.dir/vtk.cpp.o" "gcc" "src/post/CMakeFiles/mfc_post.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mfc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mfc_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mfc_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_post.dir/derived.cpp.o"
+  "CMakeFiles/mfc_post.dir/derived.cpp.o.d"
+  "CMakeFiles/mfc_post.dir/io_profile.cpp.o"
+  "CMakeFiles/mfc_post.dir/io_profile.cpp.o.d"
+  "CMakeFiles/mfc_post.dir/probes.cpp.o"
+  "CMakeFiles/mfc_post.dir/probes.cpp.o.d"
+  "CMakeFiles/mfc_post.dir/vtk.cpp.o"
+  "CMakeFiles/mfc_post.dir/vtk.cpp.o.d"
+  "libmfc_post.a"
+  "libmfc_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/boundary.cpp" "src/solver/CMakeFiles/mfc_solver.dir/boundary.cpp.o" "gcc" "src/solver/CMakeFiles/mfc_solver.dir/boundary.cpp.o.d"
+  "/root/repo/src/solver/case_config.cpp" "src/solver/CMakeFiles/mfc_solver.dir/case_config.cpp.o" "gcc" "src/solver/CMakeFiles/mfc_solver.dir/case_config.cpp.o.d"
+  "/root/repo/src/solver/rhs.cpp" "src/solver/CMakeFiles/mfc_solver.dir/rhs.cpp.o" "gcc" "src/solver/CMakeFiles/mfc_solver.dir/rhs.cpp.o.d"
+  "/root/repo/src/solver/simulation.cpp" "src/solver/CMakeFiles/mfc_solver.dir/simulation.cpp.o" "gcc" "src/solver/CMakeFiles/mfc_solver.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mfc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/mfc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mfc_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mfc_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

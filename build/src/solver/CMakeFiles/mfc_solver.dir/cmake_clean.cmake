@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_solver.dir/boundary.cpp.o"
+  "CMakeFiles/mfc_solver.dir/boundary.cpp.o.d"
+  "CMakeFiles/mfc_solver.dir/case_config.cpp.o"
+  "CMakeFiles/mfc_solver.dir/case_config.cpp.o.d"
+  "CMakeFiles/mfc_solver.dir/rhs.cpp.o"
+  "CMakeFiles/mfc_solver.dir/rhs.cpp.o.d"
+  "CMakeFiles/mfc_solver.dir/simulation.cpp.o"
+  "CMakeFiles/mfc_solver.dir/simulation.cpp.o.d"
+  "libmfc_solver.a"
+  "libmfc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

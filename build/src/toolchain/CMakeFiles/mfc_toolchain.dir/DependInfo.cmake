@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/bench_suite.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/bench_suite.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/bench_suite.cpp.o.d"
+  "/root/repo/src/toolchain/case_generators.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_generators.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_generators.cpp.o.d"
+  "/root/repo/src/toolchain/case_io.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_io.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_io.cpp.o.d"
+  "/root/repo/src/toolchain/case_stack.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_stack.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/case_stack.cpp.o.d"
+  "/root/repo/src/toolchain/golden.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/golden.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/golden.cpp.o.d"
+  "/root/repo/src/toolchain/modules.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/modules.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/modules.cpp.o.d"
+  "/root/repo/src/toolchain/templates.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/templates.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/templates.cpp.o.d"
+  "/root/repo/src/toolchain/test_suite.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/test_suite.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/test_suite.cpp.o.d"
+  "/root/repo/src/toolchain/toolchain.cpp" "src/toolchain/CMakeFiles/mfc_toolchain.dir/toolchain.cpp.o" "gcc" "src/toolchain/CMakeFiles/mfc_toolchain.dir/toolchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mfc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/post/CMakeFiles/mfc_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/mfc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mfc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mfc_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mfc_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_toolchain.dir/bench_suite.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/bench_suite.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/case_generators.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/case_generators.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/case_io.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/case_io.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/case_stack.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/case_stack.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/golden.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/golden.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/modules.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/modules.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/templates.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/templates.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/test_suite.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/test_suite.cpp.o.d"
+  "CMakeFiles/mfc_toolchain.dir/toolchain.cpp.o"
+  "CMakeFiles/mfc_toolchain.dir/toolchain.cpp.o.d"
+  "libmfc_toolchain.a"
+  "libmfc_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characteristics.dir/test_characteristics.cpp.o"
+  "CMakeFiles/test_characteristics.dir/test_characteristics.cpp.o.d"
+  "test_characteristics"
+  "test_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

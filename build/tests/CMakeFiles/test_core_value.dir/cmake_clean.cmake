@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_value.dir/test_core_value.cpp.o"
+  "CMakeFiles/test_core_value.dir/test_core_value.cpp.o.d"
+  "test_core_value"
+  "test_core_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

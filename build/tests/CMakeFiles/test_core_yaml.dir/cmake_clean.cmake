@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_yaml.dir/test_core_yaml.cpp.o"
+  "CMakeFiles/test_core_yaml.dir/test_core_yaml.cpp.o.d"
+  "test_core_yaml"
+  "test_core_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_halo.dir/test_grid_halo.cpp.o"
+  "CMakeFiles/test_grid_halo.dir/test_grid_halo.cpp.o.d"
+  "test_grid_halo"
+  "test_grid_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_riemann.dir/test_numerics_riemann.cpp.o"
+  "CMakeFiles/test_numerics_riemann.dir/test_numerics_riemann.cpp.o.d"
+  "test_numerics_riemann"
+  "test_numerics_riemann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_riemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

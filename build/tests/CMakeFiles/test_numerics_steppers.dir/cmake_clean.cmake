@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_steppers.dir/test_numerics_steppers.cpp.o"
+  "CMakeFiles/test_numerics_steppers.dir/test_numerics_steppers.cpp.o.d"
+  "test_numerics_steppers"
+  "test_numerics_steppers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_steppers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

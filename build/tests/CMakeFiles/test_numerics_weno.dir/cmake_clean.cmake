@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_weno.dir/test_numerics_weno.cpp.o"
+  "CMakeFiles/test_numerics_weno.dir/test_numerics_weno.cpp.o.d"
+  "test_numerics_weno"
+  "test_numerics_weno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_weno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_post.dir/test_post.cpp.o"
+  "CMakeFiles/test_post.dir/test_post.cpp.o.d"
+  "test_post"
+  "test_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_config.dir/test_solver_config.cpp.o"
+  "CMakeFiles/test_solver_config.dir/test_solver_config.cpp.o.d"
+  "test_solver_config"
+  "test_solver_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

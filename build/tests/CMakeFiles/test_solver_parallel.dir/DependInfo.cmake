@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_solver_parallel.cpp" "tests/CMakeFiles/test_solver_parallel.dir/test_solver_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_solver_parallel.dir/test_solver_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/mfc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/mfc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mfc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mfc_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mfc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/post/CMakeFiles/mfc_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mfc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mfc_toolchain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

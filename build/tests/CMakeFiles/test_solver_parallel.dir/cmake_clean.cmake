@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_parallel.dir/test_solver_parallel.cpp.o"
+  "CMakeFiles/test_solver_parallel.dir/test_solver_parallel.cpp.o.d"
+  "test_solver_parallel"
+  "test_solver_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_simulation.dir/test_solver_simulation.cpp.o"
+  "CMakeFiles/test_solver_simulation.dir/test_solver_simulation.cpp.o.d"
+  "test_solver_simulation"
+  "test_solver_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

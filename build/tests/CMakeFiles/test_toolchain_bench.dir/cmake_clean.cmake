@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_bench.dir/test_toolchain_bench.cpp.o"
+  "CMakeFiles/test_toolchain_bench.dir/test_toolchain_bench.cpp.o.d"
+  "test_toolchain_bench"
+  "test_toolchain_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

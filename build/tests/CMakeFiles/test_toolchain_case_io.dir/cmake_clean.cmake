@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_case_io.dir/test_toolchain_case_io.cpp.o"
+  "CMakeFiles/test_toolchain_case_io.dir/test_toolchain_case_io.cpp.o.d"
+  "test_toolchain_case_io"
+  "test_toolchain_case_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_case_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

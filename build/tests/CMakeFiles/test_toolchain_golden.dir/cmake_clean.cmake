@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_golden.dir/test_toolchain_golden.cpp.o"
+  "CMakeFiles/test_toolchain_golden.dir/test_toolchain_golden.cpp.o.d"
+  "test_toolchain_golden"
+  "test_toolchain_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

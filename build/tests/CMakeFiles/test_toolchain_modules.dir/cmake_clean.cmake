@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_modules.dir/test_toolchain_modules.cpp.o"
+  "CMakeFiles/test_toolchain_modules.dir/test_toolchain_modules.cpp.o.d"
+  "test_toolchain_modules"
+  "test_toolchain_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

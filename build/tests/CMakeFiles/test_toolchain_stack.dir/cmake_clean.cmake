@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_stack.dir/test_toolchain_stack.cpp.o"
+  "CMakeFiles/test_toolchain_stack.dir/test_toolchain_stack.cpp.o.d"
+  "test_toolchain_stack"
+  "test_toolchain_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_suite.dir/test_toolchain_suite.cpp.o"
+  "CMakeFiles/test_toolchain_suite.dir/test_toolchain_suite.cpp.o.d"
+  "test_toolchain_suite"
+  "test_toolchain_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
