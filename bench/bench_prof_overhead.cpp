@@ -1,0 +1,115 @@
+// Overhead budget of the mfc::prof instrumentation: the same standardized
+// case is stepped with profiling disabled, enabled, and enabled with
+// tracing, and the headline number is the enabled/disabled step-time
+// ratio. The observability layer is only honest if profiled grindtimes
+// match unprofiled runs — the acceptance budget is <2% overhead enabled.
+//
+// google-benchmark binary; run the summary mode with
+//   bench_prof_overhead --overhead-check
+// to get a single PASS/FAIL line against the 2% budget.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/timer.hpp"
+#include "prof/prof.hpp"
+#include "solver/case_config.hpp"
+#include "solver/simulation.hpp"
+
+namespace {
+
+using namespace mfc;
+
+CaseConfig overhead_case() {
+    // Large enough that per-row zones (weno_recon/riemann/flux_div) fire
+    // thousands of times per step, small enough to iterate quickly.
+    return standardized_benchmark_case(24, /*t_step_stop=*/1);
+}
+
+void BM_StepProfilingOff(benchmark::State& state) {
+    prof::set_enabled(false);
+    Simulation sim(overhead_case());
+    sim.initialize();
+    sim.step(); // warm-up
+    for (auto _ : state) sim.step();
+}
+BENCHMARK(BM_StepProfilingOff)->Unit(benchmark::kMillisecond);
+
+void BM_StepProfilingOn(benchmark::State& state) {
+    prof::set_enabled(true);
+    prof::set_tracing(false);
+    Simulation sim(overhead_case());
+    sim.initialize();
+    sim.step();
+    for (auto _ : state) {
+        sim.step();
+        // Bound accumulator growth across iterations; reset is cheap (an
+        // epoch bump) and outside the per-zone hot path being measured.
+        prof::reset();
+    }
+    prof::set_enabled(false);
+}
+BENCHMARK(BM_StepProfilingOn)->Unit(benchmark::kMillisecond);
+
+void BM_StepProfilingTracing(benchmark::State& state) {
+    prof::set_enabled(true);
+    prof::set_tracing(true);
+    Simulation sim(overhead_case());
+    sim.initialize();
+    sim.step();
+    for (auto _ : state) {
+        sim.step();
+        prof::reset();
+    }
+    prof::set_enabled(false);
+    prof::set_tracing(false);
+}
+BENCHMARK(BM_StepProfilingTracing)->Unit(benchmark::kMillisecond);
+
+/// Median-of-repeats seconds per step with the profiler in a given state.
+double seconds_per_step(bool enabled, int steps, int repeats) {
+    prof::set_enabled(enabled);
+    double best = 1.0e30;
+    for (int rep = 0; rep < repeats; ++rep) {
+        Simulation sim(overhead_case());
+        sim.initialize();
+        sim.step();
+        if (enabled) prof::reset();
+        const Timer t;
+        for (int s = 0; s < steps; ++s) sim.step();
+        best = std::min(best, t.seconds() / steps);
+    }
+    prof::set_enabled(false);
+    return best;
+}
+
+int overhead_check() {
+    const int steps = 10;
+    const int repeats = 5;
+    const double off = seconds_per_step(false, steps, repeats);
+    const double on = seconds_per_step(true, steps, repeats);
+    const double pct = 100.0 * (on - off) / off;
+    std::printf("profiling off: %.3f ms/step\n", off * 1e3);
+    std::printf("profiling on:  %.3f ms/step\n", on * 1e3);
+    std::printf("overhead:      %+.2f%% (budget < 2%%)\n", pct);
+    const bool pass = pct < 2.0;
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--overhead-check") == 0) {
+            return overhead_check();
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

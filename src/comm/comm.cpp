@@ -5,11 +5,15 @@
 #include <exception>
 #include <thread>
 
+#include "prof/prof.hpp"
+
 namespace mfc::comm {
 
 int Communicator::size() const { return world_->size(); }
 
 void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
+    prof::Zone zone("comm_send");
+    zone.add_bytes(static_cast<std::int64_t>(bytes));
     MFC_REQUIRE(dest >= 0 && dest < world_->size(), "send: bad destination rank");
     World::Message msg;
     msg.source = rank_;
@@ -29,6 +33,10 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
 }
 
 void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
+    // Blocking wait: time spent here is the receiver-side exposure of
+    // communication latency and load imbalance.
+    prof::Zone zone("comm_recv");
+    zone.add_bytes(static_cast<std::int64_t>(bytes));
     MFC_REQUIRE(source >= 0 && source < world_->size(), "recv: bad source rank");
     World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
     std::unique_lock<std::mutex> lock(box.mutex);
@@ -85,6 +93,7 @@ void Communicator::wait_all(std::vector<Request>& requests) {
 }
 
 void Communicator::barrier() {
+    PROF_ZONE("comm_barrier");
     World::BarrierState& b = world_->barrier_;
     std::unique_lock<std::mutex> lock(b.mutex);
     MFC_REQUIRE(!world_->failed_.load(), "barrier: a peer rank failed");
@@ -131,6 +140,7 @@ double Communicator::allreduce(double value, Op op) {
 }
 
 void Communicator::allreduce(std::vector<double>& values, Op op) {
+    PROF_ZONE("comm_allreduce");
     const std::size_t n = values.size();
     if (size() == 1) return;
     if (rank_ == 0) {

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "prof/prof.hpp"
+
 namespace mfc {
 
 namespace {
@@ -76,21 +78,26 @@ void unpack_face(Field& f, int dim, int side, bool interior, const double* buf) 
 }
 
 void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
+    static constexpr const char* kZone[3] = {"halo_x", "halo_y", "halo_z"};
     if (state.num_eqns() == 0) return;
     const Field& f0 = state.eq(0);
     const int g = ghosts_along(f0, dim);
     if (g == 0) return; // inactive dimension
+    prof::Zone zone(kZone[dim]);
 
     const std::size_t count = halo_slab_doubles(state, dim);
     const std::size_t per_eq = count / static_cast<std::size_t>(state.num_eqns());
     std::vector<double> send_lo(count), send_hi(count);
     std::vector<double> recv_lo(count), recv_hi(count);
 
-    for (int q = 0; q < state.num_eqns(); ++q) {
-        pack_face(state.eq(q), dim, -1, true,
-                  send_lo.data() + per_eq * static_cast<std::size_t>(q));
-        pack_face(state.eq(q), dim, +1, true,
-                  send_hi.data() + per_eq * static_cast<std::size_t>(q));
+    {
+        PROF_ZONE("halo_pack");
+        for (int q = 0; q < state.num_eqns(); ++q) {
+            pack_face(state.eq(q), dim, -1, true,
+                      send_lo.data() + per_eq * static_cast<std::size_t>(q));
+            pack_face(state.eq(q), dim, +1, true,
+                      send_hi.data() + per_eq * static_cast<std::size_t>(q));
+        }
     }
 
     const int lo_nbr = cart.neighbor(dim, -1);
@@ -107,6 +114,7 @@ void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
     }
     if (lo_nbr != comm::kProcNull) {
         comm.recv_doubles(lo_nbr, tag_up, recv_lo.data(), count);
+        PROF_ZONE("halo_unpack");
         for (int q = 0; q < state.num_eqns(); ++q) {
             unpack_face(state.eq(q), dim, -1, false,
                         recv_lo.data() + per_eq * static_cast<std::size_t>(q));
@@ -114,6 +122,7 @@ void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
     }
     if (hi_nbr != comm::kProcNull) {
         comm.recv_doubles(hi_nbr, tag_down, recv_hi.data(), count);
+        PROF_ZONE("halo_unpack");
         for (int q = 0; q < state.num_eqns(); ++q) {
             unpack_face(state.eq(q), dim, +1, false,
                         recv_hi.data() + per_eq * static_cast<std::size_t>(q));

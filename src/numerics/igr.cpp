@@ -1,6 +1,7 @@
 #include "numerics/igr.hpp"
 
 #include "core/error.hpp"
+#include "prof/prof.hpp"
 
 namespace mfc {
 
@@ -15,6 +16,7 @@ std::string to_string(const IgrParams& p) {
 
 void igr_elliptic_solve(const IgrParams& params, const Field& source,
                         double dx, bool warm, Field& sigma) {
+    PROF_ZONE("igr_elliptic");
     MFC_REQUIRE(params.iter_solver == 1 || params.iter_solver == 2,
                 "igr_iter_solver must be 1 (Jacobi) or 2 (Gauss-Seidel)");
     const Extents e = source.extents();

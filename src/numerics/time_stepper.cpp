@@ -1,6 +1,7 @@
 #include "numerics/time_stepper.hpp"
 
 #include "core/error.hpp"
+#include "prof/prof.hpp"
 
 namespace mfc {
 
@@ -23,6 +24,7 @@ int num_stages(TimeStepper ts) { return static_cast<int>(ts); }
 void linear_combine(double a, const StateArray& qa, double b,
                     const StateArray& qb, double c_dt, const StateArray& dq,
                     StateArray& q_out) {
+    PROF_ZONE("rk_update");
     MFC_DBG_ASSERT(qa.num_eqns() == q_out.num_eqns());
     for (int q = 0; q < q_out.num_eqns(); ++q) {
         const auto& va = qa.eq(q).raw();

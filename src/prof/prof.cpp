@@ -1,0 +1,343 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/error.hpp"
+
+namespace mfc::prof {
+
+namespace detail {
+
+namespace {
+
+[[nodiscard]] std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Cap on retained trace events per thread (~24 MB at 48 B/event); zones
+/// past the cap still accumulate, they just stop appending trace events.
+constexpr std::size_t kMaxTraceEvents = 1u << 19;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_epoch{1};
+std::atomic<std::int64_t> g_epoch_t0{0};
+
+} // namespace
+
+/// One accumulated zone node in a thread's call tree.
+struct Node {
+    const char* name = nullptr;
+    int parent = -1;
+    int depth = 0;
+    std::int64_t calls = 0;
+    std::int64_t inclusive_ns = 0;
+    std::int64_t child_ns = 0;
+    std::int64_t bytes = 0;
+    /// Children keyed by name pointer; zone entry does a linear scan,
+    /// which beats hashing for the handful of children real trees have.
+    std::vector<std::pair<const char*, int>> children;
+};
+
+struct Frame {
+    int node = -1;
+    std::int64_t start_ns = 0;
+};
+
+struct RawEvent {
+    const char* name;
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+};
+
+/// Mutated only by its owning thread, with no hot-path locking: a zone
+/// pair costs two clock reads plus vector bookkeeping. The trade-off is
+/// that cross-thread snapshot() may only run while the profiled threads
+/// are quiescent (after World::run joins, or between barriers) — which
+/// every report site already guarantees. thread_snapshot() reads the
+/// caller's own state and is always safe.
+struct ThreadState {
+    std::uint64_t epoch = 0;
+    std::uint32_t tid = 0;
+    std::vector<Node> nodes;   ///< roots have parent == -1
+    std::vector<std::pair<const char*, int>> roots;
+    std::vector<Frame> stack;
+    std::vector<RawEvent> events;
+
+    void clear() {
+        nodes.clear();
+        roots.clear();
+        stack.clear();
+        events.clear();
+    }
+};
+
+namespace {
+
+/// The registry owns every thread's state so reports remain readable
+/// after simMPI rank threads join. Leaked deliberately: thread-exit
+/// destructors must never race a dying registry.
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadState>> states;
+    std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+int find_child(const std::vector<std::pair<const char*, int>>& children,
+               const char* name) {
+    for (const auto& [n, idx] : children) {
+        if (n == name) return idx;
+    }
+    return -1;
+}
+
+} // namespace
+
+ThreadState& state() {
+    thread_local ThreadState* st = [] {
+        Registry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.states.push_back(std::make_unique<ThreadState>());
+        reg.states.back()->tid = reg.next_tid++;
+        return reg.states.back().get();
+    }();
+    return *st;
+}
+
+namespace {
+
+/// Find or create `name` as a child of the innermost open zone (or as a
+/// root), after lazily dropping data from a previous epoch.
+int resolve_child(ThreadState& st, const char* name) {
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+    if (st.epoch != epoch) { // first record since reset(): drop stale data
+        st.clear();
+        st.epoch = epoch;
+    }
+    auto& siblings =
+        st.stack.empty() ? st.roots : st.nodes[static_cast<std::size_t>(
+                                                  st.stack.back().node)]
+                                          .children;
+    int idx = find_child(siblings, name);
+    if (idx < 0) {
+        idx = static_cast<int>(st.nodes.size());
+        Node node;
+        node.name = name;
+        node.parent = st.stack.empty() ? -1 : st.stack.back().node;
+        node.depth = static_cast<int>(st.stack.size());
+        st.nodes.push_back(node);
+        // st.nodes may have reallocated; re-resolve the sibling list.
+        auto& sib = st.stack.empty()
+                        ? st.roots
+                        : st.nodes[static_cast<std::size_t>(
+                                       st.stack.back().node)]
+                              .children;
+        sib.emplace_back(name, idx);
+    }
+    return idx;
+}
+
+} // namespace
+
+void zone_begin(ThreadState& st, const char* name) {
+    st.stack.push_back(Frame{resolve_child(st, name), now_ns()});
+}
+
+void zone_end(ThreadState& st) {
+    MFC_ASSERT(!st.stack.empty());
+    const Frame frame = st.stack.back();
+    st.stack.pop_back();
+    const std::int64_t end = now_ns();
+    const std::int64_t elapsed = end - frame.start_ns;
+    Node& node = st.nodes[static_cast<std::size_t>(frame.node)];
+    node.calls += 1;
+    node.inclusive_ns += elapsed;
+    if (node.parent >= 0) {
+        st.nodes[static_cast<std::size_t>(node.parent)].child_ns += elapsed;
+    }
+    if (g_tracing.load(std::memory_order_relaxed) &&
+        st.events.size() < kMaxTraceEvents) {
+        st.events.push_back(RawEvent{node.name, frame.start_ns, end});
+    }
+}
+
+void zone_add_bytes(ThreadState& st, std::int64_t bytes) {
+    if (!st.stack.empty()) {
+        st.nodes[static_cast<std::size_t>(st.stack.back().node)].bytes += bytes;
+    }
+}
+
+} // namespace detail
+
+bool enabled() {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+    if (on && detail::g_epoch_t0.load(std::memory_order_relaxed) == 0) {
+        detail::g_epoch_t0.store(detail::now_ns(), std::memory_order_relaxed);
+    }
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool tracing() {
+    return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) {
+    detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+    detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+    detail::g_epoch_t0.store(detail::now_ns(), std::memory_order_relaxed);
+}
+
+void add_child_ns(const char* name, std::int64_t ns, std::int64_t calls) {
+    if (!enabled()) return;
+    detail::ThreadState& st = detail::state();
+    const int idx = detail::resolve_child(st, name);
+    detail::Node& node = st.nodes[static_cast<std::size_t>(idx)];
+    node.calls += calls;
+    node.inclusive_ns += ns;
+    if (node.parent >= 0) {
+        st.nodes[static_cast<std::size_t>(node.parent)].child_ns += ns;
+    }
+}
+
+const ZoneStats* Report::find(const std::string& path) const {
+    for (const ZoneStats& z : zones) {
+        if (z.path == path) return &z;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/// Merge one thread's tree into the path-keyed accumulator. std::map's
+/// lexicographic order keeps subtrees contiguous ("a" < "a/b" < "a/c").
+void merge_thread(const detail::ThreadState& st,
+                  std::map<std::string, ZoneStats>& merged, double& total_ns) {
+    std::vector<std::string> paths(st.nodes.size());
+    for (std::size_t n = 0; n < st.nodes.size(); ++n) {
+        const detail::Node& node = st.nodes[n];
+        paths[n] = node.parent < 0
+                       ? std::string(node.name)
+                       : paths[static_cast<std::size_t>(node.parent)] + "/" +
+                             node.name;
+        ZoneStats& z = merged[paths[n]];
+        z.path = paths[n];
+        z.name = node.name;
+        z.depth = node.depth;
+        z.calls += node.calls;
+        z.inclusive_ns += static_cast<double>(node.inclusive_ns);
+        z.exclusive_ns +=
+            static_cast<double>(node.inclusive_ns - node.child_ns);
+        z.bytes += node.bytes;
+        if (node.parent < 0) total_ns += static_cast<double>(node.inclusive_ns);
+    }
+}
+
+Report build_report(const std::vector<const detail::ThreadState*>& states) {
+    std::map<std::string, ZoneStats> merged;
+    Report report;
+    for (const detail::ThreadState* st : states) {
+        merge_thread(*st, merged, report.total_ns);
+    }
+    report.zones.reserve(merged.size());
+    for (auto& [path, z] : merged) report.zones.push_back(std::move(z));
+    return report;
+}
+
+} // namespace
+
+Report snapshot() {
+    auto& reg = detail::registry();
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_relaxed);
+    std::vector<const detail::ThreadState*> states;
+    {
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        for (const auto& st : reg.states) {
+            if (st->epoch == epoch) states.push_back(st.get());
+        }
+    }
+    return build_report(states);
+}
+
+Report thread_snapshot() {
+    detail::ThreadState& st = detail::state();
+    if (st.epoch != detail::g_epoch.load(std::memory_order_relaxed)) {
+        return {};
+    }
+    return build_report({&st});
+}
+
+std::vector<TraceEvent> trace_events() {
+    auto& reg = detail::registry();
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_relaxed);
+    const std::int64_t t0 =
+        detail::g_epoch_t0.load(std::memory_order_relaxed);
+    std::vector<TraceEvent> events;
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& st : reg.states) {
+        if (st->epoch != epoch) continue;
+        for (const detail::RawEvent& e : st->events) {
+            TraceEvent out;
+            out.name = e.name;
+            out.tid = st->tid;
+            out.ts_us = static_cast<double>(e.start_ns - t0) * 1.0e-3;
+            out.dur_us = static_cast<double>(e.end_ns - e.start_ns) * 1.0e-3;
+            events.push_back(out);
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.ts_us < b.ts_us;
+              });
+    return events;
+}
+
+std::string chrome_trace_json() {
+    // The Trace Event Format's JSON-array flavor: complete ("X") events
+    // with microsecond timestamps. Zone names are string literals from
+    // the instrumentation points, so no JSON escaping is required.
+    std::string out = "[\n";
+    bool first = true;
+    char buf[256];
+    for (const TraceEvent& e : trace_events()) {
+        if (!first) out += ",\n";
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"cat\":\"mfc\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                      e.name, e.ts_us, e.dur_us, e.tid);
+        out += buf;
+    }
+    out += "\n]\n";
+    return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+    std::ofstream out(path);
+    MFC_REQUIRE(out.good(), "prof: cannot open trace file: " + path);
+    out << chrome_trace_json();
+    MFC_REQUIRE(out.good(), "prof: trace write failed: " + path);
+}
+
+} // namespace mfc::prof

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Compile-time gate for the profiling subsystem. Building with
+/// -DMFC_PROF_COMPILED=0 (CMake option MFCPP_PROFILING=OFF) turns every
+/// Zone into an empty inline object the optimizer deletes, so production
+/// builds pay nothing for the instrumentation points.
+#ifndef MFC_PROF_COMPILED
+#define MFC_PROF_COMPILED 1
+#endif
+
+namespace mfc::prof {
+
+/// mfc::prof — kernel-level phase profiler (the observability layer the
+/// paper's grindtime methodology implies but MFC delegates to vendor
+/// tools). Hot paths declare RAII zones:
+///
+///     void RhsEvaluator::evaluate(...) {
+///         PROF_ZONE("rhs");
+///         ...
+///     }
+///
+/// Zones nest through a per-thread call stack, so each simMPI rank
+/// (thread) accumulates its own tree of {calls, inclusive ns, exclusive
+/// ns, bytes} with no cross-rank contention. Aggregation happens only
+/// when a report is requested: snapshot() merges every thread,
+/// thread_snapshot() gives the calling rank's view (reduced across ranks
+/// with prof/reduce.hpp), and report.hpp turns either into a per-phase
+/// grindtime decomposition, text table, YAML, or chrome://tracing JSON.
+///
+/// Profiling is disabled by default at runtime; a disabled zone costs one
+/// relaxed atomic load. reset() starts a new measurement epoch — call it
+/// between the warm-up and the timed region, while no zones are open.
+
+// --- Runtime control ------------------------------------------------------
+
+/// Master switch; zones entered while disabled record nothing.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Event tracing for chrome://tracing export. Independent of the
+/// accumulators: tracing costs memory per zone entry, so it is off unless
+/// a trace file was requested.
+[[nodiscard]] bool tracing();
+void set_tracing(bool on);
+
+/// Start a new measurement epoch: every thread's accumulated zones and
+/// trace events are discarded (lazily, on its next zone entry). Must not
+/// be called while any thread has a zone open.
+void reset();
+
+// --- Manual segment timing ------------------------------------------------
+
+/// Monotonic clock read for manual segment timing (see add_child_ns).
+[[nodiscard]] inline std::int64_t clock_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Bulk-credit `ns` of time and `calls` entries to a named child of the
+/// calling thread's innermost open zone (a root zone if none is open).
+/// Inner loops whose bodies run for microseconds cannot afford a scoped
+/// Zone per iteration; they time segments with clock_ns() and credit
+/// each phase once per loop, which keeps the enabled-profiler overhead
+/// within budget. Bulk-credited children emit no trace events. No-op
+/// while the profiler is disabled.
+void add_child_ns(const char* name, std::int64_t ns, std::int64_t calls = 1);
+
+// --- Aggregated results ---------------------------------------------------
+
+/// One aggregated zone. `path` is the '/'-joined chain of zone names from
+/// the root ("step/rhs/weno_x"); exclusive time is inclusive time minus
+/// the inclusive time of the zone's children, so exclusive times sum to
+/// the total measured time with no double counting.
+struct ZoneStats {
+    std::string path;
+    std::string name;
+    int depth = 0;
+    std::int64_t calls = 0;
+    double inclusive_ns = 0.0;
+    double exclusive_ns = 0.0;
+    std::int64_t bytes = 0;
+};
+
+struct Report {
+    /// Sorted by path, which keeps each subtree contiguous and parents
+    /// before their children.
+    std::vector<ZoneStats> zones;
+    /// Sum of root-zone inclusive time: the total measured wall time.
+    double total_ns = 0.0;
+
+    [[nodiscard]] const ZoneStats* find(const std::string& path) const;
+};
+
+/// Merge every thread that recorded zones in the current epoch. The hot
+/// path is lock-free, so call this only while the profiled threads are
+/// quiescent (after World::run joins, or between barriers).
+[[nodiscard]] Report snapshot();
+
+/// The calling thread only — each simMPI rank's private profile.
+[[nodiscard]] Report thread_snapshot();
+
+// --- Chrome trace ---------------------------------------------------------
+
+/// chrome://tracing "complete" event, microsecond timestamps relative to
+/// the current epoch's start.
+struct TraceEvent {
+    const char* name;
+    std::uint32_t tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+};
+
+[[nodiscard]] std::vector<TraceEvent> trace_events();
+
+/// JSON-array Chrome trace format (load via chrome://tracing or Perfetto).
+[[nodiscard]] std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+// --- Zone implementation --------------------------------------------------
+
+namespace detail {
+
+struct ThreadState;
+
+/// Registered, registry-owned state for the calling thread.
+[[nodiscard]] ThreadState& state();
+
+void zone_begin(ThreadState& st, const char* name);
+void zone_end(ThreadState& st);
+void zone_add_bytes(ThreadState& st, std::int64_t bytes);
+
+} // namespace detail
+
+/// RAII scoped zone. `name` must outlive the profiler (string literals;
+/// names are keyed by pointer so repeated entries are O(children) cheap).
+class Zone {
+public:
+    explicit Zone(const char* name) {
+#if MFC_PROF_COMPILED
+        if (enabled()) {
+            st_ = &detail::state();
+            detail::zone_begin(*st_, name);
+        }
+#else
+        (void)name;
+#endif
+    }
+    Zone(const Zone&) = delete;
+    Zone& operator=(const Zone&) = delete;
+    ~Zone() {
+#if MFC_PROF_COMPILED
+        if (st_ != nullptr) detail::zone_end(*st_);
+#endif
+    }
+
+    /// Attribute moved bytes (halo payloads, collective payloads) to the
+    /// zone, feeding the bytes column of the report.
+    void add_bytes(std::int64_t bytes) {
+#if MFC_PROF_COMPILED
+        if (st_ != nullptr) detail::zone_add_bytes(*st_, bytes);
+#else
+        (void)bytes;
+#endif
+    }
+
+private:
+#if MFC_PROF_COMPILED
+    detail::ThreadState* st_ = nullptr;
+#endif
+};
+
+} // namespace mfc::prof
+
+#define MFC_PROF_CONCAT2(a, b) a##b
+#define MFC_PROF_CONCAT(a, b) MFC_PROF_CONCAT2(a, b)
+/// Scoped zone covering the rest of the enclosing block.
+#define PROF_ZONE(name) \
+    ::mfc::prof::Zone MFC_PROF_CONCAT(mfc_prof_zone_, __LINE__) { name }

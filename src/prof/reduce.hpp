@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/table.hpp"
+#include "prof/prof.hpp"
+
+namespace mfc::prof {
+
+/// Cross-rank view of one zone. Decomposed runs report min/mean/max of
+/// per-rank exclusive time so load imbalance (e.g. boundary ranks doing
+/// less halo traffic than interior ranks) is visible per phase. A zone a
+/// rank never entered contributes 0 to the min.
+struct ReducedZone {
+    std::string path;
+    int depth = 0;
+    std::int64_t calls = 0; ///< summed over ranks
+    double min_ns = 0.0;
+    double mean_ns = 0.0;
+    double max_ns = 0.0;
+    std::int64_t bytes = 0; ///< summed over ranks
+};
+
+/// Header-only because it sits between two libraries: mfc_comm's
+/// collectives carry prof zones (so mfc_comm links mfc_prof), while this
+/// reduction needs a Communicator — inlining it avoids the cycle.
+///
+/// Every rank passes its thread_snapshot(); rank 0 returns the reduced
+/// zones, other ranks an empty vector. Rank zone sets may differ (physical
+/// boundaries skip sends), so reduction is by path, not by position.
+inline std::vector<ReducedZone> reduce_report(const Report& local,
+                                              comm::Communicator& comm) {
+    // Tags chosen clear of the halo exchange's 0..5 range.
+    constexpr int kSizeTag = 9101;
+    constexpr int kDataTag = 9102;
+
+    std::ostringstream body;
+    for (const ZoneStats& z : local.zones) {
+        body << z.path << '\t' << z.depth << '\t' << z.calls << '\t'
+             << z.exclusive_ns << '\t' << z.bytes << '\n';
+    }
+    const std::string mine = body.str();
+
+    if (comm.rank() != 0) {
+        const std::uint64_t size = mine.size();
+        comm.send(0, kSizeTag, &size, sizeof size);
+        if (size > 0) comm.send(0, kDataTag, mine.data(), size);
+        return {};
+    }
+
+    struct Accum {
+        int depth = 0;
+        std::int64_t calls = 0;
+        double min_ns = 0.0;
+        double sum_ns = 0.0;
+        double max_ns = 0.0;
+        std::int64_t bytes = 0;
+        int present = 0;
+    };
+    std::map<std::string, Accum> merged;
+    const auto merge_text = [&merged](const std::string& text) {
+        std::istringstream in(text);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::istringstream fields(line);
+            std::string path;
+            Accum one;
+            double excl = 0.0;
+            std::getline(fields, path, '\t');
+            fields >> one.depth >> one.calls >> excl >> one.bytes;
+            Accum& a = merged[path];
+            a.depth = one.depth;
+            a.calls += one.calls;
+            a.bytes += one.bytes;
+            a.sum_ns += excl;
+            a.max_ns = a.present == 0 ? excl : std::max(a.max_ns, excl);
+            a.min_ns = a.present == 0 ? excl : std::min(a.min_ns, excl);
+            a.present += 1;
+        }
+    };
+
+    merge_text(mine);
+    for (int rank = 1; rank < comm.size(); ++rank) {
+        std::uint64_t size = 0;
+        comm.recv(rank, kSizeTag, &size, sizeof size);
+        if (size == 0) continue;
+        std::string text(size, '\0');
+        comm.recv(rank, kDataTag, text.data(), size);
+        merge_text(text);
+    }
+
+    std::vector<ReducedZone> out;
+    out.reserve(merged.size());
+    for (const auto& [path, a] : merged) {
+        ReducedZone z;
+        z.path = path;
+        z.depth = a.depth;
+        z.calls = a.calls;
+        z.min_ns = a.present < comm.size() ? 0.0 : a.min_ns;
+        z.mean_ns = a.sum_ns / static_cast<double>(comm.size());
+        z.max_ns = a.max_ns;
+        z.bytes = a.bytes;
+        out.push_back(std::move(z));
+    }
+    return out;
+}
+
+/// Rank-0 table for decomposed `mfc profile` runs: per-phase mean
+/// exclusive time with the min/max spread across ranks.
+inline TextTable reduced_table(const std::vector<ReducedZone>& zones) {
+    TextTable t({"Phase", "Calls", "Mean [ms]", "Min [ms]", "Max [ms]"});
+    for (std::size_t col = 1; col < 5; ++col) {
+        t.set_align(col, TextTable::Align::Right);
+    }
+    for (const ReducedZone& z : zones) {
+        const std::string indent(static_cast<std::size_t>(2 * z.depth), ' ');
+        const std::string leaf = z.path.substr(z.path.rfind('/') + 1);
+        t.add_row({indent + leaf, std::to_string(z.calls),
+                   format_fixed(z.mean_ns * 1.0e-6, 3),
+                   format_fixed(z.min_ns * 1.0e-6, 3),
+                   format_fixed(z.max_ns * 1.0e-6, 3)});
+    }
+    return t;
+}
+
+} // namespace mfc::prof

@@ -1,0 +1,66 @@
+#include "prof/report.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace mfc::prof {
+
+GrindDecomposition grind_decomposition(const Report& report,
+                                       std::int64_t grid_points,
+                                       std::int64_t equations,
+                                       std::int64_t rhs_evals) {
+    MFC_REQUIRE(grid_points > 0 && equations > 0 && rhs_evals > 0,
+                "grind_decomposition: work factors must be positive");
+    const double work = static_cast<double>(grid_points) *
+                        static_cast<double>(equations) *
+                        static_cast<double>(rhs_evals);
+    GrindDecomposition d;
+    d.total_ns = report.total_ns;
+    for (const ZoneStats& z : report.zones) {
+        PhaseGrind p;
+        p.path = z.path;
+        p.depth = z.depth;
+        p.calls = z.calls;
+        p.exclusive_ns = z.exclusive_ns;
+        p.grind_ns = z.exclusive_ns / work;
+        p.percent =
+            report.total_ns > 0.0 ? 100.0 * z.exclusive_ns / report.total_ns : 0.0;
+        p.bytes = z.bytes;
+        d.total_grind_ns += p.grind_ns;
+        d.phases.push_back(std::move(p));
+    }
+    return d;
+}
+
+TextTable decomposition_table(const GrindDecomposition& d, double min_percent) {
+    TextTable t({"Phase", "Calls", "Excl [ms]", "Grind [ns]", "Share"});
+    for (std::size_t col = 1; col < 5; ++col) {
+        t.set_align(col, TextTable::Align::Right);
+    }
+    for (const PhaseGrind& p : d.phases) {
+        if (p.percent < min_percent) continue;
+        const std::string indent(static_cast<std::size_t>(2 * p.depth), ' ');
+        const std::string leaf = p.path.substr(p.path.rfind('/') + 1);
+        t.add_row({indent + leaf, std::to_string(p.calls),
+                   format_fixed(p.exclusive_ns * 1.0e-6, 3),
+                   format_fixed(p.grind_ns, 4),
+                   format_fixed(p.percent, 1) + "%"});
+    }
+    t.add_row({"total", "", format_fixed(d.total_ns * 1.0e-6, 3),
+               format_fixed(d.total_grind_ns, 4), "100.0%"});
+    return t;
+}
+
+Yaml phases_yaml(const GrindDecomposition& d) {
+    Yaml node;
+    for (const PhaseGrind& p : d.phases) {
+        Yaml& entry = node[p.path];
+        entry["grind_ns"].set(Value(p.grind_ns));
+        entry["pct"].set(Value(p.percent));
+        entry["calls"].set(Value(p.calls));
+    }
+    return node;
+}
+
+} // namespace mfc::prof

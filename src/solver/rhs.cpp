@@ -6,12 +6,19 @@
 #include "numerics/weno.hpp"
 #include "physics/characteristics.hpp"
 #include "physics/flux.hpp"
+#include "prof/prof.hpp"
 
 namespace mfc {
 
 namespace {
 
 constexpr int kMaxEqns = 16;
+
+// Per-direction zone names (string literals: prof keys them by pointer).
+constexpr const char* kWenoZone[3] = {"weno_x", "weno_y", "weno_z"};
+constexpr const char* kIgrZone[3] = {"igr_x", "igr_y", "igr_z"};
+constexpr const char* kViscousZone[3] = {"viscous_x", "viscous_y",
+                                         "viscous_z"};
 
 int extent_along(const Extents& e, int dim) {
     return dim == 0 ? e.nx : dim == 1 ? e.ny : e.nz;
@@ -65,6 +72,7 @@ RhsEvaluator::RhsEvaluator(const CaseConfig& config, const LocalBlock& block)
 }
 
 void RhsEvaluator::compute_primitives(const StateArray& cons) {
+    PROF_ZONE("prim_convert");
     double cbuf[kMaxEqns];
     double pbuf[kMaxEqns];
     const int neq = lay_.num_eqns();
@@ -92,27 +100,40 @@ void RhsEvaluator::compute_primitives(const StateArray& cons) {
 }
 
 void RhsEvaluator::evaluate(const StateArray& cons, StateArray& dq) {
+    PROF_ZONE("rhs");
     for (int q = 0; q < dq.num_eqns(); ++q) dq.eq(q).fill(0.0);
     compute_primitives(cons);
     if (igr_.enabled) {
         compute_igr_sigma();
         for (int d = 0; d < 3; ++d) {
-            if (active(local_, d)) sweep_igr(d, dq);
+            if (!active(local_, d)) continue;
+            prof::Zone zone(kIgrZone[d]);
+            sweep_igr(d, dq);
         }
     } else {
         for (int d = 0; d < 3; ++d) {
-            if (active(local_, d)) sweep_weno(d, dq);
+            if (!active(local_, d)) continue;
+            prof::Zone zone(kWenoZone[d]);
+            sweep_weno(d, dq);
         }
     }
     if (viscous_) {
         for (int d = 0; d < 3; ++d) {
-            if (active(local_, d)) sweep_viscous(d, dq);
+            if (!active(local_, d)) continue;
+            prof::Zone zone(kViscousZone[d]);
+            sweep_viscous(d, dq);
         }
     }
     const bool has_gravity =
         gravity_[0] != 0.0 || gravity_[1] != 0.0 || gravity_[2] != 0.0;
-    if (has_gravity) add_body_forces(dq);
-    if (!monopoles_.empty()) add_monopole_sources(dq);
+    if (has_gravity) {
+        PROF_ZONE("body_forces");
+        add_body_forces(dq);
+    }
+    if (!monopoles_.empty()) {
+        PROF_ZONE("monopoles");
+        add_monopole_sources(dq);
+    }
 }
 
 void RhsEvaluator::add_monopole_sources(StateArray& dq) {
@@ -307,9 +328,23 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
     const int lim_t1 = dim == 0 ? lim_j : lim_t;
     const int lim_t2 = dim == 2 ? local_.ny : lim_k;
 
+    // Per-row scoped zones would breach the profiler's overhead budget
+    // (six clock reads plus tree bookkeeping per microsecond-scale row),
+    // so the row phases are timed manually with shared timestamps and
+    // bulk-credited to child zones of the enclosing weno_{x,y,z} zone
+    // once per sweep.
+    const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
+    std::int64_t recon_ns = 0;
+    std::int64_t riemann_ns = 0;
+    std::int64_t div_ns = 0;
+    std::int64_t rows = 0;
+
     double stencil[8];
     for (int t2 = 0; t2 < lim_t2; ++t2) {
         for (int t1 = 0; t1 < lim_t1; ++t1) {
+            std::int64_t t_start = 0;
+            std::int64_t t_mid = 0;
+            if (timed) t_start = prof::clock_ns();
             const auto cell_index = [&](int c, int& i, int& j, int& k) {
                 switch (dim) {
                 case 0: i = c; j = t1; k = t2; return;
@@ -323,7 +358,9 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                 // project the conservative stencil onto the flux
                 // Jacobian's eigenvectors at the face-average state,
                 // reconstruct the two adjacent cells' edge values in
-                // characteristic space, and project back.
+                // characteristic space, and project back. Projection,
+                // reconstruction, and the Riemann solve are interleaved
+                // per face, so one segment covers the fused loop.
                 double prim_avg[kMaxEqns];
                 double cons_stencil[8][kMaxEqns]; // cells f-1-r .. f+r
                 double w_stencil[8][kMaxEqns];
@@ -395,7 +432,12 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                         &flux_row_[static_cast<std::size_t>(f) *
                                    static_cast<std::size_t>(neq)]);
                 }
+                if (timed) {
+                    t_mid = prof::clock_ns();
+                    recon_ns += t_mid - t_start; // credited as char_riemann
+                }
             } else {
+            {
             // Edge reconstruction for cells [-1, n].
             for (int c = -1; c <= n; ++c) {
                 int i = 0, j = 0, k = 0;
@@ -447,6 +489,13 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     }
                 }
             }
+            } // reconstruction segment
+
+            std::int64_t t_recon = 0;
+            if (timed) {
+                t_recon = prof::clock_ns();
+                recon_ns += t_recon - t_start;
+            }
 
             // Riemann fluxes at faces [0, n]. Face f separates cells f-1, f.
             for (int f = 0; f <= n; ++f) {
@@ -460,6 +509,10 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     riemann_, lay_, fluids_, prim_l, prim_r, dim,
                     &flux_row_[static_cast<std::size_t>(f) *
                                static_cast<std::size_t>(neq)]);
+            }
+            if (timed) {
+                t_mid = prof::clock_ns();
+                riemann_ns += t_mid - t_recon;
             }
             } // component-wise (non-characteristic) path
 
@@ -492,13 +545,25 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     }
                 }
             }
+            if (timed) {
+                div_ns += prof::clock_ns() - t_mid;
+                ++rows;
+            }
         }
+    }
+
+    if (timed && rows > 0) {
+        prof::add_child_ns(char_decomp_ ? "char_riemann" : "weno_recon",
+                           recon_ns, rows);
+        if (!char_decomp_) prof::add_child_ns("riemann", riemann_ns, rows);
+        prof::add_child_ns("flux_div", div_ns, rows);
     }
 }
 
 void RhsEvaluator::compute_igr_sigma() {
     // Source: alf * rho * [ (div u)^2 + tr((grad u)^2) ] from centered
     // velocity gradients; ghost layers supply the one-sided neighbors.
+    PROF_ZONE("igr_sigma");
     const double alf = igr_.alf_factor * dx(0) * dx(0);
     double grad[3][3];
     for (int k = 0; k < local_.nz; ++k) {

@@ -9,6 +9,7 @@
 #include "grid/halo.hpp"
 #include "numerics/cfl.hpp"
 #include "numerics/relaxation.hpp"
+#include "prof/prof.hpp"
 
 namespace mfc {
 
@@ -119,15 +120,18 @@ void Simulation::fill_ghosts(StateArray& q) {
     // after dimension d, all ghosts of dimensions <= d are valid,
     // including the edge/corner ghosts multi-dimensional stencils
     // (viscous cross-derivatives) read.
+    PROF_ZONE("ghosts");
     if (cart_ != nullptr) {
         for (int d = 0; d < 3; ++d) {
             exchange_halos_dim(*cart_, q, d);
+            PROF_ZONE("bc");
             apply_boundary_conditions_dim(lay_, cfg_.bc, faces_,
                                           /*serial_periodic=*/false, d, q);
         }
     } else {
         const PhysicalFaces all;
         for (int d = 0; d < 3; ++d) {
+            PROF_ZONE("bc");
             apply_boundary_conditions_dim(lay_, cfg_.bc, all,
                                           /*serial_periodic=*/true, d, q);
         }
@@ -139,6 +143,7 @@ double Simulation::stable_dt() {
     // global maximum characteristic speed needs an allreduce in
     // decomposed runs — the per-step collective whose latency the scaling
     // model charges.
+    PROF_ZONE("stable_dt");
     std::vector<double> cons(static_cast<std::size_t>(lay_.num_eqns()));
     std::vector<double> prim(cons.size());
     double vmax = 0.0;
@@ -170,9 +175,12 @@ double Simulation::stable_dt() {
 }
 
 void Simulation::step() {
+    PROF_ZONE("step");
     const RhsFn rhs_fn = [this](const StateArray& q, StateArray& dq) {
         // The stepper hands back the state it is about to differentiate;
-        // ghosts must be refreshed for every stage.
+        // ghosts must be refreshed for every stage. One zone per RK
+        // stage: `calls` counts RHS evaluations, the grindtime divisor.
+        PROF_ZONE("rk_stage");
         fill_ghosts(const_cast<StateArray&>(q));
         rhs_->evaluate(q, dq);
         ++rhs_count_;
@@ -180,6 +188,7 @@ void Simulation::step() {
     StageFixupFn fixup;
     if (cfg_.model == ModelKind::SixEquation) {
         fixup = [this](StateArray& q) {
+            PROF_ZONE("relaxation");
             pressure_relaxation(lay_, cfg_.fluids, q);
         };
     }
@@ -198,6 +207,7 @@ constexpr std::uint64_t kRestartMagic = 0x4d46435265737430ull; // "MFCRest0"
 } // namespace
 
 void Simulation::save_restart(const std::string& path) const {
+    PROF_ZONE("io_restart");
     std::ofstream out(path, std::ios::binary);
     MFC_REQUIRE(out.good(), "restart: cannot open for write: " + path);
     const auto put = [&](const void* data, std::size_t bytes) {
@@ -227,6 +237,7 @@ void Simulation::save_restart(const std::string& path) const {
 }
 
 void Simulation::load_restart(const std::string& path) {
+    PROF_ZONE("io_restart");
     std::ifstream in(path, std::ios::binary);
     MFC_REQUIRE(in.good(), "restart: cannot open for read: " + path);
     const auto get = [&](void* data, std::size_t bytes) {

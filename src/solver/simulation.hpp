@@ -66,6 +66,13 @@ public:
 
     [[nodiscard]] double wall_seconds() const { return wall_; }
     [[nodiscard]] long long rhs_evals() const { return rhs_count_; }
+    /// Zero the wall clock and RHS-evaluation counter without touching
+    /// the physical state, so warm-up steps (cold caches, first-touch
+    /// allocation) do not pollute grindtime.
+    void reset_instrumentation() {
+        wall_ = 0.0;
+        rhs_count_ = 0;
+    }
     /// ns per (global) grid point, equation, and RHS evaluation.
     [[nodiscard]] double grindtime() const;
 

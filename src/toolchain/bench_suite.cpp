@@ -4,6 +4,9 @@
 
 #include "comm/cart.hpp"
 #include "core/error.hpp"
+#include "prof/prof.hpp"
+#include "prof/reduce.hpp"
+#include "prof/report.hpp"
 #include "solver/simulation.hpp"
 
 namespace mfc::toolchain {
@@ -21,12 +24,30 @@ int edge_from_memory(double mem_gb, int num_eqns) {
     return std::max(edge, 8);
 }
 
+/// Scoped enable of the profiler that restores the previous state, so
+/// benchmarking inside an application that profiles (or not) is neutral.
+class ProfilingScope {
+public:
+    explicit ProfilingScope(bool on) : prev_(prof::enabled()) {
+        prof::set_enabled(on);
+        if (on) prof::reset();
+    }
+    ProfilingScope(const ProfilingScope&) = delete;
+    ProfilingScope& operator=(const ProfilingScope&) = delete;
+    ~ProfilingScope() { prof::set_enabled(prev_); }
+
+private:
+    bool prev_;
+};
+
 } // namespace
 
-BenchSuite::BenchSuite(double mem_per_rank_gb, int ranks)
-    : mem_gb_(mem_per_rank_gb), ranks_(ranks) {
+BenchSuite::BenchSuite(double mem_per_rank_gb, int ranks, BenchOptions options)
+    : mem_gb_(mem_per_rank_gb), ranks_(ranks), options_(options) {
     MFC_REQUIRE(mem_per_rank_gb > 0.0, "bench: --mem must be positive");
     MFC_REQUIRE(ranks >= 1, "bench: -n must be positive");
+    MFC_REQUIRE(options.warmup_steps >= 0,
+                "bench: warm-up steps must be non-negative");
 }
 
 const std::vector<std::string>& BenchSuite::case_names() {
@@ -98,20 +119,40 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
     r.cells = config.grid.total_cells();
     r.eqns = config.layout().num_eqns();
     r.steps = config.t_step_stop;
+    r.warmup_steps = options_.warmup_steps;
     r.ranks = ranks_;
+
+    const ProfilingScope profiling(options_.profile);
 
     if (ranks_ == 1) {
         Simulation sim(config);
         sim.initialize();
+        // Warm-up: pay cold-cache/first-touch cost outside the timing.
+        for (int s = 0; s < options_.warmup_steps; ++s) sim.step();
+        sim.reset_instrumentation();
+        if (options_.profile) prof::reset();
         sim.run();
         r.wall_s = sim.wall_seconds();
         r.grindtime_ns = sim.grindtime();
+        if (options_.profile) {
+            const prof::GrindDecomposition d = prof::grind_decomposition(
+                prof::thread_snapshot(), r.cells, r.eqns, sim.rhs_evals());
+            for (const prof::PhaseGrind& p : d.phases) {
+                r.phases.push_back(BenchPhase{p.path, p.depth, p.calls,
+                                              p.grind_ns, p.grind_ns,
+                                              p.grind_ns, p.percent});
+            }
+        }
         return r;
     }
 
-    // Decomposed execution through simMPI; rank 0 reports timing.
+    // Decomposed execution through simMPI; rank 0 reports timing and the
+    // cross-rank min/mean/max phase decomposition.
     double wall = 0.0;
     double grind = 0.0;
+    std::vector<BenchPhase> phases;
+    const bool profile = options_.profile;
+    const int warmup = options_.warmup_steps;
     comm::World world(ranks_);
     world.run([&](comm::Communicator& comm) {
         const std::array<int, 3> dims = comm::dims_create(ranks_, 3);
@@ -123,9 +164,48 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
         comm::CartComm cart(comm, dims, periodic);
         Simulation sim(config, cart);
         sim.initialize();
+        for (int s = 0; s < warmup; ++s) sim.step();
+        sim.reset_instrumentation();
+        // Epoch reset between two barriers, with the profiler disabled so
+        // the synchronization itself stays out of the phase decomposition;
+        // barrier semantics guarantee every rank sees enabled == false
+        // before any rank re-enables and starts the timed run.
+        if (profile) prof::set_enabled(false);
         comm.barrier();
+        if (profile && comm.rank() == 0) prof::reset();
+        comm.barrier();
+        if (profile) prof::set_enabled(true);
         sim.run();
+        if (profile) prof::set_enabled(false);
         comm.barrier();
+        if (profile) {
+            const double work = static_cast<double>(r.cells) *
+                                static_cast<double>(r.eqns) *
+                                static_cast<double>(sim.rhs_evals());
+            const std::vector<prof::ReducedZone> reduced =
+                prof::reduce_report(prof::thread_snapshot(), comm);
+            if (comm.rank() == 0) {
+                // Exclusive times sum to the total measured time, so the
+                // sum over all zones is the per-rank mean total.
+                double total_mean_ns = 0.0;
+                for (const prof::ReducedZone& z : reduced) {
+                    total_mean_ns += z.mean_ns;
+                }
+                for (const prof::ReducedZone& z : reduced) {
+                    BenchPhase p;
+                    p.path = z.path;
+                    p.depth = z.depth;
+                    p.calls = z.calls;
+                    p.grind_ns = z.mean_ns / work;
+                    p.min_grind_ns = z.min_ns / work;
+                    p.max_grind_ns = z.max_ns / work;
+                    p.percent = total_mean_ns > 0.0
+                                    ? 100.0 * z.mean_ns / total_mean_ns
+                                    : 0.0;
+                    phases.push_back(std::move(p));
+                }
+            }
+        }
         if (comm.rank() == 0) {
             wall = sim.wall_seconds();
             grind = sim.grindtime();
@@ -133,6 +213,7 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
     });
     r.wall_s = wall;
     r.grindtime_ns = grind;
+    r.phases = std::move(phases);
     return r;
 }
 
@@ -141,6 +222,8 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
     root["metadata"]["invocation"].set(Value(invocation));
     root["metadata"]["mem_per_rank_gb"].set(Value(mem_gb_));
     root["metadata"]["ranks"].set(Value(static_cast<long long>(ranks_)));
+    root["metadata"]["warmup_steps"].set(
+        Value(static_cast<long long>(options_.warmup_steps)));
     for (const std::string& name : case_names()) {
         const BenchCaseResult r = run_case(name);
         Yaml& node = root["cases"][name];
@@ -149,28 +232,77 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
         node["cells"].set(Value(r.cells));
         node["eqns"].set(Value(static_cast<long long>(r.eqns)));
         node["steps"].set(Value(static_cast<long long>(r.steps)));
+        if (!r.phases.empty()) {
+            Yaml& phases = node["phases"];
+            for (const BenchPhase& p : r.phases) {
+                Yaml& entry = phases[p.path];
+                entry["grind_ns"].set(Value(p.grind_ns));
+                entry["pct"].set(Value(p.percent));
+                entry["calls"].set(Value(p.calls));
+                if (r.ranks > 1) {
+                    entry["min_grind_ns"].set(Value(p.min_grind_ns));
+                    entry["max_grind_ns"].set(Value(p.max_grind_ns));
+                }
+            }
+        }
     }
     return root;
 }
 
+namespace {
+
+/// Worst-regressing phase between two `phases:` maps: the shared path
+/// with the largest candidate/reference grindtime ratio, ignoring phases
+/// below 1% of the reference total (timer noise on sub-microsecond
+/// zones would otherwise dominate).
+std::string worst_phase(const Yaml& ref_phases, const Yaml& cand_phases) {
+    std::string worst = "n/a";
+    double worst_ratio = 0.0;
+    for (const std::string& path : ref_phases.keys()) {
+        if (!cand_phases.contains(path)) continue;
+        const Yaml& ref = ref_phases.at(path);
+        const double ref_g = ref.at("grind_ns").value().as_double();
+        if (ref_g <= 0.0 || ref.at("pct").value().as_double() < 1.0) continue;
+        const double cand_g =
+            cand_phases.at(path).at("grind_ns").value().as_double();
+        const double ratio = cand_g / ref_g;
+        if (ratio > worst_ratio) {
+            worst_ratio = ratio;
+            worst = path;
+        }
+    }
+    if (worst_ratio <= 0.0) return "n/a";
+    const double delta_pct = 100.0 * (worst_ratio - 1.0);
+    return worst + " " + (delta_pct >= 0.0 ? "+" : "") +
+           format_fixed(delta_pct, 1) + "%";
+}
+
+} // namespace
+
 TextTable bench_diff(const Yaml& reference, const Yaml& candidate) {
-    TextTable table({"Case", "Reference [ns]", "Candidate [ns]", "Speedup"});
+    TextTable table({"Case", "Reference [ns]", "Candidate [ns]", "Speedup",
+                     "Worst phase"});
     table.set_align(1, TextTable::Align::Right);
     table.set_align(2, TextTable::Align::Right);
     table.set_align(3, TextTable::Align::Right);
     const Yaml& ref_cases = reference.at("cases");
     const Yaml& cand_cases = candidate.at("cases");
     for (const std::string& name : ref_cases.keys()) {
-        const double ref_g = ref_cases.at(name).at("grindtime_ns").value().as_double();
+        const Yaml& ref = ref_cases.at(name);
+        const double ref_g = ref.at("grindtime_ns").value().as_double();
         std::string cand = "n/a";
         std::string speedup = "n/a";
+        std::string phase = "n/a";
         if (cand_cases.contains(name)) {
-            const double cand_g =
-                cand_cases.at(name).at("grindtime_ns").value().as_double();
+            const Yaml& c = cand_cases.at(name);
+            const double cand_g = c.at("grindtime_ns").value().as_double();
             cand = format_fixed(cand_g, 3);
             speedup = format_fixed(ref_g / cand_g, 2) + "x";
+            if (ref.contains("phases") && c.contains("phases")) {
+                phase = worst_phase(ref.at("phases"), c.at("phases"));
+            }
         }
-        table.add_row({name, format_fixed(ref_g, 3), cand, speedup});
+        table.add_row({name, format_fixed(ref_g, 3), cand, speedup, phase});
     }
     return table;
 }

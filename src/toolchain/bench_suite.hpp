@@ -9,15 +9,41 @@
 
 namespace mfc::toolchain {
 
+/// One phase of a benchmark case's grindtime decomposition (mfc::prof
+/// exclusive time, expressed in ns/point/eqn/rhs-eval). For decomposed
+/// runs min/max carry the per-rank spread; serial runs have min == max
+/// == grind_ns.
+struct BenchPhase {
+    std::string path; ///< '/'-joined zone chain, e.g. "step/rk_stage/rhs/weno_x"
+    int depth = 0;
+    long long calls = 0;
+    double grind_ns = 0.0;
+    double min_grind_ns = 0.0;
+    double max_grind_ns = 0.0;
+    double percent = 0.0;
+};
+
 /// One benchmark case's measured performance.
 struct BenchCaseResult {
     std::string name;
     long long cells = 0;
     int eqns = 0;
     int steps = 0;
+    int warmup_steps = 0;
     int ranks = 1;
     double wall_s = 0.0;
     double grindtime_ns = 0.0;
+    std::vector<BenchPhase> phases; ///< empty when profiling is off
+};
+
+/// Tunables riding along with the --mem/-n sizing arguments.
+struct BenchOptions {
+    /// Untimed steps run before the measurement so the first timed step
+    /// does not pay cold-cache and first-touch allocation cost.
+    int warmup_steps = 1;
+    /// Collect the per-phase grindtime decomposition (mfc::prof) and
+    /// emit it as the `phases:` section of the YAML summary.
+    bool profile = true;
 };
 
 /// The automated benchmark suite (Section 5): five cases covering the
@@ -29,7 +55,7 @@ class BenchSuite {
 public:
     /// `mem_per_rank_gb` is the --mem argument (Table 2): approximate
     /// problem size per rank in GB of state memory.
-    BenchSuite(double mem_per_rank_gb, int ranks);
+    BenchSuite(double mem_per_rank_gb, int ranks, BenchOptions options = {});
 
     [[nodiscard]] static const std::vector<std::string>& case_names();
 
@@ -46,10 +72,13 @@ public:
 private:
     double mem_gb_;
     int ranks_;
+    BenchOptions options_;
 };
 
 /// The bench_diff tool: compare two benchmark YAML summaries and render
 /// the human-readable table (reference vs candidate grindtime, speedup).
+/// When both summaries carry `phases:` sections, a final column names the
+/// worst-regressing phase — the kernel to blame for a slowdown.
 [[nodiscard]] TextTable bench_diff(const Yaml& reference, const Yaml& candidate);
 
 } // namespace mfc::toolchain

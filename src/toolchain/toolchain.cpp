@@ -78,8 +78,9 @@ TestSuite Toolchain::test_suite(const std::string& golden_root) const {
     return TestSuite(generate_full_suite(), golden_root);
 }
 
-BenchSuite Toolchain::bench(double mem_per_rank_gb, int ranks) const {
-    return BenchSuite(mem_per_rank_gb, ranks);
+BenchSuite Toolchain::bench(double mem_per_rank_gb, int ranks,
+                            BenchOptions options) const {
+    return BenchSuite(mem_per_rank_gb, ranks, options);
 }
 
 GoldenFile Toolchain::run(const CaseDict& case_file) const {

@@ -61,7 +61,8 @@ public:
     [[nodiscard]] TestSuite test_suite(const std::string& golden_root) const;
 
     /// Step 4: `./mfc.sh bench` — the five-case benchmark suite.
-    [[nodiscard]] BenchSuite bench(double mem_per_rank_gb, int ranks) const;
+    [[nodiscard]] BenchSuite bench(double mem_per_rank_gb, int ranks,
+                                   BenchOptions options = {}) const;
 
     /// Step 4b: `./mfc.sh bench_diff` — comparison table of two summaries.
     [[nodiscard]] TextTable bench_diff(const Yaml& reference,

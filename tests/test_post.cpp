@@ -174,6 +174,14 @@ TEST(IoStrategy, Section62Thresholds) {
     EXPECT_EQ(select_io_strategy(10'000, 1), IoStrategy::SharedFile);
     EXPECT_EQ(select_io_strategy(10'001, 1), IoStrategy::FilePerProcess);
     EXPECT_EQ(select_io_strategy(8, 100'000'000'001), IoStrategy::FilePerProcess);
+    // "Exceeds" is strict: both thresholds met exactly stay shared-file.
+    EXPECT_EQ(select_io_strategy(8, 100'000'000'000), IoStrategy::SharedFile);
+    EXPECT_EQ(select_io_strategy(kFilePerProcessRankThreshold,
+                                 kFilePerProcessCellThreshold),
+              IoStrategy::SharedFile);
+    EXPECT_EQ(select_io_strategy(kFilePerProcessRankThreshold + 1,
+                                 kFilePerProcessCellThreshold + 1),
+              IoStrategy::FilePerProcess);
     // Frontier's 65536-GCD / 524B-cell limit case uses file-per-process.
     EXPECT_EQ(select_io_strategy(65536, 524'000'000'000),
               IoStrategy::FilePerProcess);

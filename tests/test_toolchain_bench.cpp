@@ -81,6 +81,62 @@ TEST(Bench, YamlSummaryShape) {
 TEST(Bench, InvalidArgumentsThrow) {
     EXPECT_THROW(BenchSuite(-1.0, 1), Error);
     EXPECT_THROW(BenchSuite(1.0, 0), Error);
+    EXPECT_THROW(BenchSuite(1.0, 1, BenchOptions{-1, true}), Error);
+}
+
+TEST(Bench, ProfiledRunDecomposesGrindtime) {
+    const BenchSuite suite(kTinyMem, 1);
+    const BenchCaseResult r = suite.run_case("5eq_weno5_hllc");
+    ASSERT_FALSE(r.phases.empty());
+    // Exclusive phase grindtimes sum back to the measured grindtime;
+    // warm-up and profiler overhead stay within the 5% acceptance band.
+    double phase_sum = 0.0;
+    for (const BenchPhase& p : r.phases) {
+        EXPECT_GE(p.calls, 1) << p.path;
+        phase_sum += p.grind_ns;
+    }
+    EXPECT_NEAR(phase_sum, r.grindtime_ns, 0.05 * r.grindtime_ns);
+    EXPECT_EQ(r.warmup_steps, 1);
+}
+
+TEST(Bench, ProfilingCanBeDisabled) {
+    const BenchSuite suite(kTinyMem, 1, BenchOptions{1, false});
+    const BenchCaseResult r = suite.run_case("5eq_weno5_hllc");
+    EXPECT_TRUE(r.phases.empty());
+    EXPECT_GT(r.grindtime_ns, 0.0);
+}
+
+TEST(Bench, ParallelPhasesCarryRankSpread) {
+    const BenchSuite suite(kTinyMem, 2);
+    const BenchCaseResult r = suite.run_case("5eq_weno5_hllc");
+    ASSERT_FALSE(r.phases.empty());
+    bool found_halo = false;
+    for (const BenchPhase& p : r.phases) {
+        EXPECT_LE(p.min_grind_ns, p.grind_ns) << p.path;
+        EXPECT_LE(p.grind_ns, p.max_grind_ns) << p.path;
+        if (p.path.find("halo") != std::string::npos) found_halo = true;
+    }
+    EXPECT_TRUE(found_halo); // decomposed runs exchange halos
+}
+
+TEST(Bench, YamlSummaryCarriesPhases) {
+    const BenchSuite suite(kTinyMem, 1);
+    const Yaml y = suite.run_all("phases-test");
+    EXPECT_EQ(y.at("metadata").at("warmup_steps").value().as_int(), 1);
+    const Yaml& c = y.at("cases").at("5eq_weno5_hllc");
+    ASSERT_TRUE(c.contains("phases"));
+    const Yaml& phases = c.at("phases");
+    ASSERT_FALSE(phases.keys().empty());
+    double pct_sum = 0.0;
+    for (const std::string& path : phases.keys()) {
+        EXPECT_GE(phases.at(path).at("grind_ns").value().as_double(), 0.0);
+        EXPECT_GE(phases.at(path).at("calls").value().as_int(), 1);
+        pct_sum += phases.at(path).at("pct").value().as_double();
+    }
+    EXPECT_NEAR(pct_sum, 100.0, 1.0);
+    // The phases subtree round-trips through YAML text.
+    const Yaml back = Yaml::parse(y.dump());
+    EXPECT_TRUE(back.at("cases").at("5eq_weno5_hllc").contains("phases"));
 }
 
 TEST(BenchDiff, TableComparesCaseByCase) {
@@ -94,6 +150,38 @@ TEST(BenchDiff, TableComparesCaseByCase) {
     EXPECT_EQ(t.rows(), 2u);
     EXPECT_NE(s.find("2.00x"), std::string::npos); // a: 10 -> 5
     EXPECT_NE(s.find("0.50x"), std::string::npos); // b: 4 -> 8
+}
+
+TEST(BenchDiff, FlagsWorstRegressingPhase) {
+    const auto phase = [](Yaml& node, const std::string& path, double grind,
+                          double pct) {
+        node["phases"][path]["grind_ns"].set(Value(grind));
+        node["phases"][path]["pct"].set(Value(pct));
+        node["phases"][path]["calls"].set(Value(1LL));
+    };
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(12.0));
+    Yaml& r = ref["cases"]["a"];
+    Yaml& c = cand["cases"]["a"];
+    phase(r, "step/rhs/weno_x", 6.0, 60.0);
+    phase(r, "step/rhs/riemann", 3.0, 30.0);
+    phase(r, "step/bc", 0.05, 0.5); // below the 1% noise floor
+    phase(c, "step/rhs/weno_x", 6.1, 50.0);
+    phase(c, "step/rhs/riemann", 5.4, 45.0); // 1.8x: the regression
+    phase(c, "step/bc", 1.0, 5.0);           // 20x but noise-floored
+    const std::string s = bench_diff(ref, cand).str();
+    EXPECT_NE(s.find("Worst phase"), std::string::npos);
+    EXPECT_NE(s.find("step/rhs/riemann +80.0%"), std::string::npos);
+    EXPECT_EQ(s.find("step/bc"), std::string::npos);
+}
+
+TEST(BenchDiff, NoPhasesMeansNoWorstPhaseColumnValue) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    const std::string s = bench_diff(ref, cand).str();
+    EXPECT_NE(s.find("n/a"), std::string::npos);
 }
 
 TEST(BenchDiff, MissingCandidateCaseIsNa) {

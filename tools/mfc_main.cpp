@@ -10,6 +10,7 @@
 //   mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]
 //   mfc bench_diff <ref.yml> <new.yml>
 //   mfc run <case-file> [--out <golden.txt>]
+//   mfc profile <case-file> | --standard <edge> [-n <ranks>] [--trace <f>]
 //   mfc batch --scheduler <slurm|pbs|lsf|flux|interactive> [options]
 //
 // Every subcommand accepts --help.
@@ -20,10 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "comm/cart.hpp"
 #include "core/error.hpp"
 #include "core/strings.hpp"
 #include "core/table.hpp"
 #include "perf/scaling.hpp"
+#include "prof/prof.hpp"
+#include "prof/reduce.hpp"
+#include "prof/report.hpp"
+#include "solver/case_config.hpp"
+#include "solver/simulation.hpp"
 #include "toolchain/case_io.hpp"
 #include "toolchain/toolchain.hpp"
 
@@ -158,15 +165,19 @@ int cmd_test(const Args& args) {
 
 int cmd_bench(const Args& args) {
     if (args.has("help")) {
-        std::printf("mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]\n");
+        std::printf("mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]\n"
+                    "          [--warmup <steps>] [--no-profile]\n");
         return 0;
     }
     const Toolchain tc;
     const double mem = parse_double(args.get("mem", "0.001"));
     const int ranks = static_cast<int>(parse_int(args.get("n", "1")));
+    BenchOptions options;
+    options.warmup_steps = static_cast<int>(parse_int(args.get("warmup", "1")));
+    options.profile = !args.has("no-profile");
     std::string invocation = "mfc bench --mem " + args.get("mem", "0.001") +
                              " -n " + std::to_string(ranks);
-    const Yaml out = tc.bench(mem, ranks).run_all(invocation);
+    const Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
     if (args.has("o")) {
         out.save(args.get("o"));
         std::printf("wrote %s\n", args.get("o").c_str());
@@ -234,6 +245,159 @@ int cmd_batch(const Args& args) {
         tc.job_script(scheduler_from_string(args.get("scheduler", "slurm")), opts)
             .c_str(),
         stdout);
+    return 0;
+}
+
+int cmd_profile(const Args& args) {
+    if (args.has("help") ||
+        (args.positional().empty() && !args.has("standard"))) {
+        std::printf(
+            "mfc profile <case-file> | --standard <edge> [options]\n\n"
+            "Run a case with mfc::prof enabled and print the per-phase\n"
+            "grindtime decomposition (see docs/observability.md).\n\n"
+            "  --standard <edge>  standardized 3D two-fluid benchmark case\n"
+            "                     with <edge> cells per dimension\n"
+            "  -n <ranks>         decomposed run through simMPI (default 1);\n"
+            "                     adds min/mean/max spread across ranks\n"
+            "  --steps <n>        timed steps (default: case t_step_stop)\n"
+            "  --warmup <n>       untimed warm-up steps (default 1)\n"
+            "  --min-pct <p>      hide phases below p%% of total (default 0.5)\n"
+            "  --trace <f.json>   write chrome://tracing events to <f.json>\n"
+            "  --yaml <f.yml>     write the decomposition as YAML\n");
+        return args.has("help") ? 0 : 2;
+    }
+
+    CaseConfig config =
+        args.has("standard")
+            ? standardized_benchmark_case(
+                  static_cast<int>(parse_int(args.get("standard"))))
+            : config_from_dict(load_case_file(args.positional()[0]));
+    if (args.has("steps")) {
+        config.t_step_stop = static_cast<int>(parse_int(args.get("steps")));
+        config.validate();
+    }
+    const int ranks = static_cast<int>(parse_int(args.get("n", "1")));
+    const int warmup = static_cast<int>(parse_int(args.get("warmup", "1")));
+    const double min_pct = parse_double(args.get("min-pct", "0.5"));
+    MFC_REQUIRE(ranks >= 1, "profile: -n must be positive");
+    MFC_REQUIRE(warmup >= 0, "profile: --warmup must be non-negative");
+
+    prof::set_enabled(true);
+    prof::set_tracing(args.has("trace"));
+
+    const long long cells = config.grid.total_cells();
+    const int eqns = config.layout().num_eqns();
+    std::printf("case: %s  (%lld cells, %d eqns, %d steps + %d warm-up, "
+                "%d rank%s)\n\n",
+                config.title.c_str(), cells, eqns, config.t_step_stop, warmup,
+                ranks, ranks == 1 ? "" : "s");
+
+    double wall_s = 0.0;
+    double total_grind = 0.0;
+    long long evals = 0;
+    prof::GrindDecomposition decomposition;
+    std::vector<prof::ReducedZone> reduced;
+
+    if (ranks == 1) {
+        Simulation sim(config);
+        sim.initialize();
+        for (int s = 0; s < warmup; ++s) sim.step();
+        sim.reset_instrumentation();
+        prof::reset();
+        sim.run();
+        wall_s = sim.wall_seconds();
+        total_grind = sim.grindtime();
+        evals = sim.rhs_evals();
+        decomposition = prof::grind_decomposition(prof::thread_snapshot(),
+                                                  cells, eqns, evals);
+    } else {
+        comm::World world(ranks);
+        world.run([&](comm::Communicator& comm) {
+            const std::array<int, 3> dims = comm::dims_create(ranks, 3);
+            std::array<bool, 3> periodic{};
+            for (int d = 0; d < 3; ++d) {
+                periodic[static_cast<std::size_t>(d)] =
+                    config.bc[static_cast<std::size_t>(d)][0] ==
+                    BcType::Periodic;
+            }
+            comm::CartComm cart(comm, dims, periodic);
+            Simulation sim(config, cart);
+            sim.initialize();
+            for (int s = 0; s < warmup; ++s) sim.step();
+            sim.reset_instrumentation();
+            // Keep the synchronization barriers out of the profile: zones
+            // check enabled() on entry, and the barrier semantics ensure
+            // every rank enters barrier 2 (hence sees enabled == false)
+            // before any rank re-enables and starts the timed run.
+            prof::set_enabled(false);
+            comm.barrier();
+            if (comm.rank() == 0) prof::reset();
+            comm.barrier();
+            prof::set_enabled(true);
+            sim.run();
+            prof::set_enabled(false);
+            comm.barrier();
+            std::vector<prof::ReducedZone> zones =
+                prof::reduce_report(prof::thread_snapshot(), comm);
+            if (comm.rank() == 0) {
+                reduced = std::move(zones);
+                wall_s = sim.wall_seconds();
+                total_grind = sim.grindtime();
+                evals = sim.rhs_evals();
+            }
+        });
+        // Rebuild a rank-mean Report so the grindtime decomposition and
+        // YAML come from the same code path as the serial run.
+        prof::Report mean;
+        for (const prof::ReducedZone& z : reduced) {
+            prof::ZoneStats s;
+            s.path = z.path;
+            s.name = z.path.substr(z.path.rfind('/') + 1);
+            s.depth = z.depth;
+            s.calls = z.calls;
+            s.exclusive_ns = z.mean_ns;
+            s.bytes = z.bytes;
+            // Exclusive times sum to the total measured time, so the sum
+            // over all zones reconstructs total_ns (reduce_report carries
+            // exclusive, not inclusive, time).
+            mean.total_ns += z.mean_ns;
+            mean.zones.push_back(std::move(s));
+        }
+        decomposition = prof::grind_decomposition(mean, cells, eqns, evals);
+    }
+
+    std::fputs(prof::decomposition_table(decomposition, min_pct).str().c_str(),
+               stdout);
+    if (ranks > 1) {
+        std::printf("\nper-rank spread (exclusive time):\n%s",
+                    prof::reduced_table(reduced).str().c_str());
+    }
+    const double coverage =
+        wall_s > 0.0 ? 100.0 * decomposition.total_ns * 1.0e-9 / wall_s : 0.0;
+    std::printf("\nwalltime   %.3f s   grindtime  %.3f ns/point/eqn/step "
+                "(%lld RHS evals)\n",
+                wall_s, total_grind, evals);
+    std::printf("profiled   %.1f%% of walltime; phase grindtimes sum to "
+                "%.3f ns\n",
+                coverage, decomposition.total_grind_ns);
+
+    if (args.has("trace")) {
+        prof::write_chrome_trace(args.get("trace"));
+        std::printf("wrote %s (open via chrome://tracing or ui.perfetto.dev)\n",
+                    args.get("trace").c_str());
+    }
+    if (args.has("yaml")) {
+        Yaml out;
+        out["case"].set(Value(config.title));
+        out["cells"].set(Value(cells));
+        out["eqns"].set(Value(static_cast<long long>(eqns)));
+        out["ranks"].set(Value(static_cast<long long>(ranks)));
+        out["walltime_s"].set(Value(wall_s));
+        out["grindtime_ns"].set(Value(total_grind));
+        out["phases"] = prof::phases_yaml(decomposition);
+        out.save(args.get("yaml"));
+        std::printf("wrote %s\n", args.get("yaml").c_str());
+    }
     return 0;
 }
 
@@ -355,6 +519,8 @@ int usage() {
         "MFC wrapper script; see README.md)\n\n"
         "usage: mfc <tool> [options]   (each tool accepts --help)\n\n");
     (void)cmd_tools();
+    std::printf("%-12s %s\n", "profile",
+                "Per-phase grindtime decomposition of a case");
     std::printf("%-12s %s\n", "batch", "Render a scheduler batch script");
     std::printf("%-12s %s\n", "devices", "Table 3 hardware catalog");
     std::printf("%-12s %s\n", "scale", "Model weak/strong scaling on a system");
@@ -372,7 +538,7 @@ int main(int argc, char** argv) {
     const Args args(argc - 2, argv + 2,
                     {"help", "list", "generate", "add-new-variables",
                      "case-optimization", "rdma", "profile", "strong",
-                     "no-rdma", "igr"});
+                     "no-rdma", "igr", "no-profile"});
     try {
         if (tool == "tools") return cmd_tools();
         if (tool == "load") return cmd_load(args);
@@ -381,6 +547,7 @@ int main(int argc, char** argv) {
         if (tool == "bench") return cmd_bench(args);
         if (tool == "bench_diff") return cmd_bench_diff(args);
         if (tool == "run") return cmd_run(args);
+        if (tool == "profile") return cmd_profile(args);
         if (tool == "batch") return cmd_batch(args);
         if (tool == "devices") return cmd_devices(args);
         if (tool == "scale") return cmd_scale(args);

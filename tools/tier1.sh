@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, run the full ctest suite, then
+# smoke the benchmark and profiling CLIs end-to-end. Run from the repo
+# root; pass a build directory as $1 (default: build).
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+MFC="$BUILD_DIR/tools/mfc"
+
+# Benchmark smoke: tiny per-rank memory so the five cases finish fast;
+# the YAML summary must carry a phases: section for bench_diff.
+"$MFC" bench --mem 0.0002 -n 1 -o "$BUILD_DIR/tier1_bench.yml"
+"$MFC" bench_diff "$BUILD_DIR/tier1_bench.yml" "$BUILD_DIR/tier1_bench.yml"
+
+# Profiling smoke: serial and decomposed, with trace + YAML export.
+"$MFC" profile --standard 12 --steps 2 --warmup 1 \
+    --trace "$BUILD_DIR/tier1_trace.json" --yaml "$BUILD_DIR/tier1_prof.yml"
+"$MFC" profile --standard 12 --steps 2 -n 2
+
+# Profiler overhead budget (<2% with zones enabled), when the bench
+# binary was built.
+if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
+    "$BUILD_DIR/bench/bench_prof_overhead" --overhead-check
+fi
+
+echo "tier1: OK"
