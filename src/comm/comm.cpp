@@ -5,9 +5,30 @@
 #include <exception>
 #include <thread>
 
+#include "core/hash.hpp"
 #include "prof/prof.hpp"
 
 namespace mfc::comm {
+
+namespace {
+
+std::uint64_t payload_hash(const std::vector<unsigned char>& payload) {
+    return fnv1a64(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
+}
+
+} // namespace
+
+std::string to_string(RankFailure::Cause c) {
+    switch (c) {
+    case RankFailure::Cause::Crash: return "crash";
+    case RankFailure::Cause::Stall: return "stall";
+    case RankFailure::Cause::MessageLoss: return "message-loss";
+    case RankFailure::Cause::Corruption: return "corruption";
+    case RankFailure::Cause::Unknown: return "unknown";
+    }
+    MFC_ASSERT(false);
+}
 
 int Communicator::size() const { return world_->size(); }
 
@@ -20,6 +41,33 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
     msg.tag = tag;
     msg.payload.resize(bytes);
     if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    if (world_->resilience_.armed) {
+        // Envelope checksum of the pristine payload, taken before the
+        // fault hook can mutate it, so injected bit flips are detectable
+        // at the receiver.
+        msg.checksum = payload_hash(msg.payload);
+        msg.checked = true;
+    }
+
+    if (world_->hook_ != nullptr) {
+        // Each delivery attempt is offered to the injector; a dropped
+        // attempt is retransmitted after exponential backoff, modeling
+        // link-level retry. A persistently dropped message is lost — the
+        // receiver's failure detector converts the silence into a
+        // diagnosed RankFailure.
+        std::chrono::milliseconds backoff = world_->resilience_.op_timeout;
+        for (int attempt = 0;; ++attempt) {
+            if (world_->hook_->on_send(rank_, dest, tag, attempt, msg.payload)) {
+                break;
+            }
+            if (attempt >= world_->resilience_.max_retries) {
+                world_->tick_heartbeat(rank_);
+                return; // message lost
+            }
+            std::this_thread::sleep_for(backoff);
+            backoff *= 2;
+        }
+    }
 
     World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(dest)];
     {
@@ -30,6 +78,7 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
     world_->messages_.fetch_add(1, std::memory_order_relaxed);
     world_->bytes_.fetch_add(static_cast<std::int64_t>(bytes),
                              std::memory_order_relaxed);
+    world_->tick_heartbeat(rank_);
 }
 
 void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
@@ -39,7 +88,12 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
     zone.add_bytes(static_cast<std::int64_t>(bytes));
     MFC_REQUIRE(source >= 0 && source < world_->size(), "recv: bad source rank");
     World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+    const ResilienceConfig& rc = world_->resilience_;
     std::unique_lock<std::mutex> lock(box.mutex);
+    std::chrono::milliseconds timeout = rc.op_timeout;
+    int attempts = 0;
+    const std::uint64_t hb_at_entry =
+        rc.armed ? world_->heartbeat_of(source) : 0;
     for (;;) {
         const auto it = std::find_if(
             box.queue.begin(), box.queue.end(), [&](const World::Message& m) {
@@ -48,12 +102,42 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
         if (it != box.queue.end()) {
             MFC_REQUIRE(it->payload.size() == bytes,
                         "recv: message size mismatch");
+            if (it->checked && payload_hash(it->payload) != it->checksum) {
+                box.queue.erase(it);
+                world_->note_dead(source, RankFailure::Cause::Corruption);
+                throw RankFailure(source, RankFailure::Cause::Corruption,
+                                  "recv: payload checksum mismatch from rank " +
+                                      std::to_string(source));
+            }
             if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
             box.queue.erase(it);
+            world_->tick_heartbeat(rank_);
             return;
         }
-        MFC_REQUIRE(!world_->failed_.load(), "recv: a peer rank failed");
-        box.cv.wait(lock);
+        if (world_->failed_.load()) world_->throw_peer_failure("recv");
+        if (!rc.armed) {
+            box.cv.wait(lock);
+            continue;
+        }
+        if (attempts > rc.max_retries) {
+            // Patience exhausted. A source whose heartbeat never moved is
+            // stalled (or dead); one that kept progressing sent a message
+            // that never arrived.
+            const bool stalled = world_->heartbeat_of(source) == hb_at_entry;
+            const RankFailure::Cause cause = stalled
+                                                 ? RankFailure::Cause::Stall
+                                                 : RankFailure::Cause::MessageLoss;
+            world_->note_dead(source, cause);
+            throw RankFailure(
+                source, cause,
+                "recv: no message from rank " + std::to_string(source) +
+                    " after " + std::to_string(rc.max_retries + 1) +
+                    " timed waits (" + to_string(cause) + ")");
+        }
+        if (box.cv.wait_for(lock, timeout) == std::cv_status::timeout) {
+            ++attempts;
+            timeout *= 2;
+        }
     }
 }
 
@@ -95,26 +179,52 @@ void Communicator::wait_all(std::vector<Request>& requests) {
 void Communicator::barrier() {
     PROF_ZONE("comm_barrier");
     World::BarrierState& b = world_->barrier_;
+    const ResilienceConfig& rc = world_->resilience_;
     std::unique_lock<std::mutex> lock(b.mutex);
-    MFC_REQUIRE(!world_->failed_.load(), "barrier: a peer rank failed");
+    if (world_->failed_.load()) world_->throw_peer_failure("barrier");
     const std::uint64_t gen = b.generation;
     if (++b.waiting == world_->size()) {
         b.waiting = 0;
         ++b.generation;
         lock.unlock();
         b.cv.notify_all();
+        world_->tick_heartbeat(rank_);
         return;
     }
-    b.cv.wait(lock, [&] {
+    const auto released = [&] {
         return b.generation != gen || world_->failed_.load();
-    });
+    };
+    if (!rc.armed) {
+        b.cv.wait(lock, released);
+    } else {
+        // Safety net only: stalls are normally caught by a peer's receive
+        // first, so the barrier gets 8x the receive patience (checkpoint
+        // writes legitimately keep ranks away from the barrier).
+        std::chrono::milliseconds timeout = rc.op_timeout;
+        int attempts = 0;
+        while (!released()) {
+            if (attempts > rc.max_retries + 3) {
+                --b.waiting;
+                throw RankFailure(RankFailure::kUnknownRank,
+                                  RankFailure::Cause::Stall,
+                                  "barrier: timed out waiting for peers");
+            }
+            if (b.cv.wait_for(lock, timeout) == std::cv_status::timeout) {
+                ++attempts;
+                timeout *= 2;
+            }
+        }
+    }
     if (b.generation == gen) {
         // Released by a failure, not by barrier completion: withdraw our
         // contribution and unwind.
         --b.waiting;
-        fail("barrier: a peer rank failed");
+        world_->throw_peer_failure("barrier");
     }
+    world_->tick_heartbeat(rank_);
 }
+
+void Communicator::heartbeat() { world_->tick_heartbeat(rank_); }
 
 namespace {
 
@@ -187,6 +297,11 @@ World::World(int nranks) : nranks_(nranks) {
     for (int r = 0; r < nranks; ++r) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
     }
+    heartbeats_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        heartbeats_[static_cast<std::size_t>(r)].store(0);
+    }
 }
 
 void World::run(const std::function<void(Communicator&)>& fn) {
@@ -198,6 +313,12 @@ void World::run(const std::function<void(Communicator&)>& fn) {
             Communicator comm(*this, r);
             try {
                 fn(comm);
+            } catch (const RankFailure& rf) {
+                // Record the culprit so peers unwinding later report the
+                // same diagnosis (first writer wins).
+                note_dead(rf.failed_rank(), rf.cause());
+                errors[static_cast<std::size_t>(r)] = std::current_exception();
+                abort_all();
             } catch (...) {
                 errors[static_cast<std::size_t>(r)] = std::current_exception();
                 abort_all();
@@ -205,9 +326,24 @@ void World::run(const std::function<void(Communicator&)>& fn) {
         });
     }
     for (auto& t : threads) t.join();
+    // Prefer a diagnosed RankFailure over the secondary "peer failed"
+    // errors of the ranks it took down, so callers see the root cause.
+    std::exception_ptr first;
+    std::exception_ptr first_rank_failure;
     for (const auto& err : errors) {
-        if (err) std::rethrow_exception(err);
+        if (!err) continue;
+        if (!first) first = err;
+        if (!first_rank_failure) {
+            try {
+                std::rethrow_exception(err);
+            } catch (const RankFailure&) {
+                first_rank_failure = err;
+            } catch (...) {
+            }
+        }
     }
+    if (first_rank_failure) std::rethrow_exception(first_rank_failure);
+    if (first) std::rethrow_exception(first);
     // A rank may have been unwound by a peer's failure without recording
     // its own error (all errors identical); failed_ stays set so reuse of
     // this World is rejected by the next blocking call.
@@ -223,6 +359,26 @@ void World::abort_all() {
         const std::lock_guard<std::mutex> lock(box->mutex);
         box->cv.notify_all();
     }
+}
+
+void World::note_dead(int rank, RankFailure::Cause cause) {
+    if (rank == RankFailure::kUnknownRank) return;
+    int expected = RankFailure::kUnknownRank;
+    if (dead_rank_.compare_exchange_strong(expected, rank)) {
+        dead_cause_.store(static_cast<int>(cause));
+    }
+}
+
+void World::throw_peer_failure(const char* context) const {
+    const int dead = dead_rank_.load();
+    if (dead != RankFailure::kUnknownRank) {
+        const auto cause = static_cast<RankFailure::Cause>(dead_cause_.load());
+        throw RankFailure(dead, cause,
+                          std::string(context) + ": rank " +
+                              std::to_string(dead) + " failed (" +
+                              to_string(cause) + ")");
+    }
+    fail(std::string(context) + ": a peer rank failed");
 }
 
 Traffic World::launch(int nranks, const std::function<void(Communicator&)>& fn) {

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/error.hpp"
@@ -31,6 +33,62 @@ class World;
 struct Traffic {
     std::int64_t messages = 0;
     std::int64_t bytes = 0;
+};
+
+/// Diagnosed failure of one specific rank: a crash (exception), a silent
+/// stall (heartbeat stagnation), a lost message (retransmits exhausted),
+/// or payload corruption (envelope checksum mismatch). Thrown by the
+/// failure detector so callers can distinguish "a rank died, roll back"
+/// from genuine logic errors; `failed_rank() == kUnknownRank` means the
+/// detector could not attribute the failure to a single rank.
+class RankFailure : public Error {
+public:
+    enum class Cause { Crash, Stall, MessageLoss, Corruption, Unknown };
+    static constexpr int kUnknownRank = -1;
+
+    RankFailure(int rank, Cause cause, const std::string& what)
+        : Error(what), rank_(rank), cause_(cause) {}
+
+    [[nodiscard]] int failed_rank() const { return rank_; }
+    [[nodiscard]] Cause cause() const { return cause_; }
+
+private:
+    int rank_;
+    Cause cause_;
+};
+
+[[nodiscard]] std::string to_string(RankFailure::Cause c);
+
+/// Fault-injection hook consulted by the runtime on every message
+/// delivery attempt (src/resilience implements it). The hook may mutate
+/// the payload (bit-flip corruption), sleep (network delay/jitter), or
+/// throw (induced crash); returning false drops the attempt, which the
+/// sender retries with exponential backoff up to
+/// ResilienceConfig::max_retries — modeling link-level retransmission.
+class FaultHook {
+public:
+    virtual ~FaultHook() = default;
+    /// `attempt` is 0 for the first transmission and increments per
+    /// retransmit of the same message.
+    virtual bool on_send(int source, int dest, int tag, int attempt,
+                         std::vector<unsigned char>& payload) = 0;
+};
+
+/// Timeout/retry/heartbeat configuration for the failure detector. When
+/// `armed` is false (the default) every blocking call waits indefinitely
+/// and the per-op cost of the resilience machinery is a single branch —
+/// fair-weather runs are unchanged. When armed, receives poll with
+/// exponential backoff and total patience of roughly
+/// op_timeout * (2^(max_retries+1) - 1), message payloads carry an
+/// FNV-1a envelope checksum, and silence past the patience window is
+/// converted into a diagnosed RankFailure.
+struct ResilienceConfig {
+    bool armed = false;
+    std::chrono::milliseconds op_timeout{5}; ///< first poll; doubles per retry
+    int max_retries = 5;
+    [[nodiscard]] std::chrono::milliseconds patience() const {
+        return op_timeout * ((1 << (max_retries + 1)) - 1);
+    }
 };
 
 /// Per-rank handle passed to the rank function; the MPI_Comm analog.
@@ -113,6 +171,12 @@ public:
 
     void barrier();
 
+    /// Mark this rank as making progress. send/recv/barrier tick
+    /// automatically; compute loops that go long without communicating
+    /// (or a resilient time loop, once per step) should tick explicitly
+    /// so the failure detector does not mistake them for a stall.
+    void heartbeat();
+
     enum class Op { Sum, Min, Max };
     /// Allreduce over one double (gather-to-root + broadcast).
     [[nodiscard]] double allreduce(double value, Op op);
@@ -147,6 +211,22 @@ public:
     [[nodiscard]] Traffic traffic() const;
     void reset_traffic();
 
+    /// Arm (or disarm) the failure detector. Call before run().
+    void set_resilience(const ResilienceConfig& config) { resilience_ = config; }
+    [[nodiscard]] const ResilienceConfig& resilience() const { return resilience_; }
+
+    /// Install a fault-injection hook consulted on every message delivery
+    /// attempt (nullptr to clear). Call before run(); the hook must
+    /// outlive it.
+    void set_fault_hook(FaultHook* hook) { hook_ = hook; }
+
+    /// Rank diagnosed as failed (kUnknownRank while healthy). The first
+    /// diagnosis wins so every peer reports the same culprit.
+    [[nodiscard]] int dead_rank() const { return dead_rank_.load(); }
+    [[nodiscard]] RankFailure::Cause dead_cause() const {
+        return static_cast<RankFailure::Cause>(dead_cause_.load());
+    }
+
 private:
     friend class Communicator;
 
@@ -154,6 +234,10 @@ private:
         int source;
         int tag;
         std::vector<unsigned char> payload;
+        /// Envelope checksum of the pristine payload, recorded before the
+        /// fault hook runs so the receiver detects injected bit flips.
+        std::uint64_t checksum = 0;
+        bool checked = false;
     };
 
     struct Mailbox {
@@ -174,12 +258,32 @@ private:
     /// call).
     void abort_all();
 
+    /// Record the first diagnosed culprit (later diagnoses are dropped so
+    /// every rank reports the same failure).
+    void note_dead(int rank, RankFailure::Cause cause);
+    /// Throw the peer-failure error appropriate to the recorded state.
+    [[noreturn]] void throw_peer_failure(const char* context) const;
+
+    void tick_heartbeat(int rank) {
+        heartbeats_[static_cast<std::size_t>(rank)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t heartbeat_of(int rank) const {
+        return heartbeats_[static_cast<std::size_t>(rank)].load(
+            std::memory_order_relaxed);
+    }
+
     int nranks_;
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     BarrierState barrier_;
     std::atomic<bool> failed_{false};
     std::atomic<std::int64_t> messages_{0};
     std::atomic<std::int64_t> bytes_{0};
+    ResilienceConfig resilience_;
+    FaultHook* hook_ = nullptr;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> heartbeats_;
+    std::atomic<int> dead_rank_{RankFailure::kUnknownRank};
+    std::atomic<int> dead_cause_{static_cast<int>(RankFailure::Cause::Unknown)};
 };
 
 } // namespace mfc::comm

@@ -1,0 +1,176 @@
+#include "resilience/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/hash.hpp"
+#include "core/rng.hpp"
+
+namespace mfc::resilience {
+
+std::uint64_t case_seed(const CaseConfig& config) {
+    const CaseDict dict = dict_from_config(config);
+    std::string canon;
+    for (const auto& [key, value] : dict) { // std::map: sorted, canonical
+        canon += key;
+        canon += '=';
+        canon += value.to_string();
+        canon += '\n';
+    }
+    return fnv1a64(canon);
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+ChaosReport run_campaign(const CaseConfig& config,
+                         const ChaosOptions& options) {
+    MFC_REQUIRE(options.trials >= 1, "chaos: trials must be positive");
+    MFC_REQUIRE(!options.mix.empty(), "chaos: fault mix must not be empty");
+    MFC_REQUIRE(config.t_step_stop >= 2,
+                "chaos: the case must run at least two steps");
+
+    ChaosReport report;
+    report.case_uuid = case_seed(config);
+    report.seed = options.seed != 0 ? options.seed : report.case_uuid;
+    report.ranks = options.recovery.ranks;
+    report.steps = config.t_step_stop;
+    report.interval = options.recovery.checkpoint_interval;
+
+    if (options.reference_check) {
+        RecoveryOptions ref_opts = options.recovery;
+        ref_opts.tag = options.recovery.tag + "_ref";
+        ResilientRunner reference(config, ref_opts);
+        const RecoveryStats ref = reference.run(nullptr);
+        MFC_REQUIRE(ref.completed, "chaos: fault-free reference run failed");
+        report.reference_hash = ref.state_hash;
+        report.interval = ref.resolved_interval;
+    }
+
+    for (int t = 0; t < options.trials; ++t) {
+        FaultSpec spec;
+        spec.kind = options.mix[static_cast<std::size_t>(t) %
+                                options.mix.size()];
+        Rng rng(report.seed ^
+                (static_cast<std::uint64_t>(t) + 1) * 0x9e3779b97f4a7c15ull);
+        spec.rank = static_cast<int>(
+            rng.bounded(static_cast<std::uint64_t>(options.recovery.ranks)));
+        // Steps in [0, t_step_stop - 1): never schedule at the final step
+        // so a rollback always has work to replay.
+        spec.step = static_cast<int>(rng.bounded(
+            static_cast<std::uint64_t>(std::max(1, config.t_step_stop - 1))));
+
+        FaultPlan plan;
+        plan.seed = report.seed ^
+                    (static_cast<std::uint64_t>(t) + 1) * 0xbf58476d1ce4e5b9ull;
+        plan.faults.push_back(spec);
+        FaultInjector injector(plan, options.recovery.ranks);
+
+        RecoveryOptions trial_opts = options.recovery;
+        trial_opts.tag = options.recovery.tag + "_t" + std::to_string(t);
+        ResilientRunner runner(config, trial_opts);
+
+        ChaosTrial trial;
+        trial.index = t;
+        trial.fault = spec;
+        trial.stats = runner.run(&injector);
+        trial.fired = injector.faults_fired() > 0;
+        trial.completed = trial.stats.completed;
+        const bool detectable = is_detectable(spec.kind);
+        trial.detected =
+            trial.fired && detectable &&
+            (trial.stats.rollbacks + trial.stats.cold_restarts) > 0;
+        trial.state_matches_reference =
+            options.reference_check && trial.completed &&
+            trial.stats.state_hash == report.reference_hash;
+
+        if (trial.fired) {
+            ++report.faults_injected;
+            if (detectable)
+                ++report.faults_detectable;
+            else
+                ++report.faults_benign;
+            if (trial.detected)
+                ++report.faults_detected;
+        }
+        if (trial.completed)
+            ++report.completed_trials;
+        report.rollbacks += trial.stats.rollbacks;
+        report.cold_restarts += trial.stats.cold_restarts;
+        report.steps_replayed += trial.stats.steps_replayed;
+        report.trials.push_back(std::move(trial));
+    }
+
+    report.run_to_completion_rate =
+        static_cast<double>(report.completed_trials) / options.trials;
+    report.wasted_work_pct =
+        100.0 * static_cast<double>(report.steps_replayed) /
+        (static_cast<double>(options.trials) * config.t_step_stop);
+    return report;
+}
+
+Yaml ChaosReport::yaml() const {
+    Yaml root;
+    Yaml& c = root["chaos"];
+    c["seed"].set(Value(hex64(seed)));
+    c["case_uuid"].set(Value(hex64(case_uuid)));
+    c["trials"].set(Value(static_cast<int>(trials.size())));
+    c["ranks"].set(Value(ranks));
+    c["steps"].set(Value(steps));
+    c["checkpoint_interval"].set(Value(interval));
+    c["completed_trials"].set(Value(completed_trials));
+    c["run_to_completion_rate"].set(Value(run_to_completion_rate));
+
+    Yaml& f = c["faults"];
+    f["injected"].set(Value(faults_injected));
+    f["detectable"].set(Value(faults_detectable));
+    f["detected"].set(Value(faults_detected));
+    f["benign"].set(Value(faults_benign));
+
+    Yaml& r = c["recovery"];
+    r["rollbacks"].set(Value(rollbacks));
+    r["cold_restarts"].set(Value(cold_restarts));
+    r["steps_replayed"].set(Value(steps_replayed));
+    r["wasted_work_pct"].set(Value(wasted_work_pct));
+
+    c["reference_state_hash"].set(Value(hex64(reference_hash)));
+
+    Yaml& ts = c["trial_results"];
+    for (const ChaosTrial& trial : trials) {
+        Yaml& t = ts["trial_" + std::to_string(trial.index)];
+        t["fault"].set(Value(trial.fault.describe()));
+        t["fired"].set(Value(trial.fired));
+        t["completed"].set(Value(trial.completed));
+        t["detected"].set(Value(trial.detected));
+        t["attempts"].set(Value(trial.stats.attempts));
+        t["rollbacks"].set(Value(trial.stats.rollbacks));
+        t["cold_restarts"].set(Value(trial.stats.cold_restarts));
+        t["steps_replayed"].set(Value(trial.stats.steps_replayed));
+        t["checkpoints_written"].set(Value(trial.stats.checkpoints_written));
+        t["state_hash"].set(Value(hex64(trial.stats.state_hash)));
+        t["state_matches_reference"].set(
+            Value(trial.state_matches_reference));
+    }
+    return root;
+}
+
+bool ChaosReport::all_clear() const {
+    if (completed_trials != static_cast<int>(trials.size()))
+        return false;
+    if (faults_detected != faults_detectable)
+        return false;
+    for (const ChaosTrial& t : trials)
+        if (reference_hash != 0 && !t.state_matches_reference)
+            return false;
+    return true;
+}
+
+} // namespace mfc::resilience

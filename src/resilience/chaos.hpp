@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/yaml.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/recovery.hpp"
+#include "solver/case_config.hpp"
+
+namespace mfc::resilience {
+
+/// Deterministic 64-bit seed derived from the canonical serialization of
+/// the case dictionary — the same construction the regression suite uses
+/// for case UUIDs, so a campaign is keyed by *what* is simulated, not by
+/// when or where.
+[[nodiscard]] std::uint64_t case_seed(const CaseConfig& config);
+
+/// Campaign configuration: N trials, each injecting one fault drawn
+/// round-robin from `mix` at a (rank, step) chosen by the deterministic
+/// campaign RNG.
+struct ChaosOptions {
+    int trials = 4;
+    /// Campaign seed; 0 derives it from case_seed(config). Identical
+    /// (case, seed, options) => bitwise-identical report.
+    std::uint64_t seed = 0;
+    std::vector<FaultKind> mix{FaultKind::Crash, FaultKind::Drop,
+                               FaultKind::Corrupt};
+    RecoveryOptions recovery;
+    /// Run a fault-free reference first and compare every trial's final
+    /// state hash against it (recovery must reproduce the exact state).
+    bool reference_check = true;
+};
+
+/// One trial's outcome.
+struct ChaosTrial {
+    int index = 0;
+    FaultSpec fault;
+    bool fired = false;     ///< the scheduled fault actually triggered
+    bool completed = false; ///< the run reached t_step_stop
+    bool detected = false;  ///< a detectable fault caused a diagnosed recovery
+    bool state_matches_reference = false;
+    RecoveryStats stats;
+};
+
+/// Aggregated campaign result. yaml() is fully deterministic: it contains
+/// no wall-clock quantities, so two runs with the same seed produce
+/// byte-identical files (asserted by tests and the tier-1 smoke).
+struct ChaosReport {
+    std::uint64_t seed = 0;
+    std::uint64_t case_uuid = 0;
+    int ranks = 0;
+    int steps = 0;
+    int interval = 0;
+    int completed_trials = 0;
+    int faults_injected = 0;
+    int faults_detectable = 0;
+    int faults_detected = 0;
+    int faults_benign = 0;
+    int rollbacks = 0;
+    int cold_restarts = 0;
+    int steps_replayed = 0;
+    double run_to_completion_rate = 0.0;
+    double wasted_work_pct = 0.0;
+    std::uint64_t reference_hash = 0;
+    std::vector<ChaosTrial> trials;
+
+    [[nodiscard]] Yaml yaml() const;
+    /// Campaign acceptance: every trial ran to completion and every fired
+    /// detectable fault was detected (and recovered states match the
+    /// reference when one was computed).
+    [[nodiscard]] bool all_clear() const;
+};
+
+/// Run the campaign: one fault-free reference (optional) plus
+/// options.trials injected runs, all through ResilientRunner.
+[[nodiscard]] ChaosReport run_campaign(const CaseConfig& config,
+                                       const ChaosOptions& options);
+
+} // namespace mfc::resilience

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace mfc::resilience {
+
+/// Fault taxonomy, mirroring what early-access machines actually do to
+/// multi-thousand-rank jobs (see docs/resilience.md):
+///   Crash    — a rank dies (exception at a step boundary)
+///   Stall    — a rank goes silent for longer than the detector patience
+///   Drop     — a message is lost persistently (every retransmit dropped)
+///   DropOnce — a message's first transmission is lost; link-level
+///              retransmission recovers it transparently
+///   Corrupt  — one payload bit is flipped in flight (caught by the
+///              envelope checksum)
+///   Delay    — a message is delivered late but intact (benign jitter)
+enum class FaultKind { Crash, Stall, Drop, DropOnce, Corrupt, Delay };
+
+[[nodiscard]] std::string to_string(FaultKind k);
+[[nodiscard]] FaultKind fault_kind_from_string(const std::string& name);
+
+/// Whether the fault class must surface as a diagnosed failure. Delay and
+/// DropOnce are recovered in-band (or are harmless) and never reach the
+/// detector.
+[[nodiscard]] bool is_detectable(FaultKind k);
+
+/// One scheduled fault. Message faults (Drop/DropOnce/Corrupt/Delay)
+/// target the first message the rank sends at or after `step`; Crash and
+/// Stall fire at the top of `step` itself.
+struct FaultSpec {
+    FaultKind kind = FaultKind::Crash;
+    int rank = 0;             ///< target rank (sender for message faults); -1 = any
+    int step = 0;             ///< solver step at which the fault arms; -1 = any
+    double probability = 1.0; ///< per-opportunity firing probability once armed
+    int duration_ms = 0;      ///< Stall/Delay sleep length (0 = default)
+
+    [[nodiscard]] std::string describe() const; // e.g. "crash@r1/s7"
+};
+
+/// A deterministic fault schedule: the seed keys every probabilistic
+/// decision through core/rng, so two runs of the same plan inject
+/// bit-identical faults.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    std::vector<FaultSpec> faults;
+};
+
+/// The exception an injected Crash raises inside the victim rank. Derives
+/// from comm::RankFailure so the runtime diagnoses it like any other rank
+/// death and recovery rolls back instead of treating it as a logic error.
+class SimulatedCrash : public comm::RankFailure {
+public:
+    SimulatedCrash(int rank, int step)
+        : RankFailure(rank, Cause::Crash,
+                      "injected crash at rank " + std::to_string(rank) +
+                          ", step " + std::to_string(step)) {}
+};
+
+/// Deterministic fault injector: implements the comm::FaultHook consulted
+/// on every message delivery attempt, plus the step-boundary hook the
+/// resilient time loop calls. Every decision draws from a core/rng stream
+/// keyed by (plan seed, rank, step, op index, spec index), so campaigns
+/// are bitwise reproducible. Each spec fires at most once and stays fired
+/// across rollbacks — replay after recovery does not re-inject the same
+/// fault (faults are events, not properties of a step).
+///
+/// Thread-safety: one instance is shared by all ranks of a World;
+/// per-rank state is indexed by rank and only written by its own thread,
+/// fired flags are test-and-set.
+class FaultInjector : public comm::FaultHook {
+public:
+    FaultInjector(FaultPlan plan, int nranks);
+
+    /// Called by the resilient time loop at the top of each step. May
+    /// throw SimulatedCrash or sleep (stall). Virtual so tests can wrap
+    /// it with extra sabotage (e.g. damaging checkpoints on disk).
+    virtual void on_step(int rank, int step);
+
+    bool on_send(int source, int dest, int tag, int attempt,
+                 std::vector<unsigned char>& payload) override;
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    /// Count of specs that have fired so far.
+    [[nodiscard]] int faults_fired() const;
+    /// Per-spec step at which it fired, -1 while pending. Index-aligned
+    /// with plan().faults.
+    [[nodiscard]] std::vector<int> fired_steps() const;
+
+    /// Default sleep lengths used when a spec leaves duration_ms == 0,
+    /// derived from the detector patience so stalls are reliably detected
+    /// and delays reliably are not.
+    void set_default_durations(int stall_ms, int delay_ms);
+
+private:
+    [[nodiscard]] bool matches_rank(const FaultSpec& s, int rank) const {
+        return s.rank < 0 || s.rank == rank;
+    }
+    /// Deterministic probability roll for (spec, rank, step, op).
+    [[nodiscard]] bool roll(std::size_t spec, int rank, int step, int op) const;
+    /// Atomically claim the spec; false if it already fired.
+    bool claim(std::size_t spec, int step);
+
+    FaultPlan plan_;
+    int nranks_;
+    int default_stall_ms_ = 1000;
+    int default_delay_ms_ = 5;
+    std::unique_ptr<std::atomic<int>[]> fired_step_;   ///< per spec, -1 = pending
+    std::unique_ptr<std::atomic<int>[]> current_step_; ///< per rank
+    std::unique_ptr<std::atomic<int>[]> op_counter_;   ///< per rank, reset each step
+    std::unique_ptr<std::atomic<bool>[]> dropping_;    ///< per rank: persistent drop active
+};
+
+} // namespace mfc::resilience

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "resilience/fault.hpp"
+#include "solver/case_config.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc::resilience {
+
+/// Young/Daly first-order optimal checkpoint interval W = sqrt(2 C M) in
+/// seconds, for checkpoint cost C and mean time between failures M.
+[[nodiscard]] double young_daly_interval_s(double mtbf_s, double ckpt_cost_s);
+
+/// The same interval expressed in solver steps of cost `step_cost_s`,
+/// clamped to [1, max_steps].
+[[nodiscard]] int young_daly_steps(double mtbf_s, double ckpt_cost_s,
+                                   double step_cost_s, int max_steps);
+
+/// A checkpoint that failed integrity verification (truncated, bit-flipped,
+/// or missing trailer). Distinct from RankFailure: recovery answers it with
+/// a cold restart from the initial condition, not a rollback.
+class CheckpointError : public Error {
+public:
+    explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Write a checksummed checkpoint: the save_restart() byte stream plus a
+/// 16-byte trailer (magic + FNV-1a hash of every preceding byte), written
+/// to a temp file and renamed into place so a crash mid-write can never
+/// leave a half-written file under the final name.
+void write_checkpoint(const Simulation& sim, const std::string& path);
+
+/// Verify the trailer: present, magic matches, hash matches the bytes.
+[[nodiscard]] bool checkpoint_valid(const std::string& path);
+
+/// Verify then load (load_restart ignores the trailer bytes). Throws
+/// CheckpointError if verification fails.
+void load_checkpoint(Simulation& sim, const std::string& path);
+
+/// Configuration for one resilient run.
+struct RecoveryOptions {
+    int ranks = 2;
+    /// Checkpoint every this many steps; 0 = auto via Young/Daly from
+    /// mtbf_s and a measured probe of step and checkpoint cost. Note that
+    /// auto mode makes the resolved interval timing-dependent, so
+    /// bitwise-reproducible chaos campaigns must pin an interval.
+    int checkpoint_interval = 5;
+    double mtbf_s = 300.0; ///< configured mean time between failures (auto mode)
+    int max_attempts = 16; ///< rollback/restart budget before giving up
+    std::string checkpoint_dir = ".";
+    std::string tag = "ck"; ///< checkpoint file prefix (unique per campaign trial)
+    comm::ResilienceConfig comm{.armed = true};
+};
+
+/// What one resilient run did, with deterministic accounting: wasted work
+/// is computed from the fault plan (fired step vs committed checkpoint
+/// step), never from wall-clock measurements, so campaign reports are
+/// bitwise reproducible.
+struct RecoveryStats {
+    bool completed = false;
+    int attempts = 0;       ///< world launches (1 for a fault-free run)
+    int rollbacks = 0;      ///< recoveries from a checkpoint
+    int cold_restarts = 0;  ///< recoveries from the initial condition
+    int checkpoints_written = 0; ///< committed checkpoint generations
+    int resolved_interval = 0;   ///< steps between checkpoints actually used
+    int steps_total = 0;         ///< steps the case required
+    int steps_replayed = 0;      ///< re-executed steps across all rollbacks
+    double checkpoint_cost_s = 0.0; ///< probe measurement (auto mode only)
+    double step_cost_s = 0.0;       ///< probe measurement (auto mode only)
+    std::uint64_t state_hash = 0;   ///< rank-order combined final fingerprint
+    std::vector<double> conserved;  ///< final global conserved totals
+    double sim_time = 0.0;
+};
+
+/// Runs a case to completion under fault injection: a decomposed
+/// simulation with periodic checksummed checkpoints, automatic rollback to
+/// the last committed checkpoint on a diagnosed RankFailure, and cold
+/// restart if the checkpoint itself is corrupt. A null injector gives a
+/// plain (but still checkpointing) run — used for the fault-free
+/// reference.
+class ResilientRunner {
+public:
+    ResilientRunner(CaseConfig config, RecoveryOptions options);
+
+    /// Run to completion (or until max_attempts is exhausted).
+    RecoveryStats run(FaultInjector* injector = nullptr);
+
+    /// Checkpoint file path for (rank, slot); exposed for tests.
+    [[nodiscard]] std::string checkpoint_path(int rank, int slot) const;
+
+private:
+    CaseConfig config_;
+    RecoveryOptions options_;
+};
+
+} // namespace mfc::resilience

@@ -282,6 +282,34 @@ double Simulation::grindtime() const {
                         rhs_count_);
 }
 
+std::uint64_t Simulation::state_hash() const {
+    // FNV-1a over the interior bytes in (eq, k, j, i) order plus the
+    // marching metadata; bitwise-sensitive by construction.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](const void* data, std::size_t bytes) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t b = 0; b < bytes; ++b) {
+            h ^= p[b];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (int q = 0; q < lay_.num_eqns(); ++q) {
+        const Field& f = q_.eq(q);
+        for (int k = 0; k < block_.cells.nz; ++k) {
+            for (int j = 0; j < block_.cells.ny; ++j) {
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    const double v = f(i, j, k);
+                    mix(&v, sizeof v);
+                }
+            }
+        }
+    }
+    mix(&sim_time_, sizeof sim_time_);
+    const std::int64_t steps = steps_done_;
+    mix(&steps, sizeof steps);
+    return h;
+}
+
 std::vector<double> Simulation::conserved_totals() {
     // Cell volume over active dimensions only (1D/2D cases collapse the
     // inactive directions).

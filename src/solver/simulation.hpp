@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -75,6 +76,12 @@ public:
     }
     /// ns per (global) grid point, equation, and RHS evaluation.
     [[nodiscard]] double grindtime() const;
+
+    /// FNV-1a hash over the rank-local interior state, simulation time,
+    /// and step count — a cheap bitwise fingerprint used by the
+    /// resilience subsystem to verify that recovery replay reproduced the
+    /// exact fault-free state.
+    [[nodiscard]] std::uint64_t state_hash() const;
 
     /// Global conserved totals (density per fluid, momenta, energy),
     /// scaled by cell volume; allreduced across ranks when decomposed.

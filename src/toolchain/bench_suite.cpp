@@ -1,12 +1,14 @@
 #include "toolchain/bench_suite.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "comm/cart.hpp"
 #include "core/error.hpp"
 #include "prof/prof.hpp"
 #include "prof/reduce.hpp"
 #include "prof/report.hpp"
+#include "resilience/chaos.hpp"
 #include "solver/simulation.hpp"
 
 namespace mfc::toolchain {
@@ -246,10 +248,49 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
             }
         }
     }
+    if (options_.chaos_trials > 0) {
+        // Deterministic chaos-campaign counters on a small standardized
+        // case: completion rate and detection counts are properties of the
+        // build's fault-tolerance logic, not of this host's timing.
+        resilience::ChaosOptions chaos;
+        chaos.trials = options_.chaos_trials;
+        chaos.seed = 1;
+        chaos.recovery.ranks = std::max(2, ranks_);
+        chaos.recovery.checkpoint_interval = 3;
+        chaos.recovery.tag = "bench_chaos";
+        const resilience::ChaosReport rep = resilience::run_campaign(
+            standardized_benchmark_case(/*cells_per_dim=*/12,
+                                        /*t_step_stop=*/6),
+            chaos);
+        Yaml& rs = root["resilience"];
+        rs["trials"].set(Value(static_cast<int>(rep.trials.size())));
+        rs["ranks"].set(Value(rep.ranks));
+        rs["run_to_completion_rate"].set(Value(rep.run_to_completion_rate));
+        rs["faults_injected"].set(Value(rep.faults_injected));
+        rs["faults_detected"].set(Value(rep.faults_detected));
+        rs["rollbacks"].set(Value(rep.rollbacks));
+        rs["steps_replayed"].set(Value(rep.steps_replayed));
+        rs["wasted_work_pct"].set(Value(rep.wasted_work_pct));
+    }
     return root;
 }
 
 namespace {
+
+/// Map child lookup that degrades to nullptr instead of throwing, so a
+/// summary from an older build (no `phases:`, no `resilience:`) still
+/// diffs — the affected cells render as "n/a".
+const Yaml* find(const Yaml& node, const std::string& key) {
+    return node.is_map() && node.contains(key) ? &node.at(key) : nullptr;
+}
+
+/// Scalar child as a double; false when the key is missing or non-scalar.
+bool scalar_of(const Yaml& node, const std::string& key, double& out) {
+    const Yaml* child = find(node, key);
+    if (child == nullptr || !child->is_scalar()) return false;
+    out = child->value().as_double();
+    return true;
+}
 
 /// Worst-regressing phase between two `phases:` maps: the shared path
 /// with the largest candidate/reference grindtime ratio, ignoring phases
@@ -259,12 +300,17 @@ std::string worst_phase(const Yaml& ref_phases, const Yaml& cand_phases) {
     std::string worst = "n/a";
     double worst_ratio = 0.0;
     for (const std::string& path : ref_phases.keys()) {
-        if (!cand_phases.contains(path)) continue;
+        const Yaml* cand = find(cand_phases, path);
+        if (cand == nullptr) continue;
         const Yaml& ref = ref_phases.at(path);
-        const double ref_g = ref.at("grind_ns").value().as_double();
-        if (ref_g <= 0.0 || ref.at("pct").value().as_double() < 1.0) continue;
-        const double cand_g =
-            cand_phases.at(path).at("grind_ns").value().as_double();
+        double ref_g = 0.0;
+        double ref_pct = 0.0;
+        double cand_g = 0.0;
+        if (!scalar_of(ref, "grind_ns", ref_g) ||
+            !scalar_of(ref, "pct", ref_pct) ||
+            !scalar_of(*cand, "grind_ns", cand_g))
+            continue;
+        if (ref_g <= 0.0 || ref_pct < 1.0) continue;
         const double ratio = cand_g / ref_g;
         if (ratio > worst_ratio) {
             worst_ratio = ratio;
@@ -285,26 +331,64 @@ TextTable bench_diff(const Yaml& reference, const Yaml& candidate) {
     table.set_align(1, TextTable::Align::Right);
     table.set_align(2, TextTable::Align::Right);
     table.set_align(3, TextTable::Align::Right);
-    const Yaml& ref_cases = reference.at("cases");
-    const Yaml& cand_cases = candidate.at("cases");
-    for (const std::string& name : ref_cases.keys()) {
-        const Yaml& ref = ref_cases.at(name);
-        const double ref_g = ref.at("grindtime_ns").value().as_double();
+    const Yaml* ref_cases = find(reference, "cases");
+    const Yaml* cand_cases = find(candidate, "cases");
+    if (ref_cases == nullptr) return table; // nothing to compare against
+    for (const std::string& name : ref_cases->keys()) {
+        const Yaml& ref = ref_cases->at(name);
+        double ref_g = 0.0;
+        const bool have_ref = scalar_of(ref, "grindtime_ns", ref_g);
         std::string cand = "n/a";
         std::string speedup = "n/a";
         std::string phase = "n/a";
-        if (cand_cases.contains(name)) {
-            const Yaml& c = cand_cases.at(name);
-            const double cand_g = c.at("grindtime_ns").value().as_double();
-            cand = format_fixed(cand_g, 3);
-            speedup = format_fixed(ref_g / cand_g, 2) + "x";
-            if (ref.contains("phases") && c.contains("phases")) {
-                phase = worst_phase(ref.at("phases"), c.at("phases"));
+        const Yaml* c =
+            cand_cases != nullptr ? find(*cand_cases, name) : nullptr;
+        if (c != nullptr) {
+            double cand_g = 0.0;
+            if (scalar_of(*c, "grindtime_ns", cand_g)) {
+                cand = format_fixed(cand_g, 3);
+                if (have_ref && cand_g > 0.0)
+                    speedup = format_fixed(ref_g / cand_g, 2) + "x";
             }
+            const Yaml* ref_phases = find(ref, "phases");
+            const Yaml* cand_phases = find(*c, "phases");
+            if (ref_phases != nullptr && cand_phases != nullptr)
+                phase = worst_phase(*ref_phases, *cand_phases);
         }
-        table.add_row({name, format_fixed(ref_g, 3), cand, speedup, phase});
+        table.add_row({name, have_ref ? format_fixed(ref_g, 3) : "n/a", cand,
+                       speedup, phase});
     }
     return table;
+}
+
+std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
+    std::string out = bench_diff(reference, candidate).str();
+    const Yaml* ref_res = find(reference, "resilience");
+    const Yaml* cand_res = find(candidate, "resilience");
+    if (ref_res == nullptr && cand_res == nullptr) return out;
+
+    TextTable table({"Resilience metric", "Reference", "Candidate"});
+    table.set_align(1, TextTable::Align::Right);
+    table.set_align(2, TextTable::Align::Right);
+    const auto cell = [](const Yaml* side, const std::string& key,
+                         int precision) {
+        double v = 0.0;
+        if (side == nullptr || !scalar_of(*side, key, v)) return std::string("n/a");
+        return format_fixed(v, precision);
+    };
+    const std::vector<std::pair<std::string, int>> metrics = {
+        {"trials", 0},           {"run_to_completion_rate", 2},
+        {"faults_injected", 0},  {"faults_detected", 0},
+        {"rollbacks", 0},        {"steps_replayed", 0},
+        {"wasted_work_pct", 1},
+    };
+    for (const auto& [key, precision] : metrics) {
+        table.add_row(
+            {key, cell(ref_res, key, precision), cell(cand_res, key, precision)});
+    }
+    out += "\n";
+    out += table.str();
+    return out;
 }
 
 } // namespace mfc::toolchain

@@ -44,6 +44,11 @@ struct BenchOptions {
     /// Collect the per-phase grindtime decomposition (mfc::prof) and
     /// emit it as the `phases:` section of the YAML summary.
     bool profile = true;
+    /// When positive, run a chaos campaign of this many trials on a small
+    /// standardized case and emit its deterministic counters as the
+    /// `resilience:` section of the YAML summary, so fault-tolerance
+    /// behavior can be compared across builds with bench_diff.
+    int chaos_trials = 0;
 };
 
 /// The automated benchmark suite (Section 5): five cases covering the
@@ -78,7 +83,15 @@ private:
 /// The bench_diff tool: compare two benchmark YAML summaries and render
 /// the human-readable table (reference vs candidate grindtime, speedup).
 /// When both summaries carry `phases:` sections, a final column names the
-/// worst-regressing phase — the kernel to blame for a slowdown.
+/// worst-regressing phase — the kernel to blame for a slowdown. Summaries
+/// from older builds may lack `phases:`, `resilience:`, or whole cases;
+/// every missing quantity degrades to an "n/a" cell, never a throw.
 [[nodiscard]] TextTable bench_diff(const Yaml& reference, const Yaml& candidate);
+
+/// Full bench_diff report: the grindtime table plus, when at least one
+/// side carries a `resilience:` section, a second table comparing the
+/// chaos-campaign counters (missing side rendered as "n/a").
+[[nodiscard]] std::string bench_diff_report(const Yaml& reference,
+                                            const Yaml& candidate);
 
 } // namespace mfc::toolchain

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "comm/comm.hpp"
+#include "resilience/chaos.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/recovery.hpp"
+#include "solver/case_config.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc::resilience {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string tmp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+// --- Young/Daly interval ------------------------------------------------
+
+TEST(YoungDaly, IntervalFormula) {
+    // W = sqrt(2 C M): C = 2 s, M = 200 s -> sqrt(800) s.
+    EXPECT_NEAR(young_daly_interval_s(200.0, 2.0), std::sqrt(800.0), 1e-12);
+    // Free checkpoints -> checkpoint every step.
+    EXPECT_NEAR(young_daly_interval_s(200.0, 0.0), 0.0, 1e-12);
+    EXPECT_THROW((void)young_daly_interval_s(0.0, 1.0), Error);
+}
+
+TEST(YoungDaly, StepsClampedToUsefulRange) {
+    // sqrt(2*2*200)/0.5 = ~56 steps.
+    EXPECT_EQ(young_daly_steps(200.0, 2.0, 0.5, 1000),
+              static_cast<int>(std::sqrt(800.0) / 0.5));
+    // Never more often than every step, never rarer than the run length.
+    EXPECT_EQ(young_daly_steps(1.0, 100.0, 1.0e6, 50), 1);
+    EXPECT_EQ(young_daly_steps(1.0e9, 1.0e6, 1.0e-9, 50), 50);
+    // Unmeasurable step cost -> one checkpoint-free run.
+    EXPECT_EQ(young_daly_steps(100.0, 1.0, 0.0, 7), 7);
+}
+
+// --- checksummed checkpoints --------------------------------------------
+
+TEST(Checkpoint, BitwiseRoundTripAfterSteps) {
+    const CaseConfig c = standardized_benchmark_case(8, 8);
+    Simulation a(c);
+    a.initialize();
+    for (int s = 0; s < 3; ++s) a.step();
+    const std::string path = tmp_path("ckpt_roundtrip.ckpt");
+    write_checkpoint(a, path);
+    EXPECT_TRUE(checkpoint_valid(path));
+
+    Simulation b(c);
+    b.initialize();
+    load_checkpoint(b, path);
+    EXPECT_EQ(b.steps_done(), 3);
+    EXPECT_EQ(a.state_hash(), b.state_hash());
+
+    // Continuing from the checkpoint is bitwise-identical to continuing
+    // the original run.
+    for (int s = 0; s < 2; ++s) {
+        a.step();
+        b.step();
+    }
+    EXPECT_EQ(a.state_hash(), b.state_hash());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationIsRejected) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    Simulation sim(c);
+    sim.initialize();
+    sim.step();
+    const std::string path = tmp_path("ckpt_truncated.ckpt");
+    write_checkpoint(sim, path);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+    out.close();
+
+    EXPECT_FALSE(checkpoint_valid(path));
+    Simulation fresh(c);
+    fresh.initialize();
+    EXPECT_THROW(load_checkpoint(fresh, path), CheckpointError);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BitFlipIsRejected) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    Simulation sim(c);
+    sim.initialize();
+    sim.step();
+    const std::string path = tmp_path("ckpt_bitflip.ckpt");
+    write_checkpoint(sim, path);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    EXPECT_FALSE(checkpoint_valid(path));
+    Simulation fresh(c);
+    fresh.initialize();
+    EXPECT_THROW(load_checkpoint(fresh, path), CheckpointError);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsInvalid) {
+    EXPECT_FALSE(checkpoint_valid(tmp_path("ckpt_never_written.ckpt")));
+}
+
+// --- fault taxonomy and injector determinism ----------------------------
+
+TEST(Fault, KindRoundTripAndDetectability) {
+    for (const FaultKind k :
+         {FaultKind::Crash, FaultKind::Stall, FaultKind::Drop,
+          FaultKind::DropOnce, FaultKind::Corrupt, FaultKind::Delay}) {
+        EXPECT_EQ(fault_kind_from_string(to_string(k)), k);
+    }
+    EXPECT_TRUE(is_detectable(FaultKind::Crash));
+    EXPECT_TRUE(is_detectable(FaultKind::Drop));
+    EXPECT_TRUE(is_detectable(FaultKind::Corrupt));
+    EXPECT_FALSE(is_detectable(FaultKind::DropOnce));
+    EXPECT_FALSE(is_detectable(FaultKind::Delay));
+    EXPECT_THROW((void)fault_kind_from_string("meteor"), Error);
+}
+
+TEST(Fault, SpecDescribe) {
+    EXPECT_EQ((FaultSpec{FaultKind::Crash, 1, 7, 1.0, 0}.describe()),
+              "crash@r1/s7");
+    EXPECT_EQ((FaultSpec{FaultKind::Drop, -1, -1, 1.0, 0}.describe()),
+              "drop@r*/s*");
+}
+
+TEST(Fault, InjectorDecisionsAreDeterministic) {
+    FaultPlan plan;
+    plan.seed = 0xfeedULL;
+    plan.faults.push_back(FaultSpec{FaultKind::Corrupt, 0, 0, 1.0, 0});
+
+    std::vector<unsigned char> p1(64, 0), p2(64, 0);
+    FaultInjector a(plan, 2);
+    FaultInjector b(plan, 2);
+    a.on_step(0, 0);
+    b.on_step(0, 0);
+    EXPECT_TRUE(a.on_send(0, 1, 0, 0, p1));
+    EXPECT_TRUE(b.on_send(0, 1, 0, 0, p2));
+    EXPECT_NE(p1, std::vector<unsigned char>(64, 0)); // a bit was flipped
+    EXPECT_EQ(p1, p2); // ... the same bit in both runs
+    EXPECT_EQ(a.fired_steps(), b.fired_steps());
+}
+
+TEST(Fault, FiredSpecsDoNotRefireOnReplay) {
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.faults.push_back(FaultSpec{FaultKind::Crash, 0, 2, 1.0, 0});
+    FaultInjector inj(plan, 1);
+    inj.on_step(0, 0);
+    inj.on_step(0, 1);
+    EXPECT_THROW(inj.on_step(0, 2), SimulatedCrash);
+    EXPECT_EQ(inj.faults_fired(), 1);
+    // Replay after rollback passes through step 2 unharmed.
+    EXPECT_NO_THROW(inj.on_step(0, 2));
+    EXPECT_NO_THROW(inj.on_step(0, 3));
+}
+
+// --- the comm-layer failure detector ------------------------------------
+
+comm::ResilienceConfig fast_detector() {
+    comm::ResilienceConfig rc;
+    rc.armed = true;
+    rc.op_timeout = 2ms;
+    rc.max_retries = 3; // patience = 2ms * 15 = 30ms
+    return rc;
+}
+
+TEST(Detector, SilentRankIsDiagnosedAsStall) {
+    comm::World world(2);
+    world.set_resilience(fast_detector());
+    bool diagnosed = false;
+    try {
+        world.run([&](comm::Communicator& c) {
+            if (c.rank() == 1) {
+                std::this_thread::sleep_for(300ms); // silence >> patience
+            } else {
+                double v = 0.0;
+                c.recv(1, 7, &v, sizeof v);
+            }
+        });
+    } catch (const comm::RankFailure& rf) {
+        diagnosed = true;
+        EXPECT_EQ(rf.failed_rank(), 1);
+        EXPECT_EQ(rf.cause(), comm::RankFailure::Cause::Stall);
+    }
+    EXPECT_TRUE(diagnosed);
+    EXPECT_EQ(world.dead_rank(), 1);
+}
+
+TEST(Detector, CorruptedPayloadIsDiagnosed) {
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.faults.push_back(FaultSpec{FaultKind::Corrupt, 0, 0, 1.0, 0});
+    FaultInjector inj(plan, 2);
+
+    comm::World world(2);
+    world.set_resilience(fast_detector());
+    world.set_fault_hook(&inj);
+    bool diagnosed = false;
+    try {
+        world.run([&](comm::Communicator& c) {
+            if (c.rank() == 0) {
+                inj.on_step(0, 0);
+                const double v = 3.25;
+                c.send(1, 5, &v, sizeof v);
+            } else {
+                double v = 0.0;
+                c.recv(0, 5, &v, sizeof v);
+            }
+        });
+    } catch (const comm::RankFailure& rf) {
+        diagnosed = true;
+        EXPECT_EQ(rf.failed_rank(), 0);
+        EXPECT_EQ(rf.cause(), comm::RankFailure::Cause::Corruption);
+    }
+    EXPECT_TRUE(diagnosed);
+}
+
+TEST(Detector, TransientDropIsHealedByRetransmission) {
+    FaultPlan plan;
+    plan.seed = 12;
+    plan.faults.push_back(FaultSpec{FaultKind::DropOnce, 0, 0, 1.0, 0});
+    FaultInjector inj(plan, 2);
+
+    comm::World world(2);
+    world.set_resilience(fast_detector());
+    world.set_fault_hook(&inj);
+    double received = 0.0;
+    world.run([&](comm::Communicator& c) {
+        if (c.rank() == 0) {
+            inj.on_step(0, 0);
+            const double v = 6.5;
+            c.send(1, 5, &v, sizeof v);
+        } else {
+            c.recv(0, 5, &received, sizeof received);
+        }
+    });
+    EXPECT_EQ(received, 6.5); // first transmission lost, retransmit delivered
+    EXPECT_EQ(inj.faults_fired(), 1);
+}
+
+TEST(Detector, PersistentDropIsDiagnosed) {
+    FaultPlan plan;
+    plan.seed = 13;
+    plan.faults.push_back(FaultSpec{FaultKind::Drop, 0, 0, 1.0, 0});
+    FaultInjector inj(plan, 2);
+
+    comm::World world(2);
+    world.set_resilience(fast_detector());
+    world.set_fault_hook(&inj);
+    bool diagnosed = false;
+    try {
+        world.run([&](comm::Communicator& c) {
+            if (c.rank() == 0) {
+                inj.on_step(0, 0);
+                const double v = 1.0;
+                c.send(1, 5, &v, sizeof v);
+            } else {
+                double v = 0.0;
+                c.recv(0, 5, &v, sizeof v);
+            }
+        });
+    } catch (const comm::RankFailure& rf) {
+        diagnosed = true;
+        EXPECT_EQ(rf.failed_rank(), 0);
+    }
+    EXPECT_TRUE(diagnosed);
+}
+
+TEST(Detector, UnarmedWorldIsUnchanged) {
+    // The entire resilience machinery must be invisible to a fair-weather
+    // run: no hook, not armed, plain blocking semantics.
+    comm::World world(2);
+    double received = 0.0;
+    world.run([&](comm::Communicator& c) {
+        if (c.rank() == 0) {
+            const double v = 2.5;
+            c.send(1, 1, &v, sizeof v);
+        } else {
+            c.recv(0, 1, &received, sizeof received);
+        }
+    });
+    EXPECT_EQ(received, 2.5);
+    EXPECT_EQ(world.dead_rank(), comm::RankFailure::kUnknownRank);
+}
+
+// --- recovery: rollback and replay --------------------------------------
+
+RecoveryOptions fast_recovery(const std::string& tag) {
+    RecoveryOptions ro;
+    ro.ranks = 2;
+    ro.checkpoint_interval = 2;
+    ro.checkpoint_dir = ::testing::TempDir();
+    ro.tag = tag;
+    ro.comm = fast_detector();
+    return ro;
+}
+
+TEST(Recovery, CrashRecoveryReproducesFaultFreeState) {
+    const CaseConfig c = standardized_benchmark_case(8, 6);
+
+    ResilientRunner reference(c, fast_recovery("ref"));
+    const RecoveryStats ref = reference.run(nullptr);
+    ASSERT_TRUE(ref.completed);
+    EXPECT_EQ(ref.attempts, 1);
+    EXPECT_EQ(ref.rollbacks, 0);
+    EXPECT_EQ(ref.checkpoints_written, 2); // steps 2 and 4 of 6
+    EXPECT_NE(ref.state_hash, 0u);
+
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.faults.push_back(FaultSpec{FaultKind::Crash, 1, 3, 1.0, 0});
+    FaultInjector inj(plan, 2);
+    ResilientRunner runner(c, fast_recovery("crash"));
+    const RecoveryStats stats = runner.run(&inj);
+
+    ASSERT_TRUE(stats.completed);
+    EXPECT_EQ(stats.rollbacks, 1);
+    EXPECT_EQ(stats.cold_restarts, 0);
+    // Crash at step 3, last committed checkpoint at step 2: one step of
+    // work is replayed.
+    EXPECT_EQ(stats.steps_replayed, 1);
+    // Recovery replay must land on the exact fault-free state.
+    EXPECT_EQ(stats.state_hash, ref.state_hash);
+    EXPECT_EQ(stats.conserved.size(), ref.conserved.size());
+    for (std::size_t i = 0; i < ref.conserved.size(); ++i) {
+        EXPECT_EQ(stats.conserved[i], ref.conserved[i]);
+    }
+}
+
+TEST(Recovery, CrashBeforeFirstCheckpointColdReplays) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.faults.push_back(FaultSpec{FaultKind::Crash, 0, 1, 1.0, 0});
+    FaultInjector inj(plan, 2);
+    ResilientRunner runner(c, fast_recovery("early"));
+    const RecoveryStats stats = runner.run(&inj);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_EQ(stats.rollbacks, 1);
+    EXPECT_EQ(stats.steps_replayed, 1); // crash at step 1, no checkpoint yet
+}
+
+TEST(Recovery, CorruptCommittedCheckpointForcesColdRestart) {
+    const CaseConfig c = standardized_benchmark_case(8, 6);
+    RecoveryOptions ro = fast_recovery("coldref");
+    ResilientRunner reference(c, ro);
+    const RecoveryStats ref = reference.run(nullptr);
+    ASSERT_TRUE(ref.completed);
+
+    // Crash at step 5 (checkpoint committed at 4), but with the committed
+    // checkpoint of rank 1 bit-flipped on disk between attempts the
+    // runner must fall back to a cold restart and still finish correctly.
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.faults.push_back(FaultSpec{FaultKind::Crash, 1, 5, 1.0, 0});
+
+    class SabotagingInjector : public FaultInjector {
+    public:
+        SabotagingInjector(FaultPlan p, int nranks, std::string victim)
+            : FaultInjector(std::move(p), nranks), victim_(std::move(victim)) {}
+        void on_step(int rank, int step) override {
+            if (rank == 1 && step == 5 && !sabotaged_) {
+                sabotaged_ = true;
+                std::fstream f(victim_,
+                               std::ios::binary | std::ios::in | std::ios::out);
+                f.seekg(64);
+                const int b = f.get();
+                f.seekp(64);
+                f.put(static_cast<char>(~b));
+            }
+            FaultInjector::on_step(rank, step);
+        }
+
+    private:
+        std::string victim_;
+        bool sabotaged_ = false;
+    };
+
+    ResilientRunner runner(c, fast_recovery("cold"));
+    SabotagingInjector inj(plan, 2,
+                           runner.checkpoint_path(1, /*slot: step 4/2=2*/ 0));
+    const RecoveryStats stats = runner.run(&inj);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_EQ(stats.cold_restarts, 1);
+    EXPECT_EQ(stats.state_hash, ref.state_hash);
+}
+
+// --- chaos campaigns ----------------------------------------------------
+
+TEST(Chaos, CaseSeedIsStableAndConfigSensitive) {
+    const CaseConfig a = standardized_benchmark_case(8, 4);
+    const CaseConfig b = standardized_benchmark_case(12, 4);
+    EXPECT_EQ(case_seed(a), case_seed(a));
+    EXPECT_NE(case_seed(a), case_seed(b));
+}
+
+ChaosOptions small_campaign(const std::string& tag) {
+    ChaosOptions o;
+    o.trials = 3;
+    o.seed = 5;
+    o.recovery = RecoveryOptions{};
+    o.recovery.ranks = 2;
+    o.recovery.checkpoint_interval = 2;
+    o.recovery.checkpoint_dir = ::testing::TempDir();
+    o.recovery.tag = tag;
+    o.recovery.comm.armed = true;
+    o.recovery.comm.op_timeout = 2ms;
+    o.recovery.comm.max_retries = 3;
+    return o;
+}
+
+TEST(Chaos, CampaignCompletesAndDetectsEveryDetectableFault) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    const ChaosReport rep = run_campaign(c, small_campaign("camp"));
+    EXPECT_EQ(rep.completed_trials, 3);
+    EXPECT_EQ(rep.run_to_completion_rate, 1.0);
+    EXPECT_EQ(rep.faults_detected, rep.faults_detectable);
+    EXPECT_TRUE(rep.all_clear());
+    for (const ChaosTrial& t : rep.trials) {
+        EXPECT_TRUE(t.completed);
+        EXPECT_TRUE(t.state_matches_reference);
+    }
+}
+
+TEST(Chaos, CampaignRerunIsBitwiseIdentical) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    const ChaosReport r1 = run_campaign(c, small_campaign("det"));
+    const ChaosReport r2 = run_campaign(c, small_campaign("det"));
+    EXPECT_EQ(r1.yaml().dump(), r2.yaml().dump());
+}
+
+TEST(Chaos, BenignFaultsNeedNoRecovery) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    ChaosOptions o = small_campaign("benign");
+    o.trials = 2;
+    o.mix = {FaultKind::DropOnce, FaultKind::Delay};
+    const ChaosReport rep = run_campaign(c, o);
+    EXPECT_EQ(rep.completed_trials, 2);
+    EXPECT_EQ(rep.faults_detectable, 0);
+    EXPECT_EQ(rep.faults_benign, rep.faults_injected);
+    EXPECT_EQ(rep.rollbacks, 0);
+    EXPECT_TRUE(rep.all_clear());
+}
+
+TEST(Chaos, ReportYamlCarriesTheContract) {
+    const CaseConfig c = standardized_benchmark_case(8, 4);
+    const ChaosReport rep = run_campaign(c, small_campaign("yaml"));
+    const Yaml y = rep.yaml();
+    const Yaml& chaos = y.at("chaos");
+    EXPECT_EQ(chaos.at("trials").value().as_int(), 3);
+    EXPECT_EQ(chaos.at("completed_trials").value().as_int(), 3);
+    EXPECT_TRUE(chaos.at("faults").contains("detected"));
+    EXPECT_TRUE(chaos.at("recovery").contains("steps_replayed"));
+    EXPECT_TRUE(chaos.at("trial_results").contains("trial_0"));
+    // Round-trips through the YAML subset parser.
+    const Yaml parsed = Yaml::parse(y.dump());
+    EXPECT_EQ(parsed.dump(), y.dump());
+}
+
+} // namespace
+} // namespace mfc::resilience

@@ -192,6 +192,64 @@ TEST(BenchDiff, MissingCandidateCaseIsNa) {
     EXPECT_NE(s.find("n/a"), std::string::npos);
 }
 
+TEST(BenchDiff, MissingCasesSectionDegradesToEmptyTable) {
+    // A summary from a different tool (or a chaos report) has no `cases:`
+    // at all; the diff must not throw.
+    Yaml ref, cand;
+    ref["metadata"]["invocation"].set(Value("ref"));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(1.0));
+    EXPECT_NO_THROW({
+        const TextTable t = bench_diff(ref, cand);
+        EXPECT_EQ(t.rows(), 0u);
+    });
+    EXPECT_NO_THROW((void)bench_diff(cand, ref));
+}
+
+TEST(BenchDiff, MalformedCaseEntryDegradesToNa) {
+    // A case entry without grindtime_ns (truncated or hand-edited file)
+    // renders as n/a instead of throwing.
+    Yaml ref, cand;
+    ref["cases"]["a"]["cells"].set(Value(100));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(1.0));
+    const std::string s = bench_diff(ref, cand).str();
+    EXPECT_NE(s.find("n/a"), std::string::npos);
+}
+
+TEST(BenchDiff, ReportWithoutResilienceSectionsOmitsTheTable) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    const std::string s = bench_diff_report(ref, cand);
+    EXPECT_EQ(s.find("Resilience"), std::string::npos);
+}
+
+TEST(BenchDiff, OneSidedResilienceSectionRendersNa) {
+    // Candidate from a build with chaos support, reference from an older
+    // build without it: the resilience table appears, reference side n/a.
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    cand["resilience"]["trials"].set(Value(4));
+    cand["resilience"]["run_to_completion_rate"].set(Value(1.0));
+    const std::string s = bench_diff_report(ref, cand);
+    EXPECT_NE(s.find("Resilience"), std::string::npos);
+    EXPECT_NE(s.find("run_to_completion_rate"), std::string::npos);
+    EXPECT_NE(s.find("n/a"), std::string::npos);
+}
+
+TEST(BenchDiff, TwoSidedResilienceSectionCompares) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    for (Yaml* side : {&ref, &cand}) {
+        (*side)["resilience"]["trials"].set(Value(4));
+        (*side)["resilience"]["faults_injected"].set(Value(4));
+        (*side)["resilience"]["faults_detected"].set(Value(4));
+    }
+    const std::string s = bench_diff_report(ref, cand);
+    EXPECT_NE(s.find("faults_detected"), std::string::npos);
+}
+
 TEST(BenchDiff, EndToEndThroughYamlFiles) {
     // bench -> save yaml -> load -> diff, as a user would (Section 3,
     // Step 4).

@@ -15,6 +15,7 @@
 //
 // Every subcommand accepts --help.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -29,6 +30,7 @@
 #include "prof/prof.hpp"
 #include "prof/reduce.hpp"
 #include "prof/report.hpp"
+#include "resilience/chaos.hpp"
 #include "solver/case_config.hpp"
 #include "solver/simulation.hpp"
 #include "toolchain/case_io.hpp"
@@ -166,7 +168,9 @@ int cmd_test(const Args& args) {
 int cmd_bench(const Args& args) {
     if (args.has("help")) {
         std::printf("mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]\n"
-                    "          [--warmup <steps>] [--no-profile]\n");
+                    "          [--warmup <steps>] [--no-profile]\n"
+                    "          [--chaos <trials>]  add a resilience: section\n"
+                    "                              from a chaos campaign\n");
         return 0;
     }
     const Toolchain tc;
@@ -175,6 +179,7 @@ int cmd_bench(const Args& args) {
     BenchOptions options;
     options.warmup_steps = static_cast<int>(parse_int(args.get("warmup", "1")));
     options.profile = !args.has("no-profile");
+    options.chaos_trials = static_cast<int>(parse_int(args.get("chaos", "0")));
     std::string invocation = "mfc bench --mem " + args.get("mem", "0.001") +
                              " -n " + std::to_string(ranks);
     const Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
@@ -192,10 +197,9 @@ int cmd_bench_diff(const Args& args) {
         std::printf("mfc bench_diff <ref.yml> <new.yml>\n");
         return args.has("help") ? 0 : 2;
     }
-    const Toolchain tc;
     const Yaml ref = Yaml::load(args.positional()[0]);
     const Yaml cand = Yaml::load(args.positional()[1]);
-    std::fputs(tc.bench_diff(ref, cand).str().c_str(), stdout);
+    std::fputs(bench_diff_report(ref, cand).c_str(), stdout);
     return 0;
 }
 
@@ -401,6 +405,110 @@ int cmd_profile(const Args& args) {
     return 0;
 }
 
+int cmd_chaos(const Args& args) {
+    if (args.has("help") ||
+        (args.positional().empty() && !args.has("standard"))) {
+        std::printf(
+            "mfc chaos <case-file> | --standard [options]\n\n"
+            "Fault-injection campaign: N trials of the case under injected\n"
+            "faults, each recovered by rollback to the last checksummed\n"
+            "checkpoint (see docs/resilience.md). The YAML report is fully\n"
+            "deterministic for a given seed.\n\n"
+            "  --standard          standardized 3D two-fluid benchmark case\n"
+            "  --edge <n>          cells per dimension for --standard "
+            "(default 16)\n"
+            "  -n <ranks>          simMPI ranks (default 2)\n"
+            "  --trials <n>        injected runs (default 4)\n"
+            "  --seed <n>          campaign seed (default 1; 0 = case hash)\n"
+            "  --faults <list>     comma list of "
+            "crash,stall,drop,drop-once,corrupt,delay\n"
+            "                      (default crash,drop,corrupt)\n"
+            "  --steps <n>         time steps per trial (default 8)\n"
+            "  --interval <n>      checkpoint every n steps (default 4;\n"
+            "                      0 = Young/Daly auto from --mtbf)\n"
+            "  --mtbf <s>          assumed MTBF for auto interval "
+            "(default 300)\n"
+            "  --max-attempts <n>  rollback budget per trial (default 16)\n"
+            "  --dir <path>        checkpoint directory (default .)\n"
+            "  --timeout-ms <n>    detector first poll timeout (default 5)\n"
+            "  --retries <n>       detector retries before diagnosis "
+            "(default 5)\n"
+            "  --no-reference      skip the fault-free reference run\n"
+            "  -o <report.yml>     write the YAML report\n\n"
+            "Exit status 0 iff every trial completed and every detectable\n"
+            "fault was detected.\n");
+        return args.has("help") ? 0 : 2;
+    }
+
+    CaseConfig config =
+        args.has("standard")
+            ? standardized_benchmark_case(
+                  static_cast<int>(parse_int(args.get("edge", "16"))))
+            : config_from_dict(load_case_file(args.positional()[0]));
+    config.t_step_stop = static_cast<int>(parse_int(args.get("steps", "8")));
+    config.validate();
+
+    resilience::ChaosOptions opts;
+    opts.trials = static_cast<int>(parse_int(args.get("trials", "4")));
+    opts.seed = static_cast<std::uint64_t>(parse_int(args.get("seed", "1")));
+    if (args.has("faults")) {
+        opts.mix.clear();
+        for (const std::string& tok : split(args.get("faults"), ',')) {
+            opts.mix.push_back(resilience::fault_kind_from_string(trim(tok)));
+        }
+    }
+    opts.reference_check = !args.has("no-reference");
+    opts.recovery.ranks = static_cast<int>(parse_int(args.get("n", "2")));
+    opts.recovery.checkpoint_interval =
+        static_cast<int>(parse_int(args.get("interval", "4")));
+    opts.recovery.mtbf_s = parse_double(args.get("mtbf", "300"));
+    opts.recovery.max_attempts =
+        static_cast<int>(parse_int(args.get("max-attempts", "16")));
+    opts.recovery.checkpoint_dir = args.get("dir", ".");
+    opts.recovery.tag = "chaos";
+    opts.recovery.comm.op_timeout =
+        std::chrono::milliseconds(parse_int(args.get("timeout-ms", "5")));
+    opts.recovery.comm.max_retries =
+        static_cast<int>(parse_int(args.get("retries", "5")));
+
+    const resilience::ChaosReport report =
+        resilience::run_campaign(config, opts);
+
+    std::printf("chaos campaign: %d trials, %d ranks, %d steps, "
+                "checkpoint every %d\n\n",
+                static_cast<int>(report.trials.size()), report.ranks,
+                report.steps, report.interval);
+    TextTable t({"Trial", "Fault", "Fired", "Detected", "Rollbacks",
+                 "Replayed", "State"});
+    for (const resilience::ChaosTrial& trial : report.trials) {
+        t.add_row({std::to_string(trial.index), trial.fault.describe(),
+                   trial.fired ? "yes" : "no",
+                   trial.detected ? "yes"
+                                  : (resilience::is_detectable(trial.fault.kind)
+                                         ? "NO"
+                                         : "benign"),
+                   std::to_string(trial.stats.rollbacks +
+                                  trial.stats.cold_restarts),
+                   std::to_string(trial.stats.steps_replayed),
+                   !trial.completed ? "INCOMPLETE"
+                   : !opts.reference_check ? "n/a"
+                   : trial.state_matches_reference ? "match"
+                                                   : "MISMATCH"});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::printf("\ncompletion %d/%d   detected %d/%d detectable   "
+                "wasted work %.1f%%\n",
+                report.completed_trials,
+                static_cast<int>(report.trials.size()), report.faults_detected,
+                report.faults_detectable, report.wasted_work_pct);
+
+    if (args.has("o")) {
+        report.yaml().save(args.get("o"));
+        std::printf("wrote %s\n", args.get("o").c_str());
+    }
+    return report.all_clear() ? 0 : 1;
+}
+
 int cmd_pre_process(const Args& args) {
     if (args.has("help") || args.positional().empty()) {
         std::printf("mfc pre_process <case-file> --out <snapshot.bin>\n");
@@ -521,6 +629,8 @@ int usage() {
     (void)cmd_tools();
     std::printf("%-12s %s\n", "profile",
                 "Per-phase grindtime decomposition of a case");
+    std::printf("%-12s %s\n", "chaos",
+                "Fault-injection campaign with checkpoint recovery");
     std::printf("%-12s %s\n", "batch", "Render a scheduler batch script");
     std::printf("%-12s %s\n", "devices", "Table 3 hardware catalog");
     std::printf("%-12s %s\n", "scale", "Model weak/strong scaling on a system");
@@ -535,10 +645,16 @@ int usage() {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string tool = argv[1];
-    const Args args(argc - 2, argv + 2,
-                    {"help", "list", "generate", "add-new-variables",
-                     "case-optimization", "rdma", "profile", "strong",
-                     "no-rdma", "igr", "no-profile"});
+    std::vector<std::string> bool_flags = {
+        "help", "list", "generate", "add-new-variables", "case-optimization",
+        "rdma", "profile", "strong", "no-rdma", "igr", "no-profile"};
+    // `profile` takes `--standard <edge>` as a value; for `chaos` it is a
+    // plain switch (the edge rides on --edge).
+    if (tool == "chaos") {
+        bool_flags.push_back("standard");
+        bool_flags.push_back("no-reference");
+    }
+    const Args args(argc - 2, argv + 2, bool_flags);
     try {
         if (tool == "tools") return cmd_tools();
         if (tool == "load") return cmd_load(args);
@@ -548,6 +664,7 @@ int main(int argc, char** argv) {
         if (tool == "bench_diff") return cmd_bench_diff(args);
         if (tool == "run") return cmd_run(args);
         if (tool == "profile") return cmd_profile(args);
+        if (tool == "chaos") return cmd_chaos(args);
         if (tool == "batch") return cmd_batch(args);
         if (tool == "devices") return cmd_devices(args);
         if (tool == "scale") return cmd_scale(args);

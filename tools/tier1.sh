@@ -22,6 +22,12 @@ MFC="$BUILD_DIR/tools/mfc"
     --trace "$BUILD_DIR/tier1_trace.json" --yaml "$BUILD_DIR/tier1_prof.yml"
 "$MFC" profile --standard 12 --steps 2 -n 2
 
+# Chaos smoke: a 2-rank 32^3 campaign (one crash, one drop trial) must
+# run every trial to completion and detect every detectable fault.
+"$MFC" chaos --standard --edge 32 -n 2 --trials 2 --faults crash,drop \
+    --steps 6 --interval 3 --seed 7 --dir "$BUILD_DIR" \
+    -o "$BUILD_DIR/tier1_chaos.yml"
+
 # Profiler overhead budget (<2% with zones enabled), when the bench
 # binary was built.
 if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
