@@ -1,6 +1,7 @@
 #include "toolchain/bench_suite.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <utility>
 
 #include "comm/cart.hpp"
@@ -258,6 +259,9 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
         chaos.recovery.ranks = std::max(2, ranks_);
         chaos.recovery.checkpoint_interval = 3;
         chaos.recovery.tag = "bench_chaos";
+        // Keep trial checkpoints out of the invoking directory.
+        chaos.recovery.checkpoint_dir =
+            std::filesystem::temp_directory_path().string();
         const resilience::ChaosReport rep = resilience::run_campaign(
             standardized_benchmark_case(/*cells_per_dim=*/12,
                                         /*t_step_stop=*/6),
