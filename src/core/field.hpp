@@ -71,6 +71,23 @@ public:
     [[nodiscard]] std::vector<double>& raw() { return data_; }
     [[nodiscard]] const std::vector<double>& raw() const { return data_; }
 
+    /// Address of cell (i, j, k); with stride(d), lets pencil kernels
+    /// walk a row without per-access index arithmetic.
+    [[nodiscard]] double* ptr(int i, int j, int k) {
+        return data_.data() + index(i, j, k);
+    }
+    [[nodiscard]] const double* ptr(int i, int j, int k) const {
+        return data_.data() + index(i, j, k);
+    }
+
+    /// Element stride between neighboring cells along dimension `d`.
+    [[nodiscard]] std::ptrdiff_t stride(int d) const {
+        return d == 0 ? 1
+               : d == 1
+                   ? static_cast<std::ptrdiff_t>(ldx_)
+                   : static_cast<std::ptrdiff_t>(ldx_) * ldy_;
+    }
+
     void fill(double v) { data_.assign(data_.size(), v); }
 
     /// Sum over interior cells only (conservation checks).

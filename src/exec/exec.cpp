@@ -1,0 +1,282 @@
+#include "exec/exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "core/error.hpp"
+#include "prof/prof.hpp"
+
+namespace mfc::exec {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int initial_num_threads() {
+    const char* env = std::getenv("MFC_NUM_THREADS");
+    if (env == nullptr || *env == '\0') return 1;
+    const long n = std::strtol(env, nullptr, 10);
+    return static_cast<int>(std::clamp<long>(n, 1, kMaxThreads));
+}
+
+thread_local bool t_in_parallel = false;
+
+/// Marks the calling thread as inside a parallel region for the scope.
+class ParallelScope {
+public:
+    ParallelScope() : prev_(t_in_parallel) { t_in_parallel = true; }
+    ParallelScope(const ParallelScope&) = delete;
+    ParallelScope& operator=(const ParallelScope&) = delete;
+    ~ParallelScope() { t_in_parallel = prev_; }
+
+private:
+    bool prev_;
+};
+
+/// The process-wide worker pool. Workers are lazily spawned on the first
+/// multi-threaded dispatch and parked on a condition variable between
+/// regions. At most one dispatcher owns the pool at a time (try-lock);
+/// contending callers — nested regions, concurrent simMPI ranks — run
+/// their loop inline instead of queueing, which cannot deadlock.
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool pool;
+        return pool;
+    }
+
+    [[nodiscard]] int threads() {
+        std::call_once(env_once_, [this] {
+            configured_.store(initial_num_threads(),
+                              std::memory_order_relaxed);
+        });
+        return configured_.load(std::memory_order_relaxed);
+    }
+
+    void set_threads(int n) {
+        MFC_REQUIRE(n >= 1 && n <= kMaxThreads,
+                    "exec: thread count must be in [1, " +
+                        std::to_string(kMaxThreads) + "]");
+        std::call_once(env_once_, [] {});
+        const std::lock_guard<std::mutex> own(owner_);
+        if (n == configured_.load(std::memory_order_relaxed)) return;
+        join_workers();
+        configured_.store(n, std::memory_order_relaxed);
+    }
+
+    /// Dispatch chunk(c) for c in [0, nchunks); returns false when the
+    /// pool could not be acquired (caller must run inline).
+    bool dispatch(const char* label, int nchunks,
+                  const std::function<void(int)>& chunk) {
+        if (t_in_parallel) return false;
+        if (!owner_.try_lock()) return false;
+        const std::lock_guard<std::mutex> own(owner_, std::adopt_lock);
+        const int nthreads = std::min(threads(), nchunks);
+        if (nthreads <= 1) return false;
+        ensure_workers(threads() - 1);
+
+        {
+            const std::lock_guard<std::mutex> lk(m_);
+            label_ = label;
+            task_ = &chunk;
+            nchunks_ = nchunks;
+            nslots_ = nthreads;
+            pending_ = nthreads - 1;
+            ++generation_;
+        }
+        work_cv_.notify_all();
+
+        run_slot(0); // the dispatching thread takes the first chunk range
+
+        std::unique_lock<std::mutex> lk(m_);
+        done_cv_.wait(lk, [this] { return pending_ == 0; });
+        task_ = nullptr;
+        return true;
+    }
+
+private:
+    Pool() = default;
+    ~Pool() {
+        const std::lock_guard<std::mutex> own(owner_);
+        join_workers();
+    }
+
+    void ensure_workers(int count) {
+        // owner_ held. Workers only ever grow up to configured-1; a
+        // shrink happened in set_threads via join_workers. Each worker
+        // starts having "seen" the current generation — it must wait for
+        // the upcoming dispatch, not wake on a stale one (whose task_ is
+        // already gone).
+        while (static_cast<int>(workers_.size()) < count) {
+            const int slot = static_cast<int>(workers_.size()) + 1;
+            std::uint64_t start_gen = 0;
+            {
+                const std::lock_guard<std::mutex> lk(m_);
+                start_gen = generation_;
+            }
+            workers_.emplace_back(
+                [this, slot, start_gen] { worker_loop(slot, start_gen); });
+        }
+    }
+
+    void join_workers() {
+        {
+            const std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+            ++generation_;
+        }
+        work_cv_.notify_all();
+        for (std::thread& w : workers_) w.join();
+        workers_.clear();
+        {
+            const std::lock_guard<std::mutex> lk(m_);
+            stop_ = false;
+        }
+    }
+
+    void worker_loop(int slot, std::uint64_t seen) {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(m_);
+                work_cv_.wait(lk, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_) return;
+                seen = generation_;
+                if (slot >= nslots_) continue; // not needed this region
+            }
+            run_slot(slot);
+            {
+                const std::lock_guard<std::mutex> lk(m_);
+                --pending_;
+            }
+            done_cv_.notify_one();
+        }
+    }
+
+    void run_slot(int slot) {
+        // Static partitioning: slot s owns the contiguous chunk indices
+        // [s*nchunks/nslots, (s+1)*nchunks/nslots).
+        const ParallelScope scope;
+        const int lo = nchunks_ * slot / nslots_;
+        const int hi = nchunks_ * (slot + 1) / nslots_;
+        if (lo >= hi) return;
+        if (slot == 0) {
+            // The dispatching thread is already inside the enclosing
+            // kernel zone; its share is attributed there.
+            for (int c = lo; c < hi; ++c) (*task_)(c);
+        } else {
+            // Per-thread phase attribution: workers record their chunk
+            // time under a root zone named after the loop, which
+            // prof::snapshot() merges and the Chrome trace shows per tid.
+            prof::Zone zone(label_);
+            for (int c = lo; c < hi; ++c) (*task_)(c);
+        }
+    }
+
+    std::once_flag env_once_;
+    std::atomic<int> configured_{1};
+
+    std::mutex owner_; ///< serializes dispatchers and reconfiguration
+
+    std::mutex m_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    const char* label_ = nullptr;
+    const std::function<void(int)>* task_ = nullptr;
+    int nchunks_ = 0;
+    int nslots_ = 1;
+    int pending_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace
+
+int num_threads() { return Pool::instance().threads(); }
+
+void set_num_threads(int n) { Pool::instance().set_threads(n); }
+
+bool in_parallel() { return t_in_parallel; }
+
+namespace detail {
+
+int reduce_chunks(long long n) {
+    // Fixed grid: fine enough to balance any sane thread count, coarse
+    // enough that partial overhead is negligible. Depends only on n.
+    return static_cast<int>(std::min<long long>(n, 64));
+}
+
+void parallel_chunks(const char* label, int nchunks,
+                     const std::function<void(int)>& chunk) {
+    if (nchunks <= 0) return;
+    Pool& pool = Pool::instance();
+    if (nchunks > 1 && pool.threads() > 1 &&
+        pool.dispatch(label, nchunks, chunk)) {
+        return;
+    }
+    const ParallelScope scope;
+    for (int c = 0; c < nchunks; ++c) chunk(c);
+}
+
+} // namespace detail
+
+void parallel_for(const char* label, long long begin, long long end,
+                  const ChunkFn& body) {
+    const long long n = end - begin;
+    if (n <= 0) return;
+    Pool& pool = Pool::instance();
+    const int nthreads = pool.threads();
+    if (nthreads <= 1 || t_in_parallel) {
+        // Serial identity: one chunk, inline, no extra zones.
+        const ParallelScope scope;
+        body(begin, end);
+        return;
+    }
+    const int nchunks = static_cast<int>(std::min<long long>(n, nthreads));
+    const auto chunk = [&](int c) {
+        const long long lo = begin + n * c / nchunks;
+        const long long hi = begin + n * (c + 1) / nchunks;
+        if (lo < hi) body(lo, hi);
+    };
+    if (!pool.dispatch(label, nchunks, chunk)) {
+        const ParallelScope scope;
+        body(begin, end);
+    }
+}
+
+double* Arena::alloc(std::size_t n) {
+    if (n == 0) n = 1;
+    while (true) {
+        if (slab_ < slabs_.size()) {
+            std::vector<double>& s = slabs_[slab_];
+            if (used_ + n <= s.size()) {
+                double* p = s.data() + used_;
+                used_ += n;
+                std::fill(p, p + n, 0.0);
+                return p;
+            }
+            // Doesn't fit in the current slab: move to the next (existing
+            // blocks stay put — slabs never reallocate).
+            ++slab_;
+            used_ = 0;
+            continue;
+        }
+        slabs_.emplace_back(std::max(n, kSlabDoubles));
+        slab_ = slabs_.size() - 1;
+        used_ = 0;
+    }
+}
+
+Arena& scratch_arena() {
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace mfc::exec

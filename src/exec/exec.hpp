@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mfc::exec {
+
+/// mfc::exec — the thread-parallel execution layer under the pencil
+/// kernels. One process-wide worker pool runs chunked loops with static
+/// row partitioning:
+///
+///     exec::parallel_for("weno_x", 0, rows, [&](long long lo, long long hi) {
+///         for (long long row = lo; row < hi; ++row) { ... }
+///     });
+///
+/// Contracts the solver relies on:
+///
+///  - **Serial identity.** With num_threads() == 1 the body runs inline
+///    on the calling thread as a single chunk [begin, end) — bitwise and
+///    profile-identical to a plain loop. This is the default.
+///  - **Partition independence.** Callers must make chunk bodies
+///    independent (disjoint writes, no cross-row reads of written data),
+///    so results do not depend on where chunk boundaries fall; then
+///    `--threads N` reproduces `--threads 1` bitwise.
+///  - **Nested and concurrent safety.** A parallel_for issued from inside
+///    a parallel region, or while another thread (e.g. a simMPI rank)
+///    holds the pool, degrades to the inline serial path instead of
+///    deadlocking. Rank-level (simMPI) and row-level parallelism compose.
+///  - **Deterministic reductions.** ordered_reduce splits [begin, end)
+///    into a chunk grid that depends only on the range, evaluates the
+///    per-chunk partials in parallel, and combines them on the calling
+///    thread in a fixed pairwise tree order — run-to-run and
+///    thread-count-independent results for any combine operation.
+///
+/// Worker threads open a prof::Zone named after the loop label while
+/// executing their chunk, so profiles and Chrome traces attribute kernel
+/// time per thread (see docs/performance.md).
+
+/// Configured worker count (>= 1). Initialized on first use from the
+/// MFC_NUM_THREADS environment variable, default 1.
+[[nodiscard]] int num_threads();
+
+/// Set the worker count (--threads N). Blocks until the pool is idle;
+/// call from the main thread at startup, not from inside kernels.
+void set_num_threads(int n);
+
+/// True while the calling thread is executing a parallel_for/
+/// ordered_reduce body (used by the nested-dispatch guard; exposed for
+/// tests).
+[[nodiscard]] bool in_parallel();
+
+/// Chunk body: process rows [chunk_begin, chunk_end).
+using ChunkFn = std::function<void(long long, long long)>;
+
+/// Run `body` over [begin, end) split into one contiguous chunk per
+/// thread (static partitioning). Empty ranges return immediately; empty
+/// chunks are skipped. `label` must be a string literal (it keys
+/// prof zones by pointer).
+void parallel_for(const char* label, long long begin, long long end,
+                  const ChunkFn& body);
+
+namespace detail {
+
+/// Chunk grid for ordered reductions: depends only on the range length,
+/// never on the thread count, so partial boundaries (hence any
+/// non-associative combine) are reproducible across configurations.
+[[nodiscard]] int reduce_chunks(long long n);
+
+/// Dispatch `chunk(c)` for c in [0, nchunks) across the pool (or inline
+/// when serial/nested/contended).
+void parallel_chunks(const char* label, int nchunks,
+                     const std::function<void(int)>& chunk);
+
+} // namespace detail
+
+/// Deterministic ordered reduction over [begin, end). `map` evaluates one
+/// chunk ([lo, hi)) to a partial; `combine` folds two partials. Partials
+/// are combined in a fixed pairwise tree (adjacent pairs, repeatedly), on
+/// the calling thread, in chunk order — the result is identical run to
+/// run and for every thread count, including 1.
+template <class T, class Map, class Combine>
+[[nodiscard]] T ordered_reduce(const char* label, long long begin,
+                               long long end, T identity, Map map,
+                               Combine combine) {
+    const long long n = end - begin;
+    if (n <= 0) return identity;
+    const int nchunks = detail::reduce_chunks(n);
+    std::vector<T> partial(static_cast<std::size_t>(nchunks), identity);
+    detail::parallel_chunks(label, nchunks, [&](int c) {
+        const long long lo = begin + n * c / nchunks;
+        const long long hi = begin + n * (c + 1) / nchunks;
+        if (lo < hi) partial[static_cast<std::size_t>(c)] = map(lo, hi);
+    });
+    // Fixed pairwise tree: (((p0 p1)(p2 p3))((p4 p5)...)) regardless of
+    // how many threads produced the partials.
+    std::size_t count = partial.size();
+    while (count > 1) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i + 1 < count; i += 2) {
+            partial[out++] = combine(partial[i], partial[i + 1]);
+        }
+        if (count % 2 == 1) partial[out++] = partial[count - 1];
+        count = out;
+    }
+    return combine(identity, partial[0]);
+}
+
+/// Per-thread bump allocator for kernel row scratch. Allocations are
+/// slab-backed: growing never moves previously returned blocks, so nested
+/// frames (an inline-serialized nested parallel_for) keep their pointers
+/// valid. Typical use inside a chunk body:
+///
+///     exec::Arena::Frame frame(exec::scratch_arena());
+///     double* row = frame.doubles(len);
+///
+/// The frame releases its allocations on scope exit.
+class Arena {
+public:
+    /// RAII allocation scope; restores the arena to its state at
+    /// construction.
+    class Frame {
+    public:
+        explicit Frame(Arena& a)
+            : arena_(a), slab_(a.slab_), used_(a.used_) {}
+        Frame(const Frame&) = delete;
+        Frame& operator=(const Frame&) = delete;
+        ~Frame() {
+            arena_.slab_ = slab_;
+            arena_.used_ = used_;
+        }
+
+        /// Zero-initialized block of `n` doubles, valid for the frame's
+        /// lifetime.
+        [[nodiscard]] double* doubles(std::size_t n) {
+            return arena_.alloc(n);
+        }
+
+    private:
+        Arena& arena_;
+        std::size_t slab_;
+        std::size_t used_;
+    };
+
+private:
+    [[nodiscard]] double* alloc(std::size_t n);
+
+    static constexpr std::size_t kSlabDoubles = 1 << 15; // 256 KiB
+    std::vector<std::vector<double>> slabs_;
+    std::size_t slab_ = 0; ///< index of the slab currently bumped
+    std::size_t used_ = 0; ///< doubles used in that slab
+};
+
+/// The calling thread's scratch arena (thread-local: pool workers, simMPI
+/// rank threads, and the main thread each own one).
+[[nodiscard]] Arena& scratch_arena();
+
+} // namespace mfc::exec

@@ -1,6 +1,7 @@
 #include "numerics/igr.hpp"
 
 #include "core/error.hpp"
+#include "exec/exec.hpp"
 #include "prof/prof.hpp"
 
 namespace mfc {
@@ -31,33 +32,46 @@ void igr_elliptic_solve(const IgrParams& params, const Field& source,
     const int iters = params.num_iters + (warm ? 0 : params.num_warm_start_iters);
     if (!warm) sigma.fill(0.0);
 
+    // One row of the relaxation stencil: reads the iterate `s`, writes
+    // `dst`. The Jacobi rows are independent (s != dst) and parallelize;
+    // Gauss-Seidel reads and writes sigma in place and must stay serial.
+    const auto relax_row = [&](const Field& s, Field& dst, int j, int k) {
+        for (int i = 0; i < e.nx; ++i) {
+            double nb = 0.0;
+            if (e.nx > 1) {
+                nb += (i > 0 ? s(i - 1, j, k) : s(i, j, k)) +
+                      (i < e.nx - 1 ? s(i + 1, j, k) : s(i, j, k));
+            }
+            if (e.ny > 1) {
+                nb += (j > 0 ? s(i, j - 1, k) : s(i, j, k)) +
+                      (j < e.ny - 1 ? s(i, j + 1, k) : s(i, j, k));
+            }
+            if (e.nz > 1) {
+                nb += (k > 0 ? s(i, j, k - 1) : s(i, j, k)) +
+                      (k < e.nz - 1 ? s(i, j, k + 1) : s(i, j, k));
+            }
+            dst(i, j, k) = (source(i, j, k) + off * nb) / diag;
+        }
+    };
+
     Field next = sigma; // Jacobi needs a second buffer
+    const long long rows = static_cast<long long>(e.ny) * e.nz;
     for (int it = 0; it < iters; ++it) {
-        Field& dst = params.iter_solver == 1 ? next : sigma;
-        for (int k = 0; k < e.nz; ++k) {
-            for (int j = 0; j < e.ny; ++j) {
-                for (int i = 0; i < e.nx; ++i) {
-                    double nb = 0.0;
-                    // Jacobi reads the previous iterate (sigma) and writes
-                    // `next`; Gauss-Seidel reads and writes sigma in place.
-                    const Field& s = sigma;
-                    if (e.nx > 1) {
-                        nb += (i > 0 ? s(i - 1, j, k) : s(i, j, k)) +
-                              (i < e.nx - 1 ? s(i + 1, j, k) : s(i, j, k));
-                    }
-                    if (e.ny > 1) {
-                        nb += (j > 0 ? s(i, j - 1, k) : s(i, j, k)) +
-                              (j < e.ny - 1 ? s(i, j + 1, k) : s(i, j, k));
-                    }
-                    if (e.nz > 1) {
-                        nb += (k > 0 ? s(i, j, k - 1) : s(i, j, k)) +
-                              (k < e.nz - 1 ? s(i, j, k + 1) : s(i, j, k));
-                    }
-                    dst(i, j, k) = (source(i, j, k) + off * nb) / diag;
-                }
+        if (params.iter_solver == 1) {
+            exec::parallel_for("igr_elliptic", 0, rows,
+                               [&](long long lo, long long hi) {
+                                   for (long long t = lo; t < hi; ++t) {
+                                       const int j = static_cast<int>(t % e.ny);
+                                       const int k = static_cast<int>(t / e.ny);
+                                       relax_row(sigma, next, j, k);
+                                   }
+                               });
+            std::swap(sigma, next);
+        } else {
+            for (int k = 0; k < e.nz; ++k) {
+                for (int j = 0; j < e.ny; ++j) relax_row(sigma, sigma, j, k);
             }
         }
-        if (params.iter_solver == 1) std::swap(sigma, next);
     }
 }
 

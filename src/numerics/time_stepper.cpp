@@ -1,6 +1,7 @@
 #include "numerics/time_stepper.hpp"
 
 #include "core/error.hpp"
+#include "exec/exec.hpp"
 #include "prof/prof.hpp"
 
 namespace mfc {
@@ -31,9 +32,15 @@ void linear_combine(double a, const StateArray& qa, double b,
         const auto& vb = qb.eq(q).raw();
         const auto& vd = dq.eq(q).raw();
         auto& vo = q_out.eq(q).raw();
-        for (std::size_t n = 0; n < vo.size(); ++n) {
-            vo[n] = a * va[n] + b * vb[n] + c_dt * vd[n];
-        }
+        // Element-wise over the raw storage (ghosts included): any chunking
+        // is bitwise-identical to the serial loop.
+        exec::parallel_for("rk_update", 0, static_cast<long long>(vo.size()),
+                           [&](long long lo, long long hi) {
+                               for (long long n = lo; n < hi; ++n) {
+                                   const auto s = static_cast<std::size_t>(n);
+                                   vo[s] = a * va[s] + b * vb[s] + c_dt * vd[s];
+                               }
+                           });
     }
 }
 

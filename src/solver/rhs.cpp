@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
+#include "exec/exec.hpp"
 #include "numerics/weno.hpp"
 #include "physics/characteristics.hpp"
 #include "physics/flux.hpp"
@@ -25,6 +28,31 @@ int extent_along(const Extents& e, int dim) {
 }
 
 bool active(const Extents& e, int dim) { return extent_along(e, dim) > 1; }
+
+/// (i, j, k) of row-local cell `c` for a sweep along `dim` with
+/// transverse indices (t1, t2) — t1 is the fast transverse index.
+void cell_of(int dim, int c, int t1, int t2, int& i, int& j, int& k) {
+    switch (dim) {
+    case 0: i = c; j = t1; k = t2; return;
+    case 1: i = t1; j = c; k = t2; return;
+    default: i = t1; j = t2; k = c; return;
+    }
+}
+
+/// Gather one pencil of `src` into the contiguous buffer `row`:
+/// row[t] = src at row-local cell c0 + t, for t in [0, len).
+void gather_row(const Field& src, int dim, int c0, int t1, int t2, int len,
+                double* row) {
+    int i = 0, j = 0, k = 0;
+    cell_of(dim, c0, t1, t2, i, j, k);
+    const double* p = src.ptr(i, j, k);
+    const std::ptrdiff_t s = src.stride(dim);
+    if (s == 1) {
+        std::memcpy(row, p, static_cast<std::size_t>(len) * sizeof(double));
+    } else {
+        for (int t = 0; t < len; ++t) row[t] = p[t * s];
+    }
+}
 
 } // namespace
 
@@ -61,61 +89,76 @@ RhsEvaluator::RhsEvaluator(const CaseConfig& config, const LocalBlock& block)
         sigma_ = Field(local_, 1);
         igr_source_ = Field(local_, 0);
     }
-
-    const int nmax = std::max({local_.nx, local_.ny, local_.nz});
-    const auto cells = static_cast<std::size_t>(nmax + 2);
-    const auto neq = static_cast<std::size_t>(lay_.num_eqns());
-    edge_left_.resize(cells * neq);
-    edge_right_.resize(cells * neq);
-    flux_row_.resize((cells + 1) * neq);
-    uface_row_.resize(cells + 1);
 }
 
 void RhsEvaluator::compute_primitives(const StateArray& cons) {
     PROF_ZONE("prim_convert");
-    double cbuf[kMaxEqns];
-    double pbuf[kMaxEqns];
     const int neq = lay_.num_eqns();
-
-    const auto convert_box = [&](int ilo, int ihi, int jlo, int jhi, int klo,
-                                 int khi) {
-        for (int k = klo; k < khi; ++k) {
-            for (int j = jlo; j < jhi; ++j) {
-                for (int i = ilo; i < ihi; ++i) {
-                    for (int q = 0; q < neq; ++q) cbuf[q] = cons.eq(q)(i, j, k);
-                    cons_to_prim(lay_, fluids_, cbuf, pbuf);
-                    for (int q = 0; q < neq; ++q) prim_.eq(q)(i, j, k) = pbuf[q];
-                }
-            }
-        }
-    };
 
     // The full extended box: the dimension-interleaved ghost fill leaves
     // every ghost (face, edge, and corner) valid, so primitives are
     // converted everywhere the sweeps and viscous cross-derivatives may
-    // read.
+    // read. Rows along x parallelize over the extended (j, k) plane.
     const Field& ref = prim_.eq(0);
-    convert_box(-ref.gx(), local_.nx + ref.gx(), -ref.gy(),
-                local_.ny + ref.gy(), -ref.gz(), local_.nz + ref.gz());
+    const int gx = ref.gx(), gy = ref.gy(), gz = ref.gz();
+    const int len_x = local_.nx + 2 * gx;
+    const int rows_y = local_.ny + 2 * gy;
+    const long long rows = static_cast<long long>(rows_y) *
+                           (local_.nz + 2 * gz);
+
+    exec::parallel_for("prim_convert", 0, rows, [&](long long lo, long long hi) {
+        double cbuf[kMaxEqns];
+        double pbuf[kMaxEqns];
+        const double* src[kMaxEqns];
+        double* dst[kMaxEqns];
+        for (long long t = lo; t < hi; ++t) {
+            const int j = static_cast<int>(t % rows_y) - gy;
+            const int k = static_cast<int>(t / rows_y) - gz;
+            for (int q = 0; q < neq; ++q) {
+                src[q] = cons.eq(q).ptr(-gx, j, k);
+                dst[q] = prim_.eq(q).ptr(-gx, j, k);
+            }
+            for (int i = 0; i < len_x; ++i) {
+                for (int q = 0; q < neq; ++q) cbuf[q] = src[q][i];
+                cons_to_prim(lay_, fluids_, cbuf, pbuf);
+                for (int q = 0; q < neq; ++q) dst[q][i] = pbuf[q];
+            }
+        }
+    });
 }
 
 void RhsEvaluator::evaluate(const StateArray& cons, StateArray& dq) {
     PROF_ZONE("rhs");
-    for (int q = 0; q < dq.num_eqns(); ++q) dq.eq(q).fill(0.0);
     compute_primitives(cons);
+    // dq zeroing invariant: the first active hyperbolic sweep *assigns*
+    // the flux divergence into every interior cell of every equation
+    // (accumulate == false); every later sweep and source term
+    // accumulates on top. Interior cells therefore need no pre-zero pass.
+    // dq ghost cells are never written by any sweep and stay at their
+    // allocation value (0.0); the Runge-Kutta axpy reads them, but every
+    // ghost it produces is overwritten by fill_ghosts before any stencil
+    // consumes it, so no stale value can reach the interior state.
+    bool accumulate = false;
     if (igr_.enabled) {
         compute_igr_sigma();
         for (int d = 0; d < 3; ++d) {
             if (!active(local_, d)) continue;
             prof::Zone zone(kIgrZone[d]);
-            sweep_igr(d, dq);
+            sweep_igr(d, dq, accumulate);
+            accumulate = true;
         }
     } else {
         for (int d = 0; d < 3; ++d) {
             if (!active(local_, d)) continue;
             prof::Zone zone(kWenoZone[d]);
-            sweep_weno(d, dq);
+            sweep_weno(d, dq, accumulate);
+            accumulate = true;
         }
+    }
+    if (!accumulate) {
+        // Degenerate single-cell grid: no sweep ran, so the sources below
+        // still need a zeroed dq.
+        for (int q = 0; q < dq.num_eqns(); ++q) dq.eq(q).fill(0.0);
     }
     if (viscous_) {
         for (int d = 0; d < 3; ++d) {
@@ -218,23 +261,21 @@ void RhsEvaluator::sweep_viscous(int dim, StateArray& dq) {
         return mu;
     };
 
-    std::vector<double> mom_flux(static_cast<std::size_t>((n + 1) * dims));
-    std::vector<double> energy_flux(static_cast<std::size_t>(n + 1));
+    const long long rows = static_cast<long long>(lim_t1) * lim_t2;
+    exec::parallel_for(kViscousZone[dim], 0, rows, [&](long long lo,
+                                                       long long hi) {
+        exec::Arena::Frame frame(exec::scratch_arena());
+        double* mom_flux = frame.doubles(static_cast<std::size_t>((n + 1) * dims));
+        double* energy_flux = frame.doubles(static_cast<std::size_t>(n + 1));
 
-    for (int t2 = 0; t2 < lim_t2; ++t2) {
-        for (int t1 = 0; t1 < lim_t1; ++t1) {
-            const auto cell_index = [&](int c, int& i, int& j, int& k) {
-                switch (dim) {
-                case 0: i = c; j = t1; k = t2; return;
-                case 1: i = t1; j = c; k = t2; return;
-                default: i = t1; j = t2; k = c; return;
-                }
-            };
+        for (long long t = lo; t < hi; ++t) {
+            const int t1 = static_cast<int>(t % lim_t1);
+            const int t2 = static_cast<int>(t / lim_t1);
 
             for (int f = 0; f <= n; ++f) {
                 int il = 0, jl = 0, kl = 0, ir = 0, jr = 0, kr = 0;
-                cell_index(f - 1, il, jl, kl);
-                cell_index(f, ir, jr, kr);
+                cell_of(dim, f - 1, t1, t2, il, jl, kl);
+                cell_of(dim, f, t1, t2, ir, jr, kr);
 
                 double grad[3][3];
                 for (int a = 0; a < 3; ++a) {
@@ -276,7 +317,7 @@ void RhsEvaluator::sweep_viscous(int dim, StateArray& dq) {
 
             for (int c = 0; c < n; ++c) {
                 int i = 0, j = 0, k = 0;
-                cell_index(c, i, j, k);
+                cell_of(dim, c, t1, t2, i, j, k);
                 for (int a = 0; a < dims; ++a) {
                     dq.eq(lay_.mom(a))(i, j, k) +=
                         (mom_flux[static_cast<std::size_t>((c + 1) * dims + a)] -
@@ -289,7 +330,7 @@ void RhsEvaluator::sweep_viscous(int dim, StateArray& dq) {
                     inv_dx;
             }
         }
-    }
+    });
 }
 
 void RhsEvaluator::add_body_forces(StateArray& dq) {
@@ -314,44 +355,61 @@ void RhsEvaluator::add_body_forces(StateArray& dq) {
     }
 }
 
-void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
+void RhsEvaluator::sweep_weno(int dim, StateArray& dq, bool accumulate) {
     const int n = extent_along(local_, dim);
     const int neq = lay_.num_eqns();
     const int r = (weno_order_ - 1) / 2;
     const double inv_dx = 1.0 / dx(dim);
 
-    const int lim_j = dim == 1 ? 1 : local_.ny;
-    const int lim_k = dim == 2 ? 1 : local_.nz;
-    const int lim_t = dim == 0 ? local_.ny : local_.nx; // transverse fast index
+    const int lim_t1 = dim == 0 ? local_.ny : local_.nx; // fast transverse
+    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
 
-    // Iterate transverse indices (t1 fast, t2 slow); map to (i, j, k).
-    const int lim_t1 = dim == 0 ? lim_j : lim_t;
-    const int lim_t2 = dim == 2 ? local_.ny : lim_k;
+    // Pencil geometry: edge reconstruction covers cells [-1, n], so the
+    // gathered row spans cells [-1-r, n+r] — exactly the ghost depth the
+    // hyperbolic stencil requested. row_at(c) indexes a row-local cell.
+    const int row_len = n + 2 * r + 2;
+    const int row0 = -1 - r;
+    const auto row_at = [row0](int c) { return c - row0; };
 
     // Per-row scoped zones would breach the profiler's overhead budget
-    // (six clock reads plus tree bookkeeping per microsecond-scale row),
-    // so the row phases are timed manually with shared timestamps and
-    // bulk-credited to child zones of the enclosing weno_{x,y,z} zone
-    // once per sweep.
+    // (clock reads plus tree bookkeeping per microsecond-scale row), so
+    // the row phases are timed manually with shared timestamps and
+    // bulk-credited to child zones once per chunk: under the enclosing
+    // weno_{x,y,z} zone on the dispatching thread, under the worker's
+    // weno_{x,y,z} root zone elsewhere.
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
-    std::int64_t recon_ns = 0;
-    std::int64_t riemann_ns = 0;
-    std::int64_t div_ns = 0;
-    std::int64_t rows = 0;
 
-    double stencil[8];
-    for (int t2 = 0; t2 < lim_t2; ++t2) {
-        for (int t1 = 0; t1 < lim_t1; ++t1) {
+    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
+                                                          long long hi) {
+        exec::Arena::Frame frame(exec::scratch_arena());
+        // Gathered SoA pencil: rows[q * row_len + row_at(c)].
+        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        // Edge values at cells [-1, n] and fluxes/velocities at faces
+        // [0, n]; face f separates cells f-1 and f.
+        double* edge_left =
+            frame.doubles(static_cast<std::size_t>(n + 2) * neq);
+        double* edge_right =
+            frame.doubles(static_cast<std::size_t>(n + 2) * neq);
+        double* flux_row =
+            frame.doubles(static_cast<std::size_t>(n + 1) * neq);
+        double* uface_row = frame.doubles(static_cast<std::size_t>(n + 1));
+
+        std::int64_t recon_ns = 0;
+        std::int64_t riemann_ns = 0;
+        std::int64_t div_ns = 0;
+
+        for (long long t = lo; t < hi; ++t) {
+            const int t1 = static_cast<int>(t % lim_t1);
+            const int t2 = static_cast<int>(t / lim_t1);
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
             if (timed) t_start = prof::clock_ns();
-            const auto cell_index = [&](int c, int& i, int& j, int& k) {
-                switch (dim) {
-                case 0: i = c; j = t1; k = t2; return;
-                case 1: i = t1; j = c; k = t2; return;
-                default: i = t1; j = t2; k = c; return;
-                }
-            };
+
+            for (int q = 0; q < neq; ++q) {
+                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
+                           rows + static_cast<std::size_t>(q) * row_len);
+            }
 
             if (char_decomp_) {
                 // Characteristic-wise reconstruction (Euler): at each face
@@ -370,12 +428,11 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                 double prim_r[kMaxEqns];
                 double row[8];
                 for (int f = 0; f <= n; ++f) {
-                    int i = 0, j = 0, k = 0;
                     for (int q = 0; q < neq; ++q) {
-                        cell_index(f - 1, i, j, k);
-                        const double a = prim_.eq(q)(i, j, k);
-                        cell_index(f, i, j, k);
-                        prim_avg[q] = 0.5 * (a + prim_.eq(q)(i, j, k));
+                        const double* rq =
+                            rows + static_cast<std::size_t>(q) * row_len;
+                        prim_avg[q] =
+                            0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
                     }
                     const EulerEigenvectors eig =
                         euler_eigenvectors(lay_, fluids_, prim_avg, dim);
@@ -384,8 +441,9 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     double point[kMaxEqns];
                     for (int s = 0; s < cells; ++s) {
                         for (int q = 0; q < neq; ++q) {
-                            cell_index(f - 1 - r + s, i, j, k);
-                            point[q] = prim_.eq(q)(i, j, k);
+                            point[q] = rows[static_cast<std::size_t>(q) *
+                                                row_len +
+                                            row_at(f - 1 - r + s)];
                         }
                         prim_to_cons(lay_, fluids_, point, cons_stencil[s]);
                         eig.to_characteristic(cons_stencil[s], w_stencil[s]);
@@ -415,22 +473,24 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     if (prim_l[lay_.cont(0)] <= 0.0 ||
                         prim_l[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
                         for (int q = 0; q < neq; ++q) {
-                            cell_index(f - 1, i, j, k);
-                            prim_l[q] = prim_.eq(q)(i, j, k);
+                            prim_l[q] = rows[static_cast<std::size_t>(q) *
+                                                 row_len +
+                                             row_at(f - 1)];
                         }
                     }
                     if (prim_r[lay_.cont(0)] <= 0.0 ||
                         prim_r[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
                         for (int q = 0; q < neq; ++q) {
-                            cell_index(f, i, j, k);
-                            prim_r[q] = prim_.eq(q)(i, j, k);
+                            prim_r[q] = rows[static_cast<std::size_t>(q) *
+                                                 row_len +
+                                             row_at(f)];
                         }
                     }
 
-                    uface_row_[static_cast<std::size_t>(f)] = solve_riemann(
+                    uface_row[f] = solve_riemann(
                         riemann_, lay_, fluids_, prim_l, prim_r, dim,
-                        &flux_row_[static_cast<std::size_t>(f) *
-                                   static_cast<std::size_t>(neq)]);
+                        &flux_row[static_cast<std::size_t>(f) *
+                                  static_cast<std::size_t>(neq)]);
                 }
                 if (timed) {
                     t_mid = prof::clock_ns();
@@ -438,23 +498,21 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                 }
             } else {
             {
-            // Edge reconstruction for cells [-1, n].
+            // Edge reconstruction for cells [-1, n], straight off the
+            // contiguous pencil.
             for (int c = -1; c <= n; ++c) {
-                int i = 0, j = 0, k = 0;
+                const int ci = row_at(c);
                 for (int q = 0; q < neq; ++q) {
-                    const Field& pf = prim_.eq(q);
-                    for (int o = -r; o <= r; ++o) {
-                        cell_index(c + o, i, j, k);
-                        stencil[o + r] = pf(i, j, k);
-                    }
+                    const double* rq =
+                        rows + static_cast<std::size_t>(q) * row_len;
                     double el = 0.0, er = 0.0;
-                    weno_edges(stencil + r, weno_order_, weno_eps_, el, er,
+                    weno_edges(rq + ci, weno_order_, weno_eps_, el, er,
                                weno_variant_);
                     const auto slot = static_cast<std::size_t>(c + 1) *
                                           static_cast<std::size_t>(neq) +
                                       static_cast<std::size_t>(q);
-                    edge_left_[slot] = el;
-                    edge_right_[slot] = er;
+                    edge_left[slot] = el;
+                    edge_right[slot] = er;
                 }
                 // Positivity safeguard: at severely under-resolved fronts
                 // high-order edge values can undershoot into negative
@@ -466,8 +524,8 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                 double rho_l = 0.0, rho_r = 0.0;
                 for (int f = 0; f < lay_.num_fluids(); ++f) {
                     const auto cq = static_cast<std::size_t>(lay_.cont(f));
-                    rho_l += edge_left_[base + cq];
-                    rho_r += edge_right_[base + cq];
+                    rho_l += edge_left[base + cq];
+                    rho_r += edge_right[base + cq];
                 }
                 // For stiffened fluids the physical bound is p > -pi_inf
                 // of the mixture (c^2 > 0), not p > 0.
@@ -478,14 +536,14 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
                     return edge[lay_.energy()] + m.pi_inf() > 0.0;
                 };
                 const bool bad = rho_l <= 0.0 || rho_r <= 0.0 ||
-                                 !sound_ok(&edge_left_[base]) ||
-                                 !sound_ok(&edge_right_[base]);
+                                 !sound_ok(&edge_left[base]) ||
+                                 !sound_ok(&edge_right[base]);
                 if (bad) {
-                    cell_index(c, i, j, k);
                     for (int q = 0; q < neq; ++q) {
-                        const double v = prim_.eq(q)(i, j, k);
-                        edge_left_[base + static_cast<std::size_t>(q)] = v;
-                        edge_right_[base + static_cast<std::size_t>(q)] = v;
+                        const double v =
+                            rows[static_cast<std::size_t>(q) * row_len + ci];
+                        edge_left[base + static_cast<std::size_t>(q)] = v;
+                        edge_right[base + static_cast<std::size_t>(q)] = v;
                     }
                 }
             }
@@ -500,15 +558,15 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
             // Riemann fluxes at faces [0, n]. Face f separates cells f-1, f.
             for (int f = 0; f <= n; ++f) {
                 const double* prim_l =
-                    &edge_right_[static_cast<std::size_t>(f) *
-                                 static_cast<std::size_t>(neq)];
-                const double* prim_r =
-                    &edge_left_[static_cast<std::size_t>(f + 1) *
+                    &edge_right[static_cast<std::size_t>(f) *
                                 static_cast<std::size_t>(neq)];
-                uface_row_[static_cast<std::size_t>(f)] = solve_riemann(
+                const double* prim_r =
+                    &edge_left[static_cast<std::size_t>(f + 1) *
+                               static_cast<std::size_t>(neq)];
+                uface_row[f] = solve_riemann(
                     riemann_, lay_, fluids_, prim_l, prim_r, dim,
-                    &flux_row_[static_cast<std::size_t>(f) *
-                               static_cast<std::size_t>(neq)]);
+                    &flux_row[static_cast<std::size_t>(f) *
+                              static_cast<std::size_t>(neq)]);
             }
             if (timed) {
                 t_mid = prof::clock_ns();
@@ -516,48 +574,69 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq) {
             }
             } // component-wise (non-characteristic) path
 
-            // Flux divergence and non-conservative sources.
-            for (int c = 0; c < n; ++c) {
-                int i = 0, j = 0, k = 0;
-                cell_index(c, i, j, k);
-                const auto flo = static_cast<std::size_t>(c) *
-                                 static_cast<std::size_t>(neq);
-                const auto fhi = static_cast<std::size_t>(c + 1) *
-                                 static_cast<std::size_t>(neq);
-                for (int q = 0; q < neq; ++q) {
-                    dq.eq(q)(i, j, k) -=
-                        (flux_row_[fhi + static_cast<std::size_t>(q)] -
-                         flux_row_[flo + static_cast<std::size_t>(q)]) *
-                        inv_dx;
-                }
-                const double du = (uface_row_[static_cast<std::size_t>(c + 1)] -
-                                   uface_row_[static_cast<std::size_t>(c)]) *
-                                  inv_dx;
-                for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
-                    dq.eq(lay_.adv(f2))(i, j, k) +=
-                        prim_.eq(lay_.adv(f2))(i, j, k) * du;
-                }
-                if (lay_.model() == ModelKind::SixEquation) {
-                    for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
-                        const double a = prim_.eq(lay_.adv(f2))(i, j, k);
-                        const double p = prim_.eq(lay_.internal_energy(f2))(i, j, k);
-                        dq.eq(lay_.internal_energy(f2))(i, j, k) -= a * p * du;
+            // Flux divergence and non-conservative sources, written
+            // through per-equation row pointers. With accumulate == false
+            // this is the sweep that establishes dq (0.0 - x keeps the
+            // bit pattern of the former fill(0.0)-then-subtract path).
+            {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
+                double* dqp[kMaxEqns];
+                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                for (int c = 0; c < n; ++c) {
+                    const std::ptrdiff_t off = c * sd;
+                    const auto flo = static_cast<std::size_t>(c) *
+                                     static_cast<std::size_t>(neq);
+                    const auto fhi = static_cast<std::size_t>(c + 1) *
+                                     static_cast<std::size_t>(neq);
+                    for (int q = 0; q < neq; ++q) {
+                        const double d =
+                            (flux_row[fhi + static_cast<std::size_t>(q)] -
+                             flux_row[flo + static_cast<std::size_t>(q)]) *
+                            inv_dx;
+                        if (accumulate) {
+                            dqp[q][off] -= d;
+                        } else {
+                            dqp[q][off] = 0.0 - d;
+                        }
+                    }
+                    const double du = (uface_row[c + 1] - uface_row[c]) * inv_dx;
+                    for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
+                        const int qa = lay_.adv(f2);
+                        dqp[qa][off] +=
+                            rows[static_cast<std::size_t>(qa) * row_len +
+                                 row_at(c)] *
+                            du;
+                    }
+                    if (lay_.model() == ModelKind::SixEquation) {
+                        for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
+                            const double a =
+                                rows[static_cast<std::size_t>(lay_.adv(f2)) *
+                                         row_len +
+                                     row_at(c)];
+                            const double p =
+                                rows[static_cast<std::size_t>(
+                                         lay_.internal_energy(f2)) *
+                                         row_len +
+                                     row_at(c)];
+                            dqp[lay_.internal_energy(f2)][off] -= a * p * du;
+                        }
                     }
                 }
             }
-            if (timed) {
-                div_ns += prof::clock_ns() - t_mid;
-                ++rows;
-            }
+            if (timed) div_ns += prof::clock_ns() - t_mid;
         }
-    }
 
-    if (timed && rows > 0) {
-        prof::add_child_ns(char_decomp_ ? "char_riemann" : "weno_recon",
-                           recon_ns, rows);
-        if (!char_decomp_) prof::add_child_ns("riemann", riemann_ns, rows);
-        prof::add_child_ns("flux_div", div_ns, rows);
-    }
+        if (timed && hi > lo) {
+            const std::int64_t chunk_rows = hi - lo;
+            prof::add_child_ns(char_decomp_ ? "char_riemann" : "weno_recon",
+                               recon_ns, chunk_rows);
+            if (!char_decomp_)
+                prof::add_child_ns("riemann", riemann_ns, chunk_rows);
+            prof::add_child_ns("flux_div", div_ns, chunk_rows);
+        }
+    });
 }
 
 void RhsEvaluator::compute_igr_sigma() {
@@ -565,9 +644,12 @@ void RhsEvaluator::compute_igr_sigma() {
     // velocity gradients; ghost layers supply the one-sided neighbors.
     PROF_ZONE("igr_sigma");
     const double alf = igr_.alf_factor * dx(0) * dx(0);
-    double grad[3][3];
-    for (int k = 0; k < local_.nz; ++k) {
-        for (int j = 0; j < local_.ny; ++j) {
+    const long long rows = static_cast<long long>(local_.ny) * local_.nz;
+    exec::parallel_for("igr_sigma", 0, rows, [&](long long lo, long long hi) {
+        double grad[3][3];
+        for (long long t = lo; t < hi; ++t) {
+            const int j = static_cast<int>(t % local_.ny);
+            const int k = static_cast<int>(t / local_.ny);
             for (int i = 0; i < local_.nx; ++i) {
                 for (auto& row : grad) row[0] = row[1] = row[2] = 0.0;
                 for (int a = 0; a < lay_.dims(); ++a) {
@@ -598,12 +680,12 @@ void RhsEvaluator::compute_igr_sigma() {
                 igr_source_(i, j, k) = alf * rho * (div * div + contraction);
             }
         }
-    }
+    });
     igr_elliptic_solve(igr_, igr_source_, dx(0), sigma_warm_, sigma_);
     sigma_warm_ = true;
 }
 
-void RhsEvaluator::sweep_igr(int dim, StateArray& dq) {
+void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
     const int n = extent_along(local_, dim);
     const int neq = lay_.num_eqns();
     const double inv_dx = 1.0 / dx(dim);
@@ -611,59 +693,70 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq) {
     const int lim_t1 = dim == 0 ? local_.ny : local_.nx;
     const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
 
-    double pface[kMaxEqns];
-    double pcell_l[kMaxEqns], pcell_r[kMaxEqns];
-    double cons_l[kMaxEqns], cons_r[kMaxEqns];
-    double face_flux[kMaxEqns];
+    // Face interpolation at order >= 5 reaches cells [f-2, f+1] for faces
+    // [0, n]: the gathered pencil spans cells [-2, n+1].
+    const int row_len = n + 4;
+    const int row0 = -2;
+    const auto row_at = [row0](int c) { return c - row0; };
 
-    for (int t2 = 0; t2 < lim_t2; ++t2) {
-        for (int t1 = 0; t1 < lim_t1; ++t1) {
-            const auto cell_index = [&](int c, int& i, int& j, int& k) {
-                switch (dim) {
-                case 0: i = c; j = t1; k = t2; return;
-                case 1: i = t1; j = c; k = t2; return;
-                default: i = t1; j = t2; k = c; return;
-                }
-            };
-            const auto sigma_at = [&](int c) {
+    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    exec::parallel_for(kIgrZone[dim], 0, rows_total, [&](long long lo,
+                                                         long long hi) {
+        exec::Arena::Frame frame(exec::scratch_arena());
+        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        // Sigma at cells [-1, n], clamped to the interior (homogeneous
+        // Neumann, consistent with the elliptic solve).
+        double* sig_row = frame.doubles(static_cast<std::size_t>(n + 2));
+        double* flux_row =
+            frame.doubles(static_cast<std::size_t>(n + 1) * neq);
+        double* uface_row = frame.doubles(static_cast<std::size_t>(n + 1));
+
+        double pface[kMaxEqns];
+        double pcell_l[kMaxEqns], pcell_r[kMaxEqns];
+        double cons_l[kMaxEqns], cons_r[kMaxEqns];
+        double face_flux[kMaxEqns];
+
+        for (long long t = lo; t < hi; ++t) {
+            const int t1 = static_cast<int>(t % lim_t1);
+            const int t2 = static_cast<int>(t / lim_t1);
+
+            for (int q = 0; q < neq; ++q) {
+                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
+                           rows + static_cast<std::size_t>(q) * row_len);
+            }
+            for (int c = -1; c <= n; ++c) {
                 int i = 0, j = 0, k = 0;
-                // Sigma is only solved on the interior; clamp to the
-                // nearest interior cell at block edges (homogeneous
-                // Neumann, consistent with the elliptic solve).
-                cell_index(std::clamp(c, 0, n - 1), i, j, k);
-                return sigma_(i, j, k);
-            };
+                cell_of(dim, std::clamp(c, 0, n - 1), t1, t2, i, j, k);
+                sig_row[c + 1] = sigma_(i, j, k);
+            }
 
             for (int f = 0; f <= n; ++f) {
-                int i = 0, j = 0, k = 0;
                 // Central interpolation of primitives to the face.
                 for (int q = 0; q < neq; ++q) {
-                    const Field& pf = prim_.eq(q);
-                    const auto at = [&](int c) {
-                        cell_index(c, i, j, k);
-                        return pf(i, j, k);
-                    };
+                    const double* rq =
+                        rows + static_cast<std::size_t>(q) * row_len;
                     if (igr_.order >= 5) {
-                        pface[q] = (-at(f - 2) + 7.0 * at(f - 1) + 7.0 * at(f) -
-                                    at(f + 1)) /
+                        pface[q] = (-rq[row_at(f - 2)] +
+                                    7.0 * rq[row_at(f - 1)] +
+                                    7.0 * rq[row_at(f)] - rq[row_at(f + 1)]) /
                                    12.0;
                     } else {
-                        pface[q] = 0.5 * (at(f - 1) + at(f));
+                        pface[q] =
+                            0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
                     }
                 }
                 // Entropic pressure augments the face pressure.
-                const double sig = 0.5 * (sigma_at(f - 1) + sigma_at(f));
+                const double sig = 0.5 * (sig_row[f] + sig_row[f + 1]);
                 pface[lay_.energy()] += sig;
                 physical_flux(lay_, fluids_, pface, dim, face_flux);
 
                 // Rusanov dissipation from the adjacent cell averages keeps
                 // the central scheme stable at under-resolved fronts.
                 for (int q = 0; q < neq; ++q) {
-                    const Field& pf = prim_.eq(q);
-                    cell_index(f - 1, i, j, k);
-                    pcell_l[q] = pf(i, j, k);
-                    cell_index(f, i, j, k);
-                    pcell_r[q] = pf(i, j, k);
+                    const double* rq =
+                        rows + static_cast<std::size_t>(q) * row_len;
+                    pcell_l[q] = rq[row_at(f - 1)];
+                    pcell_r[q] = rq[row_at(f)];
                 }
                 prim_to_cons(lay_, fluids_, pcell_l, cons_l);
                 prim_to_cons(lay_, fluids_, pcell_r, cons_r);
@@ -674,43 +767,62 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq) {
                              std::abs(pcell_r[lay_.mom(dim)]) + cr);
                 for (int q = 0; q < neq; ++q) {
                     face_flux[q] -= 0.5 * lam * (cons_r[q] - cons_l[q]);
-                    flux_row_[static_cast<std::size_t>(f) *
-                                  static_cast<std::size_t>(neq) +
-                              static_cast<std::size_t>(q)] = face_flux[q];
+                    flux_row[static_cast<std::size_t>(f) *
+                                 static_cast<std::size_t>(neq) +
+                             static_cast<std::size_t>(q)] = face_flux[q];
                 }
-                uface_row_[static_cast<std::size_t>(f)] = pface[lay_.mom(dim)];
+                uface_row[f] = pface[lay_.mom(dim)];
             }
 
-            for (int c = 0; c < n; ++c) {
-                int i = 0, j = 0, k = 0;
-                cell_index(c, i, j, k);
-                const auto flo = static_cast<std::size_t>(c) *
-                                 static_cast<std::size_t>(neq);
-                const auto fhi = static_cast<std::size_t>(c + 1) *
-                                 static_cast<std::size_t>(neq);
-                for (int q = 0; q < neq; ++q) {
-                    dq.eq(q)(i, j, k) -=
-                        (flux_row_[fhi + static_cast<std::size_t>(q)] -
-                         flux_row_[flo + static_cast<std::size_t>(q)]) *
-                        inv_dx;
-                }
-                const double du = (uface_row_[static_cast<std::size_t>(c + 1)] -
-                                   uface_row_[static_cast<std::size_t>(c)]) *
-                                  inv_dx;
-                for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
-                    dq.eq(lay_.adv(f2))(i, j, k) +=
-                        prim_.eq(lay_.adv(f2))(i, j, k) * du;
-                }
-                if (lay_.model() == ModelKind::SixEquation) {
-                    for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
-                        const double a = prim_.eq(lay_.adv(f2))(i, j, k);
-                        const double p = prim_.eq(lay_.internal_energy(f2))(i, j, k);
-                        dq.eq(lay_.internal_energy(f2))(i, j, k) -= a * p * du;
+            {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
+                double* dqp[kMaxEqns];
+                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                for (int c = 0; c < n; ++c) {
+                    const std::ptrdiff_t off = c * sd;
+                    const auto flo = static_cast<std::size_t>(c) *
+                                     static_cast<std::size_t>(neq);
+                    const auto fhi = static_cast<std::size_t>(c + 1) *
+                                     static_cast<std::size_t>(neq);
+                    for (int q = 0; q < neq; ++q) {
+                        const double d =
+                            (flux_row[fhi + static_cast<std::size_t>(q)] -
+                             flux_row[flo + static_cast<std::size_t>(q)]) *
+                            inv_dx;
+                        if (accumulate) {
+                            dqp[q][off] -= d;
+                        } else {
+                            dqp[q][off] = 0.0 - d;
+                        }
+                    }
+                    const double du = (uface_row[c + 1] - uface_row[c]) * inv_dx;
+                    for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
+                        const int qa = lay_.adv(f2);
+                        dqp[qa][off] +=
+                            rows[static_cast<std::size_t>(qa) * row_len +
+                                 row_at(c)] *
+                            du;
+                    }
+                    if (lay_.model() == ModelKind::SixEquation) {
+                        for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
+                            const double a =
+                                rows[static_cast<std::size_t>(lay_.adv(f2)) *
+                                         row_len +
+                                     row_at(c)];
+                            const double p =
+                                rows[static_cast<std::size_t>(
+                                         lay_.internal_energy(f2)) *
+                                         row_len +
+                                     row_at(c)];
+                            dqp[lay_.internal_energy(f2)][off] -= a * p * du;
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 } // namespace mfc

@@ -45,8 +45,13 @@ public:
 
 private:
     void compute_primitives(const StateArray& cons);
-    void sweep_weno(int dim, StateArray& dq);
-    void sweep_igr(int dim, StateArray& dq);
+    /// Hyperbolic sweeps run as fused pencil kernels: each row is
+    /// gathered once into contiguous SoA buffers, then reconstruction,
+    /// Riemann fluxes, and the divergence run in-row. With `accumulate`
+    /// false the flux divergence *writes* dq (the first active sweep
+    /// needs no pre-zeroed dq); later sweeps accumulate.
+    void sweep_weno(int dim, StateArray& dq, bool accumulate);
+    void sweep_igr(int dim, StateArray& dq, bool accumulate);
     void sweep_viscous(int dim, StateArray& dq);
     void add_body_forces(StateArray& dq);
     void add_monopole_sources(StateArray& dq);
@@ -80,12 +85,9 @@ private:
     Field igr_source_;
     bool sigma_warm_ = false;
 
-    // Row scratch, sized for the longest dimension: edge values at cells
-    // [-1, n] and fluxes/velocities at faces [0, n].
-    std::vector<double> edge_left_;
-    std::vector<double> edge_right_;
-    std::vector<double> flux_row_;
-    std::vector<double> uface_row_;
+    // Row scratch (edge values, fluxes, gathered pencils) lives in
+    // per-thread exec::scratch_arena() frames inside the sweep bodies, so
+    // rows parallelize without sharing mutable state.
 };
 
 } // namespace mfc

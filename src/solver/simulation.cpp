@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/timer.hpp"
+#include "exec/exec.hpp"
 #include "grid/halo.hpp"
 #include "numerics/cfl.hpp"
 #include "numerics/relaxation.hpp"
@@ -144,26 +145,41 @@ double Simulation::stable_dt() {
     // decomposed runs — the per-step collective whose latency the scaling
     // model charges.
     PROF_ZONE("stable_dt");
-    std::vector<double> cons(static_cast<std::size_t>(lay_.num_eqns()));
-    std::vector<double> prim(cons.size());
-    double vmax = 0.0;
-    for (int k = 0; k < block_.cells.nz; ++k) {
-        for (int j = 0; j < block_.cells.ny; ++j) {
-            for (int i = 0; i < block_.cells.nx; ++i) {
-                for (int q = 0; q < lay_.num_eqns(); ++q) {
-                    cons[static_cast<std::size_t>(q)] = q_.eq(q)(i, j, k);
-                }
-                cons_to_prim(lay_, cfg_.fluids, cons.data(), prim.data());
-                const double c =
-                    mixture_sound_speed(lay_, cfg_.fluids, prim.data());
-                for (int d = 0; d < lay_.dims(); ++d) {
-                    vmax = std::max(
-                        vmax,
-                        std::abs(prim[static_cast<std::size_t>(lay_.mom(d))]) + c);
+    const int neq = lay_.num_eqns();
+    const int nyl = block_.cells.ny;
+    const long long rows = static_cast<long long>(nyl) * block_.cells.nz;
+    // Max is an exact (error-free) reduction, so the thread-count- and
+    // chunking-independent ordered_reduce tree reproduces the serial
+    // result bitwise.
+    const double vmax_local = exec::ordered_reduce<double>(
+        "stable_dt", 0, rows, 0.0,
+        [&](long long lo, long long hi) {
+            std::vector<double> cons(static_cast<std::size_t>(neq));
+            std::vector<double> prim(cons.size());
+            double vmax = 0.0;
+            for (long long t = lo; t < hi; ++t) {
+                const int j = static_cast<int>(t % nyl);
+                const int k = static_cast<int>(t / nyl);
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    for (int q = 0; q < neq; ++q) {
+                        cons[static_cast<std::size_t>(q)] = q_.eq(q)(i, j, k);
+                    }
+                    cons_to_prim(lay_, cfg_.fluids, cons.data(), prim.data());
+                    const double c =
+                        mixture_sound_speed(lay_, cfg_.fluids, prim.data());
+                    for (int d = 0; d < lay_.dims(); ++d) {
+                        vmax = std::max(
+                            vmax,
+                            std::abs(prim[static_cast<std::size_t>(
+                                lay_.mom(d))]) +
+                                c);
+                    }
                 }
             }
-        }
-    }
+            return vmax;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    double vmax = vmax_local;
     if (cart_ != nullptr) {
         vmax = cart_->comm().allreduce(vmax, comm::Communicator::Op::Max);
     }

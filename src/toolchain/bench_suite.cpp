@@ -4,8 +4,11 @@
 #include <filesystem>
 #include <utility>
 
+#include <unistd.h>
+
 #include "comm/cart.hpp"
 #include "core/error.hpp"
+#include "exec/exec.hpp"
 #include "prof/prof.hpp"
 #include "prof/reduce.hpp"
 #include "prof/report.hpp"
@@ -46,11 +49,16 @@ private:
 } // namespace
 
 BenchSuite::BenchSuite(double mem_per_rank_gb, int ranks, BenchOptions options)
-    : mem_gb_(mem_per_rank_gb), ranks_(ranks), options_(options) {
+    : mem_gb_(mem_per_rank_gb), ranks_(ranks), options_(std::move(options)) {
     MFC_REQUIRE(mem_per_rank_gb > 0.0, "bench: --mem must be positive");
     MFC_REQUIRE(ranks >= 1, "bench: -n must be positive");
-    MFC_REQUIRE(options.warmup_steps >= 0,
+    MFC_REQUIRE(options_.warmup_steps >= 0,
                 "bench: warm-up steps must be non-negative");
+    MFC_REQUIRE(!options_.thread_counts.empty(),
+                "bench: --threads needs at least one count");
+    for (const int t : options_.thread_counts) {
+        MFC_REQUIRE(t >= 1, "bench: thread counts must be positive");
+    }
 }
 
 const std::vector<std::string>& BenchSuite::case_names() {
@@ -138,8 +146,11 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
         r.wall_s = sim.wall_seconds();
         r.grindtime_ns = sim.grindtime();
         if (options_.profile) {
+            // Merged across threads: worker-side kernel zones (per-thread
+            // attribution of the pencil sweeps) fold into the main
+            // thread's tree.
             const prof::GrindDecomposition d = prof::grind_decomposition(
-                prof::thread_snapshot(), r.cells, r.eqns, sim.rhs_evals());
+                prof::snapshot(), r.cells, r.eqns, sim.rhs_evals());
             for (const prof::PhaseGrind& p : d.phases) {
                 r.phases.push_back(BenchPhase{p.path, p.depth, p.calls,
                                               p.grind_ns, p.grind_ns,
@@ -220,6 +231,34 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
     return r;
 }
 
+namespace {
+
+std::string host_name() {
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+    return buf;
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string build_flags() {
+#ifdef MFCPP_BUILD_FLAGS
+    return MFCPP_BUILD_FLAGS;
+#else
+    return "";
+#endif
+}
+
+} // namespace
+
 Yaml BenchSuite::run_all(const std::string& invocation) const {
     Yaml root;
     root["metadata"]["invocation"].set(Value(invocation));
@@ -227,9 +266,17 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
     root["metadata"]["ranks"].set(Value(static_cast<long long>(ranks_)));
     root["metadata"]["warmup_steps"].set(
         Value(static_cast<long long>(options_.warmup_steps)));
-    for (const std::string& name : case_names()) {
-        const BenchCaseResult r = run_case(name);
-        Yaml& node = root["cases"][name];
+    // Provenance of the numbers: worker-thread count plus the host and
+    // build that produced them, so two summaries handed to bench_diff
+    // are comparable (or visibly not).
+    root["metadata"]["threads"].set(
+        Value(static_cast<long long>(options_.thread_counts.front())));
+    root["metadata"]["hostname"].set(Value(host_name()));
+    root["metadata"]["compiler"].set(Value(compiler_id()));
+    root["metadata"]["flags"].set(Value(build_flags()));
+
+    const int prev_threads = exec::num_threads();
+    const auto emit_case = [](Yaml& node, const BenchCaseResult& r) {
         node["walltime_s"].set(Value(r.wall_s));
         node["grindtime_ns"].set(Value(r.grindtime_ns));
         node["cells"].set(Value(r.cells));
@@ -248,7 +295,20 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
                 }
             }
         }
+    };
+
+    for (std::size_t ti = 0; ti < options_.thread_counts.size(); ++ti) {
+        const int nthreads = options_.thread_counts[ti];
+        exec::set_num_threads(nthreads);
+        for (const std::string& name : case_names()) {
+            const BenchCaseResult r = run_case(name);
+            Yaml& node =
+                ti == 0 ? root["cases"][name]
+                        : root["thread_sweep"][std::to_string(nthreads)][name];
+            emit_case(node, r);
+        }
     }
+    exec::set_num_threads(prev_threads);
     if (options_.chaos_trials > 0) {
         // Deterministic chaos-campaign counters on a small standardized
         // case: completion rate and detection counts are properties of the
@@ -365,8 +425,38 @@ TextTable bench_diff(const Yaml& reference, const Yaml& candidate) {
     return table;
 }
 
+namespace {
+
+/// One "key: ref | cand" provenance line; empty when neither side has it.
+std::string meta_line(const Yaml* ref_meta, const Yaml* cand_meta,
+                      const std::string& key) {
+    const auto side = [&](const Yaml* m) {
+        const Yaml* child = m != nullptr ? find(*m, key) : nullptr;
+        if (child == nullptr || !child->is_scalar()) return std::string("n/a");
+        return child->value().to_string();
+    };
+    const std::string r = side(ref_meta);
+    const std::string c = side(cand_meta);
+    if (r == "n/a" && c == "n/a") return "";
+    std::string line = key + ": " + r;
+    if (c != r) line += "  ->  " + c;
+    return line + "\n";
+}
+
+} // namespace
+
 std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
-    std::string out = bench_diff(reference, candidate).str();
+    // Provenance header: thread count, host, and build of each side —
+    // a grindtime diff between different hosts or flag sets is a
+    // different claim than one between two builds on the same machine.
+    std::string out;
+    const Yaml* ref_meta = find(reference, "metadata");
+    const Yaml* cand_meta = find(candidate, "metadata");
+    for (const char* key : {"threads", "hostname", "compiler", "flags"}) {
+        out += meta_line(ref_meta, cand_meta, key);
+    }
+    if (!out.empty()) out += "\n";
+    out += bench_diff(reference, candidate).str();
     const Yaml* ref_res = find(reference, "resilience");
     const Yaml* cand_res = find(candidate, "resilience");
     if (ref_res == nullptr && cand_res == nullptr) return out;

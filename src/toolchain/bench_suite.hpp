@@ -49,6 +49,11 @@ struct BenchOptions {
     /// `resilience:` section of the YAML summary, so fault-tolerance
     /// behavior can be compared across builds with bench_diff.
     int chaos_trials = 0;
+    /// Worker-thread counts to run (--threads, e.g. "1,4"). The first
+    /// count is the primary measurement (the `cases:` section, so
+    /// bench_diff compares like against like); additional counts rerun
+    /// the suite and land in a `thread_sweep:` section.
+    std::vector<int> thread_counts = {1};
 };
 
 /// The automated benchmark suite (Section 5): five cases covering the

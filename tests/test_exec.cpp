@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc {
+namespace {
+
+/// Restores the worker count on scope exit so thread-count experiments
+/// cannot leak into other tests.
+struct ThreadScope {
+    explicit ThreadScope(int n) : prev_(exec::num_threads()) {
+        exec::set_num_threads(n);
+    }
+    ~ThreadScope() { exec::set_num_threads(prev_); }
+    int prev_;
+};
+
+TEST(Exec, EmptyRangeNeverInvokesBody) {
+    ThreadScope threads(4);
+    std::atomic<int> calls{0};
+    exec::parallel_for("test_empty", 0, 0, [&](long long, long long) {
+        calls.fetch_add(1);
+    });
+    exec::parallel_for("test_empty", 5, 5, [&](long long, long long) {
+        calls.fetch_add(1);
+    });
+    exec::parallel_for("test_empty", 5, 2, [&](long long, long long) {
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Exec, FewerRowsThanThreadsCoversEachRowOnce) {
+    ThreadScope threads(8);
+    std::vector<std::atomic<int>> hits(3);
+    exec::parallel_for("test_small", 0, 3, [&](long long lo, long long hi) {
+        for (long long t = lo; t < hi; ++t) {
+            hits[static_cast<std::size_t>(t)].fetch_add(1);
+        }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, FullRangeCoverageWithDisjointChunks) {
+    ThreadScope threads(4);
+    const long long n = 1003; // not divisible by the thread count
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    exec::parallel_for("test_cover", 0, n, [&](long long lo, long long hi) {
+        for (long long t = lo; t < hi; ++t) {
+            hits[static_cast<std::size_t>(t)].fetch_add(1);
+        }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, NestedParallelForRunsInline) {
+    ThreadScope threads(4);
+    std::atomic<int> outer_chunks{0};
+    std::atomic<int> inner_total{0};
+    std::atomic<int> inner_was_inline{0};
+    exec::parallel_for("test_outer", 0, 8, [&](long long lo, long long hi) {
+        outer_chunks.fetch_add(1);
+        EXPECT_TRUE(exec::in_parallel());
+        // The nested loop must degrade to one inline chunk on this
+        // thread (no deadlock, no second dispatch).
+        exec::parallel_for("test_inner", 0, 4,
+                           [&](long long ilo, long long ihi) {
+                               if (ilo == 0 && ihi == 4)
+                                   inner_was_inline.fetch_add(1);
+                               inner_total.fetch_add(
+                                   static_cast<int>(ihi - ilo));
+                           });
+        (void)lo;
+        (void)hi;
+    });
+    EXPECT_FALSE(exec::in_parallel());
+    EXPECT_GE(outer_chunks.load(), 1);
+    EXPECT_EQ(inner_total.load(), 4 * outer_chunks.load());
+    EXPECT_EQ(inner_was_inline.load(), outer_chunks.load());
+}
+
+TEST(Exec, OrderedReduceIsThreadCountInvariant) {
+    // A floating-point sum is non-associative, so this only passes if the
+    // chunk grid and combine order are independent of the thread count —
+    // the determinism contract of ordered_reduce.
+    const long long n = 10'000;
+    const auto run = [&] {
+        return exec::ordered_reduce<double>(
+            "test_reduce", 0, n, 0.0,
+            [](long long lo, long long hi) {
+                double s = 0.0;
+                for (long long t = lo; t < hi; ++t) {
+                    s += 1.0 / (1.0 + static_cast<double>(t));
+                }
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    double serial = 0.0;
+    {
+        ThreadScope threads(1);
+        serial = run();
+    }
+    for (const int nt : {2, 3, 4, 7}) {
+        ThreadScope threads(nt);
+        EXPECT_EQ(serial, run()) << "threads=" << nt;
+    }
+}
+
+TEST(Exec, OrderedReduceEmptyRangeReturnsIdentity) {
+    const double r = exec::ordered_reduce<double>(
+        "test_reduce_empty", 3, 3, -1.5,
+        [](long long, long long) { return 99.0; },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(r, -1.5);
+}
+
+TEST(Exec, ArenaFramesStackAndGrowthKeepsPointersValid) {
+    exec::Arena& arena = exec::scratch_arena();
+    exec::Arena::Frame outer(arena);
+    double* a = outer.doubles(100);
+    a[0] = 1.0;
+    a[99] = 2.0;
+    {
+        exec::Arena::Frame inner(arena);
+        // Force slab growth: far larger than one slab.
+        double* big = inner.doubles(1 << 18);
+        big[0] = 3.0;
+        big[(1 << 18) - 1] = 4.0;
+        // Growth must not move previously returned blocks.
+        EXPECT_EQ(a[0], 1.0);
+        EXPECT_EQ(a[99], 2.0);
+    }
+    // The inner frame released its slabs; the outer block is intact and
+    // a fresh allocation is zero-filled.
+    EXPECT_EQ(a[0], 1.0);
+    double* b = outer.doubles(50);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(b[i], 0.0);
+}
+
+/// 2D two-phase shock-bubble interaction: both sweep directions active,
+/// genuinely two-dimensional data (no symmetry that could mask a
+/// chunk-boundary bug).
+CaseConfig two_phase_2d_case() {
+    CaseConfig c;
+    c.model = ModelKind::FiveEquation;
+    c.num_fluids = 2;
+    c.fluids = {{1.4, 0.0}, {1.6, 0.0}};
+    c.grid.cells = Extents{32, 32, 1};
+    c.dt = 2.0e-4;
+    c.t_step_stop = 8;
+    c.bc = {{{BcType::Extrapolation, BcType::Extrapolation},
+             {BcType::Extrapolation, BcType::Extrapolation},
+             {BcType::Periodic, BcType::Periodic}}};
+    const double eps = 1e-6;
+    Patch ambient;
+    ambient.alpha_rho = {1.0 * (1 - eps), 1.0 * eps};
+    ambient.alpha = {1 - eps, eps};
+    ambient.pressure = 1.0;
+    c.patches.push_back(ambient);
+    Patch bubble;
+    bubble.geometry = Patch::Geometry::Sphere;
+    bubble.center = {0.6, 0.5, 0.5};
+    bubble.radius = 0.2;
+    bubble.alpha_rho = {0.125 * eps, 0.125 * (1 - eps)};
+    bubble.alpha = {eps, 1 - eps};
+    bubble.pressure = 0.1;
+    c.patches.push_back(bubble);
+    Patch shock;
+    shock.geometry = Patch::Geometry::HalfSpace;
+    shock.position = 0.2;
+    shock.alpha_rho = {2.0 * (1 - eps), 2.0 * eps};
+    shock.alpha = {1 - eps, eps};
+    shock.velocity = {0.5, 0.0, 0.0};
+    shock.pressure = 2.5;
+    c.patches.push_back(shock);
+    return c;
+}
+
+std::uint64_t run_case_hash(int nthreads) {
+    ThreadScope threads(nthreads);
+    Simulation sim(two_phase_2d_case());
+    sim.initialize();
+    sim.run();
+    return sim.state_hash();
+}
+
+TEST(Exec, ThreadedSimulationIsBitwiseIdenticalToSerial) {
+    // The headline determinism claim: --threads N reproduces --threads 1
+    // bitwise (FNV-1a over every interior double), because chunk bodies
+    // are partition-independent and reductions use the ordered tree.
+    const std::uint64_t serial = run_case_hash(1);
+    EXPECT_EQ(serial, run_case_hash(2));
+    EXPECT_EQ(serial, run_case_hash(4));
+}
+
+TEST(Exec, ThreadedIgrSimulationIsBitwiseIdenticalToSerial) {
+    // Same contract on the IGR path (elliptic Jacobi rows + igr sweeps).
+    const auto run_igr = [](int nthreads) {
+        ThreadScope threads(nthreads);
+        CaseConfig c = two_phase_2d_case();
+        c.igr.enabled = true;
+        c.igr.order = 5;
+        c.igr.alf_factor = 10.0;
+        c.igr.num_iters = 3;
+        c.igr.num_warm_start_iters = 3;
+        c.igr.iter_solver = 1;
+        c.t_step_stop = 5;
+        c.validate();
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        return sim.state_hash();
+    };
+    const std::uint64_t serial = run_igr(1);
+    EXPECT_EQ(serial, run_igr(4));
+}
+
+} // namespace
+} // namespace mfc

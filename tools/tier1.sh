@@ -34,4 +34,15 @@ if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
     "$BUILD_DIR/bench/bench_prof_overhead" --overhead-check
 fi
 
+# Thread-sanitizer smoke: rebuild with MFCPP_SANITIZE=thread and run the
+# "thread"-labeled tests (exec layer + a short threaded simulation) so
+# data races in the pencil kernels fail tier-1, not production runs.
+# MFCPP_SANITIZE=off skips (e.g. toolchains without TSan runtimes).
+if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
+    TSAN_DIR="$BUILD_DIR-tsan"
+    cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
+    cmake --build "$TSAN_DIR" -j
+    (cd "$TSAN_DIR" && ctest --output-on-failure -L thread)
+fi
+
 echo "tier1: OK"
