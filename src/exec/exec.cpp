@@ -10,6 +10,7 @@
 
 #include "core/error.hpp"
 #include "prof/prof.hpp"
+#include "simd/simd.hpp"
 
 namespace mfc::exec {
 
@@ -253,13 +254,18 @@ void parallel_for(const char* label, long long begin, long long end,
 
 double* Arena::alloc(std::size_t n) {
     if (n == 0) n = 1;
+    // Round up to the alignment quantum: the bump pointer only ever moves
+    // in whole 64-byte units, so every returned block inherits the slab's
+    // alignment.
+    n = (n + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
     while (true) {
         if (slab_ < slabs_.size()) {
-            std::vector<double>& s = slabs_[slab_];
-            if (used_ + n <= s.size()) {
-                double* p = s.data() + used_;
+            Slab& s = slabs_[slab_];
+            if (used_ + n <= s.size) {
+                double* p = s.data.get() + used_;
                 used_ += n;
                 std::fill(p, p + n, 0.0);
+                MFC_DBG_ASSERT(simd::is_aligned(p));
                 return p;
             }
             // Doesn't fit in the current slab: move to the next (existing
@@ -268,7 +274,12 @@ double* Arena::alloc(std::size_t n) {
             used_ = 0;
             continue;
         }
-        slabs_.emplace_back(std::max(n, kSlabDoubles));
+        const std::size_t size = std::max(n, kSlabDoubles);
+        Slab s;
+        s.data.reset(static_cast<double*>(::operator new(
+            size * sizeof(double), std::align_val_t(kAlignBytes))));
+        s.size = size;
+        slabs_.push_back(std::move(s));
         slab_ = slabs_.size() - 1;
         used_ = 0;
     }

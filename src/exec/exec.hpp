@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <new>
 #include <vector>
 
 namespace mfc::exec {
@@ -109,7 +111,11 @@ template <class T, class Map, class Combine>
 /// Per-thread bump allocator for kernel row scratch. Allocations are
 /// slab-backed: growing never moves previously returned blocks, so nested
 /// frames (an inline-serialized nested parallel_for) keep their pointers
-/// valid. Typical use inside a chunk body:
+/// valid. Every returned block is 64-byte aligned (simd::kByteAlign, one
+/// cache line / one 512-bit vector) — block sizes are rounded up to a
+/// multiple of 8 doubles so the bump pointer never breaks the alignment —
+/// making the row buffers safe targets for aligned vector loads and free
+/// of split-line accesses. Typical use inside a chunk body:
 ///
 ///     exec::Arena::Frame frame(exec::scratch_arena());
 ///     double* row = frame.doubles(len);
@@ -146,7 +152,21 @@ private:
     [[nodiscard]] double* alloc(std::size_t n);
 
     static constexpr std::size_t kSlabDoubles = 1 << 15; // 256 KiB
-    std::vector<std::vector<double>> slabs_;
+    /// Alignment of every returned block, in bytes and in doubles.
+    static constexpr std::size_t kAlignBytes = 64;
+    static constexpr std::size_t kAlignDoubles = kAlignBytes / sizeof(double);
+
+    struct AlignedDelete {
+        void operator()(double* p) const {
+            ::operator delete(static_cast<void*>(p),
+                              std::align_val_t(kAlignBytes));
+        }
+    };
+    struct Slab {
+        std::unique_ptr<double, AlignedDelete> data;
+        std::size_t size = 0;
+    };
+    std::vector<Slab> slabs_;
     std::size_t slab_ = 0; ///< index of the slab currently bumped
     std::size_t used_ = 0; ///< doubles used in that slab
 };

@@ -2,6 +2,7 @@
 
 #include "core/error.hpp"
 #include "exec/exec.hpp"
+#include "numerics/vec_axpy.hpp"
 #include "prof/prof.hpp"
 
 namespace mfc {
@@ -30,17 +31,19 @@ void linear_combine(double a, const StateArray& qa, double b,
     for (int q = 0; q < q_out.num_eqns(); ++q) {
         const auto& va = qa.eq(q).raw();
         const auto& vb = qb.eq(q).raw();
-        const auto& vd = dq.eq(q).raw();
+        const auto& vdq = dq.eq(q).raw();
         auto& vo = q_out.eq(q).raw();
         // Element-wise over the raw storage (ghosts included): any chunking
-        // is bitwise-identical to the serial loop.
-        exec::parallel_for("rk_update", 0, static_cast<long long>(vo.size()),
-                           [&](long long lo, long long hi) {
-                               for (long long n = lo; n < hi; ++n) {
-                                   const auto s = static_cast<std::size_t>(n);
-                                   vo[s] = a * va[s] + b * vb[s] + c_dt * vd[s];
-                               }
-                           });
+        // and any simd width is bitwise-identical to the serial loop
+        // (rk_axpy_rows evaluates the same expression tree per element).
+        simd::dispatch([&](auto wc) {
+            exec::parallel_for(
+                "rk_update", 0, static_cast<long long>(vo.size()),
+                [&](long long lo, long long hi) {
+                    rk_axpy_rows<wc()>(a, va.data(), b, vb.data(), c_dt,
+                                       vdq.data(), vo.data(), lo, hi);
+                });
+        });
     }
 }
 

@@ -44,4 +44,32 @@ struct KernelModel {
     }
 };
 
+/// Roofline cost of one standalone pencil kernel, per row cell — the
+/// per-kernel analogue of KernelModel's whole-RHS unit. `bytes_per_cell`
+/// counts the effective streaming traffic of the kernel's inputs and
+/// outputs (stencil reads count once: consecutive cells reuse them);
+/// `flops_per_cell` the FP64 operations on the taken path. `mfc ubench`
+/// compares each kernel's measured ns/cell against ns_per_cell() on
+/// reference_core() to localize which kernel left the roofline.
+struct KernelCost {
+    double bytes_per_cell = 0.0;
+    double flops_per_cell = 0.0;
+
+    /// Modeled ns per cell: roofline max of memory and compute time.
+    [[nodiscard]] double ns_per_cell(const DeviceSpec& dev) const {
+        const double mem_ns = bytes_per_cell / (dev.mem_bw_gbs * dev.eff_bw);
+        const double flop_ns =
+            (flops_per_cell / 1000.0) / (dev.fp64_tflops * dev.eff_flops);
+        return mem_ns > flop_ns ? mem_ns : flop_ns;
+    }
+};
+
+/// The single-core device the ubench model normalizes against: one
+/// generic server-class x86 core at baseline codegen (the build the
+/// microbenchmarks actually run under — no -march=native, no FMA
+/// contraction). Sustained per-core bandwidth and FP64 throughput are
+/// deliberately round numbers; the model column is a magnitude anchor,
+/// not a calibration.
+[[nodiscard]] const DeviceSpec& reference_core();
+
 } // namespace mfc::perf

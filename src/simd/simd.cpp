@@ -1,0 +1,46 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace mfc::simd {
+
+namespace {
+
+constexpr int kDefaultWidth = 4;
+
+int initial_width() {
+    const char* env = std::getenv("MFC_SIMD_WIDTH");
+    if (env == nullptr || *env == '\0') { return kDefaultWidth; }
+    int w = 0;
+    try {
+        w = std::stoi(env);
+    } catch (const std::exception&) {
+        fail("MFC_SIMD_WIDTH must be an integer (got \"" + std::string(env) +
+             "\")");
+    }
+    MFC_REQUIRE(width_allowed(w),
+                "MFC_SIMD_WIDTH must be 1, 2, 4, or 8 (got " +
+                    std::string(env) + ")");
+    return w;
+}
+
+std::atomic<int>& width_state() {
+    static std::atomic<int> w{initial_width()};
+    return w;
+}
+
+} // namespace
+
+bool width_allowed(int w) { return w == 1 || w == 2 || w == 4 || w == 8; }
+
+int width() { return width_state().load(std::memory_order_relaxed); }
+
+void set_width(int w) {
+    MFC_REQUIRE(width_allowed(w), "SIMD width must be 1, 2, 4, or 8 (got " +
+                                      std::to_string(w) + ")");
+    width_state().store(w, std::memory_order_relaxed);
+}
+
+} // namespace mfc::simd

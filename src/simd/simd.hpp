@@ -1,0 +1,373 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "core/error.hpp"
+
+/// Portable fixed-width SIMD layer.
+///
+/// `vd<W>` packs W doubles and maps lanes 1:1 onto consecutive cells of a
+/// pencil row. Every operation is element-wise and executes the identical
+/// expression tree a scalar loop would, so results are bitwise independent
+/// of the width a kernel was compiled for: `vd<1>` *is* a plain double, and
+/// wider vectors are compiler vector extensions (GCC/Clang) or, failing
+/// that, a lane array the optimizer may or may not vectorize. Data-dependent
+/// branches are expressed as mask + select so there is no per-lane control
+/// flow.
+///
+/// Semantics contracts (relied on for golden-file byte identity):
+///  - vmin(a,b)/vmax(a,b) match std::min/std::max: return b only when the
+///    comparison (b<a resp. a<b) is true, else a.
+///  - vabs clears the sign bit exactly like std::fabs (incl. -0.0 -> +0.0).
+///  - vsqrt applies std::sqrt per lane.
+///  - select(m,a,b) picks a where m is true, b elsewhere, with no
+///    arithmetic on the discarded lane beyond what was already computed.
+namespace mfc::simd {
+
+/// Arena/row-buffer alignment contract: allocations the vector kernels
+/// stream through are aligned to this many bytes (one full cache line,
+/// enough for 512-bit vectors).
+inline constexpr std::size_t kByteAlign = 64;
+
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t align = kByteAlign) {
+    return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+/// Widths the runtime dispatcher accepts.
+inline constexpr int kMaxWidth = 8;
+
+[[nodiscard]] bool width_allowed(int w);
+
+/// Current dispatch width for the vectorized solver paths. Defaults to 4
+/// (256-bit rows) and may be overridden by the MFC_SIMD_WIDTH environment
+/// variable or set_width(). Width 1 selects the scalar fallback everywhere.
+[[nodiscard]] int width();
+
+/// Set the dispatch width; must be one of 1, 2, 4, 8.
+void set_width(int w);
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MFC_SIMD_VECTOR_EXT 1
+#else
+#define MFC_SIMD_VECTOR_EXT 0
+#endif
+
+namespace detail {
+
+#if MFC_SIMD_VECTOR_EXT
+template <int W> struct native;
+template <> struct native<2> {
+    typedef double vec __attribute__((vector_size(16)));
+    typedef long long mask __attribute__((vector_size(16)));
+};
+template <> struct native<4> {
+    typedef double vec __attribute__((vector_size(32)));
+    typedef long long mask __attribute__((vector_size(32)));
+};
+template <> struct native<8> {
+    typedef double vec __attribute__((vector_size(64)));
+    typedef long long mask __attribute__((vector_size(64)));
+};
+#endif
+
+} // namespace detail
+
+template <int W> struct vmask;
+template <int W> struct vd;
+
+#if MFC_SIMD_VECTOR_EXT
+
+/// Boolean lane mask: all-ones / all-zero 64-bit lanes, as produced by
+/// vector comparisons.
+template <int W> struct vmask {
+    typename detail::native<W>::mask m;
+
+    friend vmask operator&&(vmask a, vmask b) { return {a.m & b.m}; }
+    friend vmask operator||(vmask a, vmask b) { return {a.m | b.m}; }
+    friend vmask operator!(vmask a) { return {~a.m}; }
+
+    [[nodiscard]] bool lane(int i) const { return m[i] != 0; }
+};
+
+template <int W> [[nodiscard]] inline bool any(vmask<W> m) {
+    bool r = false;
+    for (int i = 0; i < W; ++i) { r = r || (m.m[i] != 0); }
+    return r;
+}
+
+template <int W> [[nodiscard]] inline bool all(vmask<W> m) {
+    bool r = true;
+    for (int i = 0; i < W; ++i) { r = r && (m.m[i] != 0); }
+    return r;
+}
+
+/// W packed doubles; lanes map to consecutive row cells.
+template <int W> struct vd {
+    using native_t = typename detail::native<W>::vec;
+    native_t v;
+
+    static constexpr int width = W;
+
+    vd() = default;
+    vd(native_t n) : v(n) {}
+    /// Broadcast: every lane holds the scalar.
+    vd(double s) : v(s - native_t{}) {}
+
+    [[nodiscard]] static vd load(const double* p) {
+        vd r;
+        std::memcpy(&r.v, p, sizeof(native_t));
+        return r;
+    }
+    void store(double* p) const { std::memcpy(p, &v, sizeof(native_t)); }
+
+    [[nodiscard]] double lane(int i) const { return v[i]; }
+    void set_lane(int i, double s) { v[i] = s; }
+
+    friend vd operator+(vd a, vd b) { return {a.v + b.v}; }
+    friend vd operator-(vd a, vd b) { return {a.v - b.v}; }
+    friend vd operator*(vd a, vd b) { return {a.v * b.v}; }
+    friend vd operator/(vd a, vd b) { return {a.v / b.v}; }
+    friend vd operator-(vd a) { return {-a.v}; }
+
+    vd& operator+=(vd o) { v += o.v; return *this; }
+    vd& operator-=(vd o) { v -= o.v; return *this; }
+    vd& operator*=(vd o) { v *= o.v; return *this; }
+    vd& operator/=(vd o) { v /= o.v; return *this; }
+
+    friend vmask<W> operator<(vd a, vd b) { return {a.v < b.v}; }
+    friend vmask<W> operator<=(vd a, vd b) { return {a.v <= b.v}; }
+    friend vmask<W> operator>(vd a, vd b) { return {a.v > b.v}; }
+    friend vmask<W> operator>=(vd a, vd b) { return {a.v >= b.v}; }
+    friend vmask<W> operator==(vd a, vd b) { return {a.v == b.v}; }
+};
+
+/// a where m, b elsewhere.
+template <int W> [[nodiscard]] inline vd<W> select(vmask<W> m, vd<W> a, vd<W> b) {
+    return {m.m ? a.v : b.v};
+}
+
+#else // !MFC_SIMD_VECTOR_EXT: plain lane arrays (portable fallback)
+
+template <int W> struct vmask {
+    bool m[W];
+
+    friend vmask operator&&(vmask a, vmask b) {
+        vmask r;
+        for (int i = 0; i < W; ++i) { r.m[i] = a.m[i] && b.m[i]; }
+        return r;
+    }
+    friend vmask operator||(vmask a, vmask b) {
+        vmask r;
+        for (int i = 0; i < W; ++i) { r.m[i] = a.m[i] || b.m[i]; }
+        return r;
+    }
+    friend vmask operator!(vmask a) {
+        vmask r;
+        for (int i = 0; i < W; ++i) { r.m[i] = !a.m[i]; }
+        return r;
+    }
+
+    [[nodiscard]] bool lane(int i) const { return m[i]; }
+};
+
+template <int W> [[nodiscard]] inline bool any(vmask<W> m) {
+    bool r = false;
+    for (int i = 0; i < W; ++i) { r = r || m.m[i]; }
+    return r;
+}
+
+template <int W> [[nodiscard]] inline bool all(vmask<W> m) {
+    bool r = true;
+    for (int i = 0; i < W; ++i) { r = r && m.m[i]; }
+    return r;
+}
+
+#define MFC_SIMD_LANEWISE(op)                                                  \
+    vd r;                                                                      \
+    for (int i = 0; i < W; ++i) { r.v[i] = op; }                               \
+    return r
+
+#define MFC_SIMD_CMP(op)                                                       \
+    vmask<W> r;                                                                \
+    for (int i = 0; i < W; ++i) { r.m[i] = op; }                               \
+    return r
+
+template <int W> struct vd {
+    double v[W];
+
+    static constexpr int width = W;
+
+    vd() = default;
+    vd(double s) {
+        for (int i = 0; i < W; ++i) { v[i] = s; }
+    }
+
+    [[nodiscard]] static vd load(const double* p) {
+        vd r;
+        std::memcpy(r.v, p, W * sizeof(double));
+        return r;
+    }
+    void store(double* p) const { std::memcpy(p, v, W * sizeof(double)); }
+
+    [[nodiscard]] double lane(int i) const { return v[i]; }
+    void set_lane(int i, double s) { v[i] = s; }
+
+    friend vd operator+(vd a, vd b) { MFC_SIMD_LANEWISE(a.v[i] + b.v[i]); }
+    friend vd operator-(vd a, vd b) { MFC_SIMD_LANEWISE(a.v[i] - b.v[i]); }
+    friend vd operator*(vd a, vd b) { MFC_SIMD_LANEWISE(a.v[i] * b.v[i]); }
+    friend vd operator/(vd a, vd b) { MFC_SIMD_LANEWISE(a.v[i] / b.v[i]); }
+    friend vd operator-(vd a) { MFC_SIMD_LANEWISE(-a.v[i]); }
+
+    vd& operator+=(vd o) { return *this = *this + o; }
+    vd& operator-=(vd o) { return *this = *this - o; }
+    vd& operator*=(vd o) { return *this = *this * o; }
+    vd& operator/=(vd o) { return *this = *this / o; }
+
+    friend vmask<W> operator<(vd a, vd b) { MFC_SIMD_CMP(a.v[i] < b.v[i]); }
+    friend vmask<W> operator<=(vd a, vd b) { MFC_SIMD_CMP(a.v[i] <= b.v[i]); }
+    friend vmask<W> operator>(vd a, vd b) { MFC_SIMD_CMP(a.v[i] > b.v[i]); }
+    friend vmask<W> operator>=(vd a, vd b) { MFC_SIMD_CMP(a.v[i] >= b.v[i]); }
+    friend vmask<W> operator==(vd a, vd b) { MFC_SIMD_CMP(a.v[i] == b.v[i]); }
+};
+
+template <int W> [[nodiscard]] inline vd<W> select(vmask<W> m, vd<W> a, vd<W> b) {
+    vd<W> r;
+    for (int i = 0; i < W; ++i) { r.v[i] = m.m[i] ? a.v[i] : b.v[i]; }
+    return r;
+}
+
+#undef MFC_SIMD_LANEWISE
+#undef MFC_SIMD_CMP
+
+#endif // MFC_SIMD_VECTOR_EXT
+
+/// Scalar specialization: the fallback path is literally scalar code, so
+/// W=1 kernels execute the exact instructions the pre-SIMD solver did.
+template <> struct vd<1> {
+    double v;
+
+    static constexpr int width = 1;
+
+    vd() = default;
+    vd(double s) : v(s) {}
+
+    [[nodiscard]] static vd load(const double* p) { return {*p}; }
+    void store(double* p) const { *p = v; }
+
+    [[nodiscard]] double lane(int) const { return v; }
+    void set_lane(int, double s) { v = s; }
+
+    friend vd operator+(vd a, vd b) { return {a.v + b.v}; }
+    friend vd operator-(vd a, vd b) { return {a.v - b.v}; }
+    friend vd operator*(vd a, vd b) { return {a.v * b.v}; }
+    friend vd operator/(vd a, vd b) { return {a.v / b.v}; }
+    friend vd operator-(vd a) { return {-a.v}; }
+
+    vd& operator+=(vd o) { v += o.v; return *this; }
+    vd& operator-=(vd o) { v -= o.v; return *this; }
+    vd& operator*=(vd o) { v *= o.v; return *this; }
+    vd& operator/=(vd o) { v /= o.v; return *this; }
+
+    friend vmask<1> operator<(vd a, vd b);
+    friend vmask<1> operator<=(vd a, vd b);
+    friend vmask<1> operator>(vd a, vd b);
+    friend vmask<1> operator>=(vd a, vd b);
+    friend vmask<1> operator==(vd a, vd b);
+};
+
+template <> struct vmask<1> {
+    bool m;
+
+    friend vmask operator&&(vmask a, vmask b) { return {a.m && b.m}; }
+    friend vmask operator||(vmask a, vmask b) { return {a.m || b.m}; }
+    friend vmask operator!(vmask a) { return {!a.m}; }
+
+    [[nodiscard]] bool lane(int) const { return m; }
+};
+
+inline vmask<1> operator<(vd<1> a, vd<1> b) { return {a.v < b.v}; }
+inline vmask<1> operator<=(vd<1> a, vd<1> b) { return {a.v <= b.v}; }
+inline vmask<1> operator>(vd<1> a, vd<1> b) { return {a.v > b.v}; }
+inline vmask<1> operator>=(vd<1> a, vd<1> b) { return {a.v >= b.v}; }
+inline vmask<1> operator==(vd<1> a, vd<1> b) { return {a.v == b.v}; }
+
+[[nodiscard]] inline bool any(vmask<1> m) { return m.m; }
+[[nodiscard]] inline bool all(vmask<1> m) { return m.m; }
+
+template <> [[nodiscard]] inline vd<1> select(vmask<1> m, vd<1> a, vd<1> b) {
+    return {m.m ? a.v : b.v};
+}
+
+/// std::min semantics: b<a picks b, ties and NaN-in-b pick a.
+template <int W> [[nodiscard]] inline vd<W> vmin(vd<W> a, vd<W> b) {
+    return select(b < a, b, a);
+}
+
+/// std::max semantics: a<b picks b, ties and NaN-in-b pick a.
+template <int W> [[nodiscard]] inline vd<W> vmax(vd<W> a, vd<W> b) {
+    return select(a < b, b, a);
+}
+
+/// std::fabs per lane (sign bit cleared; -0.0 -> +0.0).
+template <int W> [[nodiscard]] inline vd<W> vabs(vd<W> a) {
+    double t[W];
+    a.store(t);
+    for (int i = 0; i < W; ++i) { t[i] = std::fabs(t[i]); }
+    return vd<W>::load(t);
+}
+template <> [[nodiscard]] inline vd<1> vabs(vd<1> a) { return {std::fabs(a.v)}; }
+
+/// std::sqrt per lane.
+template <int W> [[nodiscard]] inline vd<W> vsqrt(vd<W> a) {
+    double t[W];
+    a.store(t);
+    for (int i = 0; i < W; ++i) { t[i] = std::sqrt(t[i]); }
+    return vd<W>::load(t);
+}
+template <> [[nodiscard]] inline vd<1> vsqrt(vd<1> a) { return {std::sqrt(a.v)}; }
+
+/// Gather W lanes from a strided sequence (stride in doubles). stride==1
+/// degenerates to an unaligned contiguous load.
+template <int W>
+[[nodiscard]] inline vd<W> load_strided(const double* p, std::ptrdiff_t stride) {
+    if (stride == 1) { return vd<W>::load(p); }
+    vd<W> r;
+    for (int i = 0; i < W; ++i) { r.set_lane(i, p[i * stride]); }
+    return r;
+}
+template <>
+[[nodiscard]] inline vd<1> load_strided(const double* p, std::ptrdiff_t) {
+    return vd<1>::load(p);
+}
+
+/// Scatter W lanes to a strided sequence (stride in doubles).
+template <int W>
+inline void store_strided(vd<W> v, double* p, std::ptrdiff_t stride) {
+    if (stride == 1) {
+        v.store(p);
+        return;
+    }
+    for (int i = 0; i < W; ++i) { p[i * stride] = v.lane(i); }
+}
+template <> inline void store_strided(vd<1> v, double* p, std::ptrdiff_t) {
+    v.store(p);
+}
+
+/// Invoke fn with an integral_constant<int, W> for the current dispatch
+/// width. Kernels call this once per sweep:
+///   simd::dispatch([&](auto wc) { sweep<wc()>(...); });
+template <class Fn> decltype(auto) dispatch(Fn&& fn) {
+    switch (width()) {
+    case 8: return fn(std::integral_constant<int, 8>{});
+    case 4: return fn(std::integral_constant<int, 4>{});
+    case 2: return fn(std::integral_constant<int, 2>{});
+    default: return fn(std::integral_constant<int, 1>{});
+    }
+}
+
+} // namespace mfc::simd

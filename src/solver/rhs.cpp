@@ -6,16 +6,58 @@
 #include <cstring>
 
 #include "exec/exec.hpp"
+#include "numerics/riemann.hpp"
+#include "numerics/vec_igr.hpp"
+#include "numerics/vec_riemann.hpp"
+#include "numerics/vec_weno.hpp"
 #include "numerics/weno.hpp"
 #include "physics/characteristics.hpp"
 #include "physics/flux.hpp"
+#include "physics/vec_kernels.hpp"
 #include "prof/prof.hpp"
+#include "simd/simd.hpp"
 
 namespace mfc {
 
 namespace {
 
 constexpr int kMaxEqns = 16;
+
+// Segment-timing sample stride: every kSampleStride-th pencil row is
+// timed and the per-chunk credit scaled by rows/sampled (rows within a
+// sweep do identical work). Power of two so the row test is a mask.
+constexpr long long kSampleStride = 4;
+
+/// Number of multiples of kSampleStride in [lo, hi), i.e. how many rows
+/// of the chunk carry timestamps.
+long long sampled_rows(long long lo, long long hi) {
+    const long long k = kSampleStride;
+    return (hi + k - 1) / k - (lo + k - 1) / k;
+}
+
+/// Scale a sampled segment total up to the whole chunk, then clamp the
+/// estimates so they sum to no more than the chunk's measured wall time:
+/// the sampled rows may be slower than average (row 0 is cache-cold), and
+/// bulk-crediting children beyond the parent zone's elapsed time would
+/// drive the parent's exclusive share negative.
+void credit_scaled(const char* const* names, std::int64_t* ns, int count,
+                   long long chunk_rows, long long sampled,
+                   std::int64_t chunk_ns) {
+    const double scale =
+        static_cast<double>(chunk_rows) / std::max<long long>(1, sampled);
+    double sum = 0.0;
+    for (int i = 0; i < count; ++i) sum += static_cast<double>(ns[i]) * scale;
+    const double cap =
+        sum > static_cast<double>(chunk_ns) && sum > 0.0
+            ? static_cast<double>(chunk_ns) / sum
+            : 1.0;
+    for (int i = 0; i < count; ++i) {
+        prof::add_child_ns(names[i],
+                           static_cast<std::int64_t>(
+                               static_cast<double>(ns[i]) * scale * cap),
+                           chunk_rows);
+    }
+}
 
 // Per-direction zone names (string literals: prof keys them by pointer).
 constexpr const char* kWenoZone[3] = {"weno_x", "weno_y", "weno_z"};
@@ -51,6 +93,76 @@ void gather_row(const Field& src, int dim, int c0, int t1, int t2, int len,
         std::memcpy(row, p, static_cast<std::size_t>(len) * sizeof(double));
     } else {
         for (int t = 0; t < len; ++t) row[t] = p[t * s];
+    }
+}
+
+/// Flux divergence + non-conservative sources for cells [c, c+W) of one
+/// pencil. `flux` is SoA over faces (flux[q * fstride + f], fstride =
+/// n + 1), `rowsc` points at cell 0 of the gathered primitive pencil
+/// (value of equation q at cell c is rowsc[q * row_len + c]), and dq is
+/// reached through per-equation row pointers `dqp` with element stride
+/// `sd` (strided scatter for transverse sweeps). Per cell and equation the
+/// operation sequence matches the scalar loop exactly: flux difference
+/// first (assign via 0.0 - d when `accumulate` is false, preserving the
+/// bit pattern of the former fill(0.0)-then-subtract path), then the
+/// advection du term, then the six-equation internal-energy term.
+template <int W>
+void divergence_block(const EquationLayout& lay, bool accumulate, int c,
+                      int neq, double inv_dx, const double* rowsc, int row_len,
+                      const double* flux, int fstride, const double* uface,
+                      double* const* dqp, std::ptrdiff_t sd) {
+    using V = simd::vd<W>;
+    const V inv(inv_dx);
+    const std::ptrdiff_t off = c * sd;
+    for (int q = 0; q < neq; ++q) {
+        const double* fq = flux + static_cast<std::size_t>(q) * fstride;
+        const V d = (V::load(fq + c + 1) - V::load(fq + c)) * inv;
+        double* dst = dqp[q] + off;
+        if (accumulate) {
+            simd::store_strided<W>(simd::load_strided<W>(dst, sd) - d, dst, sd);
+        } else {
+            simd::store_strided<W>(V(0.0) - d, dst, sd);
+        }
+    }
+    const V du = (V::load(uface + c + 1) - V::load(uface + c)) * inv;
+    for (int f2 = 0; f2 < lay.num_adv(); ++f2) {
+        const int qa = lay.adv(f2);
+        const V av =
+            V::load(rowsc + static_cast<std::size_t>(qa) * row_len + c);
+        double* dst = dqp[qa] + off;
+        simd::store_strided<W>(simd::load_strided<W>(dst, sd) + av * du, dst,
+                               sd);
+    }
+    if (lay.model() == ModelKind::SixEquation) {
+        for (int f2 = 0; f2 < lay.num_fluids(); ++f2) {
+            const V a = V::load(
+                rowsc + static_cast<std::size_t>(lay.adv(f2)) * row_len + c);
+            const V p = V::load(
+                rowsc +
+                static_cast<std::size_t>(lay.internal_energy(f2)) * row_len +
+                c);
+            double* dst = dqp[lay.internal_energy(f2)] + off;
+            simd::store_strided<W>(simd::load_strided<W>(dst, sd) - a * p * du,
+                                   dst, sd);
+        }
+    }
+}
+
+/// Divergence over all n cells of a pencil: whole vectors, then a scalar
+/// (W = 1) tail over the same template — identical per-cell math.
+template <int W>
+void divergence_cells(const EquationLayout& lay, bool accumulate, int n,
+                      int neq, double inv_dx, const double* rowsc, int row_len,
+                      const double* flux, int fstride, const double* uface,
+                      double* const* dqp, std::ptrdiff_t sd) {
+    int c = 0;
+    for (; c + W <= n; c += W) {
+        divergence_block<W>(lay, accumulate, c, neq, inv_dx, rowsc, row_len,
+                            flux, fstride, uface, dqp, sd);
+    }
+    for (; c < n; ++c) {
+        divergence_block<1>(lay, accumulate, c, neq, inv_dx, rowsc, row_len,
+                            flux, fstride, uface, dqp, sd);
     }
 }
 
@@ -98,7 +210,9 @@ void RhsEvaluator::compute_primitives(const StateArray& cons) {
     // The full extended box: the dimension-interleaved ghost fill leaves
     // every ghost (face, edge, and corner) valid, so primitives are
     // converted everywhere the sweeps and viscous cross-derivatives may
-    // read. Rows along x parallelize over the extended (j, k) plane.
+    // read. Rows along x parallelize over the extended (j, k) plane;
+    // within a row the conversion runs W cells per step (scalar tail at
+    // W = 1, same kernel template — bitwise identical at any width).
     const Field& ref = prim_.eq(0);
     const int gx = ref.gx(), gy = ref.gy(), gz = ref.gz();
     const int len_x = local_.nx + 2 * gx;
@@ -106,24 +220,40 @@ void RhsEvaluator::compute_primitives(const StateArray& cons) {
     const long long rows = static_cast<long long>(rows_y) *
                            (local_.nz + 2 * gz);
 
-    exec::parallel_for("prim_convert", 0, rows, [&](long long lo, long long hi) {
-        double cbuf[kMaxEqns];
-        double pbuf[kMaxEqns];
-        const double* src[kMaxEqns];
-        double* dst[kMaxEqns];
-        for (long long t = lo; t < hi; ++t) {
-            const int j = static_cast<int>(t % rows_y) - gy;
-            const int k = static_cast<int>(t / rows_y) - gz;
-            for (int q = 0; q < neq; ++q) {
-                src[q] = cons.eq(q).ptr(-gx, j, k);
-                dst[q] = prim_.eq(q).ptr(-gx, j, k);
+    simd::dispatch([&](auto wc) {
+        constexpr int W = wc();
+        exec::parallel_for("prim_convert", 0, rows,
+                           [&](long long lo, long long hi) {
+            simd::vd<W> cv[kMaxEqns];
+            simd::vd<W> pv[kMaxEqns];
+            simd::vd<1> c1[kMaxEqns];
+            simd::vd<1> p1[kMaxEqns];
+            const double* src[kMaxEqns];
+            double* dst[kMaxEqns];
+            for (long long t = lo; t < hi; ++t) {
+                const int j = static_cast<int>(t % rows_y) - gy;
+                const int k = static_cast<int>(t / rows_y) - gz;
+                for (int q = 0; q < neq; ++q) {
+                    src[q] = cons.eq(q).ptr(-gx, j, k);
+                    dst[q] = prim_.eq(q).ptr(-gx, j, k);
+                }
+                int i = 0;
+                for (; i + W <= len_x; i += W) {
+                    for (int q = 0; q < neq; ++q) {
+                        cv[q] = simd::vd<W>::load(src[q] + i);
+                    }
+                    cons_to_prim_v<W>(lay_, fluids_, cv, pv);
+                    for (int q = 0; q < neq; ++q) pv[q].store(dst[q] + i);
+                }
+                for (; i < len_x; ++i) {
+                    for (int q = 0; q < neq; ++q) {
+                        c1[q] = simd::vd<1>::load(src[q] + i);
+                    }
+                    cons_to_prim_v<1>(lay_, fluids_, c1, p1);
+                    for (int q = 0; q < neq; ++q) p1[q].store(dst[q] + i);
+                }
             }
-            for (int i = 0; i < len_x; ++i) {
-                for (int q = 0; q < neq; ++q) cbuf[q] = src[q][i];
-                cons_to_prim(lay_, fluids_, cbuf, pbuf);
-                for (int q = 0; q < neq; ++q) dst[q][i] = pbuf[q];
-            }
-        }
+        });
     });
 }
 
@@ -144,14 +274,19 @@ void RhsEvaluator::evaluate(const StateArray& cons, StateArray& dq) {
         for (int d = 0; d < 3; ++d) {
             if (!active(local_, d)) continue;
             prof::Zone zone(kIgrZone[d]);
-            sweep_igr(d, dq, accumulate);
+            simd::dispatch([&](auto wc) { sweep_igr_w<wc()>(d, dq, accumulate); });
             accumulate = true;
         }
     } else {
         for (int d = 0; d < 3; ++d) {
             if (!active(local_, d)) continue;
             prof::Zone zone(kWenoZone[d]);
-            sweep_weno(d, dq, accumulate);
+            if (char_decomp_) {
+                sweep_weno_char(d, dq, accumulate);
+            } else {
+                simd::dispatch(
+                    [&](auto wc) { sweep_weno_w<wc()>(d, dq, accumulate); });
+            }
             accumulate = true;
         }
     }
@@ -355,7 +490,9 @@ void RhsEvaluator::add_body_forces(StateArray& dq) {
     }
 }
 
-void RhsEvaluator::sweep_weno(int dim, StateArray& dq, bool accumulate) {
+template <int W>
+void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
+    using V = simd::vd<W>;
     const int n = extent_along(local_, dim);
     const int neq = lay_.num_eqns();
     const int r = (weno_order_ - 1) / 2;
@@ -370,13 +507,23 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq, bool accumulate) {
     const int row_len = n + 2 * r + 2;
     const int row0 = -1 - r;
     const auto row_at = [row0](int c) { return c - row0; };
+    // Edge values live in SoA rows over the cell slots [0, n+2) (slot
+    // c + 1 holds cell c) and fluxes in SoA rows over the faces [0, n],
+    // so reconstruction, the Riemann solve, and the divergence all stream
+    // W contiguous slots per step. Scalar tails reuse the same templates
+    // at W = 1 — bitwise identical at any width.
+    const int ncells = n + 2;
+    const int nfaces = n + 1;
 
     // Per-row scoped zones would breach the profiler's overhead budget
     // (clock reads plus tree bookkeeping per microsecond-scale row), so
     // the row phases are timed manually with shared timestamps and
     // bulk-credited to child zones once per chunk: under the enclosing
     // weno_{x,y,z} zone on the dispatching thread, under the worker's
-    // weno_{x,y,z} root zone elsewhere.
+    // weno_{x,y,z} root zone elsewhere. Rows within a sweep are
+    // homogeneous, so only every kSampleStride-th row is timed and the
+    // credit is scaled up — four clock reads per row on vectorized rows
+    // is itself measurable against the <2% budget.
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
     const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
@@ -388,253 +535,332 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq, bool accumulate) {
         // Edge values at cells [-1, n] and fluxes/velocities at faces
         // [0, n]; face f separates cells f-1 and f.
         double* edge_left =
-            frame.doubles(static_cast<std::size_t>(n + 2) * neq);
+            frame.doubles(static_cast<std::size_t>(ncells) * neq);
         double* edge_right =
-            frame.doubles(static_cast<std::size_t>(n + 2) * neq);
+            frame.doubles(static_cast<std::size_t>(ncells) * neq);
         double* flux_row =
-            frame.doubles(static_cast<std::size_t>(n + 1) * neq);
-        double* uface_row = frame.doubles(static_cast<std::size_t>(n + 1));
+            frame.doubles(static_cast<std::size_t>(nfaces) * neq);
+        double* uface_row = frame.doubles(static_cast<std::size_t>(nfaces));
 
         std::int64_t recon_ns = 0;
         std::int64_t riemann_ns = 0;
         std::int64_t div_ns = 0;
+        std::int64_t chunk_t0 = 0;
+        if (timed) chunk_t0 = prof::clock_ns();
 
         for (long long t = lo; t < hi; ++t) {
             const int t1 = static_cast<int>(t % lim_t1);
             const int t2 = static_cast<int>(t / lim_t1);
+            const bool sample = timed && t % kSampleStride == 0;
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
-            if (timed) t_start = prof::clock_ns();
+            if (sample) t_start = prof::clock_ns();
 
             for (int q = 0; q < neq; ++q) {
                 gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
                            rows + static_cast<std::size_t>(q) * row_len);
             }
 
-            if (char_decomp_) {
-                // Characteristic-wise reconstruction (Euler): at each face
-                // project the conservative stencil onto the flux
-                // Jacobian's eigenvectors at the face-average state,
-                // reconstruct the two adjacent cells' edge values in
-                // characteristic space, and project back. Projection,
-                // reconstruction, and the Riemann solve are interleaved
-                // per face, so one segment covers the fused loop.
-                double prim_avg[kMaxEqns];
-                double cons_stencil[8][kMaxEqns]; // cells f-1-r .. f+r
-                double w_stencil[8][kMaxEqns];
-                double w_edge[kMaxEqns];
-                double cons_edge[kMaxEqns];
-                double prim_l[kMaxEqns];
-                double prim_r[kMaxEqns];
-                double row[8];
-                for (int f = 0; f <= n; ++f) {
-                    for (int q = 0; q < neq; ++q) {
-                        const double* rq =
-                            rows + static_cast<std::size_t>(q) * row_len;
-                        prim_avg[q] =
-                            0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
-                    }
-                    const EulerEigenvectors eig =
-                        euler_eigenvectors(lay_, fluids_, prim_avg, dim);
-
-                    const int cells = 2 * r + 2; // f-1-r .. f+r
-                    double point[kMaxEqns];
-                    for (int s = 0; s < cells; ++s) {
-                        for (int q = 0; q < neq; ++q) {
-                            point[q] = rows[static_cast<std::size_t>(q) *
-                                                row_len +
-                                            row_at(f - 1 - r + s)];
-                        }
-                        prim_to_cons(lay_, fluids_, point, cons_stencil[s]);
-                        eig.to_characteristic(cons_stencil[s], w_stencil[s]);
-                    }
-
-                    // Cell f-1 sits at stencil slot r; cell f at r+1.
-                    for (int q = 0; q < neq; ++q) {
-                        for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
-                        double el = 0.0, er = 0.0;
-                        weno_edges(row + r, weno_order_, weno_eps_, el, er,
-                                   weno_variant_);
-                        w_edge[q] = er; // right edge of cell f-1
-                    }
-                    eig.from_characteristic(w_edge, cons_edge);
-                    cons_to_prim(lay_, fluids_, cons_edge, prim_l);
-                    for (int q = 0; q < neq; ++q) {
-                        for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
-                        double el = 0.0, er = 0.0;
-                        weno_edges(row + r + 1, weno_order_, weno_eps_, el, er,
-                                   weno_variant_);
-                        w_edge[q] = el; // left edge of cell f
-                    }
-                    eig.from_characteristic(w_edge, cons_edge);
-                    cons_to_prim(lay_, fluids_, cons_edge, prim_r);
-
-                    // Positivity fallback to the adjacent cell averages.
-                    if (prim_l[lay_.cont(0)] <= 0.0 ||
-                        prim_l[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
-                        for (int q = 0; q < neq; ++q) {
-                            prim_l[q] = rows[static_cast<std::size_t>(q) *
-                                                 row_len +
-                                             row_at(f - 1)];
-                        }
-                    }
-                    if (prim_r[lay_.cont(0)] <= 0.0 ||
-                        prim_r[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
-                        for (int q = 0; q < neq; ++q) {
-                            prim_r[q] = rows[static_cast<std::size_t>(q) *
-                                                 row_len +
-                                             row_at(f)];
-                        }
-                    }
-
-                    uface_row[f] = solve_riemann(
-                        riemann_, lay_, fluids_, prim_l, prim_r, dim,
-                        &flux_row[static_cast<std::size_t>(f) *
-                                  static_cast<std::size_t>(neq)]);
+            // Edge reconstruction for cells [-1, n] (slots [0, ncells)),
+            // W cells per step straight off the contiguous pencil: slot
+            // s is cell s - 1, whose stencil center sits at row index
+            // s + r.
+            for (int q = 0; q < neq; ++q) {
+                const double* rq = rows + static_cast<std::size_t>(q) * row_len;
+                double* el = edge_left + static_cast<std::size_t>(q) * ncells;
+                double* er = edge_right + static_cast<std::size_t>(q) * ncells;
+                int s = 0;
+                for (; s + W <= ncells; s += W) {
+                    V l, rt;
+                    weno_edges_v<W>(rq + s + r, weno_order_, weno_eps_, l, rt,
+                                    weno_variant_);
+                    l.store(el + s);
+                    rt.store(er + s);
                 }
-                if (timed) {
-                    t_mid = prof::clock_ns();
-                    recon_ns += t_mid - t_start; // credited as char_riemann
-                }
-            } else {
-            {
-            // Edge reconstruction for cells [-1, n], straight off the
-            // contiguous pencil.
-            for (int c = -1; c <= n; ++c) {
-                const int ci = row_at(c);
-                for (int q = 0; q < neq; ++q) {
-                    const double* rq =
-                        rows + static_cast<std::size_t>(q) * row_len;
-                    double el = 0.0, er = 0.0;
-                    weno_edges(rq + ci, weno_order_, weno_eps_, el, er,
-                               weno_variant_);
-                    const auto slot = static_cast<std::size_t>(c + 1) *
-                                          static_cast<std::size_t>(neq) +
-                                      static_cast<std::size_t>(q);
-                    edge_left[slot] = el;
-                    edge_right[slot] = er;
-                }
-                // Positivity safeguard: at severely under-resolved fronts
-                // high-order edge values can undershoot into negative
-                // density or pressure; fall back to the (positive) cell
-                // average for this cell, preserving design order where
-                // the solution is resolved.
-                const auto base = static_cast<std::size_t>(c + 1) *
-                                  static_cast<std::size_t>(neq);
-                double rho_l = 0.0, rho_r = 0.0;
-                for (int f = 0; f < lay_.num_fluids(); ++f) {
-                    const auto cq = static_cast<std::size_t>(lay_.cont(f));
-                    rho_l += edge_left[base + cq];
-                    rho_r += edge_right[base + cq];
-                }
-                // For stiffened fluids the physical bound is p > -pi_inf
-                // of the mixture (c^2 > 0), not p > 0.
-                const auto sound_ok = [&](const double* edge) {
-                    double alpha[8];
-                    volume_fractions(lay_, edge, alpha);
-                    const Mixture m = mix(fluids_, alpha, lay_.num_fluids());
-                    return edge[lay_.energy()] + m.pi_inf() > 0.0;
-                };
-                const bool bad = rho_l <= 0.0 || rho_r <= 0.0 ||
-                                 !sound_ok(&edge_left[base]) ||
-                                 !sound_ok(&edge_right[base]);
-                if (bad) {
-                    for (int q = 0; q < neq; ++q) {
-                        const double v =
-                            rows[static_cast<std::size_t>(q) * row_len + ci];
-                        edge_left[base + static_cast<std::size_t>(q)] = v;
-                        edge_right[base + static_cast<std::size_t>(q)] = v;
-                    }
+                for (; s < ncells; ++s) {
+                    simd::vd<1> l, rt;
+                    weno_edges_v<1>(rq + s + r, weno_order_, weno_eps_, l, rt,
+                                    weno_variant_);
+                    l.store(el + s);
+                    rt.store(er + s);
                 }
             }
-            } // reconstruction segment
+
+            // Positivity safeguard: at severely under-resolved fronts
+            // high-order edge values can undershoot into negative density
+            // or pressure; fall back to the (positive) cell average for
+            // this cell, preserving design order where the solution is
+            // resolved. For stiffened fluids the physical bound is
+            // p > -pi_inf of the mixture (c^2 > 0), not p > 0. The
+            // scalar if becomes a mask + select per equation.
+            const auto positivity_block = [&](auto wtag, int s) {
+                constexpr int BW = decltype(wtag)::value;
+                using BV = simd::vd<BW>;
+                BV rho_l = 0.0, rho_r = 0.0;
+                for (int f = 0; f < lay_.num_fluids(); ++f) {
+                    const auto co = static_cast<std::size_t>(lay_.cont(f)) *
+                                    ncells;
+                    rho_l += BV::load(edge_left + co + s);
+                    rho_r += BV::load(edge_right + co + s);
+                }
+                BV eL[kMaxEqns], eR[kMaxEqns];
+                for (int f = 0; f < lay_.num_adv(); ++f) {
+                    const auto ao = static_cast<std::size_t>(lay_.adv(f)) *
+                                    ncells;
+                    eL[lay_.adv(f)] = BV::load(edge_left + ao + s);
+                    eR[lay_.adv(f)] = BV::load(edge_right + ao + s);
+                }
+                const auto eo = static_cast<std::size_t>(lay_.energy()) *
+                                ncells;
+                eL[lay_.energy()] = BV::load(edge_left + eo + s);
+                eR[lay_.energy()] = BV::load(edge_right + eo + s);
+                const MixtureV<BW> mL = mixture_at_v<BW>(lay_, fluids_, eL);
+                const MixtureV<BW> mR = mixture_at_v<BW>(lay_, fluids_, eR);
+                const auto ok_l = (eL[lay_.energy()] + mL.pi_inf()) > BV(0.0);
+                const auto ok_r = (eR[lay_.energy()] + mR.pi_inf()) > BV(0.0);
+                const auto bad = rho_l <= BV(0.0) || rho_r <= BV(0.0) ||
+                                 !ok_l || !ok_r;
+                if (!simd::any(bad)) return;
+                for (int q = 0; q < neq; ++q) {
+                    const BV v = BV::load(
+                        rows + static_cast<std::size_t>(q) * row_len + s + r);
+                    double* el =
+                        edge_left + static_cast<std::size_t>(q) * ncells + s;
+                    double* er =
+                        edge_right + static_cast<std::size_t>(q) * ncells + s;
+                    simd::select(bad, v, BV::load(el)).store(el);
+                    simd::select(bad, v, BV::load(er)).store(er);
+                }
+            };
+            {
+                int s = 0;
+                for (; s + W <= ncells; s += W) {
+                    positivity_block(std::integral_constant<int, W>{}, s);
+                }
+                for (; s < ncells; ++s) {
+                    positivity_block(std::integral_constant<int, 1>{}, s);
+                }
+            }
 
             std::int64_t t_recon = 0;
-            if (timed) {
+            if (sample) {
                 t_recon = prof::clock_ns();
                 recon_ns += t_recon - t_start;
             }
 
-            // Riemann fluxes at faces [0, n]. Face f separates cells f-1, f.
-            for (int f = 0; f <= n; ++f) {
-                const double* prim_l =
-                    &edge_right[static_cast<std::size_t>(f) *
-                                static_cast<std::size_t>(neq)];
-                const double* prim_r =
-                    &edge_left[static_cast<std::size_t>(f + 1) *
-                               static_cast<std::size_t>(neq)];
-                uface_row[f] = solve_riemann(
-                    riemann_, lay_, fluids_, prim_l, prim_r, dim,
-                    &flux_row[static_cast<std::size_t>(f) *
-                              static_cast<std::size_t>(neq)]);
+            // Riemann fluxes at faces [0, n], W faces per step. Face f
+            // separates cells f-1 and f: its left state is the right edge
+            // of cell f-1 (slot f) and its right state the left edge of
+            // cell f (slot f+1).
+            {
+                V pl[kMaxEqns], pr[kMaxEqns], fx[kMaxEqns];
+                simd::vd<1> pl1[kMaxEqns], pr1[kMaxEqns], fx1[kMaxEqns];
+                int f = 0;
+                for (; f + W <= nfaces; f += W) {
+                    for (int q = 0; q < neq; ++q) {
+                        const auto qo = static_cast<std::size_t>(q) * ncells;
+                        pl[q] = V::load(edge_right + qo + f);
+                        pr[q] = V::load(edge_left + qo + f + 1);
+                    }
+                    const V uf = solve_riemann_v<W>(riemann_, lay_, fluids_,
+                                                    pl, pr, dim, fx);
+                    for (int q = 0; q < neq; ++q) {
+                        fx[q].store(flux_row +
+                                    static_cast<std::size_t>(q) * nfaces + f);
+                    }
+                    uf.store(uface_row + f);
+                }
+                for (; f < nfaces; ++f) {
+                    for (int q = 0; q < neq; ++q) {
+                        const auto qo = static_cast<std::size_t>(q) * ncells;
+                        pl1[q] = simd::vd<1>::load(edge_right + qo + f);
+                        pr1[q] = simd::vd<1>::load(edge_left + qo + f + 1);
+                    }
+                    const simd::vd<1> uf = solve_riemann_v<1>(
+                        riemann_, lay_, fluids_, pl1, pr1, dim, fx1);
+                    for (int q = 0; q < neq; ++q) {
+                        fx1[q].store(flux_row +
+                                     static_cast<std::size_t>(q) * nfaces + f);
+                    }
+                    uf.store(uface_row + f);
+                }
             }
-            if (timed) {
+            if (sample) {
                 t_mid = prof::clock_ns();
                 riemann_ns += t_mid - t_recon;
             }
-            } // component-wise (non-characteristic) path
 
             // Flux divergence and non-conservative sources, written
-            // through per-equation row pointers. With accumulate == false
-            // this is the sweep that establishes dq (0.0 - x keeps the
-            // bit pattern of the former fill(0.0)-then-subtract path).
+            // through per-equation row pointers.
             {
                 int i0 = 0, j0 = 0, k0 = 0;
                 cell_of(dim, 0, t1, t2, i0, j0, k0);
                 const std::ptrdiff_t sd = dq.eq(0).stride(dim);
                 double* dqp[kMaxEqns];
                 for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
-                for (int c = 0; c < n; ++c) {
-                    const std::ptrdiff_t off = c * sd;
-                    const auto flo = static_cast<std::size_t>(c) *
-                                     static_cast<std::size_t>(neq);
-                    const auto fhi = static_cast<std::size_t>(c + 1) *
-                                     static_cast<std::size_t>(neq);
-                    for (int q = 0; q < neq; ++q) {
-                        const double d =
-                            (flux_row[fhi + static_cast<std::size_t>(q)] -
-                             flux_row[flo + static_cast<std::size_t>(q)]) *
-                            inv_dx;
-                        if (accumulate) {
-                            dqp[q][off] -= d;
-                        } else {
-                            dqp[q][off] = 0.0 - d;
-                        }
-                    }
-                    const double du = (uface_row[c + 1] - uface_row[c]) * inv_dx;
-                    for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
-                        const int qa = lay_.adv(f2);
-                        dqp[qa][off] +=
-                            rows[static_cast<std::size_t>(qa) * row_len +
-                                 row_at(c)] *
-                            du;
-                    }
-                    if (lay_.model() == ModelKind::SixEquation) {
-                        for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
-                            const double a =
-                                rows[static_cast<std::size_t>(lay_.adv(f2)) *
-                                         row_len +
-                                     row_at(c)];
-                            const double p =
-                                rows[static_cast<std::size_t>(
-                                         lay_.internal_energy(f2)) *
-                                         row_len +
-                                     row_at(c)];
-                            dqp[lay_.internal_energy(f2)][off] -= a * p * du;
-                        }
-                    }
-                }
+                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
+                                    rows + row_at(0), row_len, flux_row,
+                                    nfaces, uface_row, dqp, sd);
             }
-            if (timed) div_ns += prof::clock_ns() - t_mid;
+            if (sample) div_ns += prof::clock_ns() - t_mid;
         }
 
         if (timed && hi > lo) {
-            const std::int64_t chunk_rows = hi - lo;
-            prof::add_child_ns(char_decomp_ ? "char_riemann" : "weno_recon",
-                               recon_ns, chunk_rows);
-            if (!char_decomp_)
-                prof::add_child_ns("riemann", riemann_ns, chunk_rows);
-            prof::add_child_ns("flux_div", div_ns, chunk_rows);
+            const char* names[3] = {"weno_recon", "riemann", "flux_div"};
+            std::int64_t ns[3] = {recon_ns, riemann_ns, div_ns};
+            credit_scaled(names, ns, 3, hi - lo, sampled_rows(lo, hi),
+                          prof::clock_ns() - chunk_t0);
+        }
+    });
+}
+
+void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
+    const int n = extent_along(local_, dim);
+    const int neq = lay_.num_eqns();
+    const int r = (weno_order_ - 1) / 2;
+    const double inv_dx = 1.0 / dx(dim);
+
+    const int lim_t1 = dim == 0 ? local_.ny : local_.nx; // fast transverse
+    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+
+    const int row_len = n + 2 * r + 2;
+    const int row0 = -1 - r;
+    const auto row_at = [row0](int c) { return c - row0; };
+    const int nfaces = n + 1;
+
+    const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
+
+    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
+                                                          long long hi) {
+        exec::Arena::Frame frame(exec::scratch_arena());
+        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        // Fluxes stay SoA over faces to share the divergence kernel with
+        // the component-wise path.
+        double* flux_row =
+            frame.doubles(static_cast<std::size_t>(nfaces) * neq);
+        double* uface_row = frame.doubles(static_cast<std::size_t>(nfaces));
+
+        std::int64_t recon_ns = 0;
+        std::int64_t div_ns = 0;
+        std::int64_t chunk_t0 = 0;
+        if (timed) chunk_t0 = prof::clock_ns();
+
+        for (long long t = lo; t < hi; ++t) {
+            const int t1 = static_cast<int>(t % lim_t1);
+            const int t2 = static_cast<int>(t / lim_t1);
+            const bool sample = timed && t % kSampleStride == 0;
+            std::int64_t t_start = 0;
+            std::int64_t t_mid = 0;
+            if (sample) t_start = prof::clock_ns();
+
+            for (int q = 0; q < neq; ++q) {
+                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
+                           rows + static_cast<std::size_t>(q) * row_len);
+            }
+
+            // Characteristic-wise reconstruction (Euler): at each face
+            // project the conservative stencil onto the flux Jacobian's
+            // eigenvectors at the face-average state, reconstruct the two
+            // adjacent cells' edge values in characteristic space, and
+            // project back. Projection, reconstruction, and the Riemann
+            // solve are interleaved per face, so one segment covers the
+            // fused loop.
+            double prim_avg[kMaxEqns];
+            double cons_stencil[8][kMaxEqns]; // cells f-1-r .. f+r
+            double w_stencil[8][kMaxEqns];
+            double w_edge[kMaxEqns];
+            double cons_edge[kMaxEqns];
+            double prim_l[kMaxEqns];
+            double prim_r[kMaxEqns];
+            double face_flux[kMaxEqns];
+            double row[8];
+            for (int f = 0; f <= n; ++f) {
+                for (int q = 0; q < neq; ++q) {
+                    const double* rq =
+                        rows + static_cast<std::size_t>(q) * row_len;
+                    prim_avg[q] = 0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
+                }
+                const EulerEigenvectors eig =
+                    euler_eigenvectors(lay_, fluids_, prim_avg, dim);
+
+                const int cells = 2 * r + 2; // f-1-r .. f+r
+                double point[kMaxEqns];
+                for (int s = 0; s < cells; ++s) {
+                    for (int q = 0; q < neq; ++q) {
+                        point[q] = rows[static_cast<std::size_t>(q) * row_len +
+                                        row_at(f - 1 - r + s)];
+                    }
+                    prim_to_cons(lay_, fluids_, point, cons_stencil[s]);
+                    eig.to_characteristic(cons_stencil[s], w_stencil[s]);
+                }
+
+                // Cell f-1 sits at stencil slot r; cell f at r+1.
+                for (int q = 0; q < neq; ++q) {
+                    for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
+                    double el = 0.0, er = 0.0;
+                    weno_edges(row + r, weno_order_, weno_eps_, el, er,
+                               weno_variant_);
+                    w_edge[q] = er; // right edge of cell f-1
+                }
+                eig.from_characteristic(w_edge, cons_edge);
+                cons_to_prim(lay_, fluids_, cons_edge, prim_l);
+                for (int q = 0; q < neq; ++q) {
+                    for (int s = 0; s < cells; ++s) row[s] = w_stencil[s][q];
+                    double el = 0.0, er = 0.0;
+                    weno_edges(row + r + 1, weno_order_, weno_eps_, el, er,
+                               weno_variant_);
+                    w_edge[q] = el; // left edge of cell f
+                }
+                eig.from_characteristic(w_edge, cons_edge);
+                cons_to_prim(lay_, fluids_, cons_edge, prim_r);
+
+                // Positivity fallback to the adjacent cell averages.
+                if (prim_l[lay_.cont(0)] <= 0.0 ||
+                    prim_l[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
+                    for (int q = 0; q < neq; ++q) {
+                        prim_l[q] = rows[static_cast<std::size_t>(q) * row_len +
+                                         row_at(f - 1)];
+                    }
+                }
+                if (prim_r[lay_.cont(0)] <= 0.0 ||
+                    prim_r[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
+                    for (int q = 0; q < neq; ++q) {
+                        prim_r[q] = rows[static_cast<std::size_t>(q) * row_len +
+                                         row_at(f)];
+                    }
+                }
+
+                uface_row[f] = solve_riemann(riemann_, lay_, fluids_, prim_l,
+                                             prim_r, dim, face_flux);
+                for (int q = 0; q < neq; ++q) {
+                    flux_row[static_cast<std::size_t>(q) * nfaces + f] =
+                        face_flux[q];
+                }
+            }
+            if (sample) {
+                t_mid = prof::clock_ns();
+                recon_ns += t_mid - t_start; // credited as char_riemann
+            }
+
+            {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
+                double* dqp[kMaxEqns];
+                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                divergence_cells<1>(lay_, accumulate, n, neq, inv_dx,
+                                    rows + row_at(0), row_len, flux_row,
+                                    nfaces, uface_row, dqp, sd);
+            }
+            if (sample) div_ns += prof::clock_ns() - t_mid;
+        }
+
+        if (timed && hi > lo) {
+            const char* names[2] = {"char_riemann", "flux_div"};
+            std::int64_t ns[2] = {recon_ns, div_ns};
+            credit_scaled(names, ns, 2, hi - lo, sampled_rows(lo, hi),
+                          prof::clock_ns() - chunk_t0);
         }
     });
 }
@@ -642,50 +868,79 @@ void RhsEvaluator::sweep_weno(int dim, StateArray& dq, bool accumulate) {
 void RhsEvaluator::compute_igr_sigma() {
     // Source: alf * rho * [ (div u)^2 + tr((grad u)^2) ] from centered
     // velocity gradients; ghost layers supply the one-sided neighbors.
+    // Rows along x run W cells per step (ghosts make every i±1 read
+    // valid); the scalar tail reuses the same expressions at W = 1.
     PROF_ZONE("igr_sigma");
     const double alf = igr_.alf_factor * dx(0) * dx(0);
     const long long rows = static_cast<long long>(local_.ny) * local_.nz;
-    exec::parallel_for("igr_sigma", 0, rows, [&](long long lo, long long hi) {
-        double grad[3][3];
-        for (long long t = lo; t < hi; ++t) {
-            const int j = static_cast<int>(t % local_.ny);
-            const int k = static_cast<int>(t / local_.ny);
-            for (int i = 0; i < local_.nx; ++i) {
-                for (auto& row : grad) row[0] = row[1] = row[2] = 0.0;
-                for (int a = 0; a < lay_.dims(); ++a) {
-                    const Field& u = prim_.eq(lay_.mom(a));
-                    if (active(local_, 0)) {
-                        grad[a][0] = (u(i + 1, j, k) - u(i - 1, j, k)) /
-                                     (2.0 * dx(0));
+    simd::dispatch([&](auto wc) {
+        constexpr int W = wc();
+        exec::parallel_for("igr_sigma", 0, rows, [&](long long lo,
+                                                     long long hi) {
+            for (long long t = lo; t < hi; ++t) {
+                const int j = static_cast<int>(t % local_.ny);
+                const int k = static_cast<int>(t / local_.ny);
+
+                const auto block = [&](auto wtag, int i) {
+                    constexpr int BW = decltype(wtag)::value;
+                    using BV = simd::vd<BW>;
+                    BV grad[3][3];
+                    for (auto& row : grad) {
+                        row[0] = 0.0;
+                        row[1] = 0.0;
+                        row[2] = 0.0;
                     }
-                    if (active(local_, 1)) {
-                        grad[a][1] = (u(i, j + 1, k) - u(i, j - 1, k)) /
-                                     (2.0 * dx(1));
+                    for (int a = 0; a < lay_.dims(); ++a) {
+                        const Field& u = prim_.eq(lay_.mom(a));
+                        if (active(local_, 0)) {
+                            const double* ux = u.ptr(0, j, k);
+                            grad[a][0] = (BV::load(ux + i + 1) -
+                                          BV::load(ux + i - 1)) /
+                                         BV(2.0 * dx(0));
+                        }
+                        if (active(local_, 1)) {
+                            grad[a][1] = (BV::load(u.ptr(i, j + 1, k)) -
+                                          BV::load(u.ptr(i, j - 1, k))) /
+                                         BV(2.0 * dx(1));
+                        }
+                        if (active(local_, 2)) {
+                            grad[a][2] = (BV::load(u.ptr(i, j, k + 1)) -
+                                          BV::load(u.ptr(i, j, k - 1))) /
+                                         BV(2.0 * dx(2));
+                        }
                     }
-                    if (active(local_, 2)) {
-                        grad[a][2] = (u(i, j, k + 1) - u(i, j, k - 1)) /
-                                     (2.0 * dx(2));
+                    BV div = 0.0;
+                    BV contraction = 0.0;
+                    for (int a = 0; a < 3; ++a) {
+                        div += grad[a][a];
+                        for (int b = 0; b < 3; ++b) {
+                            contraction += grad[a][b] * grad[b][a];
+                        }
                     }
+                    BV rho = 0.0;
+                    for (int f = 0; f < lay_.num_fluids(); ++f) {
+                        rho += BV::load(prim_.eq(lay_.cont(f)).ptr(i, j, k));
+                    }
+                    const BV out = BV(alf) * rho * (div * div + contraction);
+                    out.store(igr_source_.ptr(i, j, k));
+                };
+
+                int i = 0;
+                for (; i + W <= local_.nx; i += W) {
+                    block(std::integral_constant<int, W>{}, i);
                 }
-                double div = 0.0;
-                double contraction = 0.0;
-                for (int a = 0; a < 3; ++a) {
-                    div += grad[a][a];
-                    for (int b = 0; b < 3; ++b) contraction += grad[a][b] * grad[b][a];
+                for (; i < local_.nx; ++i) {
+                    block(std::integral_constant<int, 1>{}, i);
                 }
-                double rho = 0.0;
-                for (int f = 0; f < lay_.num_fluids(); ++f) {
-                    rho += prim_.eq(lay_.cont(f))(i, j, k);
-                }
-                igr_source_(i, j, k) = alf * rho * (div * div + contraction);
             }
-        }
+        });
     });
     igr_elliptic_solve(igr_, igr_source_, dx(0), sigma_warm_, sigma_);
     sigma_warm_ = true;
 }
 
-void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
+template <int W>
+void RhsEvaluator::sweep_igr_w(int dim, StateArray& dq, bool accumulate) {
     const int n = extent_along(local_, dim);
     const int neq = lay_.num_eqns();
     const double inv_dx = 1.0 / dx(dim);
@@ -698,6 +953,7 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
     const int row_len = n + 4;
     const int row0 = -2;
     const auto row_at = [row0](int c) { return c - row0; };
+    const int nfaces = n + 1;
 
     const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
     exec::parallel_for(kIgrZone[dim], 0, rows_total, [&](long long lo,
@@ -708,13 +964,8 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
         // Neumann, consistent with the elliptic solve).
         double* sig_row = frame.doubles(static_cast<std::size_t>(n + 2));
         double* flux_row =
-            frame.doubles(static_cast<std::size_t>(n + 1) * neq);
-        double* uface_row = frame.doubles(static_cast<std::size_t>(n + 1));
-
-        double pface[kMaxEqns];
-        double pcell_l[kMaxEqns], pcell_r[kMaxEqns];
-        double cons_l[kMaxEqns], cons_r[kMaxEqns];
-        double face_flux[kMaxEqns];
+            frame.doubles(static_cast<std::size_t>(nfaces) * neq);
+        double* uface_row = frame.doubles(static_cast<std::size_t>(nfaces));
 
         for (long long t = lo; t < hi; ++t) {
             const int t1 = static_cast<int>(t % lim_t1);
@@ -730,48 +981,50 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
                 sig_row[c + 1] = sigma_(i, j, k);
             }
 
-            for (int f = 0; f <= n; ++f) {
-                // Central interpolation of primitives to the face.
+            // Face loop, W faces per step: central interpolation of the
+            // primitives, entropic pressure on the face energy, then the
+            // shared central-flux + Rusanov kernel.
+            const auto face_block = [&](auto wtag, int f) {
+                constexpr int BW = decltype(wtag)::value;
+                using BV = simd::vd<BW>;
+                BV pface[kMaxEqns], pl[kMaxEqns], pr[kMaxEqns];
+                BV fx[kMaxEqns];
                 for (int q = 0; q < neq; ++q) {
                     const double* rq =
                         rows + static_cast<std::size_t>(q) * row_len;
+                    const double* base = rq + row_at(f);
                     if (igr_.order >= 5) {
-                        pface[q] = (-rq[row_at(f - 2)] +
-                                    7.0 * rq[row_at(f - 1)] +
-                                    7.0 * rq[row_at(f)] - rq[row_at(f + 1)]) /
-                                   12.0;
+                        pface[q] = (-BV::load(base - 2) +
+                                    BV(7.0) * BV::load(base - 1) +
+                                    BV(7.0) * BV::load(base) -
+                                    BV::load(base + 1)) /
+                                   BV(12.0);
                     } else {
-                        pface[q] =
-                            0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
+                        pface[q] = BV(0.5) *
+                                   (BV::load(base - 1) + BV::load(base));
                     }
+                    pl[q] = BV::load(base - 1);
+                    pr[q] = BV::load(base);
                 }
-                // Entropic pressure augments the face pressure.
-                const double sig = 0.5 * (sig_row[f] + sig_row[f + 1]);
+                const BV sig = BV(0.5) * (BV::load(sig_row + f) +
+                                          BV::load(sig_row + f + 1));
                 pface[lay_.energy()] += sig;
-                physical_flux(lay_, fluids_, pface, dim, face_flux);
-
-                // Rusanov dissipation from the adjacent cell averages keeps
-                // the central scheme stable at under-resolved fronts.
+                const BV uf = igr_face_flux_v<BW>(lay_, fluids_, pface, pl,
+                                                  pr, dim, fx);
                 for (int q = 0; q < neq; ++q) {
-                    const double* rq =
-                        rows + static_cast<std::size_t>(q) * row_len;
-                    pcell_l[q] = rq[row_at(f - 1)];
-                    pcell_r[q] = rq[row_at(f)];
+                    fx[q].store(flux_row + static_cast<std::size_t>(q) * nfaces +
+                                f);
                 }
-                prim_to_cons(lay_, fluids_, pcell_l, cons_l);
-                prim_to_cons(lay_, fluids_, pcell_r, cons_r);
-                const double cl = mixture_sound_speed(lay_, fluids_, pcell_l);
-                const double cr = mixture_sound_speed(lay_, fluids_, pcell_r);
-                const double lam =
-                    std::max(std::abs(pcell_l[lay_.mom(dim)]) + cl,
-                             std::abs(pcell_r[lay_.mom(dim)]) + cr);
-                for (int q = 0; q < neq; ++q) {
-                    face_flux[q] -= 0.5 * lam * (cons_r[q] - cons_l[q]);
-                    flux_row[static_cast<std::size_t>(f) *
-                                 static_cast<std::size_t>(neq) +
-                             static_cast<std::size_t>(q)] = face_flux[q];
+                uf.store(uface_row + f);
+            };
+            {
+                int f = 0;
+                for (; f + W <= nfaces; f += W) {
+                    face_block(std::integral_constant<int, W>{}, f);
                 }
-                uface_row[f] = pface[lay_.mom(dim)];
+                for (; f < nfaces; ++f) {
+                    face_block(std::integral_constant<int, 1>{}, f);
+                }
             }
 
             {
@@ -780,49 +1033,21 @@ void RhsEvaluator::sweep_igr(int dim, StateArray& dq, bool accumulate) {
                 const std::ptrdiff_t sd = dq.eq(0).stride(dim);
                 double* dqp[kMaxEqns];
                 for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
-                for (int c = 0; c < n; ++c) {
-                    const std::ptrdiff_t off = c * sd;
-                    const auto flo = static_cast<std::size_t>(c) *
-                                     static_cast<std::size_t>(neq);
-                    const auto fhi = static_cast<std::size_t>(c + 1) *
-                                     static_cast<std::size_t>(neq);
-                    for (int q = 0; q < neq; ++q) {
-                        const double d =
-                            (flux_row[fhi + static_cast<std::size_t>(q)] -
-                             flux_row[flo + static_cast<std::size_t>(q)]) *
-                            inv_dx;
-                        if (accumulate) {
-                            dqp[q][off] -= d;
-                        } else {
-                            dqp[q][off] = 0.0 - d;
-                        }
-                    }
-                    const double du = (uface_row[c + 1] - uface_row[c]) * inv_dx;
-                    for (int f2 = 0; f2 < lay_.num_adv(); ++f2) {
-                        const int qa = lay_.adv(f2);
-                        dqp[qa][off] +=
-                            rows[static_cast<std::size_t>(qa) * row_len +
-                                 row_at(c)] *
-                            du;
-                    }
-                    if (lay_.model() == ModelKind::SixEquation) {
-                        for (int f2 = 0; f2 < lay_.num_fluids(); ++f2) {
-                            const double a =
-                                rows[static_cast<std::size_t>(lay_.adv(f2)) *
-                                         row_len +
-                                     row_at(c)];
-                            const double p =
-                                rows[static_cast<std::size_t>(
-                                         lay_.internal_energy(f2)) *
-                                         row_len +
-                                     row_at(c)];
-                            dqp[lay_.internal_energy(f2)][off] -= a * p * du;
-                        }
-                    }
-                }
+                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
+                                    rows + row_at(0), row_len, flux_row,
+                                    nfaces, uface_row, dqp, sd);
             }
         }
     });
 }
+
+template void RhsEvaluator::sweep_weno_w<1>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_weno_w<2>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_weno_w<4>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_weno_w<8>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_igr_w<1>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_igr_w<2>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_igr_w<4>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_igr_w<8>(int, StateArray&, bool);
 
 } // namespace mfc

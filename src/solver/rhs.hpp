@@ -47,11 +47,18 @@ private:
     void compute_primitives(const StateArray& cons);
     /// Hyperbolic sweeps run as fused pencil kernels: each row is
     /// gathered once into contiguous SoA buffers, then reconstruction,
-    /// Riemann fluxes, and the divergence run in-row. With `accumulate`
-    /// false the flux divergence *writes* dq (the first active sweep
-    /// needs no pre-zeroed dq); later sweeps accumulate.
-    void sweep_weno(int dim, StateArray& dq, bool accumulate);
-    void sweep_igr(int dim, StateArray& dq, bool accumulate);
+    /// Riemann fluxes, and the divergence run in-row, W cells/faces at a
+    /// time through the simd layer (W chosen at runtime by
+    /// simd::dispatch; lanes map 1:1 to cells, so every width is bitwise
+    /// identical — see docs/performance.md). With `accumulate` false the
+    /// flux divergence *writes* dq (the first active sweep needs no
+    /// pre-zeroed dq); later sweeps accumulate. The characteristic-wise
+    /// WENO path keeps its own scalar implementation.
+    template <int W>
+    void sweep_weno_w(int dim, StateArray& dq, bool accumulate);
+    void sweep_weno_char(int dim, StateArray& dq, bool accumulate);
+    template <int W>
+    void sweep_igr_w(int dim, StateArray& dq, bool accumulate);
     void sweep_viscous(int dim, StateArray& dq);
     void add_body_forces(StateArray& dq);
     void add_monopole_sources(StateArray& dq);

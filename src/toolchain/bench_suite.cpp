@@ -9,6 +9,7 @@
 #include "comm/cart.hpp"
 #include "core/error.hpp"
 #include "exec/exec.hpp"
+#include "perf/ubench.hpp"
 #include "prof/prof.hpp"
 #include "prof/reduce.hpp"
 #include "prof/report.hpp"
@@ -309,6 +310,21 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
         }
     }
     exec::set_num_threads(prev_threads);
+    {
+        // Kernel microbenchmarks ride along so a whole-case grindtime
+        // regression in bench_diff can be localized to one kernel without
+        // a separate run. Small rows keep this a sub-second addendum.
+        perf::UbenchOptions uopts;
+        uopts.cells = 2048;
+        uopts.reps = 9;
+        Yaml& ub = root["ubench"];
+        for (const perf::UbenchResult& r : perf::run_ubench_all(uopts)) {
+            Yaml& node = ub[r.name];
+            node["ns_per_cell"].set(Value(r.ns_per_cell));
+            node["gbs"].set(Value(r.gbs));
+            node["model_ns_per_cell"].set(Value(r.model_ns_per_cell));
+        }
+    }
     if (options_.chaos_trials > 0) {
         // Deterministic chaos-campaign counters on a small standardized
         // case: completion rate and detection counts are properties of the
@@ -457,6 +473,40 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
     }
     if (!out.empty()) out += "\n";
     out += bench_diff(reference, candidate).str();
+
+    // Kernel microbenchmarks: compare per-kernel ns/cell wherever both
+    // sides carry an `ubench:` section; a summary from a build without
+    // one (or with a disjoint kernel set) degrades cell-wise to "n/a",
+    // exactly like the resilience table below.
+    const Yaml* ref_ub = find(reference, "ubench");
+    const Yaml* cand_ub = find(candidate, "ubench");
+    if (ref_ub != nullptr || cand_ub != nullptr) {
+        TextTable ub({"Kernel", "Reference [ns/cell]", "Candidate [ns/cell]",
+                      "Speedup"});
+        ub.set_align(1, TextTable::Align::Right);
+        ub.set_align(2, TextTable::Align::Right);
+        ub.set_align(3, TextTable::Align::Right);
+        const Yaml* keys_from = ref_ub != nullptr ? ref_ub : cand_ub;
+        for (const std::string& kernel : keys_from->keys()) {
+            double ref_ns = 0.0;
+            double cand_ns = 0.0;
+            const Yaml* r = ref_ub != nullptr ? find(*ref_ub, kernel) : nullptr;
+            const Yaml* c =
+                cand_ub != nullptr ? find(*cand_ub, kernel) : nullptr;
+            const bool have_r =
+                r != nullptr && scalar_of(*r, "ns_per_cell", ref_ns);
+            const bool have_c =
+                c != nullptr && scalar_of(*c, "ns_per_cell", cand_ns);
+            ub.add_row({kernel, have_r ? format_fixed(ref_ns, 2) : "n/a",
+                        have_c ? format_fixed(cand_ns, 2) : "n/a",
+                        have_r && have_c && cand_ns > 0.0
+                            ? format_fixed(ref_ns / cand_ns, 2) + "x"
+                            : "n/a"});
+        }
+        out += "\n";
+        out += ub.str();
+    }
+
     const Yaml* ref_res = find(reference, "resilience");
     const Yaml* cand_res = find(candidate, "resilience");
     if (ref_res == nullptr && cand_res == nullptr) return out;

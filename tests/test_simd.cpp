@@ -1,0 +1,225 @@
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "simd/simd.hpp"
+#include "solver/case_config.hpp"
+#include "solver/simulation.hpp"
+
+namespace mfc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// vd<W> semantics: the contracts the vectorized kernels rely on for
+// bitwise golden-file identity (see simd/simd.hpp header comment).
+// ---------------------------------------------------------------------------
+
+TEST(Simd, BroadcastLoadStoreLanes) {
+    const simd::vd<4> b(2.5);
+    for (int l = 0; l < 4; ++l) EXPECT_EQ(b.lane(l), 2.5);
+
+    const double in[4] = {1.0, -2.0, 3.5, 0.25};
+    const simd::vd<4> v = simd::vd<4>::load(in);
+    double out[4] = {};
+    v.store(out);
+    EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(Simd, ArithmeticMatchesScalarBitwise) {
+    const double a[4] = {1.37, -2.25, 1.0e-12, 3.0e7};
+    const double b[4] = {0.61, 7.5, -4.0e3, 1.2e-9};
+    const auto va = simd::vd<4>::load(a);
+    const auto vb = simd::vd<4>::load(b);
+    const simd::vd<4> r = va * vb + va / vb - vb;
+    for (int l = 0; l < 4; ++l) {
+        const double s = a[l] * b[l] + a[l] / b[l] - b[l];
+        const double g = r.lane(l);
+        EXPECT_EQ(std::memcmp(&s, &g, sizeof(double)), 0) << l;
+    }
+}
+
+TEST(Simd, MinMaxMatchStdSemantics) {
+    // std::max(a,b) returns a when a<b is false — including the signed-zero
+    // tie, where it returns the *first* argument. vmax must agree bitwise.
+    const double cases[][2] = {
+        {1.0, 2.0}, {2.0, 1.0}, {-0.0, 0.0}, {0.0, -0.0}, {-3.5, -3.5}};
+    for (const auto& c : cases) {
+        const simd::vd<4> a(c[0]);
+        const simd::vd<4> b(c[1]);
+        const double smax = std::max(c[0], c[1]);
+        const double smin = std::min(c[0], c[1]);
+        const double gmax = simd::vmax(a, b).lane(0);
+        const double gmin = simd::vmin(a, b).lane(0);
+        EXPECT_EQ(std::memcmp(&gmax, &smax, sizeof(double)), 0)
+            << c[0] << " " << c[1];
+        EXPECT_EQ(std::memcmp(&gmin, &smin, sizeof(double)), 0)
+            << c[0] << " " << c[1];
+    }
+}
+
+TEST(Simd, AbsClearsSignBitLikeFabs) {
+    const double in[4] = {-0.0, 0.0, -1.5, 2.0};
+    const simd::vd<4> r = simd::vabs(simd::vd<4>::load(in));
+    for (int l = 0; l < 4; ++l) {
+        EXPECT_FALSE(std::signbit(r.lane(l))) << l;
+        EXPECT_EQ(r.lane(l), std::fabs(in[l])) << l;
+    }
+}
+
+TEST(Simd, SqrtAppliesPerLane) {
+    const double in[4] = {4.0, 2.0, 1.0e-8, 9.0e12};
+    const simd::vd<4> r = simd::vsqrt(simd::vd<4>::load(in));
+    for (int l = 0; l < 4; ++l) {
+        const double s = std::sqrt(in[l]);
+        const double g = r.lane(l);
+        EXPECT_EQ(std::memcmp(&s, &g, sizeof(double)), 0) << l;
+    }
+}
+
+TEST(Simd, SelectAndMaskCombinators) {
+    const double a[4] = {1.0, 2.0, 3.0, 4.0};
+    const double b[4] = {-1.0, -2.0, -3.0, -4.0};
+    const auto va = simd::vd<4>::load(a);
+    const auto vb = simd::vd<4>::load(b);
+    const auto m = va > simd::vd<4>(2.5); // {F, F, T, T}
+    EXPECT_TRUE(simd::any(m));
+    EXPECT_FALSE(simd::all(m));
+    const simd::vd<4> r = simd::select(m, va, vb);
+    EXPECT_EQ(r.lane(0), -1.0);
+    EXPECT_EQ(r.lane(1), -2.0);
+    EXPECT_EQ(r.lane(2), 3.0);
+    EXPECT_EQ(r.lane(3), 4.0);
+
+    const auto none = va > simd::vd<4>(10.0);
+    EXPECT_FALSE(simd::any(none));
+    EXPECT_TRUE(simd::all(!none));
+    EXPECT_TRUE(simd::any(m || none));
+    EXPECT_FALSE(simd::any(m && none));
+}
+
+TEST(Simd, StridedLoadStoreRoundTrip) {
+    double buf[16];
+    for (int i = 0; i < 16; ++i) buf[i] = 100.0 + i;
+    const simd::vd<4> v = simd::load_strided<4>(buf, 3); // 0, 3, 6, 9
+    EXPECT_EQ(v.lane(0), 100.0);
+    EXPECT_EQ(v.lane(1), 103.0);
+    EXPECT_EQ(v.lane(2), 106.0);
+    EXPECT_EQ(v.lane(3), 109.0);
+    double out[16] = {};
+    simd::store_strided<4>(v, out, 3);
+    EXPECT_EQ(out[0], 100.0);
+    EXPECT_EQ(out[3], 103.0);
+    EXPECT_EQ(out[6], 106.0);
+    EXPECT_EQ(out[9], 109.0);
+    // Unit stride degenerates to a contiguous store.
+    simd::store_strided<4>(v, out, 1);
+    EXPECT_EQ(out[1], 103.0);
+}
+
+TEST(Simd, WidthDispatchAndValidation) {
+    const int prev = simd::width();
+    simd::set_width(2);
+    int seen = 0;
+    simd::dispatch([&](auto wc) { seen = wc(); });
+    EXPECT_EQ(seen, 2);
+    EXPECT_THROW(simd::set_width(3), Error);
+    EXPECT_EQ(simd::width(), 2); // rejected widths leave the state alone
+    simd::set_width(prev);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity: the full solver must produce bitwise-identical state
+// at every simd width, for every vectorized code path (component-wise
+// WENO JS/M/Z at orders 3 and 5, both Riemann solvers, all three models,
+// the viscous sweep, and the IGR path with its Jacobi elliptic solve).
+// ---------------------------------------------------------------------------
+
+std::vector<double> final_state(const CaseConfig& config, int width) {
+    simd::set_width(width);
+    Simulation sim(config);
+    sim.initialize();
+    sim.run();
+    std::vector<double> out;
+    for (int q = 0; q < sim.state().num_eqns(); ++q) {
+        const std::vector<double>& raw = sim.state().eq(q).raw();
+        out.insert(out.end(), raw.begin(), raw.end());
+    }
+    return out;
+}
+
+void expect_width_parity(const CaseConfig& config) {
+    const int prev = simd::width();
+    const std::vector<double> scalar = final_state(config, 1);
+    ASSERT_FALSE(scalar.empty());
+    for (const int w : {2, 4}) {
+        const std::vector<double> vec = final_state(config, w);
+        ASSERT_EQ(vec.size(), scalar.size());
+        EXPECT_EQ(std::memcmp(scalar.data(), vec.data(),
+                              scalar.size() * sizeof(double)),
+                  0)
+            << "width " << w << " diverges from scalar";
+    }
+    simd::set_width(prev);
+}
+
+CaseConfig parity_case() {
+    return standardized_benchmark_case(/*cells_per_dim=*/10,
+                                       /*t_step_stop=*/3);
+}
+
+TEST(SimdParity, FiveEqnWeno5JsHllc) { expect_width_parity(parity_case()); }
+
+TEST(SimdParity, WenoVariantM) {
+    CaseConfig c = parity_case();
+    c.weno_variant = WenoVariant::M;
+    c.validate();
+    expect_width_parity(c);
+}
+
+TEST(SimdParity, WenoVariantZ) {
+    CaseConfig c = parity_case();
+    c.weno_variant = WenoVariant::Z;
+    c.validate();
+    expect_width_parity(c);
+}
+
+TEST(SimdParity, Weno3Hll) {
+    CaseConfig c = parity_case();
+    c.weno_order = 3;
+    c.riemann_solver = RiemannSolverKind::HLL;
+    c.validate();
+    expect_width_parity(c);
+}
+
+TEST(SimdParity, SixEquation) {
+    CaseConfig c = parity_case();
+    c.model = ModelKind::SixEquation;
+    c.validate();
+    expect_width_parity(c);
+}
+
+TEST(SimdParity, ViscousSweepStaysConsistent) {
+    CaseConfig c = parity_case();
+    c.viscous = true;
+    c.viscosity = {1.0e-3, 2.0e-3};
+    c.validate();
+    expect_width_parity(c);
+}
+
+TEST(SimdParity, IgrJacobi) {
+    CaseConfig c = parity_case();
+    c.igr.enabled = true;
+    c.igr.order = 5;
+    c.igr.alf_factor = 10.0;
+    c.igr.num_iters = 4;
+    c.igr.num_warm_start_iters = 4;
+    c.igr.iter_solver = 1;
+    c.validate();
+    expect_width_parity(c);
+}
+
+} // namespace
+} // namespace mfc

@@ -250,6 +250,58 @@ TEST(BenchDiff, TwoSidedResilienceSectionCompares) {
     EXPECT_NE(s.find("faults_detected"), std::string::npos);
 }
 
+TEST(BenchDiff, ReportWithoutUbenchSectionsOmitsTheTable) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    const std::string s = bench_diff_report(ref, cand);
+    EXPECT_EQ(s.find("Kernel"), std::string::npos);
+}
+
+TEST(BenchDiff, BaselineWithoutUbenchRendersNa) {
+    // Reference YAML from a build predating `ubench:`: the kernel table
+    // still renders (candidate side), reference cells degrade to n/a
+    // instead of throwing — mirroring the resilience handling.
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    cand["ubench"]["weno5_js"]["ns_per_cell"].set(Value(12.5));
+    cand["ubench"]["weno5_js"]["gbs"].set(Value(1.9));
+    std::string s;
+    EXPECT_NO_THROW(s = bench_diff_report(ref, cand));
+    EXPECT_NE(s.find("weno5_js"), std::string::npos);
+    EXPECT_NE(s.find("12.50"), std::string::npos);
+    EXPECT_NE(s.find("n/a"), std::string::npos);
+}
+
+TEST(BenchDiff, TwoSidedUbenchComparesKernelByKernel) {
+    Yaml ref, cand;
+    ref["cases"]["a"]["grindtime_ns"].set(Value(10.0));
+    cand["cases"]["a"]["grindtime_ns"].set(Value(5.0));
+    ref["ubench"]["riemann_hllc"]["ns_per_cell"].set(Value(100.0));
+    cand["ubench"]["riemann_hllc"]["ns_per_cell"].set(Value(50.0));
+    // Kernel present on one side only: row renders, missing side is n/a.
+    ref["ubench"]["weno5_js"]["ns_per_cell"].set(Value(14.0));
+    const std::string s = bench_diff_report(ref, cand);
+    EXPECT_NE(s.find("riemann_hllc"), std::string::npos);
+    EXPECT_NE(s.find("2.00x"), std::string::npos);
+    EXPECT_NE(s.find("weno5_js"), std::string::npos);
+    EXPECT_NE(s.find("n/a"), std::string::npos);
+}
+
+TEST(Bench, YamlSummaryCarriesUbenchSection) {
+    const BenchSuite suite(kTinyMem, 1);
+    const Yaml y = suite.run_all("ubench-test");
+    ASSERT_TRUE(y.contains("ubench"));
+    const Yaml& ub = y.at("ubench");
+    ASSERT_FALSE(ub.keys().empty());
+    for (const std::string& kernel : ub.keys()) {
+        EXPECT_GT(ub.at(kernel).at("ns_per_cell").value().as_double(), 0.0)
+            << kernel;
+        EXPECT_GT(ub.at(kernel).at("gbs").value().as_double(), 0.0) << kernel;
+    }
+}
+
 TEST(BenchDiff, EndToEndThroughYamlFiles) {
     // bench -> save yaml -> load -> diff, as a user would (Section 3,
     // Step 4).

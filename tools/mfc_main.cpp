@@ -28,7 +28,9 @@
 #include "core/table.hpp"
 #include "exec/exec.hpp"
 #include "perf/scaling.hpp"
+#include "perf/ubench.hpp"
 #include "prof/prof.hpp"
+#include "simd/simd.hpp"
 #include "prof/reduce.hpp"
 #include "prof/report.hpp"
 #include "resilience/chaos.hpp"
@@ -213,6 +215,65 @@ int cmd_bench_diff(const Args& args) {
     const Yaml ref = Yaml::load(args.positional()[0]);
     const Yaml cand = Yaml::load(args.positional()[1]);
     std::fputs(bench_diff_report(ref, cand).c_str(), stdout);
+    return 0;
+}
+
+int cmd_ubench(const Args& args) {
+    if (args.has("help")) {
+        std::printf(
+            "mfc ubench [--cells <n>] [--reps <n>] [--width <1|2|4|8>]\n"
+            "           [-o <out.yml>]\n\n"
+            "Time each hot pencil kernel standalone on deterministic\n"
+            "synthetic rows (min over --reps): ns/cell, achieved effective\n"
+            "bandwidth, and the roofline estimate on the reference core\n"
+            "(src/perf/kernel_model.hpp). --width pins the simd width\n"
+            "(default: MFC_SIMD_WIDTH or 4); results are bitwise identical\n"
+            "at every width, only the timing changes.\n");
+        return 0;
+    }
+    perf::UbenchOptions opts;
+    if (args.has("cells"))
+        opts.cells = static_cast<int>(parse_int(args.get("cells")));
+    if (args.has("reps"))
+        opts.reps = static_cast<int>(parse_int(args.get("reps")));
+    if (args.has("width"))
+        simd::set_width(static_cast<int>(parse_int(args.get("width"))));
+
+    const std::vector<perf::UbenchResult> results =
+        perf::run_ubench_all(opts);
+    std::printf("ubench: %d cells/row, min of %d reps, simd width %d\n\n",
+                opts.cells, opts.reps, simd::width());
+    TextTable t({"Kernel", "ns/cell", "GB/s", "Model ns/cell", "x Model"});
+    for (std::size_t col = 1; col < 5; ++col)
+        t.set_align(col, TextTable::Align::Right);
+    for (const perf::UbenchResult& r : results) {
+        t.add_row({r.name, format_fixed(r.ns_per_cell, 2),
+                   format_fixed(r.gbs, 2),
+                   format_fixed(r.model_ns_per_cell, 2),
+                   format_fixed(r.ns_per_cell > 0.0
+                                    ? r.ns_per_cell / r.model_ns_per_cell
+                                    : 0.0,
+                                2)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    if (args.has("o")) {
+        Yaml out;
+        out["metadata"]["cells"].set(
+            Value(static_cast<long long>(opts.cells)));
+        out["metadata"]["reps"].set(Value(static_cast<long long>(opts.reps)));
+        out["metadata"]["simd_width"].set(
+            Value(static_cast<long long>(simd::width())));
+        Yaml& ub = out["ubench"];
+        for (const perf::UbenchResult& r : results) {
+            Yaml& node = ub[r.name];
+            node["ns_per_cell"].set(Value(r.ns_per_cell));
+            node["gbs"].set(Value(r.gbs));
+            node["model_ns_per_cell"].set(Value(r.model_ns_per_cell));
+        }
+        out.save(args.get("o"));
+        std::printf("\nwrote %s\n", args.get("o").c_str());
+    }
     return 0;
 }
 
@@ -656,6 +717,8 @@ int usage() {
     (void)cmd_tools();
     std::printf("%-12s %s\n", "profile",
                 "Per-phase grindtime decomposition of a case");
+    std::printf("%-12s %s\n", "ubench",
+                "Microbenchmark the hot pencil kernels standalone");
     std::printf("%-12s %s\n", "chaos",
                 "Fault-injection campaign with checkpoint recovery");
     std::printf("%-12s %s\n", "batch", "Render a scheduler batch script");
@@ -689,6 +752,7 @@ int main(int argc, char** argv) {
         if (tool == "test") return cmd_test(args);
         if (tool == "bench") return cmd_bench(args);
         if (tool == "bench_diff") return cmd_bench_diff(args);
+        if (tool == "ubench") return cmd_ubench(args);
         if (tool == "run") return cmd_run(args);
         if (tool == "profile") return cmd_profile(args);
         if (tool == "chaos") return cmd_chaos(args);

@@ -17,6 +17,10 @@ MFC="$BUILD_DIR/tools/mfc"
 "$MFC" bench --mem 0.0002 -n 1 -o "$BUILD_DIR/tier1_bench.yml"
 "$MFC" bench_diff "$BUILD_DIR/tier1_bench.yml" "$BUILD_DIR/tier1_bench.yml"
 
+# Kernel microbenchmark smoke: every registered kernel must run and
+# report finite timings at a non-default simd width.
+"$MFC" ubench --cells 512 --reps 3 --width 2 -o "$BUILD_DIR/tier1_ubench.yml"
+
 # Profiling smoke: serial and decomposed, with trace + YAML export.
 "$MFC" profile --standard 12 --steps 2 --warmup 1 \
     --trace "$BUILD_DIR/tier1_trace.json" --yaml "$BUILD_DIR/tier1_prof.yml"
@@ -43,6 +47,17 @@ if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j
     (cd "$TSAN_DIR" && ctest --output-on-failure -L thread)
+fi
+
+# Undefined-behavior smoke: rebuild with MFCPP_SANITIZE=undefined and run
+# the "simd"-labeled tests. The branch-free Riemann kernels compute
+# discarded select lanes; UBSan proves those lanes stay UB-free at every
+# width. MFCPP_SANITIZE=off skips both sanitizer legs.
+if [ "${MFCPP_SANITIZE:-undefined}" != "off" ]; then
+    UBSAN_DIR="$BUILD_DIR-ubsan"
+    cmake -B "$UBSAN_DIR" -S . -DMFCPP_SANITIZE=undefined
+    cmake --build "$UBSAN_DIR" -j
+    (cd "$UBSAN_DIR" && ctest --output-on-failure -L simd)
 fi
 
 echo "tier1: OK"
