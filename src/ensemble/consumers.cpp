@@ -1,0 +1,126 @@
+#include "ensemble/consumers.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "ensemble/cache.hpp"
+
+namespace mfc::ensemble {
+
+void PassFailTally::on_result(const JobResult& r) {
+    KindCount& kc = by_kind_[to_string(r.kind)];
+    ++kc.total;
+    if (r.passed) {
+        ++kc.passed;
+        ++passed_;
+    } else {
+        ++failed_;
+        failure_ids_.push_back(r.id);
+    }
+}
+
+bool PassFailTally::should_stop() const {
+    if (fail_fast_ && failed_ > 0) return true;
+    return max_failures_ >= 0 && failed_ > max_failures_;
+}
+
+void PassFailTally::finalize(Yaml& report) {
+    Yaml& kinds = report["kinds"];
+    for (const auto& [kind, kc] : by_kind_) {
+        Yaml& row = kinds[kind];
+        row["total"].set(Value(kc.total));
+        row["passed"].set(Value(kc.passed));
+    }
+    if (!failure_ids_.empty()) {
+        Yaml& fails = report["failures"];
+        for (const std::string& id : failure_ids_) {
+            fails.push_back(Yaml(Value(id)));
+        }
+    }
+}
+
+void RunningStats::on_result(const JobResult& r) {
+    if (r.kind != JobKind::Uq || !r.passed || r.sample.empty()) return;
+    // The per-job scalar is the spatial mean of the observable field; the
+    // fixed left-to-right sum keeps it deterministic.
+    double sum = 0.0;
+    for (const double v : r.sample) sum += v;
+    stats_.add(sum / static_cast<double>(r.sample.size()));
+}
+
+void RunningStats::finalize(Yaml& report) {
+    if (stats_.count() == 0) return;
+    Yaml& s = report["uq_scalar"];
+    s["samples"].set(Value(stats_.count()));
+    s["mean"].set(Value(stats_.mean()));
+    s["variance"].set(Value(stats_.variance()));
+}
+
+void MomentFieldAccumulator::on_result(const JobResult& r) {
+    if (r.kind != JobKind::Uq || !r.passed || r.sample.empty()) return;
+    field_.add(r.sample);
+}
+
+std::uint64_t
+MomentFieldAccumulator::field_hash(const std::vector<double>& field) {
+    // FNV-1a over the fields' IEEE-754 bit patterns, bytes fed in explicit
+    // little-endian order so the fingerprint is platform-independent.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const double v : field) {
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+void MomentFieldAccumulator::finalize(Yaml& report) {
+    if (field_.count() == 0) return;
+    const std::vector<double>& mean = field_.mean();
+    const std::vector<double> var = field_.variance();
+    Yaml& uq = report["uq"];
+    uq["samples"].set(Value(field_.count()));
+    uq["cells"].set(Value(static_cast<long long>(field_.size())));
+    // Bitwise fingerprints: equal hashes mean the moment fields are equal
+    // bit for bit (this is what the serial-reference acceptance test and
+    // the tier-1 determinism check compare).
+    uq["mean_field_hash"].set(Value(hex64(field_hash(mean))));
+    uq["variance_field_hash"].set(Value(hex64(field_hash(var))));
+    const auto summarize = [](Yaml& node, const std::vector<double>& f) {
+        const auto [lo, hi] = std::minmax_element(f.begin(), f.end());
+        double sum = 0.0;
+        for (const double v : f) sum += v;
+        node["min"].set(Value(*lo));
+        node["max"].set(Value(*hi));
+        node["mean"].set(Value(sum / static_cast<double>(f.size())));
+    };
+    summarize(uq["mean_field"], mean);
+    summarize(uq["variance_field"], var);
+}
+
+void CampaignYamlWriter::on_result(const JobResult& r) {
+    Yaml& row = jobs_[r.id];
+    row["kind"].set(Value(to_string(r.kind)));
+    row["passed"].set(Value(r.passed));
+    // Deliberately deterministic-only: no from_cache (varies between cold
+    // and warm runs), no timings (see the --timing section for those).
+    if (r.state_hash != 0) {
+        row["state_hash"].set(Value(hex64(r.state_hash)));
+    }
+    if (!r.detail.empty()) {
+        std::string detail = r.detail;
+        for (char& c : detail) {
+            if (c == '\n' || c == '\r') c = ' ';
+        }
+        row["detail"].set(Value(detail));
+    }
+}
+
+void CampaignYamlWriter::finalize(Yaml& report) {
+    report["jobs"] = jobs_;
+}
+
+} // namespace mfc::ensemble

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/yaml.hpp"
+#include "ensemble/job.hpp"
+#include "ensemble/stats.hpp"
+
+namespace mfc::ensemble {
+
+/// A streaming observer of campaign results — the SampleFlow-style
+/// consumer end of the producer/consumer engine. The engine delivers
+/// completed jobs strictly in job-index order (a reorder buffer holds
+/// early finishers), so every consumer sees the same deterministic stream
+/// regardless of worker count or completion order, and on_result needs no
+/// internal locking.
+class Consumer {
+public:
+    virtual ~Consumer() = default;
+    /// One completed (or cache-served) job, delivered in index order.
+    virtual void on_result(const JobResult& r) = 0;
+    /// Contribute a deterministic section to the campaign report after
+    /// the last delivery.
+    virtual void finalize(Yaml& /*report*/) {}
+};
+
+/// Pass/fail accounting per job kind, plus the campaign's stop policy:
+/// fail-fast (stop on the first failure) or --max-failures N (stop once
+/// more than N jobs have failed). Because deliveries are in index order,
+/// the stop decision — and therefore the set of reported jobs — is
+/// deterministic even though workers race.
+class PassFailTally : public Consumer {
+public:
+    PassFailTally(bool fail_fast, int max_failures)
+        : fail_fast_(fail_fast), max_failures_(max_failures) {}
+
+    void on_result(const JobResult& r) override;
+    void finalize(Yaml& report) override;
+
+    [[nodiscard]] long long passed() const { return passed_; }
+    [[nodiscard]] long long failed() const { return failed_; }
+    /// True once the stop policy has triggered; the engine checks this
+    /// after every delivery.
+    [[nodiscard]] bool should_stop() const;
+
+private:
+    struct KindCount {
+        long long total = 0;
+        long long passed = 0;
+    };
+    bool fail_fast_;
+    int max_failures_;
+    long long passed_ = 0;
+    long long failed_ = 0;
+    std::map<std::string, KindCount> by_kind_;
+    std::vector<std::string> failure_ids_;
+};
+
+/// Welford running statistics over one deterministic scalar per job: the
+/// mean of each UQ sample field. Streams — never stores the samples — so
+/// a 10^4-job campaign costs O(1) memory here.
+class RunningStats : public Consumer {
+public:
+    void on_result(const JobResult& r) override;
+    void finalize(Yaml& report) override;
+
+    [[nodiscard]] const Welford& welford() const { return stats_; }
+
+private:
+    Welford stats_;
+};
+
+/// Per-cell mean/variance over the UQ sample fields (the headline
+/// uncertainty-quantification output, computed through the post layer).
+/// Index-ordered delivery makes the accumulated moment fields bitwise
+/// identical to a serial one-job-at-a-time reference.
+class MomentFieldAccumulator : public Consumer {
+public:
+    void on_result(const JobResult& r) override;
+    void finalize(Yaml& report) override;
+
+    [[nodiscard]] const WelfordField& moments() const { return field_; }
+    /// FNV-1a over the raw bit patterns of a field — the bitwise
+    /// fingerprint reported for the mean and variance fields.
+    [[nodiscard]] static std::uint64_t
+    field_hash(const std::vector<double>& field);
+
+private:
+    WelfordField field_;
+};
+
+/// Streams one row per delivered job into the report's `jobs:` section
+/// (insertion-ordered, hence index-ordered, hence reproducible). Only
+/// deterministic fields are written.
+class CampaignYamlWriter : public Consumer {
+public:
+    void on_result(const JobResult& r) override;
+    void finalize(Yaml& report) override;
+
+private:
+    Yaml jobs_;
+};
+
+} // namespace mfc::ensemble

@@ -1,0 +1,176 @@
+#include "ensemble/engine.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "ensemble/cache.hpp"
+#include "ensemble/queue.hpp"
+#include "exec/exec.hpp"
+
+namespace mfc::ensemble {
+
+namespace {
+
+/// Non-deterministic per-job measurements kept aside for the optional
+/// timing section.
+struct TimingRow {
+    std::string id;
+    double wall_s = 0.0;
+    double grindtime_ns = 0.0;
+    std::string top_phase;
+    double top_phase_pct = 0.0;
+    bool from_cache = false;
+};
+
+} // namespace
+
+CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int workers =
+        options_.workers > 0 ? options_.workers : exec::num_threads();
+
+    WorkStealingQueue queue(workers, options_.queue_capacity);
+    ResultCache cache(options_.cache_dir);
+    PassFailTally tally(options_.fail_fast, options_.max_failures);
+
+    // Reorder buffer: results arrive in completion order, leave in index
+    // order. One mutex serializes delivery, so consumers never need locks.
+    std::mutex deliver_m;
+    std::map<long long, JobResult> pending;
+    long long next_deliver = 0;
+    long long delivered = 0;
+    long long executed = 0;
+    long long cached = 0;
+    bool stop_requested = false;
+    std::vector<TimingRow> timing_rows;
+
+    const auto complete = [&](JobResult r) {
+        const std::lock_guard<std::mutex> lk(deliver_m);
+        // After a stop, the delivered set is frozen: discarding late
+        // arrivals (rather than delivering whatever happened to finish)
+        // keeps the report a deterministic prefix of the campaign.
+        if (stop_requested) return;
+        pending.emplace(r.index, std::move(r));
+        while (!pending.empty() && pending.begin()->first == next_deliver) {
+            const JobResult& front = pending.begin()->second;
+            if (front.from_cache) {
+                ++cached;
+            } else {
+                ++executed;
+            }
+            tally.on_result(front);
+            for (Consumer* c : consumers_) c->on_result(front);
+            if (options_.timing) {
+                timing_rows.push_back({front.id, front.wall_s,
+                                       front.grindtime_ns, front.top_phase,
+                                       front.top_phase_pct,
+                                       front.from_cache});
+            }
+            ++delivered;
+            ++next_deliver;
+            pending.erase(pending.begin());
+            if (tally.should_stop()) {
+                stop_requested = true;
+                queue.stop();
+                break;
+            }
+        }
+    };
+
+    const auto run_one = [&](const JobSpec& spec) {
+        std::uint64_t key = 0;
+        if (cache.enabled() && spec.cacheable()) {
+            key = job_key(spec);
+            if (auto hit = cache.lookup(spec, key)) {
+                complete(std::move(*hit));
+                return;
+            }
+        }
+        JobResult r = execute_job(spec);
+        r.key = key;
+        if (cache.enabled()) cache.store(spec, r, key);
+        complete(std::move(r));
+    };
+
+    exec::parallel_for("ensemble_campaign", 0, workers,
+                       [&](long long lo, long long hi) {
+        for (long long w = lo; w < hi; ++w) {
+            if (w == 0) {
+                // Producer: stream the campaign. When the bounded queue is
+                // full, help drain it instead of blocking — so a single
+                // thread (workers == 1) still executes every job, and the
+                // producer never idles while work is waiting.
+                for (std::size_t i = 0; i < jobs.size(); ++i) {
+                    JobSpec spec = jobs[i];
+                    spec.index = static_cast<long long>(i);
+                    while (!queue.stopped() && !queue.try_push(spec)) {
+                        if (auto job = queue.try_pop(0)) run_one(*job);
+                    }
+                    if (queue.stopped()) break;
+                }
+                queue.close();
+                while (auto job = queue.pop(0)) run_one(*job);
+            } else {
+                while (auto job = queue.pop(static_cast<int>(w))) {
+                    run_one(*job);
+                }
+            }
+        }
+    });
+
+    CampaignSummary s;
+    s.total = static_cast<long long>(jobs.size());
+    s.delivered = delivered;
+    s.executed = executed;
+    s.cached = cached;
+    s.passed = tally.passed();
+    s.failed = tally.failed();
+    s.cancelled = s.total - delivered;
+    s.steals = queue.steals();
+    s.workers = workers;
+    s.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    report["schema"].set(Value("mfc-ensemble-report-v1"));
+    Yaml& summary = report["summary"];
+    summary["total"].set(Value(s.total));
+    summary["delivered"].set(Value(s.delivered));
+    summary["passed"].set(Value(s.passed));
+    summary["failed"].set(Value(s.failed));
+    summary["cancelled"].set(Value(s.cancelled));
+    // The one cache-state-dependent field in the deterministic sections:
+    // 0 on a cold cache, the cacheable job count on a warm re-run.
+    summary["cache_hits"].set(Value(s.cached));
+    tally.finalize(report);
+    for (Consumer* c : consumers_) c->finalize(report);
+
+    if (options_.timing) {
+        Yaml& t = report["timing"];
+        t["workers"].set(Value(s.workers));
+        t["wall_s"].set(Value(s.wall_s));
+        t["steals"].set(Value(s.steals));
+        if (s.wall_s > 0.0) {
+            t["jobs_per_s"].set(
+                Value(static_cast<double>(s.delivered) / s.wall_s));
+        }
+        Yaml& rows = t["jobs"];
+        for (const TimingRow& row : timing_rows) {
+            Yaml& r = rows[row.id];
+            r["wall_s"].set(Value(row.wall_s));
+            if (row.from_cache) r["cached"].set(Value(true));
+            if (row.grindtime_ns > 0.0) {
+                r["grindtime_ns"].set(Value(row.grindtime_ns));
+            }
+            if (!row.top_phase.empty()) {
+                r["top_phase"].set(Value(row.top_phase));
+                r["top_phase_pct"].set(Value(row.top_phase_pct));
+            }
+        }
+    }
+    return s;
+}
+
+} // namespace mfc::ensemble

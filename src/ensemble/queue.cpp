@@ -1,0 +1,132 @@
+#include "ensemble/queue.hpp"
+
+#include "core/error.hpp"
+
+namespace mfc::ensemble {
+
+WorkStealingQueue::WorkStealingQueue(int workers, std::size_t capacity)
+    : deques_(static_cast<std::size_t>(workers)), capacity_(capacity) {
+    MFC_REQUIRE(workers >= 1, "ensemble queue: need at least one worker");
+    MFC_REQUIRE(capacity >= 1, "ensemble queue: capacity must be positive");
+}
+
+std::size_t WorkStealingQueue::pending_locked() const {
+    std::size_t n = 0;
+    for (const auto& d : deques_) n += d.size();
+    return n;
+}
+
+bool WorkStealingQueue::push(JobSpec job) {
+    std::unique_lock<std::mutex> lk(m_);
+    not_full_.wait(lk, [this] {
+        return stopped_ || closed_ || pending_locked() < capacity_;
+    });
+    if (stopped_ || closed_) return false;
+    std::size_t best = next_ % deques_.size();
+    for (std::size_t d = 0; d < deques_.size(); ++d) {
+        if (deques_[d].size() < deques_[best].size()) best = d;
+    }
+    ++next_;
+    deques_[best].push_back(std::move(job));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+bool WorkStealingQueue::try_push(JobSpec job) {
+    {
+        const std::lock_guard<std::mutex> lk(m_);
+        if (stopped_ || closed_ || pending_locked() >= capacity_) return false;
+        std::size_t best = next_ % deques_.size();
+        for (std::size_t d = 0; d < deques_.size(); ++d) {
+            if (deques_[d].size() < deques_[best].size()) best = d;
+        }
+        ++next_;
+        deques_[best].push_back(std::move(job));
+    }
+    not_empty_.notify_one();
+    return true;
+}
+
+std::optional<JobSpec> WorkStealingQueue::take_locked(int worker) {
+    const std::size_t w = static_cast<std::size_t>(worker) % deques_.size();
+    if (!deques_[w].empty()) {
+        JobSpec job = std::move(deques_[w].front());
+        deques_[w].pop_front();
+        return job;
+    }
+    // Steal from the back of the fullest other deque.
+    std::size_t victim = deques_.size();
+    std::size_t most = 0;
+    for (std::size_t d = 0; d < deques_.size(); ++d) {
+        if (d != w && deques_[d].size() > most) {
+            most = deques_[d].size();
+            victim = d;
+        }
+    }
+    if (victim == deques_.size()) return std::nullopt;
+    JobSpec job = std::move(deques_[victim].back());
+    deques_[victim].pop_back();
+    ++steals_;
+    return job;
+}
+
+std::optional<JobSpec> WorkStealingQueue::pop(int worker) {
+    std::unique_lock<std::mutex> lk(m_);
+    not_empty_.wait(lk, [this] {
+        return stopped_ || closed_ || pending_locked() > 0;
+    });
+    if (stopped_) return std::nullopt;
+    std::optional<JobSpec> job = take_locked(worker);
+    if (!job.has_value()) return std::nullopt; // closed and drained
+    lk.unlock();
+    not_full_.notify_one();
+    return job;
+}
+
+std::optional<JobSpec> WorkStealingQueue::try_pop(int worker) {
+    std::optional<JobSpec> job;
+    {
+        const std::lock_guard<std::mutex> lk(m_);
+        if (stopped_) return std::nullopt;
+        job = take_locked(worker);
+    }
+    if (job.has_value()) not_full_.notify_one();
+    return job;
+}
+
+void WorkStealingQueue::close() {
+    {
+        const std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+}
+
+void WorkStealingQueue::stop() {
+    {
+        const std::lock_guard<std::mutex> lk(m_);
+        stopped_ = true;
+        for (auto& d : deques_) d.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+}
+
+bool WorkStealingQueue::stopped() const {
+    const std::lock_guard<std::mutex> lk(m_);
+    return stopped_;
+}
+
+std::size_t WorkStealingQueue::pending() const {
+    const std::lock_guard<std::mutex> lk(m_);
+    return pending_locked();
+}
+
+long long WorkStealingQueue::steals() const {
+    const std::lock_guard<std::mutex> lk(m_);
+    return steals_;
+}
+
+} // namespace mfc::ensemble

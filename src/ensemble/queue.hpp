@@ -1,0 +1,77 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ensemble/job.hpp"
+
+namespace mfc::ensemble {
+
+/// Bounded multi-producer/multi-consumer job queue with per-worker deques
+/// and work stealing. Worker w pops from the front of its own deque and,
+/// when that runs dry, steals from the back of the fullest other deque —
+/// so a worker stuck behind an expensive chaos trial sheds its backlog to
+/// idle peers instead of serializing the tail of the campaign.
+///
+/// The queue is bounded: push() blocks while `capacity` jobs are pending,
+/// which is what lets a producer stream a campaign of thousands of cases
+/// without materializing them all (the engine's producer helps drain the
+/// queue instead of blocking, see Engine::run).
+///
+/// One mutex guards all deques. Jobs are whole simulations — milliseconds
+/// to seconds each — so queue transitions are ~10^6 times rarer than the
+/// work they hand out and a finer-grained (per-deque lock or lock-free
+/// Chase-Lev) design would buy nothing measurable here; the coarse lock
+/// keeps the blocking/bounded semantics and the TSan story simple.
+class WorkStealingQueue {
+public:
+    WorkStealingQueue(int workers, std::size_t capacity);
+
+    /// Enqueue onto the shortest deque (round-robin on ties). Blocks
+    /// while the queue is full; returns false — dropping the job — once
+    /// the queue has been stopped or closed.
+    bool push(JobSpec job);
+
+    /// Non-blocking push; returns false when full (the caller should then
+    /// execute a job itself) or stopped/closed.
+    bool try_push(JobSpec job);
+
+    /// Dequeue for worker `w`: own deque first, then steal. Blocks until
+    /// a job is available; returns nullopt once the queue is empty and
+    /// closed, or stopped.
+    [[nodiscard]] std::optional<JobSpec> pop(int worker);
+
+    /// Non-blocking variant of pop().
+    [[nodiscard]] std::optional<JobSpec> try_pop(int worker);
+
+    /// Producer is done: pending jobs drain, then pop() returns nullopt.
+    void close();
+
+    /// Fail-fast: discard all pending jobs and wake every waiter.
+    void stop();
+
+    [[nodiscard]] bool stopped() const;
+    [[nodiscard]] std::size_t pending() const;
+    /// Jobs taken from another worker's deque (scheduling diagnostics).
+    [[nodiscard]] long long steals() const;
+
+private:
+    [[nodiscard]] std::optional<JobSpec> take_locked(int worker);
+    [[nodiscard]] std::size_t pending_locked() const;
+
+    mutable std::mutex m_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::vector<std::deque<JobSpec>> deques_;
+    std::size_t capacity_;
+    std::size_t next_ = 0; ///< round-robin cursor for push ties
+    long long steals_ = 0;
+    bool closed_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace mfc::ensemble

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mfc::ensemble {
+
+/// Welford's online mean/variance algorithm: numerically stable
+/// single-pass moments for streaming consumers. The update order is part
+/// of the result in floating point, so the campaign engine feeds
+/// consumers in job-index order — the accumulated moments are then
+/// bitwise-identical to a serial one-job-at-a-time pass regardless of
+/// which worker finished which job first (tested against a two-pass
+/// reference in test_ensemble.cpp).
+class Welford {
+public:
+    void add(double x) {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
+
+    [[nodiscard]] long long count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+    /// Population variance M2/n (the paper-style ensemble variance; the
+    /// UQ moment fields use the same convention).
+    [[nodiscard]] double variance() const {
+        return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+    /// Unbiased sample variance M2/(n-1); zero for fewer than two samples.
+    [[nodiscard]] double sample_variance() const {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+private:
+    long long n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Element-wise Welford over fixed-length vectors: the per-cell moment
+/// accumulator behind the UQ mean/variance fields. The length is fixed by
+/// the first sample; later samples must match.
+class WelfordField {
+public:
+    void add(const std::vector<double>& sample) {
+        if (n_ == 0) {
+            mean_.assign(sample.size(), 0.0);
+            m2_.assign(sample.size(), 0.0);
+        }
+        MFC_REQUIRE(sample.size() == mean_.size(),
+                    "WelfordField: sample length changed mid-stream");
+        ++n_;
+        // Divide (not multiply-by-reciprocal): keeps each cell bitwise
+        // identical to a scalar Welford fed the same per-cell stream.
+        const double n = static_cast<double>(n_);
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+            const double delta = sample[i] - mean_[i];
+            mean_[i] += delta / n;
+            m2_[i] += delta * (sample[i] - mean_[i]);
+        }
+    }
+
+    [[nodiscard]] long long count() const { return n_; }
+    [[nodiscard]] std::size_t size() const { return mean_.size(); }
+    [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+    [[nodiscard]] std::vector<double> variance() const {
+        std::vector<double> v(m2_.size(), 0.0);
+        if (n_ > 0) {
+            for (std::size_t i = 0; i < m2_.size(); ++i) {
+                v[i] = m2_[i] / static_cast<double>(n_);
+            }
+        }
+        return v;
+    }
+
+private:
+    long long n_ = 0;
+    std::vector<double> mean_;
+    std::vector<double> m2_;
+};
+
+} // namespace mfc::ensemble

@@ -1,0 +1,83 @@
+#include "ensemble/uq.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mfc::ensemble {
+
+std::vector<UqParameter> default_uq_parameters() {
+    return {
+        {"fluid1_gamma", 4.18, 4.62},
+        {"fluid1_pi_inf", 5400.0, 6600.0},
+        {"patch2_pressure", 900.0, 1100.0},
+        {"patch2_vel_x", 0.8, 1.2},
+    };
+}
+
+std::vector<std::vector<double>>
+sample_unit_hypercube(int samples, int dims, std::uint64_t seed,
+                      bool latin_hypercube) {
+    MFC_REQUIRE(samples >= 1, "uq: need at least one sample");
+    MFC_REQUIRE(dims >= 1, "uq: need at least one dimension");
+    Rng rng(seed);
+    std::vector<std::vector<double>> points(
+        static_cast<std::size_t>(samples),
+        std::vector<double>(static_cast<std::size_t>(dims), 0.0));
+    if (!latin_hypercube) {
+        // Plain Monte-Carlo: i.i.d. uniforms, row-major draw order.
+        for (auto& row : points) {
+            for (double& x : row) x = rng.next_double();
+        }
+        return points;
+    }
+    // Latin hypercube: per dimension, a Fisher-Yates shuffle of the
+    // stratum indices followed by one jitter per sample. The draw order
+    // (all of dimension d before dimension d+1) is part of the contract —
+    // changing it would silently change every seeded campaign.
+    const double inv_n = 1.0 / static_cast<double>(samples);
+    std::vector<std::size_t> strata(static_cast<std::size_t>(samples));
+    for (int d = 0; d < dims; ++d) {
+        for (std::size_t i = 0; i < strata.size(); ++i) strata[i] = i;
+        for (std::size_t i = strata.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.bounded(static_cast<std::uint64_t>(i)));
+            std::swap(strata[i - 1], strata[j]);
+        }
+        for (std::size_t s = 0; s < strata.size(); ++s) {
+            points[s][static_cast<std::size_t>(d)] =
+                (static_cast<double>(strata[s]) + rng.next_double()) * inv_n;
+        }
+    }
+    return points;
+}
+
+std::vector<JobSpec> make_uq_jobs(const UqPlan& plan,
+                                  const std::vector<UqParameter>& params) {
+    MFC_REQUIRE(!params.empty(), "uq: no parameters to sample");
+    const CaseDict base =
+        dict_from_config(standardized_benchmark_case(plan.edge, plan.steps));
+    const auto points =
+        sample_unit_hypercube(plan.samples, static_cast<int>(params.size()),
+                              plan.seed, plan.latin_hypercube);
+    std::vector<JobSpec> jobs;
+    jobs.reserve(points.size());
+    for (std::size_t s = 0; s < points.size(); ++s) {
+        JobSpec spec;
+        spec.kind = JobKind::Uq;
+        char id[24];
+        std::snprintf(id, sizeof id, "uq-%04u",
+                      static_cast<unsigned>(s));
+        spec.id = id;
+        spec.params = base;
+        for (std::size_t d = 0; d < params.size(); ++d) {
+            const UqParameter& p = params[d];
+            spec.params[p.key] = p.lo + (p.hi - p.lo) * points[s][d];
+        }
+        jobs.push_back(std::move(spec));
+    }
+    return jobs;
+}
+
+} // namespace mfc::ensemble

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ensemble/job.hpp"
+
+namespace mfc::ensemble {
+
+/// One uncertain input: a case-dictionary key varied uniformly over
+/// [lo, hi]. Keys follow the MFC case-file naming that config_from_dict
+/// understands (e.g. "fluid1_gamma", "patch2_pressure").
+struct UqParameter {
+    std::string key;
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/// Campaign-level sampling plan for the headline UQ workload: N sampled
+/// parameter points on the standardized benchmark case, each producing a
+/// post-layer observable field whose per-cell mean/variance the engine
+/// accumulates.
+struct UqPlan {
+    int samples = 32;
+    std::uint64_t seed = 2026;
+    /// Latin-hypercube (stratified per dimension) when true; plain
+    /// Monte-Carlo otherwise. Both are deterministic for a fixed seed.
+    bool latin_hypercube = true;
+    int edge = 12;  ///< cells per dimension of the base case
+    int steps = 4;  ///< time steps (t_step_stop)
+};
+
+/// Default uncertain inputs: the EOS of the stiffened-gas water phase and
+/// the shock-patch initial condition of the standardized benchmark case
+/// (fluid1_gamma +-5%, fluid1_pi_inf +-10%, patch2_pressure +-10%,
+/// patch2_vel_x +-20%).
+[[nodiscard]] std::vector<UqParameter> default_uq_parameters();
+
+/// `samples` x `dims` matrix of points in [0, 1), deterministically
+/// derived from `seed` via SplitMix64. Latin-hypercube sampling places
+/// exactly one point in each of the `samples` equal strata per dimension
+/// (a shuffled stratum order with uniform jitter inside each stratum);
+/// Monte-Carlo draws i.i.d. uniforms.
+[[nodiscard]] std::vector<std::vector<double>>
+sample_unit_hypercube(int samples, int dims, std::uint64_t seed,
+                      bool latin_hypercube);
+
+/// Expand a plan into concrete Uq JobSpecs ("uq-0000", "uq-0001", ...)
+/// over the standardized benchmark case. Indices are left at 0; the
+/// campaign builder assigns global positions.
+[[nodiscard]] std::vector<JobSpec>
+make_uq_jobs(const UqPlan& plan, const std::vector<UqParameter>& params);
+
+} // namespace mfc::ensemble

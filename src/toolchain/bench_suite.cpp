@@ -507,28 +507,61 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
         out += ub.str();
     }
 
-    const Yaml* ref_res = find(reference, "resilience");
-    const Yaml* cand_res = find(candidate, "resilience");
-    if (ref_res == nullptr && cand_res == nullptr) return out;
-
-    TextTable table({"Resilience metric", "Reference", "Candidate"});
-    table.set_align(1, TextTable::Align::Right);
-    table.set_align(2, TextTable::Align::Right);
     const auto cell = [](const Yaml* side, const std::string& key,
                          int precision) {
         double v = 0.0;
         if (side == nullptr || !scalar_of(*side, key, v)) return std::string("n/a");
         return format_fixed(v, precision);
     };
+
+    const Yaml* ref_res = find(reference, "resilience");
+    const Yaml* cand_res = find(candidate, "resilience");
+    if (ref_res != nullptr || cand_res != nullptr) {
+        TextTable table({"Resilience metric", "Reference", "Candidate"});
+        table.set_align(1, TextTable::Align::Right);
+        table.set_align(2, TextTable::Align::Right);
+        const std::vector<std::pair<std::string, int>> metrics = {
+            {"trials", 0},           {"run_to_completion_rate", 2},
+            {"faults_injected", 0},  {"faults_detected", 0},
+            {"rollbacks", 0},        {"steps_replayed", 0},
+            {"wasted_work_pct", 1},
+        };
+        for (const auto& [key, precision] : metrics) {
+            table.add_row({key, cell(ref_res, key, precision),
+                           cell(cand_res, key, precision)});
+        }
+        out += "\n";
+        out += table.str();
+    }
+
+    // Campaign-engine counters (`mfc bench --ensemble N`): deterministic
+    // pass/fail and UQ-moment metrics. Baselines recorded before the
+    // ensemble section existed diff column-wise to "n/a"; the bitwise
+    // moment-field hashes compare as strings since any numeric rendering
+    // would hide one-ulp differences.
+    const Yaml* ref_ens = find(reference, "ensemble");
+    const Yaml* cand_ens = find(candidate, "ensemble");
+    if (ref_ens == nullptr && cand_ens == nullptr) return out;
+
+    TextTable table({"Ensemble metric", "Reference", "Candidate"});
+    table.set_align(1, TextTable::Align::Right);
+    table.set_align(2, TextTable::Align::Right);
     const std::vector<std::pair<std::string, int>> metrics = {
-        {"trials", 0},           {"run_to_completion_rate", 2},
-        {"faults_injected", 0},  {"faults_detected", 0},
-        {"rollbacks", 0},        {"steps_replayed", 0},
-        {"wasted_work_pct", 1},
+        {"jobs", 0},     {"passed", 0},      {"failed", 0},
+        {"cancelled", 0}, {"uq_samples", 0},
+        {"uq_mean", 6},  {"uq_variance", 6},
     };
     for (const auto& [key, precision] : metrics) {
-        table.add_row(
-            {key, cell(ref_res, key, precision), cell(cand_res, key, precision)});
+        table.add_row({key, cell(ref_ens, key, precision),
+                       cell(cand_ens, key, precision)});
+    }
+    const auto text_cell = [](const Yaml* side, const std::string& key) {
+        const Yaml* child = side != nullptr ? find(*side, key) : nullptr;
+        if (child == nullptr || !child->is_scalar()) return std::string("n/a");
+        return child->value().to_string();
+    };
+    for (const char* key : {"mean_field_hash", "variance_field_hash"}) {
+        table.add_row({key, text_cell(ref_ens, key), text_cell(cand_ens, key)});
     }
     out += "\n";
     out += table.str();

@@ -94,8 +94,10 @@ private:
 [[nodiscard]] TextTable bench_diff(const Yaml& reference, const Yaml& candidate);
 
 /// Full bench_diff report: the grindtime table plus, when at least one
-/// side carries a `resilience:` section, a second table comparing the
-/// chaos-campaign counters (missing side rendered as "n/a").
+/// side carries a `resilience:` or `ensemble:` section, further tables
+/// comparing the chaos-campaign and campaign-engine counters (a side or
+/// key missing — e.g. a baseline predating `mfc bench --ensemble` —
+/// renders as "n/a", never a throw).
 [[nodiscard]] std::string bench_diff_report(const Yaml& reference,
                                             const Yaml& candidate);
 

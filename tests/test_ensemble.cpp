@@ -1,0 +1,656 @@
+// src/ensemble — campaign engine, work-stealing queue, result cache,
+// streaming consumers, and the UQ sampling plan.
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/hash.hpp"
+#include "core/rng.hpp"
+#include "ensemble/cache.hpp"
+#include "ensemble/engine.hpp"
+#include "ensemble/queue.hpp"
+#include "ensemble/stats.hpp"
+#include "ensemble/uq.hpp"
+#include "exec/exec.hpp"
+#include "toolchain/bench_suite.hpp"
+#include "toolchain/case_stack.hpp"
+
+namespace fs = std::filesystem;
+using namespace mfc;
+using namespace mfc::ensemble;
+
+namespace {
+
+/// Scoped exec thread-count override restoring the previous value.
+class ThreadGuard {
+public:
+    explicit ThreadGuard(int n) : prev_(exec::num_threads()) {
+        exec::set_num_threads(n);
+    }
+    ~ThreadGuard() { exec::set_num_threads(prev_); }
+
+private:
+    int prev_;
+};
+
+std::string unique_dir(const std::string& stem) {
+    const std::string d =
+        (fs::temp_directory_path() / (stem + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(d);
+    return d;
+}
+
+/// A small valid simulation dictionary (tiny standardized case).
+CaseDict tiny_case(int steps = 2) {
+    return dict_from_config(
+        standardized_benchmark_case(/*cells_per_dim=*/8, steps));
+}
+
+JobSpec tiny_job(JobKind kind, const std::string& id) {
+    JobSpec spec;
+    spec.kind = kind;
+    spec.id = id;
+    spec.params = tiny_case();
+    return spec;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- stats
+
+TEST(EnsembleStats, WelfordMatchesTwoPassReference) {
+    Rng rng(7);
+    std::vector<double> xs(257);
+    for (double& x : xs) x = rng.uniform(-3.0, 11.0);
+
+    Welford w;
+    for (const double x : xs) w.add(x);
+
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double m2 = 0.0;
+    for (const double x : xs) m2 += (x - mean) * (x - mean);
+
+    EXPECT_EQ(w.count(), static_cast<long long>(xs.size()));
+    EXPECT_NEAR(w.mean(), mean, 1e-12);
+    EXPECT_NEAR(w.variance(), m2 / static_cast<double>(xs.size()), 1e-12);
+    EXPECT_NEAR(w.sample_variance(),
+                m2 / static_cast<double>(xs.size() - 1), 1e-12);
+}
+
+TEST(EnsembleStats, WelfordFieldMatchesPerCellScalars) {
+    Rng rng(13);
+    const std::size_t cells = 33;
+    std::vector<std::vector<double>> samples(12,
+                                             std::vector<double>(cells, 0.0));
+    for (auto& s : samples) {
+        for (double& v : s) v = rng.uniform(0.0, 5.0);
+    }
+
+    WelfordField field;
+    std::vector<Welford> per_cell(cells);
+    for (const auto& s : samples) {
+        field.add(s);
+        for (std::size_t i = 0; i < cells; ++i) per_cell[i].add(s[i]);
+    }
+
+    ASSERT_EQ(field.size(), cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+        // Same update order per cell => bitwise-equal moments.
+        EXPECT_EQ(field.mean()[i], per_cell[i].mean());
+        EXPECT_EQ(field.variance()[i], per_cell[i].variance());
+    }
+}
+
+TEST(EnsembleStats, WelfordFieldRejectsLengthChange) {
+    WelfordField field;
+    field.add({1.0, 2.0});
+    EXPECT_THROW(field.add({1.0, 2.0, 3.0}), Error);
+}
+
+// ------------------------------------------------------------- consumers
+
+TEST(EnsembleConsumers, TallyCountsAreOrderIndependent) {
+    std::vector<JobResult> results;
+    for (int i = 0; i < 40; ++i) {
+        JobResult r;
+        r.index = i;
+        r.id = "job-" + std::to_string(i);
+        r.kind = i % 2 == 0 ? JobKind::Regression : JobKind::Uq;
+        r.passed = i % 5 != 0;
+        results.push_back(r);
+    }
+
+    PassFailTally in_order(false, -1);
+    for (const JobResult& r : results) in_order.on_result(r);
+
+    Rng rng(3);
+    for (std::size_t i = results.size(); i > 1; --i) {
+        std::swap(results[i - 1], results[rng.bounded(i)]);
+    }
+    PassFailTally shuffled(false, -1);
+    for (const JobResult& r : results) shuffled.on_result(r);
+
+    EXPECT_EQ(in_order.passed(), shuffled.passed());
+    EXPECT_EQ(in_order.failed(), shuffled.failed());
+    EXPECT_EQ(in_order.passed(), 32);
+    EXPECT_EQ(in_order.failed(), 8);
+}
+
+TEST(EnsembleConsumers, TallyStopPolicies) {
+    JobResult pass;
+    pass.passed = true;
+    JobResult fail;
+    fail.passed = false;
+
+    PassFailTally fail_fast(true, -1);
+    fail_fast.on_result(pass);
+    EXPECT_FALSE(fail_fast.should_stop());
+    fail_fast.on_result(fail);
+    EXPECT_TRUE(fail_fast.should_stop());
+
+    PassFailTally budget(false, 2);
+    budget.on_result(fail);
+    budget.on_result(fail);
+    EXPECT_FALSE(budget.should_stop()); // 2 failures allowed
+    budget.on_result(fail);
+    EXPECT_TRUE(budget.should_stop());
+}
+
+TEST(EnsembleConsumers, MomentAccumulatorIgnoresFailedAndForeignJobs) {
+    MomentFieldAccumulator acc;
+    JobResult uq;
+    uq.kind = JobKind::Uq;
+    uq.passed = true;
+    uq.sample = {1.0, 2.0};
+    acc.on_result(uq);
+
+    JobResult failed = uq;
+    failed.passed = false;
+    acc.on_result(failed);
+    JobResult reg = uq;
+    reg.kind = JobKind::Regression;
+    acc.on_result(reg);
+
+    EXPECT_EQ(acc.moments().count(), 1);
+}
+
+// ----------------------------------------------------------------- queue
+
+TEST(EnsembleQueue, BoundedTryPush) {
+    WorkStealingQueue q(2, 2);
+    EXPECT_TRUE(q.try_push(tiny_job(JobKind::Uq, "a")));
+    EXPECT_TRUE(q.try_push(tiny_job(JobKind::Uq, "b")));
+    EXPECT_FALSE(q.try_push(tiny_job(JobKind::Uq, "c"))); // full
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_TRUE(q.try_pop(0).has_value());
+    EXPECT_TRUE(q.try_push(tiny_job(JobKind::Uq, "c")));
+}
+
+TEST(EnsembleQueue, StealsFromBusyWorkers) {
+    WorkStealingQueue q(2, 8);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.try_push(tiny_job(JobKind::Uq, std::to_string(i))));
+    }
+    // Push balances across both deques; draining through worker 0 alone
+    // must steal worker 1's share.
+    int drained = 0;
+    while (q.try_pop(0).has_value()) ++drained;
+    EXPECT_EQ(drained, 4);
+    EXPECT_EQ(q.steals(), 2);
+}
+
+TEST(EnsembleQueue, StopDiscardsPending) {
+    WorkStealingQueue q(2, 8);
+    ASSERT_TRUE(q.try_push(tiny_job(JobKind::Uq, "x")));
+    q.stop();
+    EXPECT_TRUE(q.stopped());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.pop(0).has_value());
+    EXPECT_FALSE(q.try_push(tiny_job(JobKind::Uq, "y")));
+}
+
+TEST(EnsembleQueue, ConcurrentExactlyOnceDelivery) {
+    const int total = 200;
+    const int workers = 4;
+    WorkStealingQueue q(workers, 8);
+
+    std::mutex m;
+    std::vector<int> seen(total, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&q, &m, &seen, w] {
+            while (auto job = q.pop(w)) {
+                const std::lock_guard<std::mutex> lk(m);
+                ++seen[static_cast<std::size_t>(job->index)];
+            }
+        });
+    }
+    for (int i = 0; i < total; ++i) {
+        JobSpec spec = tiny_job(JobKind::Uq, std::to_string(i));
+        spec.index = i;
+        ASSERT_TRUE(q.push(std::move(spec))); // blocking push: queue bounded
+    }
+    q.close();
+    for (std::thread& t : threads) t.join();
+    for (int i = 0; i < total; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1);
+}
+
+// --------------------------------------------------------------- hashing
+
+TEST(EnsembleCache, Hex64RoundTripsAwkwardPatterns) {
+    // Digit-only and exponent-looking hex strings must survive a YAML
+    // round trip — that is what the 'x' prefix is for.
+    for (const std::uint64_t v :
+         {0ull, 0x1234567890123456ull, 0x12e4567890123456ull,
+          0xffffffffffffffffull}) {
+        const std::string s = hex64(v);
+        EXPECT_EQ(s.size(), 17u);
+        EXPECT_EQ(s[0], 'x');
+        EXPECT_EQ(parse_hex64(s), v);
+    }
+    EXPECT_THROW((void)parse_hex64("1234"), Error);
+    EXPECT_THROW((void)parse_hex64("xg234567890123456"), Error);
+}
+
+TEST(EnsembleCache, JobKeyPinsRecordFormat) {
+    // The key IS fnv1a64 of a documented record; this pins the on-disk
+    // format so accidental changes invalidate loudly, not silently.
+    JobSpec spec;
+    spec.kind = JobKind::Uq;
+    spec.params = {{"a", 1}, {"b", 2.5}};
+    const std::string record = std::string("mfc-ensemble-cache-v1\n") +
+                               "kind=uq\nsimd_width=4\nthreads=2\n" +
+                               toolchain::canonical_dict(spec.params);
+    EXPECT_EQ(job_key(spec, 4, 2), fnv1a64(record));
+}
+
+TEST(EnsembleCache, JobKeyCoversHardenedFields) {
+    JobSpec spec = tiny_job(JobKind::Uq, "uq-0000");
+    const std::uint64_t base = job_key(spec, 4, 1);
+
+    // Identity: index and id are scheduling metadata, not physics.
+    JobSpec renamed = spec;
+    renamed.id = "uq-9999";
+    renamed.index = 42;
+    EXPECT_EQ(job_key(renamed, 4, 1), base);
+
+    // SIMD width and thread count are conservatively part of the key.
+    EXPECT_NE(job_key(spec, 8, 1), base);
+    EXPECT_NE(job_key(spec, 4, 2), base);
+
+    // Any case-dict change re-keys (solver/scheme/EOS/IC fields alike).
+    JobSpec tweaked = spec;
+    tweaked.params["weno_order"] = 3;
+    EXPECT_NE(job_key(tweaked, 4, 1), base);
+
+    // Kind discriminates even for identical dictionaries.
+    JobSpec chaos = spec;
+    chaos.kind = JobKind::Chaos;
+    EXPECT_NE(job_key(chaos, 4, 1), base);
+
+    // Chaos knobs are part of the chaos key.
+    JobSpec chaos2 = chaos;
+    chaos2.chaos_seed = 99;
+    EXPECT_NE(job_key(chaos2, 4, 1), job_key(chaos, 4, 1));
+
+    // Golden content re-keys a regression job when it changes.
+    const std::string dir = unique_dir("mfc_ens_golden");
+    fs::create_directories(dir);
+    const std::string golden = dir + "/golden.txt";
+    std::ofstream(golden) << "content-1\n";
+    JobSpec reg = spec;
+    reg.kind = JobKind::Regression;
+    reg.golden_path = golden;
+    const std::uint64_t key1 = job_key(reg, 4, 1);
+    std::ofstream(golden) << "content-2\n";
+    EXPECT_NE(job_key(reg, 4, 1), key1);
+    fs::remove_all(dir);
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(EnsembleCache, StoreAndLookupRoundTripsBitExactly) {
+    const std::string dir = unique_dir("mfc_ens_cache");
+    ResultCache cache(dir);
+    JobSpec spec = tiny_job(JobKind::Uq, "uq-0001");
+    spec.index = 5;
+
+    JobResult r;
+    r.index = 5;
+    r.id = spec.id;
+    r.kind = JobKind::Uq;
+    r.passed = true;
+    r.state_hash = 0x123456789abcdef0ull;
+    r.detail = "two\nlines";
+    r.sample = {1.0 / 3.0, -0.0, 6000.000000000001};
+
+    const std::uint64_t key = job_key(spec);
+    cache.store(spec, r, key);
+    EXPECT_EQ(cache.stores(), 1);
+
+    const auto hit = cache.lookup(spec, key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->from_cache);
+    EXPECT_TRUE(hit->passed);
+    EXPECT_EQ(hit->state_hash, r.state_hash);
+    ASSERT_EQ(hit->sample.size(), r.sample.size());
+    for (std::size_t i = 0; i < r.sample.size(); ++i) {
+        // Bitwise: hex-bit-pattern encoding, not decimal round-trip.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(hit->sample[i]),
+                  std::bit_cast<std::uint64_t>(r.sample[i]));
+    }
+    fs::remove_all(dir);
+}
+
+TEST(EnsembleCache, CorruptedOrMismatchedEntriesAreMisses) {
+    const std::string dir = unique_dir("mfc_ens_corrupt");
+    ResultCache cache(dir);
+    JobSpec spec = tiny_job(JobKind::Uq, "uq-0002");
+    JobResult r;
+    r.passed = true;
+    r.kind = JobKind::Uq;
+    const std::uint64_t key = job_key(spec);
+    cache.store(spec, r, key);
+
+    // Truncate the entry: lookup must degrade to a miss, not throw.
+    {
+        std::ofstream out(dir + "/" + hex64(key) + ".yml");
+        out << "key: garbage\n";
+    }
+    EXPECT_FALSE(cache.lookup(spec, key).has_value());
+
+    // A different kind under the same key is a miss, not a wrong hit.
+    cache.store(spec, r, key);
+    JobSpec other = spec;
+    other.kind = JobKind::Chaos;
+    EXPECT_FALSE(cache.lookup(other, key).has_value());
+
+    // Bench jobs never cache.
+    JobSpec bench;
+    bench.kind = JobKind::Bench;
+    bench.bench_case = "igr_jacobi";
+    JobResult br;
+    br.kind = JobKind::Bench;
+    cache.store(bench, br, 7);
+    EXPECT_FALSE(cache.lookup(bench, 7).has_value());
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------------- uq
+
+TEST(EnsembleUq, LatinHypercubeStratifiesEveryDimension) {
+    const int n = 16;
+    const auto pts = sample_unit_hypercube(n, 3, 11, true);
+    ASSERT_EQ(pts.size(), static_cast<std::size_t>(n));
+    for (int d = 0; d < 3; ++d) {
+        std::vector<int> strata(n, 0);
+        for (const auto& p : pts) {
+            ASSERT_GE(p[static_cast<std::size_t>(d)], 0.0);
+            ASSERT_LT(p[static_cast<std::size_t>(d)], 1.0);
+            ++strata[static_cast<std::size_t>(
+                p[static_cast<std::size_t>(d)] * n)];
+        }
+        for (int s = 0; s < n; ++s) EXPECT_EQ(strata[static_cast<std::size_t>(s)], 1);
+    }
+    // Deterministic for a fixed seed, different for another.
+    EXPECT_EQ(sample_unit_hypercube(n, 3, 11, true), pts);
+    EXPECT_NE(sample_unit_hypercube(n, 3, 12, true), pts);
+}
+
+TEST(EnsembleUq, JobsPerturbTheRequestedParameters) {
+    UqPlan plan;
+    plan.samples = 4;
+    plan.edge = 8;
+    plan.steps = 2;
+    const auto params = default_uq_parameters();
+    const auto jobs = make_uq_jobs(plan, params);
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].id, "uq-0000");
+    EXPECT_EQ(jobs[3].id, "uq-0003");
+    for (const JobSpec& j : jobs) {
+        EXPECT_EQ(j.kind, JobKind::Uq);
+        for (const UqParameter& p : params) {
+            const double v = j.params.at(p.key).as_double();
+            EXPECT_GE(v, p.lo);
+            EXPECT_LT(v, p.hi);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+namespace {
+
+/// Consumer asserting strictly index-ordered delivery.
+class OrderProbe : public Consumer {
+public:
+    void on_result(const JobResult& r) override {
+        EXPECT_EQ(r.index, next_);
+        ++next_;
+    }
+    [[nodiscard]] long long delivered() const { return next_; }
+
+private:
+    long long next_ = 0;
+};
+
+std::vector<JobSpec> mixed_campaign(int uq_samples) {
+    UqPlan plan;
+    plan.samples = uq_samples;
+    plan.edge = 8;
+    plan.steps = 2;
+    std::vector<JobSpec> jobs =
+        make_uq_jobs(plan, default_uq_parameters());
+    JobSpec reg = tiny_job(JobKind::Regression, "reg-00000000");
+    jobs.insert(jobs.begin(), std::move(reg));
+    return jobs;
+}
+
+} // namespace
+
+TEST(EnsembleEngine, ReportIsByteIdenticalAcrossWorkerCounts) {
+    const std::vector<JobSpec> jobs = mixed_campaign(6);
+    std::string dumps[2];
+    const int counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        const ThreadGuard guard(counts[i]);
+        Engine engine(EngineOptions{});
+        OrderProbe probe;
+        RunningStats stats;
+        MomentFieldAccumulator moments;
+        CampaignYamlWriter writer;
+        engine.add_consumer(&probe);
+        engine.add_consumer(&stats);
+        engine.add_consumer(&moments);
+        engine.add_consumer(&writer);
+        Yaml report;
+        const CampaignSummary s = engine.run(jobs, report);
+        EXPECT_TRUE(s.ok());
+        EXPECT_EQ(s.delivered, static_cast<long long>(jobs.size()));
+        EXPECT_EQ(probe.delivered(), s.delivered);
+        dumps[i] = report.dump();
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(EnsembleEngine, MomentsMatchSerialReferenceBitwise) {
+    const std::vector<JobSpec> jobs = mixed_campaign(5);
+
+    // Serial reference: one job at a time, in index order, on one thread.
+    WelfordField reference;
+    {
+        const ThreadGuard guard(1);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            JobSpec spec = jobs[i];
+            spec.index = static_cast<long long>(i);
+            const JobResult r = execute_job(spec);
+            ASSERT_TRUE(r.passed) << r.detail;
+            if (r.kind == JobKind::Uq) reference.add(r.sample);
+        }
+    }
+
+    const ThreadGuard guard(4);
+    Engine engine(EngineOptions{});
+    MomentFieldAccumulator moments;
+    engine.add_consumer(&moments);
+    Yaml report;
+    const CampaignSummary s = engine.run(jobs, report);
+    EXPECT_TRUE(s.ok());
+
+    ASSERT_EQ(moments.moments().count(), reference.count());
+    ASSERT_EQ(moments.moments().size(), reference.size());
+    EXPECT_EQ(MomentFieldAccumulator::field_hash(moments.moments().mean()),
+              MomentFieldAccumulator::field_hash(reference.mean()));
+    EXPECT_EQ(MomentFieldAccumulator::field_hash(moments.moments().variance()),
+              MomentFieldAccumulator::field_hash(reference.variance()));
+}
+
+TEST(EnsembleEngine, CacheServesSecondRun) {
+    const std::string dir = unique_dir("mfc_ens_engine_cache");
+    const std::vector<JobSpec> jobs = mixed_campaign(4);
+    EngineOptions opts;
+    opts.cache_dir = dir;
+
+    std::string dumps[2];
+    CampaignSummary runs[2];
+    for (int i = 0; i < 2; ++i) {
+        Engine engine(opts);
+        Yaml report;
+        runs[i] = engine.run(jobs, report);
+        dumps[i] = report.dump();
+        EXPECT_TRUE(runs[i].ok());
+    }
+    EXPECT_EQ(runs[0].cached, 0);
+    EXPECT_EQ(runs[1].cached, static_cast<long long>(jobs.size()));
+    EXPECT_EQ(runs[1].executed, 0);
+    // cache_hits in the summary is the only differing report field.
+    const std::string cold = "cache_hits: 0";
+    const std::string warm = "cache_hits: " + std::to_string(jobs.size());
+    const std::size_t at = dumps[0].find(cold);
+    ASSERT_NE(at, std::string::npos);
+    ASSERT_NE(dumps[1].find(warm), std::string::npos);
+    std::string normalized = dumps[1];
+    normalized.replace(normalized.find(warm), warm.size(), cold);
+    EXPECT_EQ(dumps[0], normalized);
+    fs::remove_all(dir);
+}
+
+TEST(EnsembleEngine, FailFastCutoffIsDeterministic) {
+    std::vector<JobSpec> jobs = mixed_campaign(8);
+    // Poison job index 3 (an unknown parameter rejects in
+    // config_from_dict; execute_job converts the throw into a failure).
+    jobs[3].params["no_such_parameter"] = 1;
+
+    std::string dumps[2];
+    const int counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        const ThreadGuard guard(counts[i]);
+        EngineOptions opts;
+        opts.fail_fast = true;
+        Engine engine(opts);
+        Yaml report;
+        const CampaignSummary s = engine.run(jobs, report);
+        EXPECT_FALSE(s.ok());
+        EXPECT_EQ(s.delivered, 4); // jobs 0..3, frozen at the failure
+        EXPECT_EQ(s.failed, 1);
+        EXPECT_EQ(s.cancelled, static_cast<long long>(jobs.size()) - 4);
+        dumps[i] = report.dump();
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(EnsembleEngine, MaxFailuresBudget) {
+    std::vector<JobSpec> jobs = mixed_campaign(8);
+    jobs[2].params["no_such_parameter"] = 1;
+    jobs[4].params["no_such_parameter"] = 1;
+    jobs[6].params["no_such_parameter"] = 1;
+
+    EngineOptions opts;
+    opts.max_failures = 2;
+    Engine engine(opts);
+    Yaml report;
+    const CampaignSummary s = engine.run(jobs, report);
+    EXPECT_EQ(s.failed, 3);    // third failure trips the budget
+    EXPECT_EQ(s.delivered, 7); // frozen right after job 6
+    EXPECT_EQ(s.cancelled, static_cast<long long>(jobs.size()) - 7);
+}
+
+// Satellite: worker-pool reuse under nesting. Campaign workers dispatch
+// from inside exec::parallel_for; the simulations' own parallel_for calls
+// must degrade to inline-serial (never deadlock, never oversubscribe) and
+// still produce thread-count-independent physics.
+TEST(EnsembleEngine, NestedParallelForDegradesInline) {
+    const std::vector<JobSpec> jobs = mixed_campaign(3);
+
+    std::uint64_t hashes[2] = {0, 0};
+    const int counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        const ThreadGuard guard(counts[i]);
+        Engine engine(EngineOptions{});
+        CampaignYamlWriter writer;
+        engine.add_consumer(&writer);
+        Yaml report;
+        const CampaignSummary s = engine.run(jobs, report);
+        EXPECT_TRUE(s.ok());
+        EXPECT_FALSE(exec::in_parallel());
+        hashes[i] = fnv1a64(report.dump());
+    }
+    // Same state hashes inside => the nested (inline) and outer-parallel
+    // executions computed identical physics.
+    EXPECT_EQ(hashes[0], hashes[1]);
+
+    // And the pool still works normally afterwards.
+    std::atomic<long long> sum{0};
+    exec::parallel_for("post_campaign_check", 0, 100,
+                       [&](long long lo, long long hi) {
+                           long long local = 0;
+                           for (long long r = lo; r < hi; ++r) local += r;
+                           sum += local;
+                       });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+// ------------------------------------------------------ bench_diff rider
+
+TEST(EnsembleBenchDiff, OldBaselinesDegradeToNa) {
+    Yaml candidate;
+    candidate["cases"]["5eq_weno5_hllc"]["grindtime_ns"].set(Value(10.0));
+    Yaml& e = candidate["ensemble"];
+    e["jobs"].set(Value(4));
+    e["passed"].set(Value(4));
+    e["failed"].set(Value(0));
+    e["cancelled"].set(Value(0));
+    e["uq_samples"].set(Value(4));
+    e["uq_mean"].set(Value(1.5));
+    e["uq_variance"].set(Value(0.25));
+    e["mean_field_hash"].set(Value(hex64(0x1234ull)));
+    e["variance_field_hash"].set(Value(hex64(0x5678ull)));
+
+    Yaml reference; // predates the ensemble section entirely
+    reference["cases"]["5eq_weno5_hllc"]["grindtime_ns"].set(Value(12.0));
+
+    const std::string report =
+        toolchain::bench_diff_report(reference, candidate);
+    EXPECT_NE(report.find("Ensemble metric"), std::string::npos);
+    EXPECT_NE(report.find("n/a"), std::string::npos);
+    EXPECT_NE(report.find("mean_field_hash"), std::string::npos);
+
+    // Neither side carrying the section: no ensemble table, no throw.
+    const std::string none =
+        toolchain::bench_diff_report(reference, reference);
+    EXPECT_EQ(none.find("Ensemble metric"), std::string::npos);
+}

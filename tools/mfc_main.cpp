@@ -9,6 +9,7 @@
 //            [-o <UUID>]... [--golden-dir <dir>] [--max <n>]
 //   mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]
 //   mfc bench_diff <ref.yml> <new.yml>
+//   mfc ensemble [--regression N] [--bench-reps N] [--chaos N] [--uq N]
 //   mfc run <case-file> [--out <golden.txt>]
 //   mfc profile <case-file> | --standard <edge> [-n <ranks>] [--trace <f>]
 //   mfc batch --scheduler <slurm|pbs|lsf|flux|interactive> [options]
@@ -22,10 +23,15 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "comm/cart.hpp"
 #include "core/error.hpp"
 #include "core/strings.hpp"
 #include "core/table.hpp"
+#include "ensemble/cache.hpp"
+#include "ensemble/engine.hpp"
+#include "ensemble/uq.hpp"
 #include "exec/exec.hpp"
 #include "perf/scaling.hpp"
 #include "perf/ubench.hpp"
@@ -177,7 +183,10 @@ int cmd_bench(const Args& args) {
                     "                              cases:, the rest land in\n"
                     "                              thread_sweep:\n"
                     "          [--chaos <trials>]  add a resilience: section\n"
-                    "                              from a chaos campaign\n");
+                    "                              from a chaos campaign\n"
+                    "          [--ensemble <n>]    add an ensemble: section\n"
+                    "                              from a deterministic n-job\n"
+                    "                              UQ campaign\n");
         return 0;
     }
     const Toolchain tc;
@@ -197,7 +206,42 @@ int cmd_bench(const Args& args) {
                              " -n " + std::to_string(ranks);
     if (args.has("threads"))
         invocation += " --threads " + args.get("threads");
-    const Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
+    Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
+    if (args.has("ensemble")) {
+        // Deterministic campaign counters (all reproducible for the fixed
+        // seed), so scheduling or UQ regressions show up in bench_diff
+        // like any other metric.
+        const int samples =
+            static_cast<int>(parse_int(args.get("ensemble", "8")));
+        ensemble::UqPlan plan;
+        plan.samples = samples;
+        plan.seed = 1;
+        plan.edge = 10;
+        plan.steps = 3;
+        const std::vector<ensemble::JobSpec> jobs =
+            ensemble::make_uq_jobs(plan, ensemble::default_uq_parameters());
+        ensemble::Engine engine(ensemble::EngineOptions{});
+        ensemble::RunningStats stats;
+        ensemble::MomentFieldAccumulator moments;
+        engine.add_consumer(&stats);
+        engine.add_consumer(&moments);
+        Yaml scratch;
+        const ensemble::CampaignSummary s = engine.run(jobs, scratch);
+        Yaml& e = out["ensemble"];
+        e["jobs"].set(Value(s.total));
+        e["passed"].set(Value(s.passed));
+        e["failed"].set(Value(s.failed));
+        e["cancelled"].set(Value(s.cancelled));
+        e["uq_samples"].set(Value(stats.welford().count()));
+        e["uq_mean"].set(Value(stats.welford().mean()));
+        e["uq_variance"].set(Value(stats.welford().variance()));
+        e["mean_field_hash"].set(
+            Value(ensemble::hex64(ensemble::MomentFieldAccumulator::field_hash(
+                moments.moments().mean()))));
+        e["variance_field_hash"].set(
+            Value(ensemble::hex64(ensemble::MomentFieldAccumulator::field_hash(
+                moments.moments().variance()))));
+    }
     if (args.has("o")) {
         out.save(args.get("o"));
         std::printf("wrote %s\n", args.get("o").c_str());
@@ -597,6 +641,174 @@ int cmd_chaos(const Args& args) {
     return report.all_clear() ? 0 : 1;
 }
 
+int cmd_ensemble(const Args& args) {
+    if (args.has("help")) {
+        std::printf(
+            "mfc ensemble [options]\n\n"
+            "Campaign engine: serve a heterogeneous batch of simulations —\n"
+            "regression cases, benchmark repetitions, chaos trials, and\n"
+            "UQ samples — from one process through a work-stealing job\n"
+            "queue layered on the exec worker pool (docs/ensemble.md).\n"
+            "Reports are byte-identical for a fixed seed at any worker\n"
+            "count; cached results are reused across runs.\n\n"
+            "  --regression <n>    regression-suite cases (default 64)\n"
+            "  --bench-reps <n>    repetitions of each of the 5 benchmark\n"
+            "                      cases (default 2)\n"
+            "  --chaos <n>         fault-injection trials (default 8)\n"
+            "  --uq <n>            UQ samples of the standardized case\n"
+            "                      (default 32)\n"
+            "  --seed <n>          UQ sampler seed (default 2026)\n"
+            "  --mc                Monte-Carlo sampling instead of Latin\n"
+            "                      hypercube\n"
+            "  --edge <n>          UQ base-case cells/dim (default 12)\n"
+            "  --steps <n>         UQ time steps (default 4)\n"
+            "  --mem <gb>          benchmark sizing per case (default 0.0002)\n"
+            "  --threads <n>       exec worker threads (default 1; also\n"
+            "                      MFC_NUM_THREADS) — one campaign worker\n"
+            "                      per thread\n"
+            "  --workers <n>       override the campaign worker count\n"
+            "  --queue <n>         pending-job bound (default 32)\n"
+            "  --cache-dir <dir>   result cache directory (default: no cache)\n"
+            "  --fail-fast         stop at the first failure\n"
+            "  --max-failures <n>  stop after more than n failures\n"
+            "  --golden-dir <dir>  regression golden root (default goldens;\n"
+            "                      cases without a golden pass on completion)\n"
+            "  --dir <path>        chaos checkpoint scratch (default: temp)\n"
+            "  --timing            add a non-deterministic timing: section\n"
+            "  -o <report.yml>     write the campaign report\n\n"
+            "Exit status 0 iff every job passed and none were cancelled.\n");
+        return 0;
+    }
+    if (args.has("threads")) {
+        exec::set_num_threads(static_cast<int>(parse_int(args.get("threads"))));
+    }
+
+    const int n_regression =
+        static_cast<int>(parse_int(args.get("regression", "64")));
+    const int bench_reps =
+        static_cast<int>(parse_int(args.get("bench-reps", "2")));
+    const int n_chaos = static_cast<int>(parse_int(args.get("chaos", "8")));
+    const int n_uq = static_cast<int>(parse_int(args.get("uq", "32")));
+
+    std::vector<ensemble::JobSpec> jobs;
+    int reg_added = 0;
+    if (n_regression > 0) {
+        const Toolchain tc;
+        const TestSuite suite = tc.test_suite(args.get("golden-dir", "goldens"));
+        const std::size_t n = std::min(static_cast<std::size_t>(n_regression),
+                                       suite.cases().size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const TestCaseDef& c = suite.cases()[i];
+            ensemble::JobSpec spec;
+            spec.kind = ensemble::JobKind::Regression;
+            spec.id = "reg-" + c.uuid;
+            spec.params = c.params;
+            const std::string golden = suite.golden_path(c.uuid);
+            if (std::filesystem::exists(golden)) spec.golden_path = golden;
+            jobs.push_back(std::move(spec));
+            ++reg_added;
+        }
+    }
+    const double mem = parse_double(args.get("mem", "0.0002"));
+    for (int rep = 1; rep <= bench_reps; ++rep) {
+        for (const std::string& name : BenchSuite::case_names()) {
+            ensemble::JobSpec spec;
+            spec.kind = ensemble::JobKind::Bench;
+            spec.id = "bench-" + name + "-" + std::to_string(rep);
+            spec.bench_case = name;
+            spec.bench_mem_gb = mem;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    if (n_chaos > 0) {
+        const CaseDict chaos_base = dict_from_config(
+            standardized_benchmark_case(/*cells_per_dim=*/10, /*t_step_stop=*/6));
+        const std::string scratch = args.get(
+            "dir", std::filesystem::temp_directory_path().string());
+        for (int t = 0; t < n_chaos; ++t) {
+            ensemble::JobSpec spec;
+            spec.kind = ensemble::JobKind::Chaos;
+            spec.id = "chaos-" + std::to_string(t);
+            spec.params = chaos_base;
+            spec.chaos_seed = static_cast<std::uint64_t>(t + 1);
+            spec.chaos_ranks = 2;
+            spec.scratch_dir = scratch;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    if (n_uq > 0) {
+        ensemble::UqPlan plan;
+        plan.samples = n_uq;
+        plan.seed = static_cast<std::uint64_t>(parse_int(args.get("seed", "2026")));
+        plan.latin_hypercube = !args.has("mc");
+        plan.edge = static_cast<int>(parse_int(args.get("edge", "12")));
+        plan.steps = static_cast<int>(parse_int(args.get("steps", "4")));
+        for (ensemble::JobSpec& spec :
+             ensemble::make_uq_jobs(plan, ensemble::default_uq_parameters())) {
+            jobs.push_back(std::move(spec));
+        }
+    }
+
+    ensemble::EngineOptions eopts;
+    eopts.workers = static_cast<int>(parse_int(args.get("workers", "0")));
+    eopts.queue_capacity =
+        static_cast<std::size_t>(parse_int(args.get("queue", "32")));
+    eopts.cache_dir = args.get("cache-dir", "");
+    eopts.fail_fast = args.has("fail-fast");
+    eopts.max_failures =
+        static_cast<int>(parse_int(args.get("max-failures", "-1")));
+    eopts.timing = args.has("timing");
+
+    ensemble::Engine engine(eopts);
+    ensemble::CampaignYamlWriter writer;
+    ensemble::RunningStats stats;
+    ensemble::MomentFieldAccumulator moments;
+    engine.add_consumer(&writer);
+    engine.add_consumer(&stats);
+    engine.add_consumer(&moments);
+
+    std::printf("ensemble campaign: %zu jobs (%d regression, %d bench, "
+                "%d chaos, %d uq)\n\n",
+                jobs.size(), reg_added,
+                bench_reps * static_cast<int>(BenchSuite::case_names().size()),
+                n_chaos, n_uq);
+
+    Yaml report;
+    const ensemble::CampaignSummary s = engine.run(jobs, report);
+
+    if (report.contains("kinds")) {
+        TextTable t({"Kind", "Passed", "Total"});
+        t.set_align(1, TextTable::Align::Right);
+        t.set_align(2, TextTable::Align::Right);
+        const Yaml& kinds = report.at("kinds");
+        for (const std::string& kind : kinds.keys()) {
+            t.add_row({kind,
+                       kinds.at(kind).at("passed").value().to_string(),
+                       kinds.at(kind).at("total").value().to_string()});
+        }
+        std::fputs(t.str().c_str(), stdout);
+    }
+    if (report.contains("failures")) {
+        std::printf("\nfailures:\n");
+        for (const Yaml& f : report.at("failures").items()) {
+            std::printf("  %s\n", f.value().to_string().c_str());
+        }
+    }
+    std::printf("\n%lld/%lld passed, %lld failed, %lld cancelled   "
+                "cache hits %lld   steals %lld\n",
+                s.passed, s.delivered, s.failed, s.cancelled, s.cached,
+                s.steals);
+    std::printf("%d worker%s, %.2f s wall (%.1f jobs/s)\n", s.workers,
+                s.workers == 1 ? "" : "s", s.wall_s,
+                s.wall_s > 0.0 ? static_cast<double>(s.delivered) / s.wall_s
+                               : 0.0);
+    if (args.has("o")) {
+        report.save(args.get("o"));
+        std::printf("wrote %s\n", args.get("o").c_str());
+    }
+    return s.ok() ? 0 : 1;
+}
+
 int cmd_pre_process(const Args& args) {
     if (args.has("help") || args.positional().empty()) {
         std::printf("mfc pre_process <case-file> --out <snapshot.bin>\n");
@@ -721,6 +933,8 @@ int usage() {
                 "Microbenchmark the hot pencil kernels standalone");
     std::printf("%-12s %s\n", "chaos",
                 "Fault-injection campaign with checkpoint recovery");
+    std::printf("%-12s %s\n", "ensemble",
+                "Serve a mixed simulation campaign from one process");
     std::printf("%-12s %s\n", "batch", "Render a scheduler batch script");
     std::printf("%-12s %s\n", "devices", "Table 3 hardware catalog");
     std::printf("%-12s %s\n", "scale", "Model weak/strong scaling on a system");
@@ -744,6 +958,11 @@ int main(int argc, char** argv) {
         bool_flags.push_back("standard");
         bool_flags.push_back("no-reference");
     }
+    if (tool == "ensemble") {
+        bool_flags.push_back("mc");
+        bool_flags.push_back("fail-fast");
+        bool_flags.push_back("timing");
+    }
     const Args args(argc - 2, argv + 2, bool_flags);
     try {
         if (tool == "tools") return cmd_tools();
@@ -756,6 +975,7 @@ int main(int argc, char** argv) {
         if (tool == "run") return cmd_run(args);
         if (tool == "profile") return cmd_profile(args);
         if (tool == "chaos") return cmd_chaos(args);
+        if (tool == "ensemble") return cmd_ensemble(args);
         if (tool == "batch") return cmd_batch(args);
         if (tool == "devices") return cmd_devices(args);
         if (tool == "scale") return cmd_scale(args);

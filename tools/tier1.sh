@@ -32,6 +32,26 @@ MFC="$BUILD_DIR/tools/mfc"
     --steps 6 --interval 3 --seed 7 --dir "$BUILD_DIR" \
     -o "$BUILD_DIR/tier1_chaos.yml"
 
+# Ensemble smoke: a small mixed campaign (regression + bench + chaos +
+# UQ) served from one process. Three runs pin the engine's determinism
+# contract: run A and run B share a cache directory, so B must be served
+# from cache (summary differs only in cache_hits); run C uses a fresh
+# cache and different thread count, and its report must be byte-identical
+# to A's.
+ENS_ARGS="--regression 4 --bench-reps 1 --chaos 1 --uq 4 --edge 10 --steps 2"
+rm -rf "$BUILD_DIR/tier1_ens_cache_a" "$BUILD_DIR/tier1_ens_cache_c"
+"$MFC" ensemble $ENS_ARGS --threads 2 --dir "$BUILD_DIR" \
+    --cache-dir "$BUILD_DIR/tier1_ens_cache_a" -o "$BUILD_DIR/tier1_ens_a.yml"
+"$MFC" ensemble $ENS_ARGS --threads 2 --dir "$BUILD_DIR" \
+    --cache-dir "$BUILD_DIR/tier1_ens_cache_a" -o "$BUILD_DIR/tier1_ens_b.yml" \
+    | grep -q "cache hits 9" || {
+        echo "tier1: ensemble warm re-run did not hit the cache" >&2; exit 1; }
+"$MFC" ensemble $ENS_ARGS --threads 1 --dir "$BUILD_DIR" \
+    --cache-dir "$BUILD_DIR/tier1_ens_cache_c" -o "$BUILD_DIR/tier1_ens_c.yml"
+cmp "$BUILD_DIR/tier1_ens_a.yml" "$BUILD_DIR/tier1_ens_c.yml" || {
+    echo "tier1: ensemble report not reproducible across thread counts" >&2
+    exit 1; }
+
 # Profiler overhead budget (<2% with zones enabled), when the bench
 # binary was built.
 if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
@@ -39,8 +59,11 @@ if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
 fi
 
 # Thread-sanitizer smoke: rebuild with MFCPP_SANITIZE=thread and run the
-# "thread"-labeled tests (exec layer + a short threaded simulation) so
-# data races in the pencil kernels fail tier-1, not production runs.
+# "thread"-labeled tests (exec layer, a short threaded simulation, and
+# the ensemble campaign engine — test_ensemble carries both the
+# "ensemble" and "thread" labels, so its work-stealing queue and
+# consumer handoff run under TSan here) so data races in the pencil
+# kernels or the campaign scheduler fail tier-1, not production runs.
 # MFCPP_SANITIZE=off skips (e.g. toolchains without TSan runtimes).
 if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     TSAN_DIR="$BUILD_DIR-tsan"
