@@ -95,23 +95,7 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
     const std::uint64_t hb_at_entry =
         rc.armed ? world_->heartbeat_of(source) : 0;
     for (;;) {
-        const auto it = std::find_if(
-            box.queue.begin(), box.queue.end(), [&](const World::Message& m) {
-                return m.source == source && m.tag == tag;
-            });
-        if (it != box.queue.end()) {
-            MFC_REQUIRE(it->payload.size() == bytes,
-                        "recv: message size mismatch");
-            if (it->checked && payload_hash(it->payload) != it->checksum) {
-                box.queue.erase(it);
-                world_->note_dead(source, RankFailure::Cause::Corruption);
-                throw RankFailure(source, RankFailure::Cause::Corruption,
-                                  "recv: payload checksum mismatch from rank " +
-                                      std::to_string(source));
-            }
-            if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
-            box.queue.erase(it);
-            world_->tick_heartbeat(rank_);
+        if (world_->try_match_locked(box, rank_, source, tag, data, bytes)) {
             return;
         }
         if (world_->failed_.load()) world_->throw_peer_failure("recv");
@@ -156,8 +140,40 @@ Communicator::Request::~Request() {
 
 void Communicator::Request::wait() {
     if (!pending_) return;
-    comm_->recv(source_, tag_, data_, bytes_);
+    try {
+        comm_->recv(source_, tag_, data_, bytes_);
+    } catch (...) {
+        // The message was consumed (corruption) or the job is failed;
+        // there is nothing left to wait for, so unwinding through the
+        // destructor must not trip the unwaited-receive assert.
+        pending_ = false;
+        throw;
+    }
     pending_ = false;
+}
+
+bool Communicator::Request::test() {
+    if (!pending_) return true;
+    bool matched;
+    try {
+        matched = comm_->try_recv(source_, tag_, data_, bytes_);
+    } catch (...) {
+        pending_ = false;
+        throw;
+    }
+    if (matched) pending_ = false;
+    return matched;
+}
+
+bool Communicator::try_recv(int source, int tag, void* data, std::size_t bytes) {
+    MFC_REQUIRE(source >= 0 && source < world_->size(), "test: bad source rank");
+    World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    if (world_->try_match_locked(box, rank_, source, tag, data, bytes)) {
+        return true;
+    }
+    if (world_->failed_.load()) world_->throw_peer_failure("test");
+    return false;
 }
 
 Communicator::Request Communicator::isend(int dest, int tag, const void* data,
@@ -174,6 +190,87 @@ Communicator::Request Communicator::irecv(int source, int tag, void* data,
 
 void Communicator::wait_all(std::vector<Request>& requests) {
     for (Request& r : requests) r.wait();
+}
+
+std::size_t Communicator::wait_any(std::vector<Request>& requests) {
+    Communicator* comm = nullptr;
+    for (const Request& r : requests) {
+        if (r.pending_) {
+            comm = r.comm_;
+            break;
+        }
+    }
+    if (comm == nullptr) return kUndefined;
+    World& world = *comm->world_;
+    // Blocking exposure accounted like recv: the zone spans the wait, and
+    // the completed request's bytes are credited on the way out.
+    prof::Zone zone("comm_recv");
+    World::Mailbox& box =
+        *world.mailboxes_[static_cast<std::size_t>(comm->rank_)];
+    const ResilienceConfig& rc = world.resilience_;
+    std::unique_lock<std::mutex> lock(box.mutex);
+    std::chrono::milliseconds timeout = rc.op_timeout;
+    int attempts = 0;
+    std::vector<std::uint64_t> hb_at_entry;
+    if (rc.armed) {
+        hb_at_entry.assign(requests.size(), 0);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            if (requests[i].pending_) {
+                hb_at_entry[i] = world.heartbeat_of(requests[i].source_);
+            }
+        }
+    }
+    for (;;) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            Request& r = requests[i];
+            if (!r.pending_) continue;
+            MFC_REQUIRE(r.comm_->world_ == &world && r.comm_->rank_ == comm->rank_,
+                        "wait_any: requests span communicators");
+            bool matched;
+            try {
+                matched = world.try_match_locked(box, comm->rank_, r.source_,
+                                                 r.tag_, r.data_, r.bytes_);
+            } catch (...) {
+                r.pending_ = false;
+                throw;
+            }
+            if (matched) {
+                r.pending_ = false;
+                zone.add_bytes(static_cast<std::int64_t>(r.bytes_));
+                return i;
+            }
+        }
+        if (world.failed_.load()) world.throw_peer_failure("wait_any");
+        if (!rc.armed) {
+            box.cv.wait(lock);
+            continue;
+        }
+        if (attempts > rc.max_retries) {
+            // Same diagnosis as recv, attributed to the first source still
+            // owing us a message: a silent heartbeat means a stalled (or
+            // dead) rank, a moving one means its message was lost.
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                if (!requests[i].pending_) continue;
+                const int source = requests[i].source_;
+                const bool stalled =
+                    world.heartbeat_of(source) == hb_at_entry[i];
+                const RankFailure::Cause cause =
+                    stalled ? RankFailure::Cause::Stall
+                            : RankFailure::Cause::MessageLoss;
+                world.note_dead(source, cause);
+                throw RankFailure(
+                    source, cause,
+                    "wait_any: no message from rank " + std::to_string(source) +
+                        " after " + std::to_string(rc.max_retries + 1) +
+                        " timed waits (" + to_string(cause) + ")");
+            }
+            MFC_ASSERT(false); // a pending request found comm above
+        }
+        if (box.cv.wait_for(lock, timeout) == std::cv_status::timeout) {
+            ++attempts;
+            timeout *= 2;
+        }
+    }
 }
 
 void Communicator::barrier() {
@@ -347,6 +444,27 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     // A rank may have been unwound by a peer's failure without recording
     // its own error (all errors identical); failed_ stays set so reuse of
     // this World is rejected by the next blocking call.
+}
+
+bool World::try_match_locked(Mailbox& box, int receiver, int source, int tag,
+                             void* data, std::size_t bytes) {
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(), [&](const Message& m) {
+            return m.source == source && m.tag == tag;
+        });
+    if (it == box.queue.end()) return false;
+    MFC_REQUIRE(it->payload.size() == bytes, "recv: message size mismatch");
+    if (it->checked && payload_hash(it->payload) != it->checksum) {
+        box.queue.erase(it);
+        note_dead(source, RankFailure::Cause::Corruption);
+        throw RankFailure(source, RankFailure::Cause::Corruption,
+                          "recv: payload checksum mismatch from rank " +
+                              std::to_string(source));
+    }
+    if (bytes > 0) std::memcpy(data, it->payload.data(), bytes);
+    box.queue.erase(it);
+    tick_heartbeat(receiver);
+    return true;
 }
 
 void World::abort_all() {

@@ -126,6 +126,16 @@ public:
         ~Request();
 
         void wait();
+        /// Nonblocking completion probe (MPI_Test analog): one matching
+        /// attempt against the mailbox, never blocks. Returns true when
+        /// the request is (or already was) complete; throws like wait()
+        /// when the job has failed or the payload is corrupt.
+        [[nodiscard]] bool test();
+        /// Abandon a pending receive without completing it. For
+        /// error-path unwinding only (a diagnosed peer failure already
+        /// tore down the exchange); calling it on a healthy path drops a
+        /// message on the floor.
+        void cancel() { pending_ = false; }
         [[nodiscard]] bool done() const { return !pending_; }
 
     private:
@@ -160,6 +170,13 @@ public:
                                 std::size_t bytes);
     /// Complete every request, in any order (MPI_Waitall).
     static void wait_all(std::vector<Request>& requests);
+    /// Returned by wait_any when no request in the vector is pending.
+    static constexpr std::size_t kUndefined = static_cast<std::size_t>(-1);
+    /// Block until one pending request completes and return its index
+    /// (MPI_Waitany analog). Every pending request must be a receive on
+    /// the same rank's mailbox. Failure semantics match recv(): armed
+    /// runs diagnose silence past the patience window.
+    static std::size_t wait_any(std::vector<Request>& requests);
 
     /// Typed convenience wrappers for contiguous double payloads.
     void send_doubles(int dest, int tag, const double* data, std::size_t count) {
@@ -188,6 +205,10 @@ public:
     [[nodiscard]] std::vector<double> gather(double value, int root);
 
 private:
+    /// One locked matching attempt for a pending receive (Request::test).
+    [[nodiscard]] bool try_recv(int source, int tag, void* data,
+                                std::size_t bytes);
+
     World* world_;
     int rank_;
 };
@@ -257,6 +278,14 @@ private:
     /// unwind instead of hanging (peers see an Error from their blocking
     /// call).
     void abort_all();
+
+    /// One matching attempt against `box` (whose mutex the caller holds):
+    /// find the first queued (source, tag) message, verify its envelope
+    /// checksum, copy it out, and erase it. Returns false when nothing
+    /// matches; throws RankFailure on corruption. Shared by recv, test,
+    /// and wait_any so all three have identical matching semantics.
+    bool try_match_locked(Mailbox& box, int receiver, int source, int tag,
+                          void* data, std::size_t bytes);
 
     /// Record the first diagnosed culprit (later diagnoses are dropped so
     /// every rank reports the same failure).

@@ -134,4 +134,93 @@ void exchange_halos(comm::CartComm& cart, StateArray& state) {
     for (int dim = 0; dim < 3; ++dim) exchange_halos_dim(cart, state, dim);
 }
 
+void HaloChannel::post(comm::CartComm& cart, StateArray& state, int dim) {
+    MFC_ASSERT(!lo_pending_ && !hi_pending_);
+    dim_ = dim;
+    bytes_posted_ = 0;
+    if (state.num_eqns() == 0) return;
+    if (ghosts_along(state.eq(0), dim) == 0) return; // inactive dimension
+
+    const std::size_t count = halo_slab_doubles(state, dim);
+    const std::size_t per_eq =
+        count / static_cast<std::size_t>(state.num_eqns());
+    count_ = count;
+    send_lo_.resize(count);
+    send_hi_.resize(count);
+    recv_lo_.resize(count);
+    recv_hi_.resize(count);
+
+    {
+        // Both slabs are packed unconditionally, like the synchronous
+        // exchange (a physical face's slab is simply never sent).
+        PROF_ZONE("halo_pack");
+        for (int q = 0; q < state.num_eqns(); ++q) {
+            pack_face(state.eq(q), dim, -1, true,
+                      send_lo_.data() + per_eq * static_cast<std::size_t>(q));
+            pack_face(state.eq(q), dim, +1, true,
+                      send_hi_.data() + per_eq * static_cast<std::size_t>(q));
+        }
+    }
+
+    const int lo_nbr = cart.neighbor(dim, -1);
+    const int hi_nbr = cart.neighbor(dim, +1);
+    const int tag_up = 2 * dim;       // data moving toward +dim
+    const int tag_down = 2 * dim + 1; // data moving toward -dim
+    const std::size_t bytes = count * sizeof(double);
+
+    comm::Communicator& comm = cart.comm();
+    // Same send order as the synchronous path: FIFO matching then makes
+    // tag reuse across Runge-Kutta stages unambiguous.
+    if (hi_nbr != comm::kProcNull) {
+        (void)comm.isend(hi_nbr, tag_up, send_hi_.data(), bytes);
+        bytes_posted_ += bytes;
+    }
+    if (lo_nbr != comm::kProcNull) {
+        (void)comm.isend(lo_nbr, tag_down, send_lo_.data(), bytes);
+        bytes_posted_ += bytes;
+    }
+    if (lo_nbr != comm::kProcNull) {
+        lo_req_ = comm.irecv(lo_nbr, tag_up, recv_lo_.data(), bytes);
+        lo_pending_ = true;
+        bytes_posted_ += bytes;
+    }
+    if (hi_nbr != comm::kProcNull) {
+        hi_req_ = comm.irecv(hi_nbr, tag_down, recv_hi_.data(), bytes);
+        hi_pending_ = true;
+        bytes_posted_ += bytes;
+    }
+}
+
+bool HaloChannel::ready(StateArray& state, bool block) {
+    const std::size_t per_eq =
+        state.num_eqns() > 0
+            ? count_ / static_cast<std::size_t>(state.num_eqns())
+            : 0;
+    const auto unpack = [&](const std::vector<double>& buf, int side) {
+        PROF_ZONE("halo_unpack");
+        for (int q = 0; q < state.num_eqns(); ++q) {
+            unpack_face(state.eq(q), dim_, side, false,
+                        buf.data() + per_eq * static_cast<std::size_t>(q));
+        }
+    };
+    if (lo_pending_ && (block || lo_req_.test())) {
+        if (block) lo_req_.wait();
+        unpack(recv_lo_, -1);
+        lo_pending_ = false;
+    }
+    if (hi_pending_ && (block || hi_req_.test())) {
+        if (block) hi_req_.wait();
+        unpack(recv_hi_, +1);
+        hi_pending_ = false;
+    }
+    return !lo_pending_ && !hi_pending_;
+}
+
+void HaloChannel::cancel() {
+    lo_req_.cancel();
+    hi_req_.cancel();
+    lo_pending_ = false;
+    hi_pending_ = false;
+}
+
 } // namespace mfc

@@ -35,4 +35,42 @@ void exchange_halos(comm::CartComm& cart, StateArray& state);
 void pack_face(const Field& f, int dim, int side, bool interior, double* buf);
 void unpack_face(Field& f, int dim, int side, bool interior, const double* buf);
 
+/// One dimension's halo exchange split into a nonblocking post and a
+/// poll/wait completion, so ghost-independent compute can run while the
+/// messages are in flight (the task-graph RHS of src/sched; the
+/// synchronous exchange_halos_dim above stays the reference path). The
+/// packed slabs and exchanged values are identical to the synchronous
+/// exchange — only the blocking structure differs.
+class HaloChannel {
+public:
+    /// Pack both interior face slabs and post isend/irecv toward each
+    /// non-null neighbor. Along an inactive dimension (no ghost layers)
+    /// the channel is immediately ready. A channel may be re-posted once
+    /// the previous exchange completed.
+    void post(comm::CartComm& cart, StateArray& state, int dim);
+
+    /// Progress the exchange: any receive that has completed is unpacked
+    /// into the ghost slab. With `block` true, completes every
+    /// outstanding receive (low face first, like the synchronous path).
+    /// Returns true once both ghost slabs are filled (a physical face
+    /// counts as filled).
+    bool ready(StateArray& state, bool block);
+
+    /// Drop outstanding receives without completing them. Error-path
+    /// unwinding only (a diagnosed peer failure is propagating).
+    void cancel();
+
+    /// Bytes posted by the last post() (sends plus receives).
+    [[nodiscard]] std::size_t bytes_posted() const { return bytes_posted_; }
+
+private:
+    std::vector<double> send_lo_, send_hi_, recv_lo_, recv_hi_;
+    comm::Communicator::Request lo_req_, hi_req_;
+    bool lo_pending_ = false;
+    bool hi_pending_ = false;
+    int dim_ = -1;
+    std::size_t count_ = 0; ///< doubles per slab (all equations)
+    std::size_t bytes_posted_ = 0;
+};
+
 } // namespace mfc

@@ -64,6 +64,15 @@ struct KernelCost {
     }
 };
 
+/// Roofline entries for the halo pack/unpack kernels (src/grid/halo.cpp):
+/// gathering a ghost slab into a contiguous message buffer (or scattering
+/// it back) reads and writes each packed cell once — 16 effective bytes
+/// per cell, no arithmetic. These feed both `mfc ubench` and the
+/// non-overlappable residue of ScalingSimulator's overlap model (packing
+/// cannot hide under compute: it produces the bytes the network sends).
+inline constexpr KernelCost kHaloPackCost{16.0, 0.0};
+inline constexpr KernelCost kHaloUnpackCost{16.0, 0.0};
+
 /// The single-core device the ubench model normalizes against: one
 /// generic server-class x86 core at baseline codegen (the build the
 /// microbenchmarks actually run under — no -march=native, no FMA

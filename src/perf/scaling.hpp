@@ -69,6 +69,17 @@ public:
     [[nodiscard]] double step_seconds(const Extents& global, int ranks,
                                       double* comm_fraction = nullptr) const;
 
+    /// Switch the communication model to the task-graph overlap schedule
+    /// (src/sched): per RHS evaluation the step pays
+    ///     max(compute, overlappable comm) + residue
+    /// instead of compute + exposed comm. The residue is the part of the
+    /// exchange that cannot hide under compute — pack/unpack DRAM traffic
+    /// (kHaloPackCost/kHaloUnpackCost) plus per-message latency — capped
+    /// by the exchange itself. Off by default (the synchronous schedule
+    /// with the interconnect's flat exposure heuristic).
+    void set_overlap(bool enabled) { overlap_ = enabled; }
+    [[nodiscard]] bool overlap() const { return overlap_; }
+
     [[nodiscard]] const SystemSpec& system() const { return system_; }
     [[nodiscard]] const NumericsModel& numerics() const { return numerics_; }
 
@@ -76,6 +87,7 @@ private:
     SystemSpec system_;
     NumericsModel numerics_;
     bool gpu_aware_;
+    bool overlap_ = false;
 };
 
 /// Table 4 helper: the Frontier weak-scaling decomposition rows

@@ -1,5 +1,6 @@
 #include "perf/ubench.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -316,6 +317,48 @@ UbenchResult bench_igr_jacobi(const UbenchOptions& o) {
     return make_result("igr_jacobi", o, cost, min_ns, digest(out));
 }
 
+UbenchResult bench_halo(const std::string& name, bool unpack,
+                        const UbenchOptions& o) {
+    // Mirrors HaloChannel's pack/unpack (src/grid/halo.cpp): ghost-deep
+    // runs of contiguous doubles gathered from field rows into a
+    // contiguous message buffer (pack) or scattered back (unpack). The
+    // ghost runs are short (3 doubles for WENO5) and strided a full row
+    // apart, so the kernel measures strided-small-run copy bandwidth,
+    // not memcpy.
+    const int ng = 3;
+    const int stride = 64; // field row length (cells + ghosts)
+    const int cells = o.cells;
+    const int rows = (cells + ng - 1) / ng;
+    std::vector<double> field(static_cast<std::size_t>(rows) * stride + ng);
+    std::vector<double> buf(static_cast<std::size_t>(cells));
+    for (std::size_t i = 0; i < field.size(); ++i) {
+        field[i] = 1.0 + 0.25 * std::sin(0.04 * static_cast<double>(i));
+    }
+    for (int i = 0; i < cells; ++i) {
+        buf[static_cast<std::size_t>(i)] = 0.5 + 0.1 * std::cos(0.03 * i);
+    }
+    const double min_ns = time_min_ns(o.reps, [&] {
+        double* f = field.data();
+        double* b = buf.data();
+        int i = 0;
+        int r = 0;
+        while (i < cells) {
+            const int run = std::min(ng, cells - i);
+            double* slab = f + static_cast<std::size_t>(r) * stride;
+            if (unpack) {
+                for (int g = 0; g < run; ++g) slab[g] = b[i + g];
+            } else {
+                for (int g = 0; g < run; ++g) b[i + g] = slab[g];
+            }
+            i += run;
+            ++r;
+        }
+    });
+    const KernelCost cost = unpack ? kHaloUnpackCost : kHaloPackCost;
+    return make_result(name, o, cost, min_ns,
+                       unpack ? digest(field) : digest(buf));
+}
+
 UbenchResult bench_rk_axpy(const UbenchOptions& o) {
     const int cells = o.cells;
     std::vector<double> va(static_cast<std::size_t>(cells));
@@ -341,8 +384,9 @@ UbenchResult bench_rk_axpy(const UbenchOptions& o) {
 
 const std::vector<std::string>& ubench_kernels() {
     static const std::vector<std::string> names = {
-        "prim_convert", "weno5_js", "weno5_m",    "weno5_z", "weno3_js",
+        "prim_convert", "weno5_js", "weno5_m",    "weno5_z",    "weno3_js",
         "riemann_hllc", "riemann_hll", "igr_flux", "igr_jacobi", "rk_axpy",
+        "halo_pack",    "halo_unpack",
     };
     return names;
 }
@@ -364,6 +408,8 @@ UbenchResult run_ubench(const std::string& name, const UbenchOptions& o) {
     if (name == "igr_flux") return bench_igr_flux(o);
     if (name == "igr_jacobi") return bench_igr_jacobi(o);
     if (name == "rk_axpy") return bench_rk_axpy(o);
+    if (name == "halo_pack") return bench_halo(name, /*unpack=*/false, o);
+    if (name == "halo_unpack") return bench_halo(name, /*unpack=*/true, o);
     fail("ubench: unknown kernel '" + name + "'");
 }
 

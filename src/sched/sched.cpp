@@ -1,0 +1,143 @@
+#include "sched/sched.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "prof/prof.hpp"
+
+namespace mfc::sched {
+
+TaskGraph::NodeId TaskGraph::add(const char* name, std::function<void()> fn) {
+    MFC_ASSERT(!ran_);
+    Node node;
+    node.name = name;
+    node.fn = std::move(fn);
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+TaskGraph::NodeId TaskGraph::add_pollable(const char* name,
+                                          std::function<bool(bool)> poll) {
+    MFC_ASSERT(!ran_);
+    Node node;
+    node.name = name;
+    node.poll = std::move(poll);
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void TaskGraph::edge(NodeId before, NodeId after) {
+    MFC_ASSERT(!ran_);
+    MFC_ASSERT(before >= 0 && before < static_cast<NodeId>(nodes_.size()));
+    MFC_ASSERT(after >= 0 && after < static_cast<NodeId>(nodes_.size()));
+    MFC_ASSERT(before != after);
+    nodes_[static_cast<std::size_t>(before)].successors.push_back(after);
+    ++nodes_[static_cast<std::size_t>(after)].unmet;
+}
+
+void TaskGraph::complete(NodeId id, std::int64_t now_ns) {
+    stats_[static_cast<std::size_t>(id)].done_ns = now_ns;
+    trace_.push_back(id);
+    for (const NodeId succ : nodes_[static_cast<std::size_t>(id)].successors) {
+        Node& s = nodes_[static_cast<std::size_t>(succ)];
+        MFC_ASSERT(s.unmet > 0);
+        if (--s.unmet == 0) {
+            stats_[static_cast<std::size_t>(succ)].ready_ns = now_ns;
+        }
+    }
+}
+
+void TaskGraph::run() {
+    MFC_REQUIRE(!ran_, "TaskGraph: graphs are single-use");
+    ran_ = true;
+    const std::size_t n = nodes_.size();
+    stats_.assign(n, NodeStats{});
+    trace_.clear();
+    trace_.reserve(n);
+    const std::int64_t t0 = prof::clock_ns();
+    for (std::size_t i = 0; i < n; ++i) {
+        stats_[i].name = nodes_[i].name;
+        if (nodes_[i].unmet == 0) stats_[i].ready_ns = 0;
+    }
+
+    std::size_t done = 0;
+    while (done < n) {
+        // Test-poll every ready communication node first: completed
+        // messages unlock their successors before the next compute node
+        // is chosen, which is the whole overlap mechanism.
+        bool progressed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            Node& node = nodes_[i];
+            NodeStats& st = stats_[i];
+            if (!node.poll || st.ready_ns < 0 || st.done_ns >= 0) continue;
+            const std::int64_t begin = prof::clock_ns();
+            bool finished;
+            {
+                prof::Zone zone(node.name);
+                finished = node.poll(false);
+            }
+            const std::int64_t end = prof::clock_ns();
+            st.exec_ns += end - begin;
+            ++st.polls;
+            if (finished) {
+                complete(static_cast<NodeId>(i), end - t0);
+                ++done;
+                progressed = true;
+            }
+        }
+        if (progressed) continue;
+
+        // Lowest-id runnable compute node next (deterministic replay).
+        NodeId pick = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!nodes_[i].fn) continue;
+            if (stats_[i].ready_ns >= 0 && stats_[i].done_ns < 0) {
+                pick = static_cast<NodeId>(i);
+                break;
+            }
+        }
+        if (pick >= 0) {
+            Node& node = nodes_[static_cast<std::size_t>(pick)];
+            NodeStats& st = stats_[static_cast<std::size_t>(pick)];
+            const std::int64_t begin = prof::clock_ns();
+            {
+                prof::Zone zone(node.name);
+                node.fn();
+            }
+            const std::int64_t end = prof::clock_ns();
+            st.exec_ns += end - begin;
+            complete(pick, end - t0);
+            ++done;
+            continue;
+        }
+
+        // No compute work left to hide behind: hard-block on the first
+        // ready communication node.
+        NodeId comm = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!nodes_[i].poll) continue;
+            if (stats_[i].ready_ns >= 0 && stats_[i].done_ns < 0) {
+                comm = static_cast<NodeId>(i);
+                break;
+            }
+        }
+        MFC_REQUIRE(comm >= 0,
+                    "TaskGraph: no runnable node — dependency cycle");
+        Node& node = nodes_[static_cast<std::size_t>(comm)];
+        NodeStats& st = stats_[static_cast<std::size_t>(comm)];
+        const std::int64_t begin = prof::clock_ns();
+        bool finished;
+        {
+            prof::Zone zone(node.name);
+            finished = node.poll(true);
+        }
+        const std::int64_t end = prof::clock_ns();
+        st.exec_ns += end - begin;
+        ++st.polls;
+        MFC_REQUIRE(finished, "TaskGraph: blocking poll did not complete");
+        complete(comm, end - t0);
+        ++done;
+    }
+}
+
+} // namespace mfc::sched

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "grid/halo.hpp"
+#include "sched/sched.hpp"
+#include "solver/boundary.hpp"
+#include "solver/rhs.hpp"
+
+namespace mfc {
+
+/// One ghost fill plus RHS evaluation expressed as a dependency-ordered
+/// task graph (src/sched) instead of the barrier sequence of
+/// Simulation::fill_ghosts + RhsEvaluator::evaluate. Per dimension the
+/// halo exchange is split into a nonblocking post and a pollable wait;
+/// each sweep is split into a ghost-independent core (the cells whose
+/// stencils stay inside the interior, runnable while messages are in
+/// flight) and a halo-gated shell. Every kernel is the synchronous
+/// code restricted to a sub-span, the core/shell write sets are disjoint,
+/// and per-cell accumulation order (x, y, z) is preserved by edges — so
+/// results are bitwise-identical to the synchronous path at any rank or
+/// thread count, independent of message arrival order.
+class OverlapRhs {
+public:
+    /// Accumulated overlap accounting across graph runs. "In flight" is
+    /// the window from a halo post's completion to its wait's completion;
+    /// "exposed" is the time actually spent inside the wait node (polls
+    /// plus the final blocking wait). Their difference is communication
+    /// hidden under compute.
+    struct Stats {
+        std::int64_t comm_in_flight_ns = 0;
+        std::int64_t comm_exposed_ns = 0;
+        std::int64_t bytes = 0;
+        long long graph_runs = 0;
+        [[nodiscard]] std::int64_t hidden_ns() const {
+            return std::max<std::int64_t>(0,
+                                          comm_in_flight_ns - comm_exposed_ns);
+        }
+        /// Fraction of in-flight communication time hidden under compute
+        /// (the overlap ratio reported by bench and EXPERIMENTS.md).
+        [[nodiscard]] double overlap_ratio() const {
+            return comm_in_flight_ns > 0
+                       ? static_cast<double>(hidden_ns()) /
+                             static_cast<double>(comm_in_flight_ns)
+                       : 0.0;
+        }
+    };
+
+    /// `cart` may be null (serial block: the graph degenerates to the
+    /// BC chain plus the core/shell sweeps — no communication nodes).
+    /// `rhs` must outlive this object and is shared with the synchronous
+    /// path.
+    OverlapRhs(const CaseConfig& config, const LocalBlock& block,
+               comm::CartComm* cart, const PhysicalFaces& faces,
+               RhsEvaluator& rhs);
+
+    /// Fill ghosts of `q` and evaluate d(cons)/dt into `dq`.
+    /// Configurations the graph does not cover (characteristic-wise
+    /// WENO, degenerate grids) take the synchronous reference path.
+    void evaluate(StateArray& q, StateArray& dq);
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    void reset_stats() { stats_ = Stats{}; }
+
+    /// True when evaluate() runs the task graph for this configuration.
+    [[nodiscard]] bool graph_active() const { return graph_active_; }
+
+    /// Node records and completion order of the most recent graph run
+    /// (empty before the first run or on the fallback path). For
+    /// ordering tests: no shell sweep may precede the halo wait of its
+    /// dimension in the trace.
+    [[nodiscard]] const std::vector<sched::TaskGraph::NodeStats>&
+    last_nodes() const {
+        return last_nodes_;
+    }
+    [[nodiscard]] const std::vector<sched::TaskGraph::NodeId>&
+    last_trace() const {
+        return last_trace_;
+    }
+
+private:
+    void sync_fill_ghosts(StateArray& q);
+    void convert_ghost_slabs(const StateArray& q, int dim);
+    [[nodiscard]] int extent(int dim) const;
+
+    EquationLayout lay_;
+    std::array<std::array<BcType, 2>, 3> bc_;
+    comm::CartComm* cart_ = nullptr;
+    PhysicalFaces faces_;
+    RhsEvaluator* rhs_ = nullptr;
+    Extents local_;
+    int ghosts_[3] = {0, 0, 0}; ///< ghost layers per dimension
+    bool graph_active_ = false;
+    HaloChannel channels_[3];
+    Stats stats_;
+    std::vector<sched::TaskGraph::NodeStats> last_nodes_;
+    std::vector<sched::TaskGraph::NodeId> last_trace_;
+};
+
+} // namespace mfc

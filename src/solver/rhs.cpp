@@ -204,38 +204,49 @@ RhsEvaluator::RhsEvaluator(const CaseConfig& config, const LocalBlock& block)
 }
 
 void RhsEvaluator::compute_primitives(const StateArray& cons) {
-    PROF_ZONE("prim_convert");
-    const int neq = lay_.num_eqns();
-
     // The full extended box: the dimension-interleaved ghost fill leaves
     // every ghost (face, edge, and corner) valid, so primitives are
     // converted everywhere the sweeps and viscous cross-derivatives may
-    // read. Rows along x parallelize over the extended (j, k) plane;
-    // within a row the conversion runs W cells per step (scalar tail at
-    // W = 1, same kernel template — bitwise identical at any width).
+    // read.
     const Field& ref = prim_.eq(0);
-    const int gx = ref.gx(), gy = ref.gy(), gz = ref.gz();
-    const int len_x = local_.nx + 2 * gx;
-    const int rows_y = local_.ny + 2 * gy;
-    const long long rows = static_cast<long long>(rows_y) *
-                           (local_.nz + 2 * gz);
+    const int lo[3] = {-ref.gx(), -ref.gy(), -ref.gz()};
+    const int hi[3] = {local_.nx + ref.gx(), local_.ny + ref.gy(),
+                       local_.nz + ref.gz()};
+    convert_primitives(cons, lo, hi);
+}
+
+void RhsEvaluator::convert_primitives(const StateArray& cons, const int lo[3],
+                                      const int hi[3]) {
+    PROF_ZONE("prim_convert");
+    const int neq = lay_.num_eqns();
+
+    // Rows along x parallelize over the box's (j, k) plane; within a row
+    // the conversion runs W cells per step (scalar tail at W = 1, same
+    // kernel template — bitwise identical at any width, and the per-cell
+    // conversion is position-independent, so any box partition of the
+    // extended domain produces the same values).
+    const int x0 = lo[0], y0 = lo[1], z0 = lo[2];
+    const int len_x = hi[0] - lo[0];
+    const int rows_y = hi[1] - lo[1];
+    const long long rows = static_cast<long long>(rows_y) * (hi[2] - lo[2]);
+    if (len_x <= 0 || rows <= 0) return;
 
     simd::dispatch([&](auto wc) {
         constexpr int W = wc();
         exec::parallel_for("prim_convert", 0, rows,
-                           [&](long long lo, long long hi) {
+                           [&](long long row_lo, long long row_hi) {
             simd::vd<W> cv[kMaxEqns];
             simd::vd<W> pv[kMaxEqns];
             simd::vd<1> c1[kMaxEqns];
             simd::vd<1> p1[kMaxEqns];
             const double* src[kMaxEqns];
             double* dst[kMaxEqns];
-            for (long long t = lo; t < hi; ++t) {
-                const int j = static_cast<int>(t % rows_y) - gy;
-                const int k = static_cast<int>(t / rows_y) - gz;
+            for (long long t = row_lo; t < row_hi; ++t) {
+                const int j = y0 + static_cast<int>(t % rows_y);
+                const int k = z0 + static_cast<int>(t / rows_y);
                 for (int q = 0; q < neq; ++q) {
-                    src[q] = cons.eq(q).ptr(-gx, j, k);
-                    dst[q] = prim_.eq(q).ptr(-gx, j, k);
+                    src[q] = cons.eq(q).ptr(x0, j, k);
+                    dst[q] = prim_.eq(q).ptr(x0, j, k);
                 }
                 int i = 0;
                 for (; i + W <= len_x; i += W) {
@@ -269,32 +280,46 @@ void RhsEvaluator::evaluate(const StateArray& cons, StateArray& dq) {
     // ghost it produces is overwritten by fill_ghosts before any stencil
     // consumes it, so no stale value can reach the interior state.
     bool accumulate = false;
-    if (igr_.enabled) {
-        compute_igr_sigma();
-        for (int d = 0; d < 3; ++d) {
-            if (!active(local_, d)) continue;
-            prof::Zone zone(kIgrZone[d]);
-            simd::dispatch([&](auto wc) { sweep_igr_w<wc()>(d, dq, accumulate); });
-            accumulate = true;
-        }
-    } else {
-        for (int d = 0; d < 3; ++d) {
-            if (!active(local_, d)) continue;
-            prof::Zone zone(kWenoZone[d]);
-            if (char_decomp_) {
-                sweep_weno_char(d, dq, accumulate);
-            } else {
-                simd::dispatch(
-                    [&](auto wc) { sweep_weno_w<wc()>(d, dq, accumulate); });
-            }
-            accumulate = true;
-        }
+    if (igr_.enabled) compute_igr_sigma();
+    for (int d = 0; d < 3; ++d) {
+        if (!active(local_, d)) continue;
+        prof::Zone zone(igr_.enabled ? kIgrZone[d] : kWenoZone[d]);
+        sweep_span(d, full_span(d), dq, accumulate);
+        accumulate = true;
     }
     if (!accumulate) {
         // Degenerate single-cell grid: no sweep ran, so the sources below
         // still need a zeroed dq.
         for (int q = 0; q < dq.num_eqns(); ++q) dq.eq(q).fill(0.0);
     }
+    apply_sources(dq);
+}
+
+void RhsEvaluator::sweep_span(int dim, const SweepSpan& span, StateArray& dq,
+                              bool accumulate) {
+    if (span.empty()) return;
+    if (igr_.enabled) {
+        simd::dispatch(
+            [&](auto wc) { sweep_igr_w<wc()>(dim, span, dq, accumulate); });
+    } else if (char_decomp_) {
+        sweep_weno_char(dim, span, dq, accumulate);
+    } else {
+        simd::dispatch(
+            [&](auto wc) { sweep_weno_w<wc()>(dim, span, dq, accumulate); });
+    }
+}
+
+SweepSpan RhsEvaluator::full_span(int dim) const {
+    SweepSpan s;
+    s.c_hi = extent_along(local_, dim);
+    s.t1_hi = dim == 0 ? local_.ny : local_.nx;
+    s.t2_hi = dim == 2 ? local_.ny : local_.nz;
+    return s;
+}
+
+bool RhsEvaluator::dim_active(int dim) const { return active(local_, dim); }
+
+void RhsEvaluator::apply_sources(StateArray& dq) {
     if (viscous_) {
         for (int d = 0; d < 3; ++d) {
             if (!active(local_, d)) continue;
@@ -491,27 +516,31 @@ void RhsEvaluator::add_body_forces(StateArray& dq) {
 }
 
 template <int W>
-void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
+void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
+                                bool accumulate) {
     using V = simd::vd<W>;
-    const int n = extent_along(local_, dim);
+    const int n = span.c_hi - span.c_lo;
     const int neq = lay_.num_eqns();
     const int r = (weno_order_ - 1) / 2;
     const double inv_dx = 1.0 / dx(dim);
 
-    const int lim_t1 = dim == 0 ? local_.ny : local_.nx; // fast transverse
-    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+    const int span1 = span.t1_hi - span.t1_lo; // fast transverse
+    const int span2 = span.t2_hi - span.t2_lo;
 
-    // Pencil geometry: edge reconstruction covers cells [-1, n], so the
-    // gathered row spans cells [-1-r, n+r] — exactly the ghost depth the
-    // hyperbolic stencil requested. row_at(c) indexes a row-local cell.
+    // Pencil geometry: edge reconstruction covers cells
+    // [c_lo - 1, c_hi], so the gathered row spans cells
+    // [c_lo - 1 - r, c_hi + r] — exactly the ghost depth the hyperbolic
+    // stencil requested when the span touches the block face. row_at(c)
+    // indexes a row-local cell by its *global* (block-local) coordinate.
     const int row_len = n + 2 * r + 2;
-    const int row0 = -1 - r;
+    const int row0 = span.c_lo - 1 - r;
     const auto row_at = [row0](int c) { return c - row0; };
     // Edge values live in SoA rows over the cell slots [0, n+2) (slot
-    // c + 1 holds cell c) and fluxes in SoA rows over the faces [0, n],
-    // so reconstruction, the Riemann solve, and the divergence all stream
-    // W contiguous slots per step. Scalar tails reuse the same templates
-    // at W = 1 — bitwise identical at any width.
+    // s holds cell c_lo + s - 1) and fluxes in SoA rows over the faces
+    // [c_lo, c_hi] (slot f holds face c_lo + f), so reconstruction, the
+    // Riemann solve, and the divergence all stream W contiguous slots per
+    // step. Scalar tails reuse the same templates at W = 1 — bitwise
+    // identical at any width.
     const int ncells = n + 2;
     const int nfaces = n + 1;
 
@@ -526,14 +555,14 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
     // is itself measurable against the <2% budget.
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
-    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
                                                           long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
         // Gathered SoA pencil: rows[q * row_len + row_at(c)].
         double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
-        // Edge values at cells [-1, n] and fluxes/velocities at faces
-        // [0, n]; face f separates cells f-1 and f.
+        // Edge values at cells [c_lo - 1, c_hi] and fluxes/velocities at
+        // the faces [c_lo, c_hi]; face f separates cells f-1 and f.
         double* edge_left =
             frame.doubles(static_cast<std::size_t>(ncells) * neq);
         double* edge_right =
@@ -549,8 +578,8 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
         if (timed) chunk_t0 = prof::clock_ns();
 
         for (long long t = lo; t < hi; ++t) {
-            const int t1 = static_cast<int>(t % lim_t1);
-            const int t2 = static_cast<int>(t / lim_t1);
+            const int t1 = span.t1_lo + static_cast<int>(t % span1);
+            const int t2 = span.t2_lo + static_cast<int>(t / span1);
             const bool sample = timed && t % kSampleStride == 0;
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
@@ -561,10 +590,10 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
                            rows + static_cast<std::size_t>(q) * row_len);
             }
 
-            // Edge reconstruction for cells [-1, n] (slots [0, ncells)),
-            // W cells per step straight off the contiguous pencil: slot
-            // s is cell s - 1, whose stencil center sits at row index
-            // s + r.
+            // Edge reconstruction for cells [c_lo - 1, c_hi] (slots
+            // [0, ncells)), W cells per step straight off the contiguous
+            // pencil: slot s is cell c_lo + s - 1, whose stencil center
+            // sits at row index s + r.
             for (int q = 0; q < neq; ++q) {
                 const double* rq = rows + static_cast<std::size_t>(q) * row_len;
                 double* el = edge_left + static_cast<std::size_t>(q) * ncells;
@@ -648,10 +677,10 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
                 recon_ns += t_recon - t_start;
             }
 
-            // Riemann fluxes at faces [0, n], W faces per step. Face f
-            // separates cells f-1 and f: its left state is the right edge
-            // of cell f-1 (slot f) and its right state the left edge of
-            // cell f (slot f+1).
+            // Riemann fluxes at faces [c_lo, c_hi], W faces per step.
+            // Face slot f is face c_lo + f, separating cell slots f and
+            // f + 1: its left state is the right edge at slot f and its
+            // right state the left edge at slot f + 1.
             {
                 V pl[kMaxEqns], pr[kMaxEqns], fx[kMaxEqns];
                 simd::vd<1> pl1[kMaxEqns], pr1[kMaxEqns], fx1[kMaxEqns];
@@ -694,12 +723,12 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
             // through per-equation row pointers.
             {
                 int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
                 const std::ptrdiff_t sd = dq.eq(0).stride(dim);
                 double* dqp[kMaxEqns];
                 for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
                 divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(0), row_len, flux_row,
+                                    rows + row_at(span.c_lo), row_len, flux_row,
                                     nfaces, uface_row, dqp, sd);
             }
             if (sample) div_ns += prof::clock_ns() - t_mid;
@@ -714,23 +743,24 @@ void RhsEvaluator::sweep_weno_w(int dim, StateArray& dq, bool accumulate) {
     });
 }
 
-void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
-    const int n = extent_along(local_, dim);
+void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
+                                   StateArray& dq, bool accumulate) {
+    const int n = span.c_hi - span.c_lo;
     const int neq = lay_.num_eqns();
     const int r = (weno_order_ - 1) / 2;
     const double inv_dx = 1.0 / dx(dim);
 
-    const int lim_t1 = dim == 0 ? local_.ny : local_.nx; // fast transverse
-    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+    const int span1 = span.t1_hi - span.t1_lo; // fast transverse
+    const int span2 = span.t2_hi - span.t2_lo;
 
     const int row_len = n + 2 * r + 2;
-    const int row0 = -1 - r;
+    const int row0 = span.c_lo - 1 - r;
     const auto row_at = [row0](int c) { return c - row0; };
     const int nfaces = n + 1;
 
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
-    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
                                                           long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
@@ -747,8 +777,8 @@ void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
         if (timed) chunk_t0 = prof::clock_ns();
 
         for (long long t = lo; t < hi; ++t) {
-            const int t1 = static_cast<int>(t % lim_t1);
-            const int t2 = static_cast<int>(t / lim_t1);
+            const int t1 = span.t1_lo + static_cast<int>(t % span1);
+            const int t2 = span.t2_lo + static_cast<int>(t / span1);
             const bool sample = timed && t % kSampleStride == 0;
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
@@ -775,7 +805,8 @@ void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
             double prim_r[kMaxEqns];
             double face_flux[kMaxEqns];
             double row[8];
-            for (int f = 0; f <= n; ++f) {
+            for (int f = span.c_lo; f <= span.c_hi; ++f) {
+                const int fs = f - span.c_lo; // local face slot
                 for (int q = 0; q < neq; ++q) {
                     const double* rq =
                         rows + static_cast<std::size_t>(q) * row_len;
@@ -831,10 +862,10 @@ void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
                     }
                 }
 
-                uface_row[f] = solve_riemann(riemann_, lay_, fluids_, prim_l,
-                                             prim_r, dim, face_flux);
+                uface_row[fs] = solve_riemann(riemann_, lay_, fluids_, prim_l,
+                                              prim_r, dim, face_flux);
                 for (int q = 0; q < neq; ++q) {
-                    flux_row[static_cast<std::size_t>(q) * nfaces + f] =
+                    flux_row[static_cast<std::size_t>(q) * nfaces + fs] =
                         face_flux[q];
                 }
             }
@@ -845,12 +876,12 @@ void RhsEvaluator::sweep_weno_char(int dim, StateArray& dq, bool accumulate) {
 
             {
                 int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
                 const std::ptrdiff_t sd = dq.eq(0).stride(dim);
                 double* dqp[kMaxEqns];
                 for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
                 divergence_cells<1>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(0), row_len, flux_row,
+                                    rows + row_at(span.c_lo), row_len, flux_row,
                                     nfaces, uface_row, dqp, sd);
             }
             if (sample) div_ns += prof::clock_ns() - t_mid;
@@ -940,50 +971,54 @@ void RhsEvaluator::compute_igr_sigma() {
 }
 
 template <int W>
-void RhsEvaluator::sweep_igr_w(int dim, StateArray& dq, bool accumulate) {
-    const int n = extent_along(local_, dim);
+void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
+                               bool accumulate) {
+    const int n = span.c_hi - span.c_lo;
+    const int n_full = extent_along(local_, dim);
     const int neq = lay_.num_eqns();
     const double inv_dx = 1.0 / dx(dim);
 
-    const int lim_t1 = dim == 0 ? local_.ny : local_.nx;
-    const int lim_t2 = dim == 2 ? local_.ny : local_.nz;
+    const int span1 = span.t1_hi - span.t1_lo;
+    const int span2 = span.t2_hi - span.t2_lo;
 
-    // Face interpolation at order >= 5 reaches cells [f-2, f+1] for faces
-    // [0, n]: the gathered pencil spans cells [-2, n+1].
+    // Face interpolation at order >= 5 reaches cells [f-2, f+1] for the
+    // faces [c_lo, c_hi]: the gathered pencil spans cells
+    // [c_lo - 2, c_hi + 1].
     const int row_len = n + 4;
-    const int row0 = -2;
+    const int row0 = span.c_lo - 2;
     const auto row_at = [row0](int c) { return c - row0; };
     const int nfaces = n + 1;
 
-    const long long rows_total = static_cast<long long>(lim_t1) * lim_t2;
+    const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kIgrZone[dim], 0, rows_total, [&](long long lo,
                                                          long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
         double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
-        // Sigma at cells [-1, n], clamped to the interior (homogeneous
-        // Neumann, consistent with the elliptic solve).
+        // Sigma at cells [c_lo - 1, c_hi], clamped to the interior
+        // (homogeneous Neumann, consistent with the elliptic solve).
         double* sig_row = frame.doubles(static_cast<std::size_t>(n + 2));
         double* flux_row =
             frame.doubles(static_cast<std::size_t>(nfaces) * neq);
         double* uface_row = frame.doubles(static_cast<std::size_t>(nfaces));
 
         for (long long t = lo; t < hi; ++t) {
-            const int t1 = static_cast<int>(t % lim_t1);
-            const int t2 = static_cast<int>(t / lim_t1);
+            const int t1 = span.t1_lo + static_cast<int>(t % span1);
+            const int t2 = span.t2_lo + static_cast<int>(t / span1);
 
             for (int q = 0; q < neq; ++q) {
                 gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
                            rows + static_cast<std::size_t>(q) * row_len);
             }
-            for (int c = -1; c <= n; ++c) {
+            for (int c = span.c_lo - 1; c <= span.c_hi; ++c) {
                 int i = 0, j = 0, k = 0;
-                cell_of(dim, std::clamp(c, 0, n - 1), t1, t2, i, j, k);
-                sig_row[c + 1] = sigma_(i, j, k);
+                cell_of(dim, std::clamp(c, 0, n_full - 1), t1, t2, i, j, k);
+                sig_row[c - span.c_lo + 1] = sigma_(i, j, k);
             }
 
-            // Face loop, W faces per step: central interpolation of the
-            // primitives, entropic pressure on the face energy, then the
-            // shared central-flux + Rusanov kernel.
+            // Face loop, W faces per step (slot f is face c_lo + f):
+            // central interpolation of the primitives, entropic pressure
+            // on the face energy, then the shared central-flux + Rusanov
+            // kernel.
             const auto face_block = [&](auto wtag, int f) {
                 constexpr int BW = decltype(wtag)::value;
                 using BV = simd::vd<BW>;
@@ -992,7 +1027,7 @@ void RhsEvaluator::sweep_igr_w(int dim, StateArray& dq, bool accumulate) {
                 for (int q = 0; q < neq; ++q) {
                     const double* rq =
                         rows + static_cast<std::size_t>(q) * row_len;
-                    const double* base = rq + row_at(f);
+                    const double* base = rq + row_at(span.c_lo + f);
                     if (igr_.order >= 5) {
                         pface[q] = (-BV::load(base - 2) +
                                     BV(7.0) * BV::load(base - 1) +
@@ -1029,25 +1064,33 @@ void RhsEvaluator::sweep_igr_w(int dim, StateArray& dq, bool accumulate) {
 
             {
                 int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, 0, t1, t2, i0, j0, k0);
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
                 const std::ptrdiff_t sd = dq.eq(0).stride(dim);
                 double* dqp[kMaxEqns];
                 for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
                 divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(0), row_len, flux_row,
+                                    rows + row_at(span.c_lo), row_len, flux_row,
                                     nfaces, uface_row, dqp, sd);
             }
         }
     });
 }
 
-template void RhsEvaluator::sweep_weno_w<1>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_weno_w<2>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_weno_w<4>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_weno_w<8>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_igr_w<1>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_igr_w<2>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_igr_w<4>(int, StateArray&, bool);
-template void RhsEvaluator::sweep_igr_w<8>(int, StateArray&, bool);
+template void RhsEvaluator::sweep_weno_w<1>(int, const SweepSpan&, StateArray&,
+                                            bool);
+template void RhsEvaluator::sweep_weno_w<2>(int, const SweepSpan&, StateArray&,
+                                            bool);
+template void RhsEvaluator::sweep_weno_w<4>(int, const SweepSpan&, StateArray&,
+                                            bool);
+template void RhsEvaluator::sweep_weno_w<8>(int, const SweepSpan&, StateArray&,
+                                            bool);
+template void RhsEvaluator::sweep_igr_w<1>(int, const SweepSpan&, StateArray&,
+                                           bool);
+template void RhsEvaluator::sweep_igr_w<2>(int, const SweepSpan&, StateArray&,
+                                           bool);
+template void RhsEvaluator::sweep_igr_w<4>(int, const SweepSpan&, StateArray&,
+                                           bool);
+template void RhsEvaluator::sweep_igr_w<8>(int, const SweepSpan&, StateArray&,
+                                           bool);
 
 } // namespace mfc

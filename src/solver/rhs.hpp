@@ -8,6 +8,22 @@
 
 namespace mfc {
 
+/// Sub-range of one directional sweep: cells [c_lo, c_hi) along the sweep
+/// dimension, pencils [t1_lo, t1_hi) x [t2_lo, t2_hi) transverse to it
+/// (t1 is the fast transverse index: y for an x-sweep, x otherwise).
+/// Restricting a sweep to a span is bitwise-safe — per-cell arithmetic
+/// never depends on where the cell sits inside the processed range — so
+/// the task-graph RHS can split each sweep into a ghost-independent core
+/// and a halo-dependent shell without perturbing results.
+struct SweepSpan {
+    int c_lo = 0, c_hi = 0;   ///< cells along the sweep dimension
+    int t1_lo = 0, t1_hi = 0; ///< fast transverse pencil range
+    int t2_lo = 0, t2_hi = 0; ///< slow transverse pencil range
+    [[nodiscard]] bool empty() const {
+        return c_hi <= c_lo || t1_hi <= t1_lo || t2_hi <= t2_lo;
+    }
+};
+
 /// Right-hand-side assembly for the semi-discrete finite-volume system
 ///
 ///     d(cons)/dt = - sum_d (F_{f+1/2} - F_{f-1/2}) / dx_d + sources
@@ -43,6 +59,46 @@ public:
     /// Primitive state of the last evaluation (diagnostics/tests).
     [[nodiscard]] const StateArray& primitives() const { return prim_; }
 
+    /// --- Span-restricted building blocks ------------------------------
+    /// evaluate() above is the reference composition; the task-graph RHS
+    /// (src/sched + solver/overlap) runs the *same* kernels over
+    /// interior/boundary partitions of the block, interleaved with halo
+    /// completion. Each piece is bitwise-identical to its share of the
+    /// synchronous evaluation.
+
+    /// Convert conservative to primitive variables over the cell box
+    /// [lo, hi) (coordinates may be negative, i.e. ghost cells).
+    void convert_primitives(const StateArray& cons, const int lo[3],
+                            const int hi[3]);
+
+    /// One directional sweep restricted to `span` (no-op when empty).
+    /// Dispatches to the IGR, characteristic-WENO, or component-WENO
+    /// kernel exactly as evaluate() would. With `accumulate` false the
+    /// flux divergence assigns dq over the span; otherwise it accumulates.
+    void sweep_span(int dim, const SweepSpan& span, StateArray& dq,
+                    bool accumulate);
+
+    /// Viscous fluxes, gravity, and monopole sources (the post-sweep tail
+    /// of evaluate(), in the same order).
+    void apply_sources(StateArray& dq);
+
+    /// The whole-block span of a sweep along `dim` (what evaluate() runs).
+    [[nodiscard]] SweepSpan full_span(int dim) const;
+
+    /// Solve for the entropic pressure field (IGR only); must run before
+    /// any IGR sweep_span of the evaluation.
+    void compute_igr_sigma();
+
+    /// True when the sweep along `dim` has more than one cell.
+    [[nodiscard]] bool dim_active(int dim) const;
+
+    [[nodiscard]] bool igr_enabled() const { return igr_.enabled; }
+
+    /// The overlap path covers the component-wise WENO and IGR kernels;
+    /// the characteristic-wise path keeps the synchronous reference
+    /// composition (it is scalar and never communication-bound).
+    [[nodiscard]] bool supports_overlap() const { return !char_decomp_; }
+
 private:
     void compute_primitives(const StateArray& cons);
     /// Hyperbolic sweeps run as fused pencil kernels: each row is
@@ -55,14 +111,16 @@ private:
     /// pre-zeroed dq); later sweeps accumulate. The characteristic-wise
     /// WENO path keeps its own scalar implementation.
     template <int W>
-    void sweep_weno_w(int dim, StateArray& dq, bool accumulate);
-    void sweep_weno_char(int dim, StateArray& dq, bool accumulate);
+    void sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
+                      bool accumulate);
+    void sweep_weno_char(int dim, const SweepSpan& span, StateArray& dq,
+                         bool accumulate);
     template <int W>
-    void sweep_igr_w(int dim, StateArray& dq, bool accumulate);
+    void sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
+                     bool accumulate);
     void sweep_viscous(int dim, StateArray& dq);
     void add_body_forces(StateArray& dq);
     void add_monopole_sources(StateArray& dq);
-    void compute_igr_sigma();
 
     [[nodiscard]] double dx(int dim) const {
         return dx_[static_cast<std::size_t>(dim)];

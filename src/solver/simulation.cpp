@@ -190,6 +190,14 @@ double Simulation::stable_dt() {
     return cfl_dt(cfg_.cfl, dx_min, vmax);
 }
 
+void Simulation::set_overlap(bool enabled) {
+    overlap_enabled_ = enabled;
+    if (enabled && overlap_ == nullptr) {
+        overlap_ = std::make_unique<OverlapRhs>(cfg_, block_, cart_, faces_,
+                                                *rhs_);
+    }
+}
+
 void Simulation::step() {
     PROF_ZONE("step");
     const RhsFn rhs_fn = [this](const StateArray& q, StateArray& dq) {
@@ -197,8 +205,14 @@ void Simulation::step() {
         // ghosts must be refreshed for every stage. One zone per RK
         // stage: `calls` counts RHS evaluations, the grindtime divisor.
         PROF_ZONE("rk_stage");
-        fill_ghosts(const_cast<StateArray&>(q));
-        rhs_->evaluate(q, dq);
+        if (overlap_enabled_) {
+            // Task-graph path: ghost fill and RHS are one dependency
+            // graph with halo/compute overlap (bitwise-identical).
+            overlap_->evaluate(const_cast<StateArray&>(q), dq);
+        } else {
+            fill_ghosts(const_cast<StateArray&>(q));
+            rhs_->evaluate(q, dq);
+        }
         ++rhs_count_;
     };
     StageFixupFn fixup;

@@ -10,6 +10,7 @@
 #include "grid/grid.hpp"
 #include "solver/boundary.hpp"
 #include "solver/case_config.hpp"
+#include "solver/overlap.hpp"
 #include "solver/rhs.hpp"
 
 namespace mfc {
@@ -77,6 +78,17 @@ public:
     /// ns per (global) grid point, equation, and RHS evaluation.
     [[nodiscard]] double grindtime() const;
 
+    /// Route RHS evaluations through the task-graph overlap path
+    /// (src/sched + solver/overlap): halos are posted nonblocking and
+    /// ghost-independent sweep cores run while they are in flight.
+    /// Results are bitwise-identical to the synchronous path; only the
+    /// schedule differs. Off by default.
+    void set_overlap(bool enabled);
+    [[nodiscard]] bool overlap_enabled() const { return overlap_enabled_; }
+    /// Overlap accounting accumulated so far (null when never enabled).
+    [[nodiscard]] const OverlapRhs* overlap() const { return overlap_.get(); }
+    [[nodiscard]] OverlapRhs* overlap() { return overlap_.get(); }
+
     /// FNV-1a hash over the rank-local interior state, simulation time,
     /// and step count — a cheap bitwise fingerprint used by the
     /// resilience subsystem to verify that recovery replay reproduced the
@@ -106,6 +118,8 @@ private:
     LocalBlock block_;
     PhysicalFaces faces_;
     std::unique_ptr<RhsEvaluator> rhs_;
+    std::unique_ptr<OverlapRhs> overlap_;
+    bool overlap_enabled_ = false;
     StateArray q_;
     StateArray scratch1_;
     StateArray scratch2_;

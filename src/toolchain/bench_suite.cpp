@@ -1,6 +1,8 @@
 #include "toolchain/bench_suite.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <utility>
 
@@ -232,6 +234,88 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
     return r;
 }
 
+BenchSuite::OverlapCaseResult
+BenchSuite::run_overlap_case(const std::string& name) const {
+    const CaseConfig config = case_config(name);
+    // Overlap only exists where halos do: run on at least two ranks even
+    // when the suite itself is serial, so the section is never vacuous.
+    const int nranks = std::max(2, ranks_);
+    const int warmup = options_.warmup_steps;
+    const ProfilingScope profiling(false);
+
+    // One decomposed run; returns rank 0's grindtime, the rank-order FNV
+    // fold of the per-rank state hashes, and (overlap runs) the summed
+    // OverlapRhs counters.
+    struct RunResult {
+        double grind_ns = 0.0;
+        std::uint64_t hash = 0;
+        double in_flight_ns = 0.0;
+        double exposed_ns = 0.0;
+    };
+    const auto measure = [&](bool overlap) {
+        RunResult res;
+        comm::World world(nranks);
+        world.run([&](comm::Communicator& comm) {
+            const std::array<int, 3> dims = comm::dims_create(nranks, 3);
+            std::array<bool, 3> periodic{};
+            for (int d = 0; d < 3; ++d) {
+                periodic[static_cast<std::size_t>(d)] =
+                    config.bc[static_cast<std::size_t>(d)][0] ==
+                    BcType::Periodic;
+            }
+            comm::CartComm cart(comm, dims, periodic);
+            Simulation sim(config, cart);
+            sim.set_overlap(overlap);
+            sim.initialize();
+            for (int s = 0; s < warmup; ++s) sim.step();
+            sim.reset_instrumentation();
+            if (overlap && sim.overlap() != nullptr)
+                sim.overlap()->reset_stats();
+            sim.run();
+            const std::uint64_t mine = sim.state_hash();
+            if (comm.rank() == 0) {
+                std::uint64_t combined = 0xcbf29ce484222325ull;
+                combined = (combined ^ mine) * 0x100000001b3ull;
+                for (int r = 1; r < comm.size(); ++r) {
+                    std::uint64_t h = 0;
+                    comm.recv(r, 902, &h, sizeof h);
+                    combined = (combined ^ h) * 0x100000001b3ull;
+                }
+                res.hash = combined;
+                res.grind_ns = sim.grindtime();
+            } else {
+                comm.send(0, 902, &mine, sizeof mine);
+            }
+            if (overlap && sim.overlap() != nullptr) {
+                const OverlapRhs::Stats& st = sim.overlap()->stats();
+                std::vector<double> sums = {
+                    static_cast<double>(st.comm_in_flight_ns),
+                    static_cast<double>(st.comm_exposed_ns)};
+                comm.allreduce(sums, mfc::comm::Communicator::Op::Sum);
+                if (comm.rank() == 0) {
+                    res.in_flight_ns = sums[0];
+                    res.exposed_ns = sums[1];
+                }
+            }
+        });
+        return res;
+    };
+
+    const RunResult sync = measure(false);
+    const RunResult over = measure(true);
+    OverlapCaseResult out;
+    out.grind_sync_ns = sync.grind_ns;
+    out.grind_overlap_ns = over.grind_ns;
+    out.in_flight_ms = over.in_flight_ns * 1.0e-6;
+    out.overlap_ratio =
+        over.in_flight_ns > 0.0
+            ? std::max(0.0, over.in_flight_ns - over.exposed_ns) /
+                  over.in_flight_ns
+            : 0.0;
+    out.hash_match = sync.hash == over.hash;
+    return out;
+}
+
 namespace {
 
 std::string host_name() {
@@ -323,6 +407,23 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
             node["ns_per_cell"].set(Value(r.ns_per_cell));
             node["gbs"].set(Value(r.gbs));
             node["model_ns_per_cell"].set(Value(r.model_ns_per_cell));
+        }
+    }
+    if (options_.overlap) {
+        // Sync-vs-overlap pair per case: grindtime both ways, the
+        // measured overlap ratio, and a bitwise hash comparison so a
+        // scheduler that trades determinism for speed cannot pass
+        // unnoticed. hash_match emits as 1/0 for bench_diff.
+        Yaml& ov = root["overlap"];
+        for (const std::string& name : case_names()) {
+            const OverlapCaseResult r = run_overlap_case(name);
+            Yaml& node = ov[name];
+            node["grindtime_sync_ns"].set(Value(r.grind_sync_ns));
+            node["grindtime_overlap_ns"].set(Value(r.grind_overlap_ns));
+            node["overlap_ratio"].set(Value(r.overlap_ratio));
+            node["comm_in_flight_ms"].set(Value(r.in_flight_ms));
+            node["hash_match"].set(
+                Value(static_cast<long long>(r.hash_match ? 1 : 0)));
         }
     }
     if (options_.chaos_trials > 0) {
@@ -513,6 +614,44 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
         if (side == nullptr || !scalar_of(*side, key, v)) return std::string("n/a");
         return format_fixed(v, precision);
     };
+
+    // Overlap-scheduler comparison (`mfc bench --overlap`): per case the
+    // speedup of the task-graph schedule over the synchronous one, the
+    // overlap ratio, and the bitwise verdict. Baselines recorded before
+    // the section existed (or without --overlap) degrade to "n/a".
+    const Yaml* ref_ov = find(reference, "overlap");
+    const Yaml* cand_ov = find(candidate, "overlap");
+    if (ref_ov != nullptr || cand_ov != nullptr) {
+        TextTable ov({"Overlap case", "Ref ratio", "Cand ratio",
+                      "Ref speedup", "Cand speedup", "Bitwise"});
+        for (int col = 1; col <= 4; ++col)
+            ov.set_align(col, TextTable::Align::Right);
+        const auto speedup_cell = [&](const Yaml* side) {
+            double s = 0.0;
+            double o = 0.0;
+            if (side == nullptr || !scalar_of(*side, "grindtime_sync_ns", s) ||
+                !scalar_of(*side, "grindtime_overlap_ns", o) || o <= 0.0)
+                return std::string("n/a");
+            return format_fixed(s / o, 2) + "x";
+        };
+        const auto bitwise_cell = [&](const Yaml* side) {
+            double v = 0.0;
+            if (side == nullptr || !scalar_of(*side, "hash_match", v))
+                return std::string("n/a");
+            return std::string(v != 0.0 ? "ok" : "MISMATCH");
+        };
+        const Yaml* keys_from = ref_ov != nullptr ? ref_ov : cand_ov;
+        for (const std::string& name : keys_from->keys()) {
+            const Yaml* r = ref_ov != nullptr ? find(*ref_ov, name) : nullptr;
+            const Yaml* c = cand_ov != nullptr ? find(*cand_ov, name) : nullptr;
+            ov.add_row({name, cell(r, "overlap_ratio", 3),
+                        cell(c, "overlap_ratio", 3), speedup_cell(r),
+                        speedup_cell(c),
+                        bitwise_cell(r) + " / " + bitwise_cell(c)});
+        }
+        out += "\n";
+        out += ov.str();
+    }
 
     const Yaml* ref_res = find(reference, "resilience");
     const Yaml* cand_res = find(candidate, "resilience");

@@ -54,6 +54,12 @@ struct BenchOptions {
     /// bench_diff compares like against like); additional counts rerun
     /// the suite and land in a `thread_sweep:` section.
     std::vector<int> thread_counts = {1};
+    /// Rerun every case through the task-graph overlap scheduler
+    /// (src/sched) as well as the synchronous path and emit an `overlap:`
+    /// section: grindtime with and without --overlap, the measured
+    /// overlap ratio (communication hidden / in flight), and whether the
+    /// two runs were bitwise identical.
+    bool overlap = false;
 };
 
 /// The automated benchmark suite (Section 5): five cases covering the
@@ -74,6 +80,18 @@ public:
     [[nodiscard]] CaseConfig case_config(const std::string& name) const;
 
     [[nodiscard]] BenchCaseResult run_case(const std::string& name) const;
+
+    /// One sync + one overlap run of a named case on this suite's rank
+    /// count, compared bitwise. Used by the `overlap:` section.
+    struct OverlapCaseResult {
+        double grind_sync_ns = 0.0;
+        double grind_overlap_ns = 0.0;
+        double overlap_ratio = 0.0;  ///< hidden / in-flight comm time
+        double in_flight_ms = 0.0;   ///< summed across ranks
+        bool hash_match = false;     ///< overlap bitwise == synchronous
+    };
+    [[nodiscard]] OverlapCaseResult
+    run_overlap_case(const std::string& name) const;
 
     /// Run all five cases; `invocation` is recorded in the YAML summary
     /// ("a summary of the invocation used to run the benchmark").

@@ -312,6 +312,57 @@ TEST(ScalingSimulator, StepTimeScalesWithLocalSize) {
     EXPECT_LT(t2, 9.0 * t1);
 }
 
+TEST(ScalingSimulator, OverlapBoundedByComputeAndFullyExposedSchedules) {
+    // The overlap model (max(compute, comm - residue) + residue) must sit
+    // between the compute-only lower bound and the fully exposed
+    // (compute + whole exchange) upper bound at every decomposition.
+    SystemSpec sys = find_system("OLCF Frontier");
+    sys.network.overlap_fraction = 0.0; // expose the whole exchange
+    ScalingSimulator sync_sim(sys, NumericsModel{});
+    ScalingSimulator over_sim(sys, NumericsModel{});
+    over_sim.set_overlap(true);
+    EXPECT_FALSE(sync_sim.overlap());
+    EXPECT_TRUE(over_sim.overlap());
+    for (const int ranks : {8, 64, 512, 4096}) {
+        double sync_cf = 0.0;
+        double over_cf = 0.0;
+        const Extents global{634, 634, 634};
+        const double t_sync = sync_sim.step_seconds(global, ranks, &sync_cf);
+        const double t_over = over_sim.step_seconds(global, ranks, &over_cf);
+        EXPECT_LE(t_over, t_sync + 1e-15) << ranks;
+        // Compute-only bound: strip the comm fraction from the sync step.
+        const double t_compute = t_sync * (1.0 - sync_cf);
+        EXPECT_GE(t_over, t_compute - 1e-15) << ranks;
+        EXPECT_GE(over_cf, 0.0);
+        EXPECT_LE(over_cf, 1.0);
+        // Overlap hides communication, so its exposed fraction can never
+        // exceed the fully synchronous one.
+        EXPECT_LE(over_cf, sync_cf + 1e-12) << ranks;
+    }
+}
+
+TEST(ScalingSimulator, OverlapTightensStrongScaling) {
+    // Hiding the exchange raises modeled strong-scaling efficiency at
+    // large rank counts (where comm dominates the sync schedule).
+    SystemSpec sys = find_system("OLCF Frontier");
+    sys.network.overlap_fraction = 0.0;
+    ScalingSimulator sync_sim(sys, NumericsModel{});
+    ScalingSimulator over_sim(sys, NumericsModel{});
+    over_sim.set_overlap(true);
+    const auto s = sync_sim.strong_sweep(Extents{634, 634, 634}, {8, 4096});
+    const auto o = over_sim.strong_sweep(Extents{634, 634, 634}, {8, 4096});
+    EXPECT_GE(o.back().efficiency, s.back().efficiency - 1e-12);
+}
+
+TEST(KernelModel, HaloPackCostsAreMemoryOnly) {
+    EXPECT_DOUBLE_EQ(kHaloPackCost.bytes_per_cell, 16.0);
+    EXPECT_DOUBLE_EQ(kHaloUnpackCost.bytes_per_cell, 16.0);
+    EXPECT_DOUBLE_EQ(kHaloPackCost.flops_per_cell, 0.0);
+    // Pure streaming: modeled time is the memory roofline.
+    const DeviceSpec& core = reference_core();
+    EXPECT_GT(kHaloPackCost.ns_per_cell(core), 0.0);
+}
+
 TEST(ScalingSimulator, IgrNumericsAreCheaperPerUnit) {
     const DeviceSpec& gh200 = find_device("NVIDIA GH200");
     const NumericsModel weno;

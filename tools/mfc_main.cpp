@@ -10,7 +10,7 @@
 //   mfc bench --mem <gb/rank> -n <ranks> [-o <out.yml>]
 //   mfc bench_diff <ref.yml> <new.yml>
 //   mfc ensemble [--regression N] [--bench-reps N] [--chaos N] [--uq N]
-//   mfc run <case-file> [--out <golden.txt>]
+//   mfc run <case-file> [--out <golden.txt>] [--ranks <r>] [--overlap]
 //   mfc profile <case-file> | --standard <edge> [-n <ranks>] [--trace <f>]
 //   mfc batch --scheduler <slurm|pbs|lsf|flux|interactive> [options]
 //
@@ -184,6 +184,9 @@ int cmd_bench(const Args& args) {
                     "                              thread_sweep:\n"
                     "          [--chaos <trials>]  add a resilience: section\n"
                     "                              from a chaos campaign\n"
+                    "          [--overlap]         add an overlap: section\n"
+                    "                              (task-graph vs synchronous\n"
+                    "                              RHS, bitwise-compared)\n"
                     "          [--ensemble <n>]    add an ensemble: section\n"
                     "                              from a deterministic n-job\n"
                     "                              UQ campaign\n");
@@ -196,6 +199,7 @@ int cmd_bench(const Args& args) {
     options.warmup_steps = static_cast<int>(parse_int(args.get("warmup", "1")));
     options.profile = !args.has("no-profile");
     options.chaos_trials = static_cast<int>(parse_int(args.get("chaos", "0")));
+    options.overlap = args.has("overlap");
     if (args.has("threads")) {
         options.thread_counts.clear();
         for (const std::string& t : split(args.get("threads"), ',')) {
@@ -206,6 +210,7 @@ int cmd_bench(const Args& args) {
                              " -n " + std::to_string(ranks);
     if (args.has("threads"))
         invocation += " --threads " + args.get("threads");
+    if (options.overlap) invocation += " --overlap";
     Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
     if (args.has("ensemble")) {
         // Deterministic campaign counters (all reproducible for the fixed
@@ -323,11 +328,106 @@ int cmd_ubench(const Args& args) {
 
 int cmd_run(const Args& args) {
     if (args.has("help") || args.positional().empty()) {
-        std::printf("mfc run <case-file> [--out <golden.txt>] [--threads <n>]\n");
+        std::printf(
+            "mfc run <case-file> [--out <golden.txt>] [--threads <n>]\n"
+            "        [--ranks <r>] [--overlap] [--hash]\n\n"
+            "  --ranks <r>   decomposed run through simMPI (default: serial)\n"
+            "  --overlap     route RHS evaluations through the task-graph\n"
+            "                scheduler (src/sched): halos are posted\n"
+            "                nonblocking and interior sweeps run while they\n"
+            "                are in flight; bitwise-identical to the\n"
+            "                synchronous path\n"
+            "  --hash        print the FNV-1a state hash (combined across\n"
+            "                ranks in rank order) instead of golden output\n");
         return args.has("help") ? 0 : 2;
     }
     if (args.has("threads")) {
         exec::set_num_threads(static_cast<int>(parse_int(args.get("threads"))));
+    }
+    if (args.has("ranks") || args.has("overlap") || args.has("hash")) {
+        // The scheduler/decomposition path: run the case as a simulation
+        // (serial or rank-decomposed), optionally through the overlap
+        // graph, and report the combined bitwise state hash so sync and
+        // overlap runs can be compared exactly.
+        const CaseConfig config =
+            config_from_dict(load_case_file(args.positional()[0]));
+        const int ranks = static_cast<int>(parse_int(args.get("ranks", "1")));
+        MFC_REQUIRE(ranks >= 1, "run: --ranks must be positive");
+        const bool overlap = args.has("overlap");
+
+        std::uint64_t combined = 0xcbf29ce484222325ull;
+        double wall_s = 0.0;
+        long long evals = 0;
+        OverlapRhs::Stats ostats;
+        const int ndims = (config.grid.cells.nx > 1 ? 1 : 0) +
+                          (config.grid.cells.ny > 1 ? 1 : 0) +
+                          (config.grid.cells.nz > 1 ? 1 : 0);
+        comm::World world(ranks);
+        world.run([&](comm::Communicator& comm) {
+            const std::array<int, 3> dims =
+                comm::dims_create(ranks, std::max(ndims, 1));
+            std::array<bool, 3> periodic{};
+            for (int d = 0; d < 3; ++d) {
+                periodic[static_cast<std::size_t>(d)] =
+                    config.bc[static_cast<std::size_t>(d)][0] ==
+                    BcType::Periodic;
+            }
+            comm::CartComm cart(comm, dims, periodic);
+            Simulation sim(config, cart);
+            sim.set_overlap(overlap);
+            sim.initialize();
+            sim.run();
+
+            // Fold per-rank hashes into one fingerprint in rank order.
+            const std::uint64_t mine = sim.state_hash();
+            if (comm.rank() == 0) {
+                combined = (combined ^ mine) * 0x100000001b3ull;
+                for (int r = 1; r < ranks; ++r) {
+                    std::uint64_t h = 0;
+                    comm.recv(r, 901, &h, sizeof h);
+                    combined = (combined ^ h) * 0x100000001b3ull;
+                }
+                wall_s = sim.wall_seconds();
+                evals = sim.rhs_evals();
+            } else {
+                comm.send(0, 901, &mine, sizeof mine);
+            }
+            if (overlap && sim.overlap() != nullptr) {
+                const OverlapRhs::Stats& s = sim.overlap()->stats();
+                // Report the max exposed / min hidden rank as the honest
+                // number; here we fold rank 0's stats plus gathered sums.
+                const double fields[4] = {
+                    static_cast<double>(s.comm_in_flight_ns),
+                    static_cast<double>(s.comm_exposed_ns),
+                    static_cast<double>(s.bytes),
+                    static_cast<double>(s.graph_runs)};
+                std::vector<double> sums(fields, fields + 4);
+                comm.allreduce(sums, mfc::comm::Communicator::Op::Sum);
+                if (comm.rank() == 0) {
+                    ostats.comm_in_flight_ns =
+                        static_cast<std::int64_t>(sums[0]);
+                    ostats.comm_exposed_ns = static_cast<std::int64_t>(sums[1]);
+                    ostats.bytes = static_cast<std::int64_t>(sums[2]);
+                    ostats.graph_runs = static_cast<long long>(sums[3]);
+                }
+            }
+        });
+
+        std::printf("case: %s  (%d rank%s, %d steps, %s RHS)\n",
+                    config.title.c_str(), ranks, ranks == 1 ? "" : "s",
+                    config.t_step_stop, overlap ? "overlap" : "synchronous");
+        std::printf("state hash: 0x%016llx\n",
+                    static_cast<unsigned long long>(combined));
+        std::printf("walltime: %.3f s  (%lld RHS evals)\n", wall_s, evals);
+        if (overlap && ostats.graph_runs > 0) {
+            std::printf("overlap: ratio %.3f  (hidden %.3f ms of %.3f ms "
+                        "in-flight, %.2f MiB halos)\n",
+                        ostats.overlap_ratio(),
+                        static_cast<double>(ostats.hidden_ns()) * 1.0e-6,
+                        static_cast<double>(ostats.comm_in_flight_ns) * 1.0e-6,
+                        static_cast<double>(ostats.bytes) / (1024.0 * 1024.0));
+        }
+        return 0;
     }
     const Toolchain tc;
     const CaseDict dict = load_case_file(args.positional()[0]);
@@ -873,7 +973,10 @@ int cmd_scale(const Args& args) {
     if (args.has("help")) {
         std::printf(
             "mfc scale --system <name> [--strong] [--no-rdma] [--igr]\n"
-            "          [--edge <n>] [--ranks <r1,r2,...>]\n\n"
+            "          [--overlap] [--edge <n>] [--ranks <r1,r2,...>]\n\n"
+            "  --overlap  model the task-graph halo/compute overlap\n"
+            "             schedule (src/sched) instead of the synchronous\n"
+            "             exchange\n\n"
             "Systems:\n");
         for (const auto& s : perf::system_catalog()) {
             std::printf("  %s\n", s.name.c_str());
@@ -885,7 +988,8 @@ int cmd_scale(const Args& args) {
     const perf::NumericsModel numerics = args.has("igr")
                                              ? perf::NumericsModel::igr()
                                              : perf::NumericsModel{};
-    const perf::ScalingSimulator sim(sys, numerics, !args.has("no-rdma"));
+    perf::ScalingSimulator sim(sys, numerics, !args.has("no-rdma"));
+    sim.set_overlap(args.has("overlap"));
 
     std::vector<int> ranks;
     if (args.has("ranks")) {
@@ -914,9 +1018,10 @@ int cmd_scale(const Args& args) {
                    format_fixed(p.grindtime_ns, 4), format_fixed(p.speedup, 1),
                    format_fixed(100.0 * p.efficiency, 1) + "%"});
     }
-    std::printf("%s — %s scaling (%s)\n", sys.name.c_str(),
+    std::printf("%s — %s scaling (%s%s)\n", sys.name.c_str(),
                 args.has("strong") ? "strong" : "weak",
-                args.has("igr") ? "IGR numerics" : "WENO numerics");
+                args.has("igr") ? "IGR numerics" : "WENO numerics",
+                args.has("overlap") ? ", overlap schedule" : "");
     std::fputs(t.str().c_str(), stdout);
     return 0;
 }
@@ -963,6 +1068,12 @@ int main(int argc, char** argv) {
         bool_flags.push_back("fail-fast");
         bool_flags.push_back("timing");
     }
+    // `mfc run` / `mfc bench` take --overlap (and run --hash) as switches.
+    if (tool == "run") {
+        bool_flags.push_back("overlap");
+        bool_flags.push_back("hash");
+    }
+    if (tool == "bench" || tool == "scale") bool_flags.push_back("overlap");
     const Args args(argc - 2, argv + 2, bool_flags);
     try {
         if (tool == "tools") return cmd_tools();

@@ -17,6 +17,17 @@ MFC="$BUILD_DIR/tools/mfc"
 "$MFC" bench --mem 0.0002 -n 1 -o "$BUILD_DIR/tier1_bench.yml"
 "$MFC" bench_diff "$BUILD_DIR/tier1_bench.yml" "$BUILD_DIR/tier1_bench.yml"
 
+# Overlap-scheduler smoke: the task-graph RHS must be bitwise identical
+# to the synchronous path on a decomposed run — compare the combined
+# state hashes printed by `mfc run --hash` with and without --overlap.
+SYNC_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --hash \
+    | grep 'state hash' | awk '{print $3}')
+OVER_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --overlap --hash \
+    | grep 'state hash' | awk '{print $3}')
+[ -n "$SYNC_HASH" ] && [ "$SYNC_HASH" = "$OVER_HASH" ] || {
+    echo "tier1: overlap hash $OVER_HASH != sync hash $SYNC_HASH" >&2
+    exit 1; }
+
 # Kernel microbenchmark smoke: every registered kernel must run and
 # report finite timings at a non-default simd width.
 "$MFC" ubench --cells 512 --reps 3 --width 2 -o "$BUILD_DIR/tier1_ubench.yml"
@@ -59,17 +70,17 @@ if [ -x "$BUILD_DIR/bench/bench_prof_overhead" ]; then
 fi
 
 # Thread-sanitizer smoke: rebuild with MFCPP_SANITIZE=thread and run the
-# "thread"-labeled tests (exec layer, a short threaded simulation, and
-# the ensemble campaign engine — test_ensemble carries both the
-# "ensemble" and "thread" labels, so its work-stealing queue and
-# consumer handoff run under TSan here) so data races in the pencil
-# kernels or the campaign scheduler fail tier-1, not production runs.
-# MFCPP_SANITIZE=off skips (e.g. toolchains without TSan runtimes).
+# "thread"- and "sched"-labeled tests (exec layer, a short threaded
+# simulation, the ensemble campaign engine, and the task-graph scheduler
+# — test_sched carries both labels, so the overlap executor's pollable
+# handoff runs under TSan here) so data races in the pencil kernels, the
+# campaign scheduler, or the RHS task graph fail tier-1, not production
+# runs. MFCPP_SANITIZE=off skips (e.g. toolchains without TSan runtimes).
 if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     TSAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j
-    (cd "$TSAN_DIR" && ctest --output-on-failure -L thread)
+    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched')
 fi
 
 # Undefined-behavior smoke: rebuild with MFCPP_SANITIZE=undefined and run
