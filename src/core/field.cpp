@@ -1,0 +1,29 @@
+#include "core/field.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mfc {
+namespace {
+
+bool initial_row_padding() {
+    const char* env = std::getenv("MFC_LAYOUT_PAD");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+        return false;
+    }
+    return true;
+}
+
+bool& row_padding_state() {
+    static bool on = initial_row_padding();
+    return on;
+}
+
+} // namespace
+
+bool field_row_padding() { return row_padding_state(); }
+
+void set_field_row_padding(bool on) { row_padding_state() = on; }
+
+} // namespace mfc

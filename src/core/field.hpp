@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "core/error.hpp"
@@ -25,15 +27,53 @@ struct Extents {
     [[nodiscard]] bool operator==(const Extents&) const = default;
 };
 
+/// Whether Field pads each x-row to a multiple of 8 doubles so every row
+/// starts 64-byte-aligned (the production layout). The legacy unpadded
+/// layout is kept behind this switch so test_layout.cpp can prove the two
+/// produce bitwise-identical states; flipping it only affects Fields
+/// resized afterwards. Defaults on; MFC_LAYOUT_PAD=0 disables.
+[[nodiscard]] bool field_row_padding();
+void set_field_row_padding(bool on);
+
+/// Minimal 64-byte-aligned allocator so Field rows can be the direct
+/// target of cache-line-granular vector loads (simd::kByteAlign).
+template <class T>
+struct AlignedAllocator {
+    using value_type = T;
+    static constexpr std::size_t kAlign = 64;
+
+    AlignedAllocator() = default;
+    template <class U>
+    AlignedAllocator(const AlignedAllocator<U>&) {}
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+    }
+    void deallocate(T* p, std::size_t) {
+        ::operator delete(static_cast<void*>(p), std::align_val_t{kAlign});
+    }
+    template <class U>
+    [[nodiscard]] bool operator==(const AlignedAllocator<U>&) const {
+        return true;
+    }
+};
+
 /// A scalar field on a structured block with ghost (halo) layers.
 ///
 /// Interior indices run over [0, nx) x [0, ny) x [0, nz); ghost layers
 /// extend each *active* dimension by `ng` cells on both sides, so valid
-/// indices along x are [-gx(), nx + gx()). Storage is contiguous with x
-/// fastest, matching the stencil sweep direction of the reconstruction
-/// kernels.
+/// indices along x are [-gx(), nx + gx()). Storage is SoA-contiguous with
+/// x fastest; each x-row (ghosts included) is padded to a multiple of 8
+/// doubles and the backing buffer is 64-byte-aligned, so every row start
+/// (i = -gx) sits on a cache-line boundary and sweep kernels can load
+/// pencils straight from the field without a gather. Padding cells are
+/// zero-initialized and never addressed by (i, j, k) indexing.
 class Field {
 public:
+    /// Backing storage type: 64-byte-aligned, padding included.
+    using Buffer = std::vector<double, AlignedAllocator<double>>;
+
     Field() = default;
 
     Field(Extents e, int ng) { resize(e, ng); }
@@ -45,7 +85,8 @@ public:
         gx_ = e.nx > 1 ? ng : 0;
         gy_ = e.ny > 1 ? ng : 0;
         gz_ = e.nz > 1 ? ng : 0;
-        ldx_ = e.nx + 2 * gx_;
+        const int row = e.nx + 2 * gx_;
+        ldx_ = field_row_padding() ? (row + 7) / 8 * 8 : row;
         ldy_ = e.ny + 2 * gy_;
         const int ldz = e.nz + 2 * gz_;
         data_.assign(static_cast<std::size_t>(ldx_) * ldy_ * ldz, 0.0);
@@ -60,6 +101,11 @@ public:
     [[nodiscard]] int gy() const { return gy_; }
     [[nodiscard]] int gz() const { return gz_; }
 
+    /// Cells per x-row that are addressable, ghosts included.
+    [[nodiscard]] int row_length() const { return ext_.nx + 2 * gx_; }
+    /// Allocated doubles per x-row, alignment padding included.
+    [[nodiscard]] int padded_row_length() const { return ldx_; }
+
     [[nodiscard]] double& operator()(int i, int j, int k) {
         return data_[index(i, j, k)];
     }
@@ -67,9 +113,11 @@ public:
         return data_[index(i, j, k)];
     }
 
-    /// Raw storage including ghosts (for halo packing and reductions).
-    [[nodiscard]] std::vector<double>& raw() { return data_; }
-    [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+    /// Raw storage including ghosts and row padding (for halo packing and
+    /// whole-buffer linear algebra; padding cells hold 0.0 and stay 0.0
+    /// under any linear combination of same-shape fields).
+    [[nodiscard]] Buffer& raw() { return data_; }
+    [[nodiscard]] const Buffer& raw() const { return data_; }
 
     /// Address of cell (i, j, k); with stride(d), lets pencil kernels
     /// walk a row without per-access index arithmetic.
@@ -88,14 +136,17 @@ public:
                    : static_cast<std::ptrdiff_t>(ldx_) * ldy_;
     }
 
-    void fill(double v) { data_.assign(data_.size(), v); }
+    void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
-    /// Sum over interior cells only (conservation checks).
+    /// Sum over interior cells only (conservation checks). Walks raw rows
+    /// via ptr() so debug builds don't pay a bounds-checked index() per
+    /// cell; the i-j-k accumulation order matches the naive triple loop.
     [[nodiscard]] double interior_sum() const {
         double s = 0.0;
         for (int k = 0; k < ext_.nz; ++k) {
             for (int j = 0; j < ext_.ny; ++j) {
-                for (int i = 0; i < ext_.nx; ++i) s += (*this)(i, j, k);
+                const double* p = ptr(0, j, k);
+                for (int i = 0; i < ext_.nx; ++i) s += p[i];
             }
         }
         return s;
@@ -115,7 +166,7 @@ private:
     int ng_ = 0;
     int gx_ = 0, gy_ = 0, gz_ = 0;
     int ldx_ = 1, ldy_ = 1;
-    std::vector<double> data_;
+    Buffer data_;
 };
 
 /// A system state: one Field per equation (structure-of-arrays layout).

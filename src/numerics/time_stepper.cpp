@@ -1,6 +1,7 @@
 #include "numerics/time_stepper.hpp"
 
 #include "core/error.hpp"
+#include "core/field.hpp"
 #include "exec/exec.hpp"
 #include "numerics/vec_axpy.hpp"
 #include "prof/prof.hpp"
@@ -28,20 +29,35 @@ void linear_combine(double a, const StateArray& qa, double b,
                     StateArray& q_out) {
     PROF_ZONE("rk_update");
     MFC_DBG_ASSERT(qa.num_eqns() == q_out.num_eqns());
+    // The update runs over each interior (j, k) line's full padded x-row:
+    // row starts are 64-byte aligned and row lengths a multiple of 8
+    // doubles, so the whole kernel is aligned whole-vector traffic.
+    // Transverse (j/k) ghost planes are skipped — every ghost the sweeps
+    // read is rebuilt by fill_ghosts before any stencil consumes it — and
+    // x-row padding cells stay zero (all three operands are zero there).
+    // Element-wise the expression tree matches the scalar loop, so any
+    // chunking and any simd width is bitwise identical.
     for (int q = 0; q < q_out.num_eqns(); ++q) {
-        const auto& va = qa.eq(q).raw();
-        const auto& vb = qb.eq(q).raw();
-        const auto& vdq = dq.eq(q).raw();
-        auto& vo = q_out.eq(q).raw();
-        // Element-wise over the raw storage (ghosts included): any chunking
-        // and any simd width is bitwise-identical to the serial loop
-        // (rk_axpy_rows evaluates the same expression tree per element).
+        const Field& fa = qa.eq(q);
+        const Field& fb = qb.eq(q);
+        const Field& fd = dq.eq(q);
+        Field& fo = q_out.eq(q);
+        const int gx = fo.gx();
+        const int ny = fo.ny();
+        const long long rows =
+            static_cast<long long>(ny) * static_cast<long long>(fo.nz());
+        const long long len = fo.padded_row_length();
         simd::dispatch([&](auto wc) {
             exec::parallel_for(
-                "rk_update", 0, static_cast<long long>(vo.size()),
-                [&](long long lo, long long hi) {
-                    rk_axpy_rows<wc()>(a, va.data(), b, vb.data(), c_dt,
-                                       vdq.data(), vo.data(), lo, hi);
+                "rk_update", 0, rows, [&](long long row_lo, long long row_hi) {
+                    for (long long t = row_lo; t < row_hi; ++t) {
+                        const int j = static_cast<int>(t % ny);
+                        const int k = static_cast<int>(t / ny);
+                        rk_axpy_rows<wc()>(a, fa.ptr(-gx, j, k), b,
+                                           fb.ptr(-gx, j, k), c_dt,
+                                           fd.ptr(-gx, j, k),
+                                           fo.ptr(-gx, j, k), 0, len);
+                    }
                 });
         });
     }

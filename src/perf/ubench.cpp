@@ -359,6 +359,91 @@ UbenchResult bench_halo(const std::string& name, bool unpack,
                        unpack ? digest(field) : digest(buf));
 }
 
+/// Strided plane shared by the pencil staging kernels: a y/z-sweep pencil
+/// in a field whose rows are 64 doubles long, i.e. consecutive pencil
+/// cells sit a full row apart and x-adjacent pencils are unit-stride.
+constexpr int kPencilStride = 64;
+
+void fill_plane(int doubles, std::vector<double>& plane) {
+    plane.resize(static_cast<std::size_t>(doubles));
+    for (int i = 0; i < doubles; ++i) {
+        plane[static_cast<std::size_t>(i)] =
+            1.0 + 0.25 * std::sin(0.04 * static_cast<double>(i));
+    }
+}
+
+UbenchResult bench_gather_row(const UbenchOptions& o) {
+    // The per-pencil strided gather every transverse sweep performed
+    // before the SoA block layout: row[c] = field[c * stride]. Eight of
+    // every 64 fetched bytes are used.
+    const int cells = o.cells;
+    std::vector<double> plane;
+    fill_plane(cells * kPencilStride, plane);
+    std::vector<double> row(static_cast<std::size_t>(cells));
+    const double min_ns = time_min_ns(o.reps, [&] {
+        const double* p = plane.data();
+        double* r = row.data();
+        for (int c = 0; c < cells; ++c) {
+            r[c] = p[static_cast<std::size_t>(c) * kPencilStride];
+        }
+    });
+    return make_result("gather_row", o, kGatherRowCost, min_ns, digest(row));
+}
+
+UbenchResult bench_scatter_row(const UbenchOptions& o) {
+    // The matching strided scatter of the divergence writeback:
+    // field[c * stride] = row[c], a read-modify-write of one double per
+    // cache line.
+    const int cells = o.cells;
+    std::vector<double> plane;
+    fill_plane(cells * kPencilStride, plane);
+    std::vector<double> row(static_cast<std::size_t>(cells));
+    for (int i = 0; i < cells; ++i) {
+        row[static_cast<std::size_t>(i)] = 0.5 + 0.1 * std::cos(0.03 * i);
+    }
+    const double min_ns = time_min_ns(o.reps, [&] {
+        double* p = plane.data();
+        const double* r = row.data();
+        for (int c = 0; c < cells; ++c) {
+            p[static_cast<std::size_t>(c) * kPencilStride] = r[c];
+        }
+    });
+    return make_result("scatter_row", o, kScatterRowCost, min_ns,
+                       digest(plane));
+}
+
+UbenchResult bench_transpose_tile(const UbenchOptions& o) {
+    // The replacement (src/solver/rhs.cpp transpose_in): 8 x-adjacent
+    // pencils staged into contiguous tile rows, walking the pencil cell
+    // outermost so each step moves one whole unit-stride 64-byte run.
+    // Covers the same o.cells total cells as gather_row, 8 per step.
+    constexpr int kTileRows = 8;
+    const int len = o.cells / kTileRows;
+    const int pitch = len;
+    std::vector<double> plane;
+    fill_plane(len * kPencilStride + kTileRows, plane);
+    std::vector<double> tile(static_cast<std::size_t>(kTileRows) * pitch);
+    const double min_ns = time_min_ns(o.reps, [&] {
+        const double* p = plane.data();
+        double* t = tile.data();
+        for (int c = 0; c < len; ++c) {
+            const double* pc = p + static_cast<std::size_t>(c) * kPencilStride;
+            for (int b = 0; b < kTileRows; ++b) {
+                t[b * pitch + c] = pc[b];
+            }
+        }
+    });
+    // Normalize per staged cell so the column is comparable with
+    // gather_row's ns/cell.
+    UbenchResult r = make_result("transpose_tile", o, kTransposeTileCost,
+                                 min_ns, digest(tile));
+    r.ns_per_cell = min_ns / (static_cast<double>(len) * kTileRows);
+    r.gbs = r.ns_per_cell > 0.0
+                ? kTransposeTileCost.bytes_per_cell / r.ns_per_cell
+                : 0.0;
+    return r;
+}
+
 UbenchResult bench_rk_axpy(const UbenchOptions& o) {
     const int cells = o.cells;
     std::vector<double> va(static_cast<std::size_t>(cells));
@@ -384,9 +469,10 @@ UbenchResult bench_rk_axpy(const UbenchOptions& o) {
 
 const std::vector<std::string>& ubench_kernels() {
     static const std::vector<std::string> names = {
-        "prim_convert", "weno5_js", "weno5_m",    "weno5_z",    "weno3_js",
-        "riemann_hllc", "riemann_hll", "igr_flux", "igr_jacobi", "rk_axpy",
-        "halo_pack",    "halo_unpack",
+        "prim_convert", "weno5_js",    "weno5_m",     "weno5_z",
+        "weno3_js",     "riemann_hllc", "riemann_hll", "igr_flux",
+        "igr_jacobi",   "rk_axpy",     "gather_row",  "scatter_row",
+        "transpose_tile", "halo_pack", "halo_unpack",
     };
     return names;
 }
@@ -408,6 +494,9 @@ UbenchResult run_ubench(const std::string& name, const UbenchOptions& o) {
     if (name == "igr_flux") return bench_igr_flux(o);
     if (name == "igr_jacobi") return bench_igr_jacobi(o);
     if (name == "rk_axpy") return bench_rk_axpy(o);
+    if (name == "gather_row") return bench_gather_row(o);
+    if (name == "scatter_row") return bench_scatter_row(o);
+    if (name == "transpose_tile") return bench_transpose_tile(o);
     if (name == "halo_pack") return bench_halo(name, /*unpack=*/false, o);
     if (name == "halo_unpack") return bench_halo(name, /*unpack=*/true, o);
     fail("ubench: unknown kernel '" + name + "'");

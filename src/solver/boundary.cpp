@@ -1,5 +1,7 @@
 #include "solver/boundary.hpp"
 
+#include <cstring>
+
 namespace mfc {
 
 namespace {
@@ -78,16 +80,29 @@ void apply_boundary_conditions_dim(
                 }
             }
             const double sign = flip ? -1.0 : 1.0;
+            // The x-range of each (j, k) line is a unit-stride run in the
+            // field (for dim == 0 it degenerates to the single ghost /
+            // source column), so copy whole rows: memcpy for plain
+            // copies, a pointer walk for sign flips. Both preserve the
+            // bit pattern of the former per-cell sign * f(...) writes.
+            const int gi = dim == 0 ? 0 : lo_i; // ghost/interior set below
+            const int len = dim == 0 ? 1 : hi_i - lo_i;
             for_ghost_pairs(e, g, dim, side, type, [&](int ghost, int interior) {
                 for (int k = lo_k; k < hi_k; ++k) {
                     for (int j = lo_j; j < hi_j; ++j) {
-                        for (int i = lo_i; i < hi_i; ++i) {
-                            int gi = i, gj = j, gk = k;
-                            int si = i, sj = j, sk = k;
-                            if (dim == 0) { gi = ghost; si = interior; }
-                            if (dim == 1) { gj = ghost; sj = interior; }
-                            if (dim == 2) { gk = ghost; sk = interior; }
-                            f(gi, gj, gk) = sign * f(si, sj, sk);
+                        int gj = j, gk = k, sj = j, sk = k;
+                        if (dim == 1) { gj = ghost; sj = interior; }
+                        if (dim == 2) { gk = ghost; sk = interior; }
+                        double* gp =
+                            f.ptr(dim == 0 ? ghost : gi, gj, gk);
+                        const double* sp =
+                            f.ptr(dim == 0 ? interior : gi, sj, sk);
+                        if (flip) {
+                            for (int i = 0; i < len; ++i) gp[i] = sign * sp[i];
+                        } else {
+                            std::memcpy(gp, sp,
+                                        static_cast<std::size_t>(len) *
+                                            sizeof(double));
                         }
                     }
                 }

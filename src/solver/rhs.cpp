@@ -81,69 +81,87 @@ void cell_of(int dim, int c, int t1, int t2, int& i, int& j, int& k) {
     }
 }
 
-/// Gather one pencil of `src` into the contiguous buffer `row`:
-/// row[t] = src at row-local cell c0 + t, for t in [0, len).
-void gather_row(const Field& src, int dim, int c0, int t1, int t2, int len,
-                double* row) {
+// Transverse (y/z) sweeps stage up to kTileRows x-adjacent pencils
+// through one cache-blocked transpose tile per tile of rows. The fast
+// transverse index t1 is x for dims 1 and 2 (see cell_of), so the `b`
+// direction below walks unit-stride memory: each transpose step moves a
+// contiguous run of kTileRows doubles — a full 64-byte line — where the
+// per-row strided gather this replaces used 8 of every 64 bytes fetched.
+constexpr int kTileRows = 8;
+
+/// Tile row pitch: round `len` up so every tile row starts 64-byte-
+/// aligned within the (aligned) arena block.
+int tile_pitch(int len) { return (len + 7) / 8 * 8; }
+
+/// Transpose `tb` x-adjacent pencils of a transverse sweep into
+/// contiguous tile rows: tile[b * pitch + c] holds row-local cell c of
+/// the pencil at (t1 + b, t2), c in [0, len) starting at sweep cell c0.
+void transpose_in(const Field& src, int dim, int c0, int t1, int t2, int len,
+                  int tb, double* tile, int pitch) {
     int i = 0, j = 0, k = 0;
     cell_of(dim, c0, t1, t2, i, j, k);
     const double* p = src.ptr(i, j, k);
     const std::ptrdiff_t s = src.stride(dim);
-    if (s == 1) {
-        std::memcpy(row, p, static_cast<std::size_t>(len) * sizeof(double));
-    } else {
-        for (int t = 0; t < len; ++t) row[t] = p[t * s];
+    for (int c = 0; c < len; ++c) {
+        const double* pc = p + c * s;
+        for (int b = 0; b < tb; ++b) tile[b * pitch + c] = pc[b];
+    }
+}
+
+/// Inverse of transpose_in: scatter `tb` contiguous tile rows back into
+/// the field, again moving whole unit-stride runs per row cell.
+void transpose_out(Field& dst, int dim, int c0, int t1, int t2, int len,
+                   int tb, const double* tile, int pitch) {
+    int i = 0, j = 0, k = 0;
+    cell_of(dim, c0, t1, t2, i, j, k);
+    double* p = dst.ptr(i, j, k);
+    const std::ptrdiff_t s = dst.stride(dim);
+    for (int c = 0; c < len; ++c) {
+        double* pc = p + c * s;
+        for (int b = 0; b < tb; ++b) pc[b] = tile[b * pitch + c];
     }
 }
 
 /// Flux divergence + non-conservative sources for cells [c, c+W) of one
 /// pencil. `flux` is SoA over faces (flux[q * fstride + f], fstride =
-/// n + 1), `rowsc` points at cell 0 of the gathered primitive pencil
-/// (value of equation q at cell c is rowsc[q * row_len + c]), and dq is
-/// reached through per-equation row pointers `dqp` with element stride
-/// `sd` (strided scatter for transverse sweeps). Per cell and equation the
-/// operation sequence matches the scalar loop exactly: flux difference
-/// first (assign via 0.0 - d when `accumulate` is false, preserving the
-/// bit pattern of the former fill(0.0)-then-subtract path), then the
-/// advection du term, then the six-equation internal-energy term.
+/// n + 1); `rowc` and `dqp` are per-equation pointers to contiguous
+/// pencils positioned at sweep cell c_lo — either straight into the
+/// field (x-sweeps, unit stride) or into a transpose tile row. Per cell
+/// and equation the operation sequence matches the scalar loop exactly:
+/// flux difference first (assign via 0.0 - d when `accumulate` is false,
+/// preserving the bit pattern of the former fill(0.0)-then-subtract
+/// path), then the advection du term, then the six-equation
+/// internal-energy term.
 template <int W>
 void divergence_block(const EquationLayout& lay, bool accumulate, int c,
-                      int neq, double inv_dx, const double* rowsc, int row_len,
+                      int neq, double inv_dx, const double* const* rowc,
                       const double* flux, int fstride, const double* uface,
-                      double* const* dqp, std::ptrdiff_t sd) {
+                      double* const* dqp) {
     using V = simd::vd<W>;
     const V inv(inv_dx);
-    const std::ptrdiff_t off = c * sd;
     for (int q = 0; q < neq; ++q) {
         const double* fq = flux + static_cast<std::size_t>(q) * fstride;
         const V d = (V::load(fq + c + 1) - V::load(fq + c)) * inv;
-        double* dst = dqp[q] + off;
+        double* dst = dqp[q] + c;
         if (accumulate) {
-            simd::store_strided<W>(simd::load_strided<W>(dst, sd) - d, dst, sd);
+            (V::load(dst) - d).store(dst);
         } else {
-            simd::store_strided<W>(V(0.0) - d, dst, sd);
+            (V(0.0) - d).store(dst);
         }
     }
     const V du = (V::load(uface + c + 1) - V::load(uface + c)) * inv;
     for (int f2 = 0; f2 < lay.num_adv(); ++f2) {
         const int qa = lay.adv(f2);
-        const V av =
-            V::load(rowsc + static_cast<std::size_t>(qa) * row_len + c);
-        double* dst = dqp[qa] + off;
-        simd::store_strided<W>(simd::load_strided<W>(dst, sd) + av * du, dst,
-                               sd);
+        const V av = V::load(rowc[qa] + c);
+        double* dst = dqp[qa] + c;
+        (V::load(dst) + av * du).store(dst);
     }
     if (lay.model() == ModelKind::SixEquation) {
         for (int f2 = 0; f2 < lay.num_fluids(); ++f2) {
-            const V a = V::load(
-                rowsc + static_cast<std::size_t>(lay.adv(f2)) * row_len + c);
-            const V p = V::load(
-                rowsc +
-                static_cast<std::size_t>(lay.internal_energy(f2)) * row_len +
-                c);
-            double* dst = dqp[lay.internal_energy(f2)] + off;
-            simd::store_strided<W>(simd::load_strided<W>(dst, sd) - a * p * du,
-                                   dst, sd);
+            const V a = V::load(rowc[lay.adv(f2)] + c);
+            const V p = V::load(rowc[lay.internal_energy(f2)] + c);
+            double* dst = dqp[lay.internal_energy(f2)] + c;
+            (V::load(dst) - a * p * du).store(dst);
         }
     }
 }
@@ -152,17 +170,17 @@ void divergence_block(const EquationLayout& lay, bool accumulate, int c,
 /// (W = 1) tail over the same template — identical per-cell math.
 template <int W>
 void divergence_cells(const EquationLayout& lay, bool accumulate, int n,
-                      int neq, double inv_dx, const double* rowsc, int row_len,
+                      int neq, double inv_dx, const double* const* rowc,
                       const double* flux, int fstride, const double* uface,
-                      double* const* dqp, std::ptrdiff_t sd) {
+                      double* const* dqp) {
     int c = 0;
     for (; c + W <= n; c += W) {
-        divergence_block<W>(lay, accumulate, c, neq, inv_dx, rowsc, row_len,
-                            flux, fstride, uface, dqp, sd);
+        divergence_block<W>(lay, accumulate, c, neq, inv_dx, rowc, flux,
+                            fstride, uface, dqp);
     }
     for (; c < n; ++c) {
-        divergence_block<1>(lay, accumulate, c, neq, inv_dx, rowsc, row_len,
-                            flux, fstride, uface, dqp, sd);
+        divergence_block<1>(lay, accumulate, c, neq, inv_dx, rowc, flux,
+                            fstride, uface, dqp);
     }
 }
 
@@ -528,10 +546,14 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
     const int span2 = span.t2_hi - span.t2_lo;
 
     // Pencil geometry: edge reconstruction covers cells
-    // [c_lo - 1, c_hi], so the gathered row spans cells
+    // [c_lo - 1, c_hi], so each pencil spans cells
     // [c_lo - 1 - r, c_hi + r] — exactly the ghost depth the hyperbolic
     // stencil requested when the span touches the block face. row_at(c)
     // indexes a row-local cell by its *global* (block-local) coordinate.
+    // x-sweeps read the pencil in place: field rows are SoA-contiguous
+    // along x, so rowp[q] points straight at the backing store and the
+    // divergence writes dq the same way — zero gather/scatter. y/z
+    // sweeps stage kTileRows pencils at a time through a transpose tile.
     const int row_len = n + 2 * r + 2;
     const int row0 = span.c_lo - 1 - r;
     const auto row_at = [row0](int c) { return c - row0; };
@@ -555,12 +577,25 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
     // is itself measurable against the <2% budget.
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
+    const bool direct = dim == 0; // unit-stride: read/write fields in place
+    const int tmax = direct ? 1 : kTileRows;
+    const int prim_pitch = tile_pitch(row_len);
+    const int dq_pitch = tile_pitch(n);
+
     const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
                                                           long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
-        // Gathered SoA pencil: rows[q * row_len + row_at(c)].
-        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        // Transpose tiles (transverse sweeps only): equation q's pencil b
+        // lives at tile + (q * tmax + b) * pitch.
+        double* prim_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   prim_pitch);
+        double* dq_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   dq_pitch);
         // Edge values at cells [c_lo - 1, c_hi] and fluxes/velocities at
         // the faces [c_lo, c_hi]; face f separates cells f-1 and f.
         double* edge_left =
@@ -577,17 +612,60 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
         std::int64_t chunk_t0 = 0;
         if (timed) chunk_t0 = prof::clock_ns();
 
-        for (long long t = lo; t < hi; ++t) {
+        for (long long t = lo; t < hi;) {
             const int t1 = span.t1_lo + static_cast<int>(t % span1);
             const int t2 = span.t2_lo + static_cast<int>(t / span1);
-            const bool sample = timed && t % kSampleStride == 0;
+            // Tile height: up to kTileRows pencils, clipped to the t1
+            // line and to this chunk (chunks are partition-independent
+            // per-pencil work, so clipping only regroups pure copies).
+            const int tb =
+                direct ? 1
+                       : static_cast<int>(std::min<long long>(
+                             std::min<long long>(kTileRows, span1 - t % span1),
+                             hi - t));
+
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_in(prim_.eq(q), dim, row0, t1, t2, row_len, tb,
+                                 prim_tile + static_cast<std::size_t>(q) *
+                                                 tmax * prim_pitch,
+                                 prim_pitch);
+                }
+                if (accumulate) {
+                    for (int q = 0; q < neq; ++q) {
+                        transpose_in(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                     dq_tile + static_cast<std::size_t>(q) *
+                                                   tmax * dq_pitch,
+                                     dq_pitch);
+                    }
+                }
+            }
+
+            for (int b = 0; b < tb; ++b) {
+            const bool sample = timed && (t + b) % kSampleStride == 0;
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
             if (sample) t_start = prof::clock_ns();
 
-            for (int q = 0; q < neq; ++q) {
-                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
-                           rows + static_cast<std::size_t>(q) * row_len);
+            // Per-equation pencil pointers: straight into the field for
+            // x-sweeps, into the transpose tile for y/z.
+            const double* rowp[kMaxEqns];
+            double* dqp[kMaxEqns];
+            if (direct) {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_.eq(q).ptr(row0, t1, t2);
+                    dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                }
+            } else {
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_tile +
+                              static_cast<std::size_t>(q * tmax + b) *
+                                  prim_pitch;
+                    dqp[q] = dq_tile + static_cast<std::size_t>(q * tmax + b) *
+                                           dq_pitch;
+                }
             }
 
             // Edge reconstruction for cells [c_lo - 1, c_hi] (slots
@@ -595,7 +673,7 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
             // pencil: slot s is cell c_lo + s - 1, whose stencil center
             // sits at row index s + r.
             for (int q = 0; q < neq; ++q) {
-                const double* rq = rows + static_cast<std::size_t>(q) * row_len;
+                const double* rq = rowp[q];
                 double* el = edge_left + static_cast<std::size_t>(q) * ncells;
                 double* er = edge_right + static_cast<std::size_t>(q) * ncells;
                 int s = 0;
@@ -651,8 +729,7 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
                                  !ok_l || !ok_r;
                 if (!simd::any(bad)) return;
                 for (int q = 0; q < neq; ++q) {
-                    const BV v = BV::load(
-                        rows + static_cast<std::size_t>(q) * row_len + s + r);
+                    const BV v = BV::load(rowp[q] + s + r);
                     double* el =
                         edge_left + static_cast<std::size_t>(q) * ncells + s;
                     double* er =
@@ -720,18 +797,28 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
             }
 
             // Flux divergence and non-conservative sources, written
-            // through per-equation row pointers.
+            // through the per-equation pencil pointers (contiguous in
+            // both the direct and the tiled case).
             {
-                int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
-                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
-                double* dqp[kMaxEqns];
-                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
-                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(span.c_lo), row_len, flux_row,
-                                    nfaces, uface_row, dqp, sd);
+                const double* rowc[kMaxEqns];
+                for (int q = 0; q < neq; ++q) {
+                    rowc[q] = rowp[q] + row_at(span.c_lo);
+                }
+                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx, rowc,
+                                    flux_row, nfaces, uface_row, dqp);
             }
             if (sample) div_ns += prof::clock_ns() - t_mid;
+            } // for b
+
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_out(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                  dq_tile + static_cast<std::size_t>(q) *
+                                                tmax * dq_pitch,
+                                  dq_pitch);
+                }
+            }
+            t += tb;
         }
 
         if (timed && hi > lo) {
@@ -760,11 +847,23 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
 
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
+    const bool direct = dim == 0;
+    const int tmax = direct ? 1 : kTileRows;
+    const int prim_pitch = tile_pitch(row_len);
+    const int dq_pitch = tile_pitch(n);
+
     const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kWenoZone[dim], 0, rows_total, [&](long long lo,
                                                           long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
-        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        double* prim_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   prim_pitch);
+        double* dq_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   dq_pitch);
         // Fluxes stay SoA over faces to share the divergence kernel with
         // the component-wise path.
         double* flux_row =
@@ -776,17 +875,55 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
         std::int64_t chunk_t0 = 0;
         if (timed) chunk_t0 = prof::clock_ns();
 
-        for (long long t = lo; t < hi; ++t) {
+        for (long long t = lo; t < hi;) {
             const int t1 = span.t1_lo + static_cast<int>(t % span1);
             const int t2 = span.t2_lo + static_cast<int>(t / span1);
-            const bool sample = timed && t % kSampleStride == 0;
+            const int tb =
+                direct ? 1
+                       : static_cast<int>(std::min<long long>(
+                             std::min<long long>(kTileRows, span1 - t % span1),
+                             hi - t));
+
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_in(prim_.eq(q), dim, row0, t1, t2, row_len, tb,
+                                 prim_tile + static_cast<std::size_t>(q) *
+                                                 tmax * prim_pitch,
+                                 prim_pitch);
+                }
+                if (accumulate) {
+                    for (int q = 0; q < neq; ++q) {
+                        transpose_in(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                     dq_tile + static_cast<std::size_t>(q) *
+                                                   tmax * dq_pitch,
+                                     dq_pitch);
+                    }
+                }
+            }
+
+            for (int b = 0; b < tb; ++b) {
+            const bool sample = timed && (t + b) % kSampleStride == 0;
             std::int64_t t_start = 0;
             std::int64_t t_mid = 0;
             if (sample) t_start = prof::clock_ns();
 
-            for (int q = 0; q < neq; ++q) {
-                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
-                           rows + static_cast<std::size_t>(q) * row_len);
+            const double* rowp[kMaxEqns];
+            double* dqp[kMaxEqns];
+            if (direct) {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_.eq(q).ptr(row0, t1, t2);
+                    dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                }
+            } else {
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_tile +
+                              static_cast<std::size_t>(q * tmax + b) *
+                                  prim_pitch;
+                    dqp[q] = dq_tile + static_cast<std::size_t>(q * tmax + b) *
+                                           dq_pitch;
+                }
             }
 
             // Characteristic-wise reconstruction (Euler): at each face
@@ -808,8 +945,7 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
             for (int f = span.c_lo; f <= span.c_hi; ++f) {
                 const int fs = f - span.c_lo; // local face slot
                 for (int q = 0; q < neq; ++q) {
-                    const double* rq =
-                        rows + static_cast<std::size_t>(q) * row_len;
+                    const double* rq = rowp[q];
                     prim_avg[q] = 0.5 * (rq[row_at(f - 1)] + rq[row_at(f)]);
                 }
                 const EulerEigenvectors eig =
@@ -819,8 +955,7 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
                 double point[kMaxEqns];
                 for (int s = 0; s < cells; ++s) {
                     for (int q = 0; q < neq; ++q) {
-                        point[q] = rows[static_cast<std::size_t>(q) * row_len +
-                                        row_at(f - 1 - r + s)];
+                        point[q] = rowp[q][row_at(f - 1 - r + s)];
                     }
                     prim_to_cons(lay_, fluids_, point, cons_stencil[s]);
                     eig.to_characteristic(cons_stencil[s], w_stencil[s]);
@@ -850,15 +985,13 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
                 if (prim_l[lay_.cont(0)] <= 0.0 ||
                     prim_l[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
                     for (int q = 0; q < neq; ++q) {
-                        prim_l[q] = rows[static_cast<std::size_t>(q) * row_len +
-                                         row_at(f - 1)];
+                        prim_l[q] = rowp[q][row_at(f - 1)];
                     }
                 }
                 if (prim_r[lay_.cont(0)] <= 0.0 ||
                     prim_r[lay_.energy()] + fluids_[0].pi_inf <= 0.0) {
                     for (int q = 0; q < neq; ++q) {
-                        prim_r[q] = rows[static_cast<std::size_t>(q) * row_len +
-                                         row_at(f)];
+                        prim_r[q] = rowp[q][row_at(f)];
                     }
                 }
 
@@ -875,16 +1008,25 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
             }
 
             {
-                int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
-                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
-                double* dqp[kMaxEqns];
-                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
-                divergence_cells<1>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(span.c_lo), row_len, flux_row,
-                                    nfaces, uface_row, dqp, sd);
+                const double* rowc[kMaxEqns];
+                for (int q = 0; q < neq; ++q) {
+                    rowc[q] = rowp[q] + row_at(span.c_lo);
+                }
+                divergence_cells<1>(lay_, accumulate, n, neq, inv_dx, rowc,
+                                    flux_row, nfaces, uface_row, dqp);
             }
             if (sample) div_ns += prof::clock_ns() - t_mid;
+            } // for b
+
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_out(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                  dq_tile + static_cast<std::size_t>(q) *
+                                                tmax * dq_pitch,
+                                  dq_pitch);
+                }
+            }
+            t += tb;
         }
 
         if (timed && hi > lo) {
@@ -989,11 +1131,23 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
     const auto row_at = [row0](int c) { return c - row0; };
     const int nfaces = n + 1;
 
+    const bool direct = dim == 0;
+    const int tmax = direct ? 1 : kTileRows;
+    const int prim_pitch = tile_pitch(row_len);
+    const int dq_pitch = tile_pitch(n);
+
     const long long rows_total = static_cast<long long>(span1) * span2;
     exec::parallel_for(kIgrZone[dim], 0, rows_total, [&](long long lo,
                                                          long long hi) {
         exec::Arena::Frame frame(exec::scratch_arena());
-        double* rows = frame.doubles(static_cast<std::size_t>(neq) * row_len);
+        double* prim_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   prim_pitch);
+        double* dq_tile =
+            direct ? nullptr
+                   : frame.doubles(static_cast<std::size_t>(neq) * tmax *
+                                   dq_pitch);
         // Sigma at cells [c_lo - 1, c_hi], clamped to the interior
         // (homogeneous Neumann, consistent with the elliptic solve).
         double* sig_row = frame.doubles(static_cast<std::size_t>(n + 2));
@@ -1001,17 +1155,55 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
             frame.doubles(static_cast<std::size_t>(nfaces) * neq);
         double* uface_row = frame.doubles(static_cast<std::size_t>(nfaces));
 
-        for (long long t = lo; t < hi; ++t) {
+        for (long long t = lo; t < hi;) {
             const int t1 = span.t1_lo + static_cast<int>(t % span1);
             const int t2 = span.t2_lo + static_cast<int>(t / span1);
+            const int tb =
+                direct ? 1
+                       : static_cast<int>(std::min<long long>(
+                             std::min<long long>(kTileRows, span1 - t % span1),
+                             hi - t));
 
-            for (int q = 0; q < neq; ++q) {
-                gather_row(prim_.eq(q), dim, row0, t1, t2, row_len,
-                           rows + static_cast<std::size_t>(q) * row_len);
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_in(prim_.eq(q), dim, row0, t1, t2, row_len, tb,
+                                 prim_tile + static_cast<std::size_t>(q) *
+                                                 tmax * prim_pitch,
+                                 prim_pitch);
+                }
+                if (accumulate) {
+                    for (int q = 0; q < neq; ++q) {
+                        transpose_in(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                     dq_tile + static_cast<std::size_t>(q) *
+                                                   tmax * dq_pitch,
+                                     dq_pitch);
+                    }
+                }
+            }
+
+            for (int b = 0; b < tb; ++b) {
+            const double* rowp[kMaxEqns];
+            double* dqp[kMaxEqns];
+            if (direct) {
+                int i0 = 0, j0 = 0, k0 = 0;
+                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_.eq(q).ptr(row0, t1, t2);
+                    dqp[q] = dq.eq(q).ptr(i0, j0, k0);
+                }
+            } else {
+                for (int q = 0; q < neq; ++q) {
+                    rowp[q] = prim_tile +
+                              static_cast<std::size_t>(q * tmax + b) *
+                                  prim_pitch;
+                    dqp[q] = dq_tile + static_cast<std::size_t>(q * tmax + b) *
+                                           dq_pitch;
+                }
             }
             for (int c = span.c_lo - 1; c <= span.c_hi; ++c) {
                 int i = 0, j = 0, k = 0;
-                cell_of(dim, std::clamp(c, 0, n_full - 1), t1, t2, i, j, k);
+                cell_of(dim, std::clamp(c, 0, n_full - 1), t1 + b, t2, i, j,
+                        k);
                 sig_row[c - span.c_lo + 1] = sigma_(i, j, k);
             }
 
@@ -1025,9 +1217,7 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
                 BV pface[kMaxEqns], pl[kMaxEqns], pr[kMaxEqns];
                 BV fx[kMaxEqns];
                 for (int q = 0; q < neq; ++q) {
-                    const double* rq =
-                        rows + static_cast<std::size_t>(q) * row_len;
-                    const double* base = rq + row_at(span.c_lo + f);
+                    const double* base = rowp[q] + row_at(span.c_lo + f);
                     if (igr_.order >= 5) {
                         pface[q] = (-BV::load(base - 2) +
                                     BV(7.0) * BV::load(base - 1) +
@@ -1063,15 +1253,24 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
             }
 
             {
-                int i0 = 0, j0 = 0, k0 = 0;
-                cell_of(dim, span.c_lo, t1, t2, i0, j0, k0);
-                const std::ptrdiff_t sd = dq.eq(0).stride(dim);
-                double* dqp[kMaxEqns];
-                for (int q = 0; q < neq; ++q) dqp[q] = dq.eq(q).ptr(i0, j0, k0);
-                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx,
-                                    rows + row_at(span.c_lo), row_len, flux_row,
-                                    nfaces, uface_row, dqp, sd);
+                const double* rowc[kMaxEqns];
+                for (int q = 0; q < neq; ++q) {
+                    rowc[q] = rowp[q] + row_at(span.c_lo);
+                }
+                divergence_cells<W>(lay_, accumulate, n, neq, inv_dx, rowc,
+                                    flux_row, nfaces, uface_row, dqp);
             }
+            } // for b
+
+            if (!direct) {
+                for (int q = 0; q < neq; ++q) {
+                    transpose_out(dq.eq(q), dim, span.c_lo, t1, t2, n, tb,
+                                  dq_tile + static_cast<std::size_t>(q) *
+                                                tmax * dq_pitch,
+                                  dq_pitch);
+                }
+            }
+            t += tb;
         }
     });
 }

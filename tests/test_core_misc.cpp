@@ -119,8 +119,23 @@ TEST(Field, InactiveDimensionsCarryNoGhosts) {
     EXPECT_EQ(f.gx(), 3);
     EXPECT_EQ(f.gy(), 0);
     EXPECT_EQ(f.gz(), 0);
-    // Total storage is (8+6) x 1 x 1.
+    // Addressable cells per row are (8+6) x 1 x 1; storage pads each row
+    // up to a multiple of 8 doubles so rows start 64-byte-aligned.
+    EXPECT_EQ(f.row_length(), 14);
+    EXPECT_EQ(f.padded_row_length(), 16);
+    EXPECT_EQ(f.raw().size(), 16u);
+}
+
+TEST(Field, UnpaddedLayoutMatchesRowLength) {
+    // The legacy layout (test_layout.cpp's reference) allocates exactly
+    // the addressable cells; flipping the switch only affects later
+    // resizes.
+    set_field_row_padding(false);
+    Field f(Extents{8, 1, 1}, 3);
+    set_field_row_padding(true);
+    EXPECT_EQ(f.padded_row_length(), 14);
     EXPECT_EQ(f.raw().size(), 14u);
+    EXPECT_EQ(f.stride(1), 14);
 }
 
 TEST(Field, InteriorSumExcludesGhosts) {

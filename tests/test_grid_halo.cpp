@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/cart.hpp"
+#include "core/field.hpp"
 #include "grid/grid.hpp"
 #include "grid/halo.hpp"
 
@@ -74,6 +76,28 @@ TEST(Decompose, BlocksTileTheGlobalGrid) {
 
 TEST(Decompose, MoreRanksThanCellsThrows) {
     EXPECT_THROW((void)decompose(Extents{4, 1, 1}, {5, 1, 1}, {0, 0, 0}), Error);
+}
+
+// --- storage layout ----------------------------------------------------
+
+TEST(Layout, RowStartsAreCacheLineAligned) {
+    // The padded SoA layout rounds every x-row (ghosts included) up to a
+    // multiple of 8 doubles and backs the Field with 64-byte-aligned
+    // storage, so each row start — the address an x-sweep vector-loads
+    // from — sits on its own cache-line boundary for every (j, k).
+    for (const int nx : {4, 5, 11, 16}) {
+        Field f(Extents{nx, 3, 2}, 2);
+        EXPECT_EQ(f.padded_row_length() % 8, 0) << "nx " << nx;
+        EXPECT_GE(f.padded_row_length(), f.row_length());
+        for (int k = -2; k < 4; ++k) {
+            for (int j = -2; j < 5; ++j) {
+                const auto addr =
+                    reinterpret_cast<std::uintptr_t>(f.ptr(-2, j, k));
+                EXPECT_EQ(addr % 64u, 0u)
+                    << "nx " << nx << " row (" << j << ", " << k << ")";
+            }
+        }
+    }
 }
 
 // --- halo pack/unpack -------------------------------------------------

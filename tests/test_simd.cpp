@@ -144,7 +144,7 @@ std::vector<double> final_state(const CaseConfig& config, int width) {
     sim.run();
     std::vector<double> out;
     for (int q = 0; q < sim.state().num_eqns(); ++q) {
-        const std::vector<double>& raw = sim.state().eq(q).raw();
+        const auto& raw = sim.state().eq(q).raw();
         out.insert(out.end(), raw.begin(), raw.end());
     }
     return out;

@@ -271,13 +271,16 @@ int cmd_ubench(const Args& args) {
     if (args.has("help")) {
         std::printf(
             "mfc ubench [--cells <n>] [--reps <n>] [--width <1|2|4|8>]\n"
-            "           [-o <out.yml>]\n\n"
+            "           [-o <out.yml>] [--check <ref.yml>]\n\n"
             "Time each hot pencil kernel standalone on deterministic\n"
             "synthetic rows (min over --reps): ns/cell, achieved effective\n"
             "bandwidth, and the roofline estimate on the reference core\n"
             "(src/perf/kernel_model.hpp). --width pins the simd width\n"
             "(default: MFC_SIMD_WIDTH or 4); results are bitwise identical\n"
-            "at every width, only the timing changes.\n");
+            "at every width, only the timing changes.\n"
+            "--check compares the guarded kernels against a reference\n"
+            "band (ubench: section with ns_per_cell + tolerance entries)\n"
+            "and exits 1 on a regression beyond the tolerance factor.\n");
         return 0;
     }
     perf::UbenchOptions opts;
@@ -322,6 +325,54 @@ int cmd_ubench(const Args& args) {
         }
         out.save(args.get("o"));
         std::printf("\nwrote %s\n", args.get("o").c_str());
+    }
+
+    if (args.has("check")) {
+        // Perf smoke (tools/tier1.sh): every kernel named in the
+        // reference band must stay within its tolerance factor of the
+        // checked-in ns/cell. The band is deliberately wide — it guards
+        // against order-of-magnitude regressions (a reintroduced
+        // gather/scatter, a dropped vectorization), not run-to-run noise.
+        const Yaml ref = Yaml::load(args.get("check"));
+        if (!ref.contains("ubench")) {
+            std::fprintf(stderr, "ubench --check: %s has no ubench section\n",
+                         args.get("check").c_str());
+            return 1;
+        }
+        const Yaml& band = ref.at("ubench");
+        int failures = 0;
+        for (const std::string& kernel : band.keys()) {
+            const Yaml& node = band.at(kernel);
+            const double ref_ns = node.at("ns_per_cell").value().as_double();
+            const double tol = node.contains("tolerance")
+                                   ? node.at("tolerance").value().as_double()
+                                   : 1.25;
+            double got_ns = -1.0;
+            for (const perf::UbenchResult& r : results) {
+                if (r.name == kernel) got_ns = r.ns_per_cell;
+            }
+            if (got_ns < 0.0) {
+                std::fprintf(stderr,
+                             "ubench --check: kernel '%s' in %s is not "
+                             "registered\n",
+                             kernel.c_str(), args.get("check").c_str());
+                ++failures;
+                continue;
+            }
+            const double limit = ref_ns * tol;
+            if (got_ns > limit) {
+                std::fprintf(stderr,
+                             "ubench --check: %s regressed: %.2f ns/cell > "
+                             "%.2f (ref %.2f x tol %.2f)\n",
+                             kernel.c_str(), got_ns, limit, ref_ns, tol);
+                ++failures;
+            } else {
+                std::printf("check %-14s %.2f ns/cell within %.2f (ref %.2f "
+                            "x tol %.2f)\n",
+                            kernel.c_str(), got_ns, limit, ref_ns, tol);
+            }
+        }
+        if (failures > 0) return 1;
     }
     return 0;
 }

@@ -32,6 +32,14 @@ OVER_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --overlap --hash \
 # report finite timings at a non-default simd width.
 "$MFC" ubench --cells 512 --reps 3 --width 2 -o "$BUILD_DIR/tier1_ubench.yml"
 
+# Perf smoke: the grindtime-dominant kernels must stay inside the
+# checked-in reference band (tools/ubench_ref.yml) — catches
+# order-of-magnitude regressions like a reintroduced gather/scatter.
+# Skippable on slow or throttled hosts.
+if [ "${MFC_SKIP_PERF_SMOKE:-0}" != "1" ]; then
+    "$MFC" ubench --cells 4096 --reps 9 --check tools/ubench_ref.yml
+fi
+
 # Profiling smoke: serial and decomposed, with trace + YAML export.
 "$MFC" profile --standard 12 --steps 2 --warmup 1 \
     --trace "$BUILD_DIR/tier1_trace.json" --yaml "$BUILD_DIR/tier1_prof.yml"
@@ -80,18 +88,20 @@ if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     TSAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j
-    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched')
+    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched|layout')
 fi
 
 # Undefined-behavior smoke: rebuild with MFCPP_SANITIZE=undefined and run
-# the "simd"-labeled tests. The branch-free Riemann kernels compute
-# discarded select lanes; UBSan proves those lanes stay UB-free at every
-# width. MFCPP_SANITIZE=off skips both sanitizer legs.
+# the "simd"- and "layout"-labeled tests. The branch-free Riemann kernels
+# compute discarded select lanes; UBSan proves those lanes stay UB-free
+# at every width, and the layout parity suite exercises the direct
+# from-field load paths and transpose tiles under the same scrutiny.
+# MFCPP_SANITIZE=off skips both sanitizer legs.
 if [ "${MFCPP_SANITIZE:-undefined}" != "off" ]; then
     UBSAN_DIR="$BUILD_DIR-ubsan"
     cmake -B "$UBSAN_DIR" -S . -DMFCPP_SANITIZE=undefined
     cmake --build "$UBSAN_DIR" -j
-    (cd "$UBSAN_DIR" && ctest --output-on-failure -L simd)
+    (cd "$UBSAN_DIR" && ctest --output-on-failure -L 'simd|layout')
 fi
 
 echo "tier1: OK"
