@@ -7,6 +7,7 @@
 
 #include "core/hash.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::comm {
 
@@ -16,6 +17,17 @@ std::uint64_t payload_hash(const std::vector<unsigned char>& payload) {
     return fnv1a64(std::string_view(
         reinterpret_cast<const char*>(payload.data()), payload.size()));
 }
+
+// Registry handles for the comm subsystem. Message and byte counts are
+// workload-determined (Det); blocking-wait time is wall-clock (Timing).
+telemetry::Counter t_messages("comm.messages");
+telemetry::Counter t_bytes("comm.bytes");
+telemetry::Histogram t_msg_sizes("comm.msg_bytes");
+telemetry::Counter t_recv_wait("comm.recv_wait_ns", telemetry::Klass::Timing);
+telemetry::Counter t_retries("resilience.retries");
+telemetry::Counter t_lost("resilience.messages_lost");
+telemetry::Counter t_heartbeats("resilience.heartbeats");
+telemetry::Counter t_detections("resilience.detections");
 
 } // namespace
 
@@ -58,9 +70,13 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
         std::chrono::milliseconds backoff = world_->resilience_.op_timeout;
         for (int attempt = 0;; ++attempt) {
             if (world_->hook_->on_send(rank_, dest, tag, attempt, msg.payload)) {
+                if (attempt > 0) t_retries.add(attempt);
                 break;
             }
             if (attempt >= world_->resilience_.max_retries) {
+                t_retries.add(attempt);
+                t_lost.add(1);
+                telemetry::record_event("msg_lost", dest, tag);
                 world_->tick_heartbeat(rank_);
                 return; // message lost
             }
@@ -78,6 +94,9 @@ void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) 
     world_->messages_.fetch_add(1, std::memory_order_relaxed);
     world_->bytes_.fetch_add(static_cast<std::int64_t>(bytes),
                              std::memory_order_relaxed);
+    t_messages.add(1);
+    t_bytes.add(static_cast<std::int64_t>(bytes));
+    t_msg_sizes.record(static_cast<std::int64_t>(bytes));
     world_->tick_heartbeat(rank_);
 }
 
@@ -87,6 +106,8 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
     prof::Zone zone("comm_recv");
     zone.add_bytes(static_cast<std::int64_t>(bytes));
     MFC_REQUIRE(source >= 0 && source < world_->size(), "recv: bad source rank");
+    const std::int64_t wait_t0 =
+        telemetry::armed() ? telemetry::clock_ns() : -1;
     World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
     const ResilienceConfig& rc = world_->resilience_;
     std::unique_lock<std::mutex> lock(box.mutex);
@@ -96,6 +117,9 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
         rc.armed ? world_->heartbeat_of(source) : 0;
     for (;;) {
         if (world_->try_match_locked(box, rank_, source, tag, data, bytes)) {
+            if (wait_t0 >= 0) {
+                t_recv_wait.add(telemetry::clock_ns() - wait_t0);
+            }
             return;
         }
         if (world_->failed_.load()) world_->throw_peer_failure("recv");
@@ -205,6 +229,8 @@ std::size_t Communicator::wait_any(std::vector<Request>& requests) {
     // Blocking exposure accounted like recv: the zone spans the wait, and
     // the completed request's bytes are credited on the way out.
     prof::Zone zone("comm_recv");
+    const std::int64_t wait_t0 =
+        telemetry::armed() ? telemetry::clock_ns() : -1;
     World::Mailbox& box =
         *world.mailboxes_[static_cast<std::size_t>(comm->rank_)];
     const ResilienceConfig& rc = world.resilience_;
@@ -237,6 +263,9 @@ std::size_t Communicator::wait_any(std::vector<Request>& requests) {
             if (matched) {
                 r.pending_ = false;
                 zone.add_bytes(static_cast<std::int64_t>(r.bytes_));
+                if (wait_t0 >= 0) {
+                    t_recv_wait.add(telemetry::clock_ns() - wait_t0);
+                }
                 return i;
             }
         }
@@ -321,7 +350,10 @@ void Communicator::barrier() {
     world_->tick_heartbeat(rank_);
 }
 
-void Communicator::heartbeat() { world_->tick_heartbeat(rank_); }
+void Communicator::heartbeat() {
+    t_heartbeats.add(1);
+    world_->tick_heartbeat(rank_);
+}
 
 namespace {
 
@@ -407,6 +439,7 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     threads.reserve(static_cast<std::size_t>(nranks_));
     for (int r = 0; r < nranks_; ++r) {
         threads.emplace_back([this, r, &fn, &errors] {
+            telemetry::set_thread_label("rank" + std::to_string(r));
             Communicator comm(*this, r);
             try {
                 fn(comm);
@@ -484,6 +517,10 @@ void World::note_dead(int rank, RankFailure::Cause cause) {
     int expected = RankFailure::kUnknownRank;
     if (dead_rank_.compare_exchange_strong(expected, rank)) {
         dead_cause_.store(static_cast<int>(cause));
+        // First writer wins, so each diagnosed failure counts once.
+        t_detections.add(1);
+        telemetry::record_event("rank_failure", rank,
+                                static_cast<std::int64_t>(cause));
     }
 }
 

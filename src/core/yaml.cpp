@@ -1,5 +1,6 @@
 #include "core/yaml.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -47,6 +48,15 @@ void Yaml::set(Value v) {
 const Value& Yaml::value() const {
     MFC_REQUIRE(kind_ == Kind::Scalar, "Yaml: value() on non-scalar node");
     return scalar_;
+}
+
+void Yaml::sort_keys() {
+    if (kind_ == Kind::Map) {
+        std::sort(order_.begin(), order_.end());
+        for (auto& [key, child] : map_) child.sort_keys();
+    } else if (kind_ == Kind::List) {
+        for (Yaml& item : list_) item.sort_keys();
+    }
 }
 
 void Yaml::dump_into(std::string& out, int indent) const {

@@ -33,6 +33,11 @@ public:
     [[nodiscard]] bool contains(const std::string& key) const;
     /// Keys in insertion order (stable output for golden comparisons).
     [[nodiscard]] const std::vector<std::string>& keys() const { return order_; }
+    /// Reorder this map's keys (and, recursively, every nested map's) into
+    /// lexicographic order. Report sections built from unordered sources
+    /// call this so their serialization is canonical regardless of
+    /// insertion order. No-op on scalars and applied through list items.
+    void sort_keys();
 
     /// List access.
     void push_back(Yaml node);

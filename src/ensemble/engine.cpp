@@ -8,10 +8,31 @@
 #include "ensemble/cache.hpp"
 #include "ensemble/queue.hpp"
 #include "exec/exec.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::ensemble {
 
 namespace {
+
+// Delivered-job accounting; all Det — for a fixed job list and cache
+// state the delivered prefix is identical across worker counts, which is
+// exactly the engine's determinism contract.
+telemetry::Counter t_jobs_regression("ensemble.jobs.regression");
+telemetry::Counter t_jobs_bench("ensemble.jobs.bench");
+telemetry::Counter t_jobs_chaos("ensemble.jobs.chaos");
+telemetry::Counter t_jobs_uq("ensemble.jobs.uq");
+telemetry::Counter t_cache_hits("ensemble.cache_hits");
+telemetry::Counter t_cache_misses("ensemble.cache_misses");
+
+telemetry::Counter& kind_counter(JobKind kind) {
+    switch (kind) {
+    case JobKind::Regression: return t_jobs_regression;
+    case JobKind::Bench: return t_jobs_bench;
+    case JobKind::Chaos: return t_jobs_chaos;
+    case JobKind::Uq: return t_jobs_uq;
+    }
+    return t_jobs_regression;
+}
 
 /// Non-deterministic per-job measurements kept aside for the optional
 /// timing section.
@@ -30,6 +51,13 @@ CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
     const auto t0 = std::chrono::steady_clock::now();
     const int workers =
         options_.workers > 0 ? options_.workers : exec::num_threads();
+
+    // The campaign's numbers (steals, cache splits, jobs by kind) live in
+    // the telemetry registry; arm it for the duration and report deltas
+    // over this run's window so several campaigns can share a process.
+    const bool was_armed = telemetry::armed();
+    telemetry::set_armed(true);
+    const telemetry::Snapshot snap_before = telemetry::snapshot();
 
     WorkStealingQueue queue(workers, options_.queue_capacity);
     ResultCache cache(options_.cache_dir);
@@ -57,9 +85,14 @@ CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
             const JobResult& front = pending.begin()->second;
             if (front.from_cache) {
                 ++cached;
+                t_cache_hits.add(1);
             } else {
                 ++executed;
+                t_cache_misses.add(1);
             }
+            kind_counter(front.kind).add(1);
+            telemetry::record_event("job_delivered", front.index,
+                                    static_cast<std::int64_t>(front.kind));
             tally.on_result(front);
             for (Consumer* c : consumers_) c->on_result(front);
             if (options_.timing) {
@@ -120,6 +153,10 @@ CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
         }
     });
 
+    const telemetry::Snapshot campaign =
+        telemetry::delta(snap_before, telemetry::snapshot());
+    if (!was_armed) telemetry::set_armed(false);
+
     CampaignSummary s;
     s.total = static_cast<long long>(jobs.size());
     s.delivered = delivered;
@@ -128,7 +165,7 @@ CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
     s.passed = tally.passed();
     s.failed = tally.failed();
     s.cancelled = s.total - delivered;
-    s.steals = queue.steals();
+    s.steals = campaign.value("ensemble.steals");
     s.workers = workers;
     s.wall_s = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
@@ -146,6 +183,14 @@ CampaignSummary Engine::run(const std::vector<JobSpec>& jobs, Yaml& report) {
     summary["cache_hits"].set(Value(s.cached));
     tally.finalize(report);
     for (Consumer* c : consumers_) c->finalize(report);
+
+    // Canonical registry-sourced metrics, restricted to the engine's own
+    // counters: everything under the prefix is invariant across worker
+    // counts, so the report stays byte-identical across thread sweeps.
+    // (exec/comm counters from inside jobs are worker-dependent here —
+    // the campaign loop itself is a parallel_for — and stay out.)
+    telemetry::metrics_yaml(report, campaign, /*include_timing=*/false,
+                            "ensemble.");
 
     if (options_.timing) {
         Yaml& t = report["timing"];

@@ -1,8 +1,18 @@
 #include "ensemble/queue.hpp"
 
 #include "core/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::ensemble {
+
+namespace {
+
+/// Jobs taken from another worker's deque. Scheduling-dependent, so it
+/// lives in the registry's Sched class (read back via snapshot deltas —
+/// the queue keeps no counter of its own).
+telemetry::Counter t_steals("ensemble.steals", telemetry::Klass::Sched);
+
+} // namespace
 
 WorkStealingQueue::WorkStealingQueue(int workers, std::size_t capacity)
     : deques_(static_cast<std::size_t>(workers)), capacity_(capacity) {
@@ -67,7 +77,7 @@ std::optional<JobSpec> WorkStealingQueue::take_locked(int worker) {
     if (victim == deques_.size()) return std::nullopt;
     JobSpec job = std::move(deques_[victim].back());
     deques_[victim].pop_back();
-    ++steals_;
+    t_steals.add(1);
     return job;
 }
 
@@ -122,11 +132,6 @@ bool WorkStealingQueue::stopped() const {
 std::size_t WorkStealingQueue::pending() const {
     const std::lock_guard<std::mutex> lk(m_);
     return pending_locked();
-}
-
-long long WorkStealingQueue::steals() const {
-    const std::lock_guard<std::mutex> lk(m_);
-    return steals_;
 }
 
 } // namespace mfc::ensemble

@@ -56,8 +56,6 @@ public:
 
     [[nodiscard]] bool stopped() const;
     [[nodiscard]] std::size_t pending() const;
-    /// Jobs taken from another worker's deque (scheduling diagnostics).
-    [[nodiscard]] long long steals() const;
 
 private:
     [[nodiscard]] std::optional<JobSpec> take_locked(int worker);
@@ -69,7 +67,6 @@ private:
     std::vector<std::deque<JobSpec>> deques_;
     std::size_t capacity_;
     std::size_t next_ = 0; ///< round-robin cursor for push ties
-    long long steals_ = 0;
     bool closed_ = false;
     bool stopped_ = false;
 };

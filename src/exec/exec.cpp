@@ -11,6 +11,23 @@
 #include "core/error.hpp"
 #include "prof/prof.hpp"
 #include "simd/simd.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+// exec.rows counts loop iterations handed to parallel_for — the total is
+// independent of how they were chunked, so it is deterministic across
+// thread counts. Dispatch/inline splits and pool occupancy depend on
+// scheduling and stay in the Sched class.
+mfc::telemetry::Counter t_rows("exec.rows");
+mfc::telemetry::Counter t_dispatches("exec.dispatches",
+                                     mfc::telemetry::Klass::Sched);
+mfc::telemetry::Counter t_inline_runs("exec.inline_runs",
+                                      mfc::telemetry::Klass::Sched);
+mfc::telemetry::Gauge t_occupancy("exec.pool_occupancy");
+mfc::telemetry::Gauge t_arena_high("exec.arena_high_water_doubles");
+
+} // namespace
 
 namespace mfc::exec {
 
@@ -232,10 +249,12 @@ void parallel_for(const char* label, long long begin, long long end,
                   const ChunkFn& body) {
     const long long n = end - begin;
     if (n <= 0) return;
+    t_rows.add(n);
     Pool& pool = Pool::instance();
     const int nthreads = pool.threads();
     if (nthreads <= 1 || t_in_parallel) {
         // Serial identity: one chunk, inline, no extra zones.
+        t_inline_runs.add(1);
         const ParallelScope scope;
         body(begin, end);
         return;
@@ -246,7 +265,11 @@ void parallel_for(const char* label, long long begin, long long end,
         const long long hi = begin + n * (c + 1) / nchunks;
         if (lo < hi) body(lo, hi);
     };
-    if (!pool.dispatch(label, nchunks, chunk)) {
+    if (pool.dispatch(label, nchunks, chunk)) {
+        t_dispatches.add(1);
+        t_occupancy.max(std::min(nchunks, nthreads));
+    } else {
+        t_inline_runs.add(1);
         const ParallelScope scope;
         body(begin, end);
     }
@@ -266,6 +289,8 @@ double* Arena::alloc(std::size_t n) {
                 used_ += n;
                 std::fill(p, p + n, 0.0);
                 MFC_DBG_ASSERT(simd::is_aligned(p));
+                t_arena_high.max(static_cast<std::int64_t>(
+                    slab_ * kSlabDoubles + used_));
                 return p;
             }
             // Doesn't fit in the current slab: move to the next (existing

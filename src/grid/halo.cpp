@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "prof/prof.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc {
 
@@ -84,6 +85,16 @@ void unpack_face(Field& f, int dim, int side, bool interior, const double* buf) 
     }
 }
 
+namespace {
+
+/// Bytes sent per halo direction, identical between the synchronous
+/// exchange and the nonblocking channel (both send the same slabs).
+telemetry::Counter t_halo_bytes[3]{telemetry::Counter("halo.bytes.x"),
+                                   telemetry::Counter("halo.bytes.y"),
+                                   telemetry::Counter("halo.bytes.z")};
+
+} // namespace
+
 void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
     static constexpr const char* kZone[3] = {"halo_x", "halo_y", "halo_z"};
     if (state.num_eqns() == 0) return;
@@ -113,11 +124,14 @@ void exchange_halos_dim(comm::CartComm& cart, StateArray& state, int dim) {
     const int tag_down = 2 * dim + 1; // data moving toward -dim
 
     comm::Communicator& comm = cart.comm();
+    const auto slab_bytes = static_cast<std::int64_t>(count * sizeof(double));
     if (hi_nbr != comm::kProcNull) {
         comm.send_doubles(hi_nbr, tag_up, send_hi.data(), count);
+        t_halo_bytes[dim].add(slab_bytes);
     }
     if (lo_nbr != comm::kProcNull) {
         comm.send_doubles(lo_nbr, tag_down, send_lo.data(), count);
+        t_halo_bytes[dim].add(slab_bytes);
     }
     if (lo_nbr != comm::kProcNull) {
         comm.recv_doubles(lo_nbr, tag_up, recv_lo.data(), count);
@@ -181,10 +195,12 @@ void HaloChannel::post(comm::CartComm& cart, StateArray& state, int dim) {
     if (hi_nbr != comm::kProcNull) {
         (void)comm.isend(hi_nbr, tag_up, send_hi_.data(), bytes);
         bytes_posted_ += bytes;
+        t_halo_bytes[dim].add(static_cast<std::int64_t>(bytes));
     }
     if (lo_nbr != comm::kProcNull) {
         (void)comm.isend(lo_nbr, tag_down, send_lo_.data(), bytes);
         bytes_posted_ += bytes;
+        t_halo_bytes[dim].add(static_cast<std::int64_t>(bytes));
     }
     if (lo_nbr != comm::kProcNull) {
         lo_req_ = comm.irecv(lo_nbr, tag_up, recv_lo_.data(), bytes);

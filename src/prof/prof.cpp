@@ -313,6 +313,10 @@ std::vector<TraceEvent> trace_events() {
     return events;
 }
 
+std::int64_t epoch_t0_ns() {
+    return detail::g_epoch_t0.load(std::memory_order_relaxed);
+}
+
 std::string chrome_trace_json() {
     // The Trace Event Format's JSON-array flavor: complete ("X") events
     // with microsecond timestamps. Zone names are string literals from

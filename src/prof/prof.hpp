@@ -118,6 +118,11 @@ struct TraceEvent {
 
 [[nodiscard]] std::vector<TraceEvent> trace_events();
 
+/// Wall-clock origin of the current epoch's trace timestamps, for
+/// exporters (telemetry counter tracks) that merge their own events into
+/// the same timeline.
+[[nodiscard]] std::int64_t epoch_t0_ns();
+
 /// JSON-array Chrome trace format (load via chrome://tracing or Perfetto).
 [[nodiscard]] std::string chrome_trace_json();
 void write_chrome_trace(const std::string& path);

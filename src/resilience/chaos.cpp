@@ -55,6 +55,14 @@ ChaosReport run_campaign(const CaseConfig& config,
         report.interval = ref.resolved_interval;
     }
 
+    // Aggregate recovery tallies are read back from the registry as a
+    // delta over the trial window (the reference run above is excluded:
+    // fault-free, so it contributes nothing to the recovery counters but
+    // would inflate checkpoint totals).
+    const bool was_armed = telemetry::armed();
+    telemetry::set_armed(true);
+    const telemetry::Snapshot snap_before = telemetry::snapshot();
+
     for (int t = 0; t < options.trials; ++t) {
         FaultSpec spec;
         spec.kind = options.mix[static_cast<std::size_t>(t) %
@@ -103,11 +111,17 @@ ChaosReport run_campaign(const CaseConfig& config,
         }
         if (trial.completed)
             ++report.completed_trials;
-        report.rollbacks += trial.stats.rollbacks;
-        report.cold_restarts += trial.stats.cold_restarts;
-        report.steps_replayed += trial.stats.steps_replayed;
         report.trials.push_back(std::move(trial));
     }
+
+    report.metrics = telemetry::delta(snap_before, telemetry::snapshot());
+    if (!was_armed) telemetry::set_armed(false);
+    report.rollbacks =
+        static_cast<int>(report.metrics.value("resilience.rollbacks"));
+    report.cold_restarts =
+        static_cast<int>(report.metrics.value("resilience.cold_restarts"));
+    report.steps_replayed =
+        static_cast<int>(report.metrics.value("resilience.steps_replayed"));
 
     report.run_to_completion_rate =
         static_cast<double>(report.completed_trials) / options.trials;
@@ -142,6 +156,11 @@ Yaml ChaosReport::yaml() const {
     r["wasted_work_pct"].set(Value(wasted_work_pct));
 
     c["reference_state_hash"].set(Value(hex64(reference_hash)));
+
+    // Canonical registry-sourced section, restricted to the deterministic
+    // resilience counters so the report stays bitwise-reproducible.
+    telemetry::metrics_yaml(root, metrics, /*include_timing=*/false,
+                            "resilience.");
 
     Yaml& ts = c["trial_results"];
     for (const ChaosTrial& trial : trials) {

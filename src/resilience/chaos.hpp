@@ -8,6 +8,7 @@
 #include "resilience/fault.hpp"
 #include "resilience/recovery.hpp"
 #include "solver/case_config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::resilience {
 
@@ -65,6 +66,10 @@ struct ChaosReport {
     double wasted_work_pct = 0.0;
     std::uint64_t reference_hash = 0;
     std::vector<ChaosTrial> trials;
+    /// Registry delta over the trial window (the aggregate recovery
+    /// tallies above are read from it, not summed by hand); yaml() emits
+    /// its deterministic `resilience.*` counters as a metrics: section.
+    telemetry::Snapshot metrics;
 
     [[nodiscard]] Yaml yaml() const;
     /// Campaign acceptance: every trial ran to completion and every fired

@@ -13,8 +13,25 @@
 #include "comm/cart.hpp"
 #include "core/hash.hpp"
 #include "core/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::resilience {
+
+namespace {
+
+// Recovery accounting lives in the registry; RecoveryStats is filled from
+// snapshot deltas taken inside run() so there is exactly one source of
+// truth. All counts derive from the (deterministic) fault plan — Det —
+// except the checkpoint write time.
+telemetry::Counter t_rollbacks("resilience.rollbacks");
+telemetry::Counter t_cold_restarts("resilience.cold_restarts");
+telemetry::Counter t_steps_replayed("resilience.steps_replayed");
+telemetry::Counter t_checkpoints("resilience.checkpoints");
+telemetry::Counter t_ckpt_bytes("resilience.checkpoint_bytes");
+telemetry::Counter t_ckpt_ns("resilience.checkpoint_ns",
+                             telemetry::Klass::Timing);
+
+} // namespace
 
 double young_daly_interval_s(double mtbf_s, double ckpt_cost_s) {
     MFC_REQUIRE(mtbf_s > 0.0, "young_daly: MTBF must be positive");
@@ -49,6 +66,8 @@ std::string slurp(const std::string& path) {
 } // namespace
 
 void write_checkpoint(const Simulation& sim, const std::string& path) {
+    const std::int64_t t0 =
+        telemetry::armed() ? telemetry::clock_ns() : -1;
     const std::string tmp = path + ".tmp";
     sim.save_restart(tmp);
     const std::string bytes = slurp(tmp);
@@ -65,6 +84,9 @@ void write_checkpoint(const Simulation& sim, const std::string& path) {
     // complete new one, never a torn write.
     MFC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                 "checkpoint: rename failed: " + path);
+    t_ckpt_bytes.add(static_cast<std::int64_t>(bytes.size()) +
+                     2 * static_cast<std::int64_t>(sizeof(std::uint64_t)));
+    if (t0 >= 0) t_ckpt_ns.add(telemetry::clock_ns() - t0);
 }
 
 bool checkpoint_valid(const std::string& path) {
@@ -107,6 +129,13 @@ std::string ResilientRunner::checkpoint_path(int rank, int slot) const {
 RecoveryStats ResilientRunner::run(FaultInjector* injector) {
     RecoveryStats stats;
     stats.steps_total = config_.t_step_stop;
+
+    // Recovery accounting flows through the registry (and only through
+    // it): arm for the duration and read this run's numbers back as a
+    // snapshot delta at the end.
+    const bool was_armed = telemetry::armed();
+    telemetry::set_armed(true);
+    const telemetry::Snapshot snap_before = telemetry::snapshot();
 
     int interval = options_.checkpoint_interval;
     if (interval == 0) {
@@ -155,7 +184,6 @@ RecoveryStats ResilientRunner::run(FaultInjector* injector) {
     };
 
     std::atomic<int> committed_step{-1};
-    std::atomic<int> checkpoints{0};
     std::vector<int> fired_seen =
         injector != nullptr ? injector->fired_steps() : std::vector<int>{};
     std::uint64_t final_hash = 0;
@@ -175,7 +203,9 @@ RecoveryStats ResilientRunner::run(FaultInjector* injector) {
                             checkpoint_valid(
                                 checkpoint_path(r, slot_of(committed)));
             if (!all_valid) {
-                ++stats.cold_restarts;
+                t_cold_restarts.add(1);
+                telemetry::record_event("cold_restart", stats.attempts,
+                                        committed);
                 committed_step.store(-1);
             }
         }
@@ -209,7 +239,9 @@ RecoveryStats ResilientRunner::run(FaultInjector* injector) {
                         comm.barrier(); // every rank's file is on disk
                         if (rank == 0) {
                             committed_step.store(done);
-                            checkpoints.fetch_add(1);
+                            t_checkpoints.add(1);
+                            telemetry::record_event("checkpoint_commit",
+                                                    done, 0);
                         }
                         comm.barrier(); // commit visible before next epoch
                     }
@@ -239,10 +271,16 @@ RecoveryStats ResilientRunner::run(FaultInjector* injector) {
         } catch (const CheckpointError&) {
             // A checkpoint passed pre-validation but failed at load
             // (concurrent damage): fall back to the initial condition.
-            ++stats.cold_restarts;
+            t_cold_restarts.add(1);
             committed_step.store(-1);
-        } catch (const comm::RankFailure&) {
-            ++stats.rollbacks;
+        } catch (const comm::RankFailure& rf) {
+            t_rollbacks.add(1);
+            telemetry::record_event("rollback", stats.attempts,
+                                    committed_step.load());
+            // Flight-recorder dump for triage: the rings still hold the
+            // per-rank event tails leading up to the diagnosed failure.
+            telemetry::dump_postmortem(std::string("rank_failure: ") +
+                                       rf.what());
             if (injector != nullptr) {
                 // Deterministic wasted-work accounting: steps between the
                 // last committed checkpoint and the newest fault that
@@ -254,13 +292,22 @@ RecoveryStats ResilientRunner::run(FaultInjector* injector) {
                         newest = std::max(newest, now[i]);
                 fired_seen = now;
                 if (newest >= 0)
-                    stats.steps_replayed += std::max(
-                        0, newest - std::max(committed_step.load(), 0));
+                    t_steps_replayed.add(std::max(
+                        0, newest - std::max(committed_step.load(), 0)));
             }
         }
     }
 
-    stats.checkpoints_written = checkpoints.load();
+    const telemetry::Snapshot d =
+        telemetry::delta(snap_before, telemetry::snapshot());
+    if (!was_armed) telemetry::set_armed(false);
+    stats.rollbacks = static_cast<int>(d.value("resilience.rollbacks"));
+    stats.cold_restarts =
+        static_cast<int>(d.value("resilience.cold_restarts"));
+    stats.steps_replayed =
+        static_cast<int>(d.value("resilience.steps_replayed"));
+    stats.checkpoints_written =
+        static_cast<int>(d.value("resilience.checkpoints"));
     stats.state_hash = final_hash;
     stats.conserved = std::move(final_totals);
     stats.sim_time = final_time;

@@ -4,8 +4,19 @@
 
 #include "core/error.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::sched {
+
+namespace {
+
+// Graph and node counts are fixed by the configuration (Det); how often
+// a pollable was test-polled depends on message timing (Sched).
+telemetry::Counter t_graph_runs("sched.graph_runs");
+telemetry::Counter t_nodes("sched.nodes_executed");
+telemetry::Counter t_polls("sched.polls", telemetry::Klass::Sched);
+
+} // namespace
 
 TaskGraph::NodeId TaskGraph::add(const char* name, std::function<void()> fn) {
     MFC_ASSERT(!ran_);
@@ -138,6 +149,12 @@ void TaskGraph::run() {
         complete(comm, end - t0);
         ++done;
     }
+
+    t_graph_runs.add(1);
+    t_nodes.add(static_cast<std::int64_t>(n));
+    std::int64_t polls = 0;
+    for (const NodeStats& st : stats_) polls += st.polls;
+    t_polls.add(polls);
 }
 
 } // namespace mfc::sched

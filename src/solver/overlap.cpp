@@ -2,6 +2,7 @@
 
 #include "grid/grid.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc {
 
@@ -282,17 +283,23 @@ void OverlapRhs::evaluate(StateArray& q, StateArray& dq) {
         throw;
     }
 
+    // Overlap accounting goes straight to the telemetry registry — the
+    // single source of truth read by bench, mfc run, and the tests. "In
+    // flight" is the window from a halo post's completion to its wait's
+    // completion; "exposed" is the time actually spent inside the wait
+    // node; the difference is communication hidden under compute.
+    static telemetry::Counter t_in_flight("sched.comm_in_flight_ns",
+                                          telemetry::Klass::Timing);
+    static telemetry::Counter t_exposed("sched.comm_exposed_ns",
+                                        telemetry::Klass::Timing);
     const std::vector<sched::TaskGraph::NodeStats>& st = graph.stats();
     for (int d = 0; d < 3; ++d) {
         if (wait_id[d] < 0) continue;
         const auto& post = st[static_cast<std::size_t>(post_id[d])];
         const auto& wait = st[static_cast<std::size_t>(wait_id[d])];
-        stats_.comm_in_flight_ns += wait.done_ns - post.done_ns;
-        stats_.comm_exposed_ns += wait.exec_ns;
-        stats_.bytes +=
-            static_cast<std::int64_t>(channels_[d].bytes_posted());
+        t_in_flight.add(wait.done_ns - post.done_ns);
+        t_exposed.add(wait.exec_ns);
     }
-    ++stats_.graph_runs;
     last_nodes_ = st;
     last_trace_ = graph.trace();
 }

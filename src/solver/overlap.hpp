@@ -25,30 +25,6 @@ namespace mfc {
 /// thread count, independent of message arrival order.
 class OverlapRhs {
 public:
-    /// Accumulated overlap accounting across graph runs. "In flight" is
-    /// the window from a halo post's completion to its wait's completion;
-    /// "exposed" is the time actually spent inside the wait node (polls
-    /// plus the final blocking wait). Their difference is communication
-    /// hidden under compute.
-    struct Stats {
-        std::int64_t comm_in_flight_ns = 0;
-        std::int64_t comm_exposed_ns = 0;
-        std::int64_t bytes = 0;
-        long long graph_runs = 0;
-        [[nodiscard]] std::int64_t hidden_ns() const {
-            return std::max<std::int64_t>(0,
-                                          comm_in_flight_ns - comm_exposed_ns);
-        }
-        /// Fraction of in-flight communication time hidden under compute
-        /// (the overlap ratio reported by bench and EXPERIMENTS.md).
-        [[nodiscard]] double overlap_ratio() const {
-            return comm_in_flight_ns > 0
-                       ? static_cast<double>(hidden_ns()) /
-                             static_cast<double>(comm_in_flight_ns)
-                       : 0.0;
-        }
-    };
-
     /// `cart` may be null (serial block: the graph degenerates to the
     /// BC chain plus the core/shell sweeps — no communication nodes).
     /// `rhs` must outlive this object and is shared with the synchronous
@@ -61,9 +37,6 @@ public:
     /// Configurations the graph does not cover (characteristic-wise
     /// WENO, degenerate grids) take the synchronous reference path.
     void evaluate(StateArray& q, StateArray& dq);
-
-    [[nodiscard]] const Stats& stats() const { return stats_; }
-    void reset_stats() { stats_ = Stats{}; }
 
     /// True when evaluate() runs the task graph for this configuration.
     [[nodiscard]] bool graph_active() const { return graph_active_; }
@@ -95,7 +68,6 @@ private:
     int ghosts_[3] = {0, 0, 0}; ///< ghost layers per dimension
     bool graph_active_ = false;
     HaloChannel channels_[3];
-    Stats stats_;
     std::vector<sched::TaskGraph::NodeStats> last_nodes_;
     std::vector<sched::TaskGraph::NodeId> last_trace_;
 };

@@ -11,6 +11,14 @@
 #include "numerics/cfl.hpp"
 #include "numerics/relaxation.hpp"
 #include "prof/prof.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+mfc::telemetry::Counter t_steps("solver.steps");
+mfc::telemetry::Counter t_rhs_evals("solver.rhs_evals");
+
+} // namespace
 
 namespace mfc {
 
@@ -214,6 +222,7 @@ void Simulation::step() {
             rhs_->evaluate(q, dq);
         }
         ++rhs_count_;
+        t_rhs_evals.add(1);
     };
     StageFixupFn fixup;
     if (cfg_.model == ModelKind::SixEquation) {
@@ -228,6 +237,11 @@ void Simulation::step() {
     advance(cfg_.time_stepper, rhs_fn, dt, q_, scratch1_, scratch2_, fixup);
     sim_time_ += dt;
     ++steps_done_;
+    t_steps.add(1);
+    telemetry::record_event("step", steps_done_, rhs_count_);
+    // Counter tracks for the merged Chrome trace, one sample per step
+    // (no-op unless armed and tracing).
+    telemetry::sample_counters();
 }
 
 namespace {

@@ -1,0 +1,521 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "core/error.hpp"
+#include "prof/prof.hpp"
+
+namespace mfc::telemetry {
+
+namespace detail {
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_epoch{1};
+
+/// Upper bound on registered cells (counters/gauges take one, histograms
+/// 32). The registry is append-only and fixed-capacity so thread shards
+/// never reallocate under concurrent updates.
+constexpr std::uint32_t kMaxCells = 1024;
+/// Flight-recorder ring depth per thread.
+constexpr std::uint32_t kRingSlots = 256;
+
+struct MetricInfo {
+    const char* name = nullptr;
+    Kind kind = Kind::Counter;
+    Klass klass = Klass::Det;
+    std::uint32_t offset = 0;
+    std::uint32_t cells = 1;
+};
+
+struct RingEvent {
+    const char* name = nullptr;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+};
+
+/// Per-thread metric shard and flight-recorder ring. Cells are relaxed
+/// atomics: only the owning thread writes, but sample_counters() and
+/// crash-time dumps read concurrently, and relaxed loads keep that
+/// race-free (and TSan-clean). Everything else is owner-mutated and read
+/// only under the registry lock or while the thread is quiescent.
+struct ThreadState {
+    std::uint64_t epoch = 0;
+    std::uint32_t tid = 0;
+    std::string label;
+    std::atomic<std::int64_t> cells[kMaxCells] = {};
+    RingEvent ring[kRingSlots];
+    std::uint64_t ring_head = 0; ///< total events recorded this epoch
+
+    void clear() {
+        for (auto& c : cells) c.store(0, std::memory_order_relaxed);
+        ring_head = 0;
+    }
+};
+
+/// Owns every thread's shard so metrics and rings stay readable after
+/// simMPI rank threads join. Leaked deliberately (see prof::Registry).
+struct Registry {
+    std::mutex mutex;
+    std::vector<MetricInfo> metrics;
+    std::uint32_t next_cell = 0;
+    std::vector<std::unique_ptr<ThreadState>> states;
+    std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+ThreadState& state() {
+    thread_local ThreadState* st = [] {
+        Registry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.states.push_back(std::make_unique<ThreadState>());
+        reg.states.back()->tid = reg.next_tid++;
+        return reg.states.back().get();
+    }();
+    return *st;
+}
+
+/// Lazily drop a previous epoch's data before the first update after
+/// reset() — the same no-rendezvous discipline as prof.
+ThreadState& fresh_state() {
+    ThreadState& st = state();
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+    if (st.epoch != epoch) {
+        st.clear();
+        st.epoch = epoch;
+    }
+    return st;
+}
+
+} // namespace
+
+std::uint32_t register_metric(const char* name, Kind kind, Klass klass) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const MetricInfo& m : reg.metrics) {
+        if (std::strcmp(m.name, name) == 0) {
+            MFC_REQUIRE(m.kind == kind && m.klass == klass,
+                        std::string("telemetry: metric re-registered with a "
+                                    "different kind/class: ") +
+                            name);
+            return m.offset;
+        }
+    }
+    MetricInfo info;
+    info.name = name;
+    info.kind = kind;
+    info.klass = klass;
+    info.cells = kind == Kind::Histogram
+                     ? static_cast<std::uint32_t>(Histogram::kBuckets)
+                     : 1u;
+    MFC_REQUIRE(reg.next_cell + info.cells <= kMaxCells,
+                "telemetry: metric cell capacity exhausted");
+    info.offset = reg.next_cell;
+    reg.next_cell += info.cells;
+    reg.metrics.push_back(info);
+    return info.offset;
+}
+
+void cell_add(std::uint32_t offset, std::int64_t v) {
+    fresh_state().cells[offset].fetch_add(v, std::memory_order_relaxed);
+}
+
+void cell_max(std::uint32_t offset, std::int64_t v) {
+    std::atomic<std::int64_t>& cell = fresh_state().cells[offset];
+    if (v > cell.load(std::memory_order_relaxed)) {
+        cell.store(v, std::memory_order_relaxed);
+    }
+}
+
+void cell_bucket(std::uint32_t offset, std::int64_t v) {
+    const auto b = static_cast<std::uint32_t>(Histogram::bucket_of(v));
+    fresh_state().cells[offset + b].fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+bool armed() {
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+int Histogram::bucket_of(std::int64_t v) {
+    if (v <= 0) return 0;
+    int b = 1;
+    while (v > 1 && b < kBuckets - 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+void reset() {
+    detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_event(const char* name, std::int64_t a0, std::int64_t a1) {
+    if (!armed()) return;
+    detail::ThreadState& st = detail::fresh_state();
+    detail::RingEvent& slot =
+        st.ring[st.ring_head % detail::kRingSlots];
+    slot.name = name;
+    slot.a0 = a0;
+    slot.a1 = a1;
+    ++st.ring_head;
+}
+
+void set_thread_label(const std::string& label) {
+    detail::Registry& reg = detail::registry();
+    detail::ThreadState& st = detail::state();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    st.label = label;
+}
+
+// --- Snapshots ------------------------------------------------------------
+
+const MetricValue* Snapshot::find(const std::string& name) const {
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricValue& m, const std::string& n) { return m.name < n; });
+    if (it != metrics.end() && it->name == name) return &*it;
+    return nullptr;
+}
+
+std::int64_t Snapshot::value(const std::string& name) const {
+    const MetricValue* m = find(name);
+    return m != nullptr ? m->value : 0;
+}
+
+Snapshot snapshot() {
+    detail::Registry& reg = detail::registry();
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_relaxed);
+    Snapshot snap;
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    snap.metrics.reserve(reg.metrics.size());
+    for (const detail::MetricInfo& info : reg.metrics) {
+        MetricValue mv;
+        mv.name = info.name;
+        mv.kind = info.kind;
+        mv.klass = info.klass;
+        if (info.kind == Kind::Histogram) {
+            mv.buckets.assign(Histogram::kBuckets, 0);
+        }
+        for (const auto& st : reg.states) {
+            if (st->epoch != epoch) continue;
+            if (info.kind == Kind::Histogram) {
+                for (int b = 0; b < Histogram::kBuckets; ++b) {
+                    mv.buckets[static_cast<std::size_t>(b)] +=
+                        st->cells[info.offset + static_cast<std::uint32_t>(b)]
+                            .load(std::memory_order_relaxed);
+                }
+            } else if (info.kind == Kind::Gauge) {
+                mv.value = std::max(
+                    mv.value,
+                    st->cells[info.offset].load(std::memory_order_relaxed));
+            } else {
+                mv.value +=
+                    st->cells[info.offset].load(std::memory_order_relaxed);
+            }
+        }
+        snap.metrics.push_back(std::move(mv));
+    }
+    std::sort(snap.metrics.begin(), snap.metrics.end(),
+              [](const MetricValue& a, const MetricValue& b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+Snapshot delta(const Snapshot& before, const Snapshot& after) {
+    Snapshot out = after;
+    for (MetricValue& m : out.metrics) {
+        const MetricValue* prev = before.find(m.name);
+        if (prev == nullptr || m.kind == Kind::Gauge) continue;
+        if (m.kind == Kind::Histogram) {
+            for (std::size_t b = 0;
+                 b < m.buckets.size() && b < prev->buckets.size(); ++b) {
+                m.buckets[b] -= prev->buckets[b];
+            }
+        } else {
+            m.value -= prev->value;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string histogram_text(const std::vector<std::int64_t>& buckets) {
+    std::string out;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0) continue;
+        if (!out.empty()) out += ' ';
+        out += 'b' + std::to_string(b) + ':' + std::to_string(buckets[b]);
+    }
+    return out.empty() ? std::string("empty") : out;
+}
+
+void emit_class(Yaml& section, const Snapshot& snap, Klass klass,
+                const std::string& prefix) {
+    for (const MetricValue& m : snap.metrics) {
+        if (m.klass != klass) continue;
+        if (!prefix.empty() && m.name.rfind(prefix, 0) != 0) continue;
+        if (m.kind == Kind::Histogram) {
+            section[m.name].set(Value(histogram_text(m.buckets)));
+        } else {
+            section[m.name].set(Value(m.value));
+        }
+    }
+}
+
+} // namespace
+
+void metrics_yaml(Yaml& root, const Snapshot& snap, bool include_timing,
+                  const std::string& prefix) {
+    Yaml& metrics = root["metrics"];
+    emit_class(metrics["deterministic"], snap, Klass::Det, prefix);
+    if (include_timing) {
+        emit_class(metrics["scheduling"], snap, Klass::Sched, prefix);
+        emit_class(metrics["timing"], snap, Klass::Timing, prefix);
+    }
+}
+
+// --- Flight recorder dump -------------------------------------------------
+
+namespace {
+
+std::mutex g_postmortem_mutex;
+std::string g_postmortem_path; // NOLINT(runtime/string)
+std::once_flag g_handlers_once;
+std::terminate_handler g_prev_terminate = nullptr;
+
+void crash_dump(const char* reason) {
+    // Best-effort from a signal/terminate context: allocation and file
+    // I/O are not async-signal-safe, but the process is dying anyway and
+    // a truncated postmortem beats none.
+    dump_postmortem(reason);
+}
+
+void signal_handler(int sig) {
+    crash_dump(sig == SIGSEGV ? "signal:SIGSEGV" : "signal:SIGABRT");
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+[[noreturn]] void terminate_handler() {
+    crash_dump("terminate");
+    if (g_prev_terminate != nullptr) g_prev_terminate();
+    std::abort();
+}
+
+void install_crash_handlers() {
+    std::call_once(g_handlers_once, [] {
+        std::signal(SIGSEGV, signal_handler);
+        std::signal(SIGABRT, signal_handler);
+        g_prev_terminate = std::set_terminate(terminate_handler);
+    });
+}
+
+} // namespace
+
+void set_armed(bool on) {
+    if (on) {
+        const std::lock_guard<std::mutex> lock(g_postmortem_mutex);
+        if (g_postmortem_path.empty()) {
+            const char* env = std::getenv("MFC_POSTMORTEM");
+            if (env != nullptr && env[0] != '\0') {
+                g_postmortem_path = env;
+                install_crash_handlers();
+            }
+        }
+    }
+    detail::g_armed.store(on, std::memory_order_relaxed);
+}
+
+void set_postmortem_path(const std::string& path) {
+    const std::lock_guard<std::mutex> lock(g_postmortem_mutex);
+    g_postmortem_path = path;
+    if (!path.empty()) install_crash_handlers();
+}
+
+std::string postmortem_path() {
+    const std::lock_guard<std::mutex> lock(g_postmortem_mutex);
+    return g_postmortem_path;
+}
+
+std::string postmortem_yaml(const std::string& reason) {
+    detail::Registry& reg = detail::registry();
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_relaxed);
+
+    struct ThreadDump {
+        std::string label;
+        std::uint32_t tid = 0;
+        const detail::ThreadState* st = nullptr;
+    };
+    std::vector<ThreadDump> dumps;
+    Yaml root;
+    Yaml& pm = root["postmortem"];
+    pm["schema"].set(Value("mfc-postmortem-v1"));
+    pm["reason"].set(Value(reason));
+    {
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        for (const auto& st : reg.states) {
+            if (st->epoch != epoch || st->ring_head == 0) continue;
+            ThreadDump d;
+            d.label = st->label.empty()
+                          ? "thread" + std::to_string(st->tid)
+                          : st->label;
+            d.tid = st->tid;
+            d.st = st.get();
+            dumps.push_back(std::move(d));
+        }
+        std::sort(dumps.begin(), dumps.end(),
+                  [](const ThreadDump& a, const ThreadDump& b) {
+                      return a.label != b.label ? a.label < b.label
+                                                : a.tid < b.tid;
+                  });
+        Yaml& threads = pm["threads"];
+        for (const ThreadDump& d : dumps) {
+            std::string key = d.label;
+            while (threads.contains(key)) key += "+"; // duplicate labels
+            Yaml& t = threads[key];
+            t["events_recorded"].set(
+                Value(static_cast<long long>(d.st->ring_head)));
+            Yaml& events = t["events"];
+            const std::uint64_t head = d.st->ring_head;
+            const std::uint64_t first =
+                head > detail::kRingSlots ? head - detail::kRingSlots : 0;
+            for (std::uint64_t i = first; i < head; ++i) {
+                const detail::RingEvent& e =
+                    d.st->ring[i % detail::kRingSlots];
+                events.push_back(Yaml(Value(
+                    std::string(e.name) + " " + std::to_string(e.a0) + " " +
+                    std::to_string(e.a1))));
+            }
+        }
+    }
+    metrics_yaml(pm, snapshot(), /*include_timing=*/false);
+    return root.dump();
+}
+
+void dump_postmortem(const std::string& reason) {
+    const std::string path = postmortem_path();
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out.good()) return; // never throw from a crash path
+    out << postmortem_yaml(reason);
+}
+
+// --- Chrome-trace counter tracks ------------------------------------------
+
+namespace {
+
+struct CounterSample {
+    std::int64_t ts_ns = 0;
+    std::vector<std::pair<const char*, std::int64_t>> values;
+};
+
+struct SampleBuffer {
+    std::mutex mutex;
+    std::uint64_t epoch = 0;
+    std::vector<CounterSample> samples;
+};
+
+SampleBuffer& sample_buffer() {
+    static SampleBuffer* b = new SampleBuffer;
+    return *b;
+}
+
+} // namespace
+
+void sample_counters() {
+    if (!armed() || !prof::tracing()) return;
+    CounterSample sample;
+    sample.ts_ns = clock_ns();
+    const Snapshot snap = snapshot();
+    for (const MetricValue& m : snap.metrics) {
+        if (m.kind == Kind::Histogram || m.klass == Klass::Timing) continue;
+        sample.values.emplace_back(m.name.c_str(), m.value);
+    }
+    // Name pointers must outlive the sample; re-point at the registered
+    // literals, which are immortal.
+    {
+        detail::Registry& reg = detail::registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        for (auto& [name, value] : sample.values) {
+            for (const detail::MetricInfo& info : reg.metrics) {
+                if (std::strcmp(info.name, name) == 0) {
+                    name = info.name;
+                    break;
+                }
+            }
+        }
+    }
+    SampleBuffer& buf = sample_buffer();
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(buf.mutex);
+    if (buf.epoch != epoch) {
+        buf.samples.clear();
+        buf.epoch = epoch;
+    }
+    buf.samples.push_back(std::move(sample));
+}
+
+std::string chrome_trace_json() {
+    // Same JSON-array flavor as prof::chrome_trace_json(), with "C"
+    // counter events appended so Perfetto renders per-metric tracks under
+    // the phase timeline.
+    std::string out = "[\n";
+    bool first = true;
+    char buf[256];
+    for (const prof::TraceEvent& e : prof::trace_events()) {
+        if (!first) out += ",\n";
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"cat\":\"mfc\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                      e.name, e.ts_us, e.dur_us, e.tid);
+        out += buf;
+    }
+    const std::int64_t t0 = prof::epoch_t0_ns();
+    SampleBuffer& sbuf = sample_buffer();
+    const std::lock_guard<std::mutex> lock(sbuf.mutex);
+    for (const CounterSample& s : sbuf.samples) {
+        const double ts_us = static_cast<double>(s.ts_ns - t0) * 1.0e-3;
+        for (const auto& [name, value] : s.values) {
+            if (!first) out += ",\n";
+            first = false;
+            std::snprintf(buf, sizeof buf,
+                          "{\"name\":\"%s\",\"cat\":\"mfc\",\"ph\":\"C\","
+                          "\"ts\":%.3f,\"pid\":0,\"args\":{\"value\":%lld}}",
+                          name, ts_us, static_cast<long long>(value));
+            out += buf;
+        }
+    }
+    out += "\n]\n";
+    return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+    std::ofstream out(path);
+    MFC_REQUIRE(out.good(), "telemetry: cannot open trace file: " + path);
+    out << chrome_trace_json();
+    MFC_REQUIRE(out.good(), "telemetry: trace write failed: " + path);
+}
+
+} // namespace mfc::telemetry

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/yaml.hpp"
+
+namespace mfc::telemetry {
+
+/// mfc::telemetry — process-wide metrics registry and flight recorder
+/// (the second observability pillar next to mfc::prof's phase timings).
+/// Subsystems declare metric handles once and bump them on the hot path:
+///
+///     static telemetry::Counter c_bytes("comm.bytes");
+///     c_bytes.add(static_cast<std::int64_t>(bytes));
+///
+/// Every thread shards its values into registry-owned thread-local cells
+/// (relaxed atomics, so live counter sampling for Chrome-trace counter
+/// tracks stays race-free under TSan), and snapshot() merges the shards
+/// in a fixed name-sorted order — the same ordered-merge discipline as
+/// exec::ordered_reduce — so deterministic metrics are byte-identical
+/// across thread counts and reruns.
+///
+/// Metrics are classified by emission class:
+///   - Det:    counts and bytes fully determined by the workload
+///             (byte-identical across reruns, thread counts, widths);
+///   - Sched:  counts that depend on scheduling (steals, dispatches,
+///             pool occupancy) — reproducible only in distribution;
+///   - Timing: nanosecond totals — never deterministic.
+/// YAML emission keeps the classes in separate subsections so reports
+/// stay byte-comparable while still carrying timing data on request
+/// (mirroring the ensemble `--timing` convention).
+///
+/// The flight recorder is a per-thread ring of the most recent structured
+/// events ({name, a0, a1} — no wall timestamps, so a dump of the same
+/// execution is bitwise-reproducible). On a crash, sanitizer abort, or
+/// resilience-detected RankFailure the rings are dumped to a postmortem
+/// YAML for triage.
+
+// --- Runtime control ------------------------------------------------------
+
+/// Master switch; disarmed metric updates cost one relaxed atomic load.
+[[nodiscard]] bool armed();
+void set_armed(bool on);
+
+/// Start a new measurement epoch: every thread's cells and ring are
+/// discarded lazily on its next update. Must not race active updates.
+void reset();
+
+/// Monotonic clock read for Timing-class metrics.
+[[nodiscard]] inline std::int64_t clock_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// --- Metric kinds and classes ---------------------------------------------
+
+enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+enum class Klass : std::uint8_t { Det, Sched, Timing };
+
+namespace detail {
+/// Register (or look up) a metric by name; returns its cell offset.
+/// Names must be string literals; re-registration with a different
+/// kind/class is an error.
+[[nodiscard]] std::uint32_t register_metric(const char* name, Kind kind,
+                                            Klass klass);
+void cell_add(std::uint32_t offset, std::int64_t v);
+void cell_max(std::uint32_t offset, std::int64_t v);
+void cell_bucket(std::uint32_t offset, std::int64_t v);
+} // namespace detail
+
+/// Monotonic counter; merge = sum across threads.
+class Counter {
+public:
+    explicit Counter(const char* name, Klass klass = Klass::Det)
+        : offset_(detail::register_metric(name, Kind::Counter, klass)) {}
+    void add(std::int64_t v = 1) {
+        if (armed()) detail::cell_add(offset_, v);
+    }
+
+private:
+    std::uint32_t offset_;
+};
+
+/// High-water gauge; merge = max across threads.
+class Gauge {
+public:
+    explicit Gauge(const char* name, Klass klass = Klass::Sched)
+        : offset_(detail::register_metric(name, Kind::Gauge, klass)) {}
+    void max(std::int64_t v) {
+        if (armed()) detail::cell_max(offset_, v);
+    }
+
+private:
+    std::uint32_t offset_;
+};
+
+/// Fixed 32-bucket log2 histogram. Bucket 0 counts v <= 0; bucket b in
+/// [1, 31] counts v in [2^(b-1), 2^b); the last bucket absorbs the tail.
+/// Merge = elementwise sum.
+class Histogram {
+public:
+    static constexpr int kBuckets = 32;
+    explicit Histogram(const char* name, Klass klass = Klass::Det)
+        : offset_(detail::register_metric(name, Kind::Histogram, klass)) {}
+    void record(std::int64_t v) {
+        if (armed()) detail::cell_bucket(offset_, v);
+    }
+    [[nodiscard]] static int bucket_of(std::int64_t v);
+
+private:
+    std::uint32_t offset_;
+};
+
+// --- Snapshots ------------------------------------------------------------
+
+struct MetricValue {
+    std::string name;
+    Kind kind = Kind::Counter;
+    Klass klass = Klass::Det;
+    std::int64_t value = 0;               ///< counter sum / gauge max
+    std::vector<std::int64_t> buckets;    ///< histogram only
+};
+
+struct Snapshot {
+    /// Sorted by name (the deterministic merge order).
+    std::vector<MetricValue> metrics;
+
+    [[nodiscard]] const MetricValue* find(const std::string& name) const;
+    /// Scalar value of a metric, 0 if absent.
+    [[nodiscard]] std::int64_t value(const std::string& name) const;
+};
+
+/// Merge every thread's cells for the current epoch. The hot path is
+/// wait-free, so cells of running threads read slightly stale values;
+/// call while instrumented threads are quiescent for exact totals.
+[[nodiscard]] Snapshot snapshot();
+
+/// after - before, metric-wise: counters and histograms subtract, gauges
+/// keep `after`'s value (a high-water mark has no meaningful delta).
+/// Emission sites report deltas over their measured window so one
+/// process can serve several instrumented runs.
+[[nodiscard]] Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+/// Emit `snap` into root["metrics"]: a `deterministic:` map always, and
+/// `scheduling:`/`timing:` maps when include_timing is set. Keys are the
+/// metric names (already sorted); histograms render as "b<i>:<count>"
+/// pairs of the non-empty buckets. A non-empty prefix keeps only metrics
+/// whose name starts with it.
+void metrics_yaml(Yaml& root, const Snapshot& snap, bool include_timing,
+                  const std::string& prefix = "");
+
+// --- Flight recorder ------------------------------------------------------
+
+/// Append a structured event to the calling thread's ring. `name` must be
+/// a string literal; the two payload slots carry event-defined integers
+/// (a step index, a byte count, a rank). No-op while disarmed.
+void record_event(const char* name, std::int64_t a0 = 0, std::int64_t a1 = 0);
+
+/// Label the calling thread in postmortem dumps ("rank0", "main").
+/// Threads with equal labels are ordered by registration.
+void set_thread_label(const std::string& label);
+
+/// Postmortem YAML (schema mfc-postmortem-v1): per-thread event tails,
+/// oldest first, threads sorted by (label, registration order). Events
+/// carry no wall timestamps, so the same execution dumps bitwise
+/// identically across reruns.
+[[nodiscard]] std::string postmortem_yaml(const std::string& reason);
+
+/// Write postmortem_yaml(reason) to the configured path; no-op when no
+/// path is set. Called on resilience-detected RankFailure and from the
+/// crash handlers.
+void dump_postmortem(const std::string& reason);
+
+/// Configure the postmortem destination and install the crash handlers
+/// (SIGSEGV/SIGABRT + std::terminate) on first use. An empty path
+/// disables dumping. The MFC_POSTMORTEM environment variable seeds the
+/// path at first arm.
+void set_postmortem_path(const std::string& path);
+[[nodiscard]] std::string postmortem_path();
+
+// --- Chrome-trace counter tracks ------------------------------------------
+
+/// Sample every Det/Sched counter into the trace counter buffer; called
+/// once per solver step. No-op unless armed and prof::tracing().
+void sample_counters();
+
+/// Chrome trace JSON merging prof's "X" phase events with "C" counter
+/// events from sample_counters(), one counter track per metric.
+[[nodiscard]] std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+} // namespace mfc::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <utility>
 
@@ -17,6 +18,7 @@
 #include "prof/report.hpp"
 #include "resilience/chaos.hpp"
 #include "solver/simulation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc::toolchain {
 
@@ -44,6 +46,20 @@ public:
     ProfilingScope(const ProfilingScope&) = delete;
     ProfilingScope& operator=(const ProfilingScope&) = delete;
     ~ProfilingScope() { prof::set_enabled(prev_); }
+
+private:
+    bool prev_;
+};
+
+/// Scoped arm of the telemetry registry, restoring the previous state.
+class TelemetryScope {
+public:
+    explicit TelemetryScope(bool on) : prev_(telemetry::armed()) {
+        telemetry::set_armed(on);
+    }
+    TelemetryScope(const TelemetryScope&) = delete;
+    TelemetryScope& operator=(const TelemetryScope&) = delete;
+    ~TelemetryScope() { telemetry::set_armed(prev_); }
 
 private:
     bool prev_;
@@ -242,10 +258,13 @@ BenchSuite::run_overlap_case(const std::string& name) const {
     const int nranks = std::max(2, ranks_);
     const int warmup = options_.warmup_steps;
     const ProfilingScope profiling(false);
+    const TelemetryScope telem(true);
 
     // One decomposed run; returns rank 0's grindtime, the rank-order FNV
-    // fold of the per-rank state hashes, and (overlap runs) the summed
-    // OverlapRhs counters.
+    // fold of the per-rank state hashes, and (overlap runs) the scheduler
+    // communication exposure read from the telemetry registry. Ranks are
+    // threads of this process, so the registry delta over the run window
+    // already is the all-rank sum the old per-rank allreduce computed.
     struct RunResult {
         double grind_ns = 0.0;
         std::uint64_t hash = 0;
@@ -254,6 +273,7 @@ BenchSuite::run_overlap_case(const std::string& name) const {
     };
     const auto measure = [&](bool overlap) {
         RunResult res;
+        telemetry::Snapshot before;
         comm::World world(nranks);
         world.run([&](comm::Communicator& comm) {
             const std::array<int, 3> dims = comm::dims_create(nranks, 3);
@@ -269,8 +289,12 @@ BenchSuite::run_overlap_case(const std::string& name) const {
             sim.initialize();
             for (int s = 0; s < warmup; ++s) sim.step();
             sim.reset_instrumentation();
-            if (overlap && sim.overlap() != nullptr)
-                sim.overlap()->reset_stats();
+            // Keep the warm-up out of the measured registry window:
+            // barriers guarantee every rank is done warming before rank 0
+            // snapshots, and none starts the timed run before it has.
+            comm.barrier();
+            if (comm.rank() == 0) before = telemetry::snapshot();
+            comm.barrier();
             sim.run();
             const std::uint64_t mine = sim.state_hash();
             if (comm.rank() == 0) {
@@ -286,18 +310,15 @@ BenchSuite::run_overlap_case(const std::string& name) const {
             } else {
                 comm.send(0, 902, &mine, sizeof mine);
             }
-            if (overlap && sim.overlap() != nullptr) {
-                const OverlapRhs::Stats& st = sim.overlap()->stats();
-                std::vector<double> sums = {
-                    static_cast<double>(st.comm_in_flight_ns),
-                    static_cast<double>(st.comm_exposed_ns)};
-                comm.allreduce(sums, mfc::comm::Communicator::Op::Sum);
-                if (comm.rank() == 0) {
-                    res.in_flight_ns = sums[0];
-                    res.exposed_ns = sums[1];
-                }
-            }
         });
+        if (overlap) {
+            const telemetry::Snapshot d =
+                telemetry::delta(before, telemetry::snapshot());
+            res.in_flight_ns =
+                static_cast<double>(d.value("sched.comm_in_flight_ns"));
+            res.exposed_ns =
+                static_cast<double>(d.value("sched.comm_exposed_ns"));
+        }
         return res;
     };
 
@@ -345,6 +366,11 @@ std::string build_flags() {
 } // namespace
 
 Yaml BenchSuite::run_all(const std::string& invocation) const {
+    // The whole suite runs with the registry armed; the summary's
+    // canonical `metrics:` section is the delta over the suite window.
+    const TelemetryScope telem(true);
+    const telemetry::Snapshot suite_before = telemetry::snapshot();
+
     Yaml root;
     root["metadata"]["invocation"].set(Value(invocation));
     root["metadata"]["mem_per_rank_gb"].set(Value(mem_gb_));
@@ -425,6 +451,8 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
             node["hash_match"].set(
                 Value(static_cast<long long>(r.hash_match ? 1 : 0)));
         }
+        // Canonical serialization regardless of case enumeration order.
+        ov.sort_keys();
     }
     if (options_.chaos_trials > 0) {
         // Deterministic chaos-campaign counters on a small standardized
@@ -452,7 +480,16 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
         rs["rollbacks"].set(Value(rep.rollbacks));
         rs["steps_replayed"].set(Value(rep.steps_replayed));
         rs["wasted_work_pct"].set(Value(rep.wasted_work_pct));
+        rs.sort_keys();
     }
+
+    // Registry counters over the whole suite: the deterministic class is
+    // always present (and gated by bench_diff's tolerance bands); the
+    // scheduling/timing classes ride along under --timing only, keeping
+    // the default summary byte-comparable across reruns.
+    telemetry::metrics_yaml(
+        root, telemetry::delta(suite_before, telemetry::snapshot()),
+        /*include_timing=*/options_.timing);
     return root;
 }
 
@@ -562,7 +599,9 @@ std::string meta_line(const Yaml* ref_meta, const Yaml* cand_meta,
 
 } // namespace
 
-std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
+std::string bench_diff_report(const Yaml& reference, const Yaml& candidate,
+                              int* failures) {
+    if (failures != nullptr) *failures = 0;
     // Provenance header: thread count, host, and build of each side —
     // a grindtime diff between different hosts or flag sets is a
     // different claim than one between two builds on the same machine.
@@ -680,30 +719,113 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate) {
     // would hide one-ulp differences.
     const Yaml* ref_ens = find(reference, "ensemble");
     const Yaml* cand_ens = find(candidate, "ensemble");
-    if (ref_ens == nullptr && cand_ens == nullptr) return out;
+    if (ref_ens != nullptr || cand_ens != nullptr) {
+        TextTable table({"Ensemble metric", "Reference", "Candidate"});
+        table.set_align(1, TextTable::Align::Right);
+        table.set_align(2, TextTable::Align::Right);
+        const std::vector<std::pair<std::string, int>> metrics = {
+            {"jobs", 0},     {"passed", 0},      {"failed", 0},
+            {"cancelled", 0}, {"uq_samples", 0},
+            {"uq_mean", 6},  {"uq_variance", 6},
+        };
+        for (const auto& [key, precision] : metrics) {
+            table.add_row({key, cell(ref_ens, key, precision),
+                           cell(cand_ens, key, precision)});
+        }
+        const auto text_cell = [](const Yaml* side, const std::string& key) {
+            const Yaml* child = side != nullptr ? find(*side, key) : nullptr;
+            if (child == nullptr || !child->is_scalar())
+                return std::string("n/a");
+            return child->value().to_string();
+        };
+        for (const char* key : {"mean_field_hash", "variance_field_hash"}) {
+            table.add_row(
+                {key, text_cell(ref_ens, key), text_cell(cand_ens, key)});
+        }
+        out += "\n";
+        out += table.str();
+    }
 
-    TextTable table({"Ensemble metric", "Reference", "Candidate"});
-    table.set_align(1, TextTable::Align::Right);
-    table.set_align(2, TextTable::Align::Right);
-    const std::vector<std::pair<std::string, int>> metrics = {
-        {"jobs", 0},     {"passed", 0},      {"failed", 0},
-        {"cancelled", 0}, {"uq_samples", 0},
-        {"uq_mean", 6},  {"uq_variance", 6},
-    };
-    for (const auto& [key, precision] : metrics) {
-        table.add_row({key, cell(ref_ens, key, precision),
-                       cell(cand_ens, key, precision)});
+    // Telemetry registry comparison (`metrics:` sections, one per class)
+    // with per-class tolerance bands. Deterministic counters are fully
+    // workload-determined, so anything past ±10% is a behavioral change
+    // (message counts, bytes moved, work items) and FAILs; scheduling
+    // counters reproduce only in distribution and get a 2x band; timing
+    // totals are machine-dependent and render informationally.
+    const Yaml* ref_m = find(reference, "metrics");
+    const Yaml* cand_m = find(candidate, "metrics");
+    if (ref_m != nullptr && cand_m != nullptr) {
+        TextTable mt({"Metric", "Reference", "Candidate", "Ratio", "Band",
+                      "Verdict"});
+        for (int col = 1; col <= 3; ++col)
+            mt.set_align(col, TextTable::Align::Right);
+        const auto numeric = [](const Yaml& node, double& v) {
+            if (!node.is_scalar()) return false;
+            const std::string s = node.value().to_string();
+            char* end = nullptr;
+            v = std::strtod(s.c_str(), &end);
+            return end != s.c_str() && *end == '\0';
+        };
+        int fails = 0;
+        struct Band {
+            const char* section;
+            double lo, hi;
+            bool gated;
+        };
+        constexpr Band kBands[] = {{"deterministic", 0.90, 1.10, true},
+                                   {"scheduling", 0.50, 2.00, true},
+                                   {"timing", 0.0, 0.0, false}};
+        for (const Band& band : kBands) {
+            const Yaml* r = find(*ref_m, band.section);
+            const Yaml* c = find(*cand_m, band.section);
+            if (r == nullptr || c == nullptr) continue;
+            const std::string band_str =
+                band.gated ? format_fixed(band.lo, 2) + ".." +
+                                 format_fixed(band.hi, 2)
+                           : "info";
+            for (const std::string& name : r->keys()) {
+                const Yaml* cv = find(*c, name);
+                if (cv == nullptr) continue; // metric added/removed: skip
+                double rv = 0.0;
+                double cv_d = 0.0;
+                const bool rn = numeric(r->at(name), rv);
+                const bool cn = numeric(*cv, cv_d);
+                if (!rn || !cn) {
+                    // Histograms render as bucket strings: deterministic
+                    // ones must match exactly.
+                    const std::string rs = r->at(name).is_scalar()
+                                               ? r->at(name).value().to_string()
+                                               : "?";
+                    const std::string cs =
+                        cv->is_scalar() ? cv->value().to_string() : "?";
+                    const bool ok = !band.gated || rs == cs;
+                    if (!ok) ++fails;
+                    mt.add_row({name, rs, cs, "-", band.gated ? "exact" : "info",
+                                ok ? "ok" : "FAIL"});
+                    continue;
+                }
+                std::string ratio = "n/a";
+                bool ok = true;
+                if (rv > 0.0) {
+                    const double q = cv_d / rv;
+                    ratio = format_fixed(q, 3);
+                    ok = !band.gated || (q >= band.lo && q <= band.hi);
+                } else if (band.gated) {
+                    ok = cv_d == 0.0; // 0 -> nonzero is out of any band
+                }
+                if (!ok) ++fails;
+                mt.add_row({name, format_fixed(rv, 0), format_fixed(cv_d, 0),
+                            ratio, band_str, ok ? "ok" : "FAIL"});
+            }
+        }
+        out += "\n";
+        out += mt.str();
+        if (fails > 0) {
+            out += "\n" + std::to_string(fails) +
+                   " metric(s) out of tolerance band\n";
+        }
+        if (failures != nullptr) *failures = fails;
     }
-    const auto text_cell = [](const Yaml* side, const std::string& key) {
-        const Yaml* child = side != nullptr ? find(*side, key) : nullptr;
-        if (child == nullptr || !child->is_scalar()) return std::string("n/a");
-        return child->value().to_string();
-    };
-    for (const char* key : {"mean_field_hash", "variance_field_hash"}) {
-        table.add_row({key, text_cell(ref_ens, key), text_cell(cand_ens, key)});
-    }
-    out += "\n";
-    out += table.str();
     return out;
 }
 

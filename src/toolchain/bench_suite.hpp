@@ -60,6 +60,11 @@ struct BenchOptions {
     /// overlap ratio (communication hidden / in flight), and whether the
     /// two runs were bitwise identical.
     bool overlap = false;
+    /// Also emit the scheduling/timing classes of the telemetry registry
+    /// in the summary's `metrics:` section (--timing). The deterministic
+    /// class is always emitted; the non-deterministic classes are opt-in
+    /// so the default summary stays byte-comparable.
+    bool timing = false;
 };
 
 /// The automated benchmark suite (Section 5): five cases covering the
@@ -116,7 +121,15 @@ private:
 /// comparing the chaos-campaign and campaign-engine counters (a side or
 /// key missing — e.g. a baseline predating `mfc bench --ensemble` —
 /// renders as "n/a", never a throw).
+///
+/// When both sides carry a telemetry `metrics:` section, a final table
+/// compares the registry counters with per-class tolerance bands:
+/// deterministic metrics must agree within ±10%, scheduling metrics
+/// within a 2x band, and timing metrics are informational. Every
+/// out-of-band metric adds a FAIL row and increments `*failures` (when
+/// given) — `mfc bench-diff` turns a non-zero count into exit code 1.
 [[nodiscard]] std::string bench_diff_report(const Yaml& reference,
-                                            const Yaml& candidate);
+                                            const Yaml& candidate,
+                                            int* failures = nullptr);
 
 } // namespace mfc::toolchain

@@ -13,6 +13,7 @@
 #include "resilience/fault.hpp"
 #include "sched/sched.hpp"
 #include "solver/simulation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mfc {
 namespace {
@@ -347,8 +348,15 @@ TEST(OverlapGraph, NoBoundaryWorkBeforeItsHaloWait) {
     });
 }
 
-TEST(OverlapGraph, StatsAccumulateAcrossRuns) {
+TEST(OverlapGraph, TelemetryAccumulatesAcrossRuns) {
+    // The per-run accounting moved into the telemetry registry: graph
+    // runs, halo bytes, and communication exposure are read back as a
+    // snapshot delta over the run window.
     const CaseConfig c = overlap_case_2d(3);
+    const bool was_armed = telemetry::armed();
+    telemetry::set_armed(true);
+    const telemetry::Snapshot before = telemetry::snapshot();
+    long long evals = 0;
     comm::World world(2);
     world.run([&](comm::Communicator& comm) {
         comm::CartComm cart(comm, {2, 1, 1}, {true, true, true});
@@ -357,14 +365,25 @@ TEST(OverlapGraph, StatsAccumulateAcrossRuns) {
         sim.initialize();
         sim.run();
         ASSERT_NE(sim.overlap(), nullptr);
-        const auto& st = sim.overlap()->stats();
-        EXPECT_EQ(st.graph_runs, sim.rhs_evals());
-        EXPECT_GT(st.bytes, 0);
-        EXPECT_GE(st.comm_in_flight_ns, 0);
-        const double ratio = st.overlap_ratio();
-        EXPECT_GE(ratio, 0.0);
-        EXPECT_LE(ratio, 1.0);
+        if (comm.rank() == 0) evals = sim.rhs_evals();
     });
+    const telemetry::Snapshot d =
+        telemetry::delta(before, telemetry::snapshot());
+    if (!was_armed) telemetry::set_armed(false);
+    // Every rank runs the graph once per RHS evaluation; the registry is
+    // process-wide, so the count is ranks x rhs_evals.
+    EXPECT_EQ(d.value("sched.graph_runs"), 2 * evals);
+    EXPECT_GT(d.value("sched.nodes_executed"), 0);
+    EXPECT_GT(d.value("halo.bytes.x"), 0);
+    const double in_flight =
+        static_cast<double>(d.value("sched.comm_in_flight_ns"));
+    const double exposed =
+        static_cast<double>(d.value("sched.comm_exposed_ns"));
+    EXPECT_GE(in_flight, 0.0);
+    const double ratio =
+        in_flight > 0.0 ? std::max(0.0, in_flight - exposed) / in_flight : 0.0;
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
 }
 
 // --- resilience through the nonblocking path ----------------------------

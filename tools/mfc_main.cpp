@@ -42,6 +42,7 @@
 #include "resilience/chaos.hpp"
 #include "solver/case_config.hpp"
 #include "solver/simulation.hpp"
+#include "telemetry/telemetry.hpp"
 #include "toolchain/case_io.hpp"
 #include "toolchain/toolchain.hpp"
 
@@ -189,7 +190,10 @@ int cmd_bench(const Args& args) {
                     "                              RHS, bitwise-compared)\n"
                     "          [--ensemble <n>]    add an ensemble: section\n"
                     "                              from a deterministic n-job\n"
-                    "                              UQ campaign\n");
+                    "                              UQ campaign\n"
+                    "          [--timing]          add the scheduling: and\n"
+                    "                              timing: telemetry classes\n"
+                    "                              to the metrics: section\n");
         return 0;
     }
     const Toolchain tc;
@@ -200,6 +204,7 @@ int cmd_bench(const Args& args) {
     options.profile = !args.has("no-profile");
     options.chaos_trials = static_cast<int>(parse_int(args.get("chaos", "0")));
     options.overlap = args.has("overlap");
+    options.timing = args.has("timing");
     if (args.has("threads")) {
         options.thread_counts.clear();
         for (const std::string& t : split(args.get("threads"), ',')) {
@@ -246,6 +251,9 @@ int cmd_bench(const Args& args) {
         e["variance_field_hash"].set(
             Value(ensemble::hex64(ensemble::MomentFieldAccumulator::field_hash(
                 moments.moments().variance()))));
+        // Same canonical ordering as the suite's overlap:/resilience:
+        // sections, so two summaries diff structurally.
+        e.sort_keys();
     }
     if (args.has("o")) {
         out.save(args.get("o"));
@@ -263,8 +271,12 @@ int cmd_bench_diff(const Args& args) {
     }
     const Yaml ref = Yaml::load(args.positional()[0]);
     const Yaml cand = Yaml::load(args.positional()[1]);
-    std::fputs(bench_diff_report(ref, cand).c_str(), stdout);
-    return 0;
+    int metric_failures = 0;
+    std::fputs(bench_diff_report(ref, cand, &metric_failures).c_str(), stdout);
+    // Out-of-band telemetry metrics gate the diff: a candidate that moves
+    // a deterministic counter past its tolerance band exits non-zero so
+    // CI can fail the regression.
+    return metric_failures > 0 ? 1 : 0;
 }
 
 int cmd_ubench(const Args& args) {
@@ -381,7 +393,7 @@ int cmd_run(const Args& args) {
     if (args.has("help") || args.positional().empty()) {
         std::printf(
             "mfc run <case-file> [--out <golden.txt>] [--threads <n>]\n"
-            "        [--ranks <r>] [--overlap] [--hash]\n\n"
+            "        [--ranks <r>] [--overlap] [--hash] [--metrics <f.yml>]\n\n"
             "  --ranks <r>   decomposed run through simMPI (default: serial)\n"
             "  --overlap     route RHS evaluations through the task-graph\n"
             "                scheduler (src/sched): halos are posted\n"
@@ -389,13 +401,17 @@ int cmd_run(const Args& args) {
             "                are in flight; bitwise-identical to the\n"
             "                synchronous path\n"
             "  --hash        print the FNV-1a state hash (combined across\n"
-            "                ranks in rank order) instead of golden output\n");
+            "                ranks in rank order) instead of golden output\n"
+            "  --metrics <f> write the deterministic telemetry counters of\n"
+            "                the run to <f> (byte-identical across reruns\n"
+            "                and thread counts)\n");
         return args.has("help") ? 0 : 2;
     }
     if (args.has("threads")) {
         exec::set_num_threads(static_cast<int>(parse_int(args.get("threads"))));
     }
-    if (args.has("ranks") || args.has("overlap") || args.has("hash")) {
+    if (args.has("ranks") || args.has("overlap") || args.has("hash") ||
+        args.has("metrics")) {
         // The scheduler/decomposition path: run the case as a simulation
         // (serial or rank-decomposed), optionally through the overlap
         // graph, and report the combined bitwise state hash so sync and
@@ -406,10 +422,15 @@ int cmd_run(const Args& args) {
         MFC_REQUIRE(ranks >= 1, "run: --ranks must be positive");
         const bool overlap = args.has("overlap");
 
+        // Overlap accounting and the --metrics report both read the
+        // telemetry registry as a delta over the run window.
+        const bool telem_prev = telemetry::armed();
+        telemetry::set_armed(true);
+        const telemetry::Snapshot tel_before = telemetry::snapshot();
+
         std::uint64_t combined = 0xcbf29ce484222325ull;
         double wall_s = 0.0;
         long long evals = 0;
-        OverlapRhs::Stats ostats;
         const int ndims = (config.grid.cells.nx > 1 ? 1 : 0) +
                           (config.grid.cells.ny > 1 ? 1 : 0) +
                           (config.grid.cells.nz > 1 ? 1 : 0);
@@ -443,26 +464,13 @@ int cmd_run(const Args& args) {
             } else {
                 comm.send(0, 901, &mine, sizeof mine);
             }
-            if (overlap && sim.overlap() != nullptr) {
-                const OverlapRhs::Stats& s = sim.overlap()->stats();
-                // Report the max exposed / min hidden rank as the honest
-                // number; here we fold rank 0's stats plus gathered sums.
-                const double fields[4] = {
-                    static_cast<double>(s.comm_in_flight_ns),
-                    static_cast<double>(s.comm_exposed_ns),
-                    static_cast<double>(s.bytes),
-                    static_cast<double>(s.graph_runs)};
-                std::vector<double> sums(fields, fields + 4);
-                comm.allreduce(sums, mfc::comm::Communicator::Op::Sum);
-                if (comm.rank() == 0) {
-                    ostats.comm_in_flight_ns =
-                        static_cast<std::int64_t>(sums[0]);
-                    ostats.comm_exposed_ns = static_cast<std::int64_t>(sums[1]);
-                    ostats.bytes = static_cast<std::int64_t>(sums[2]);
-                    ostats.graph_runs = static_cast<long long>(sums[3]);
-                }
-            }
         });
+
+        // Ranks are in-process threads, so the process-wide registry delta
+        // is already the all-rank sum the old per-rank allreduce computed.
+        const telemetry::Snapshot tel =
+            telemetry::delta(tel_before, telemetry::snapshot());
+        telemetry::set_armed(telem_prev);
 
         std::printf("case: %s  (%d rank%s, %d steps, %s RHS)\n",
                     config.title.c_str(), ranks, ranks == 1 ? "" : "s",
@@ -470,13 +478,28 @@ int cmd_run(const Args& args) {
         std::printf("state hash: 0x%016llx\n",
                     static_cast<unsigned long long>(combined));
         std::printf("walltime: %.3f s  (%lld RHS evals)\n", wall_s, evals);
-        if (overlap && ostats.graph_runs > 0) {
+        if (overlap && tel.value("sched.graph_runs") > 0) {
+            const double in_flight =
+                static_cast<double>(tel.value("sched.comm_in_flight_ns"));
+            const double exposed =
+                static_cast<double>(tel.value("sched.comm_exposed_ns"));
+            const double halo_bytes =
+                static_cast<double>(tel.value("halo.bytes.x") +
+                                    tel.value("halo.bytes.y") +
+                                    tel.value("halo.bytes.z"));
+            const double hidden = std::max(0.0, in_flight - exposed);
             std::printf("overlap: ratio %.3f  (hidden %.3f ms of %.3f ms "
                         "in-flight, %.2f MiB halos)\n",
-                        ostats.overlap_ratio(),
-                        static_cast<double>(ostats.hidden_ns()) * 1.0e-6,
-                        static_cast<double>(ostats.comm_in_flight_ns) * 1.0e-6,
-                        static_cast<double>(ostats.bytes) / (1024.0 * 1024.0));
+                        in_flight > 0.0 ? hidden / in_flight : 0.0,
+                        hidden * 1.0e-6, in_flight * 1.0e-6,
+                        halo_bytes / (1024.0 * 1024.0));
+        }
+        if (args.has("metrics")) {
+            Yaml m;
+            m["schema"].set(Value("mfc-metrics-v1"));
+            telemetry::metrics_yaml(m, tel, /*include_timing=*/false);
+            m.save(args.get("metrics"));
+            std::printf("wrote %s\n", args.get("metrics").c_str());
         }
         return 0;
     }
@@ -565,6 +588,9 @@ int cmd_profile(const Args& args) {
 
     prof::set_enabled(true);
     prof::set_tracing(args.has("trace"));
+    // Counter tracks ride along in the trace: the per-step registry
+    // samples merge into the phase events as Chrome "C" rows.
+    if (args.has("trace")) telemetry::set_armed(true);
 
     const long long cells = config.grid.total_cells();
     const int eqns = config.layout().num_eqns();
@@ -669,7 +695,7 @@ int cmd_profile(const Args& args) {
                 decomposition.total_grind_ns);
 
     if (args.has("trace")) {
-        prof::write_chrome_trace(args.get("trace"));
+        telemetry::write_chrome_trace(args.get("trace"));
         std::printf("wrote %s (open via chrome://tracing or ui.perfetto.dev)\n",
                     args.get("trace").c_str());
     }
@@ -717,6 +743,9 @@ int cmd_chaos(const Args& args) {
             "  --retries <n>       detector retries before diagnosis "
             "(default 5)\n"
             "  --no-reference      skip the fault-free reference run\n"
+            "  --postmortem <f>    dump the flight-recorder rings to <f> on\n"
+            "                      each diagnosed failure (also honors the\n"
+            "                      MFC_POSTMORTEM environment variable)\n"
             "  -o <report.yml>     write the YAML report\n\n"
             "Exit status 0 iff every trial completed and every detectable\n"
             "fault was detected.\n");
@@ -753,6 +782,9 @@ int cmd_chaos(const Args& args) {
         std::chrono::milliseconds(parse_int(args.get("timeout-ms", "5")));
     opts.recovery.comm.max_retries =
         static_cast<int>(parse_int(args.get("retries", "5")));
+    if (args.has("postmortem")) {
+        telemetry::set_postmortem_path(args.get("postmortem"));
+    }
 
     const resilience::ChaosReport report =
         resilience::run_campaign(config, opts);
@@ -1125,6 +1157,7 @@ int main(int argc, char** argv) {
         bool_flags.push_back("hash");
     }
     if (tool == "bench" || tool == "scale") bool_flags.push_back("overlap");
+    if (tool == "bench") bool_flags.push_back("timing");
     const Args args(argc - 2, argv + 2, bool_flags);
     try {
         if (tool == "tools") return cmd_tools();

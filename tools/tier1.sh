@@ -28,6 +28,20 @@ OVER_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --overlap --hash \
     echo "tier1: overlap hash $OVER_HASH != sync hash $SYNC_HASH" >&2
     exit 1; }
 
+# Telemetry determinism smoke: the deterministic metrics section written
+# by `mfc run --metrics` must be byte-identical across reruns and across
+# thread counts — counters merge in name-sorted order from thread-local
+# shards, so any partition-dependent count shows up as a cmp failure.
+"$MFC" run tests/data/sod.case --ranks 2 --metrics "$BUILD_DIR/tier1_m_a.yml"
+"$MFC" run tests/data/sod.case --ranks 2 --metrics "$BUILD_DIR/tier1_m_b.yml"
+"$MFC" run tests/data/sod.case --ranks 2 --threads 2 \
+    --metrics "$BUILD_DIR/tier1_m_c.yml"
+cmp "$BUILD_DIR/tier1_m_a.yml" "$BUILD_DIR/tier1_m_b.yml" || {
+    echo "tier1: metrics not reproducible across reruns" >&2; exit 1; }
+cmp "$BUILD_DIR/tier1_m_a.yml" "$BUILD_DIR/tier1_m_c.yml" || {
+    echo "tier1: metrics not reproducible across thread counts" >&2
+    exit 1; }
+
 # Kernel microbenchmark smoke: every registered kernel must run and
 # report finite timings at a non-default simd width.
 "$MFC" ubench --cells 512 --reps 3 --width 2 -o "$BUILD_DIR/tier1_ubench.yml"
@@ -83,12 +97,16 @@ fi
 # — test_sched carries both labels, so the overlap executor's pollable
 # handoff runs under TSan here) so data races in the pencil kernels, the
 # campaign scheduler, or the RHS task graph fail tier-1, not production
-# runs. MFCPP_SANITIZE=off skips (e.g. toolchains without TSan runtimes).
+# runs. The "telemetry" label rides along in both sanitizer legs: the
+# registry's thread-local shards are read concurrently by trace sampling
+# and crash dumps (TSan), and the log2 bucket arithmetic must stay
+# UB-free (UBSan). MFCPP_SANITIZE=off skips (e.g. toolchains without
+# TSan runtimes).
 if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     TSAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j
-    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched|layout')
+    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched|layout|telemetry')
 fi
 
 # Undefined-behavior smoke: rebuild with MFCPP_SANITIZE=undefined and run
@@ -101,7 +119,7 @@ if [ "${MFCPP_SANITIZE:-undefined}" != "off" ]; then
     UBSAN_DIR="$BUILD_DIR-ubsan"
     cmake -B "$UBSAN_DIR" -S . -DMFCPP_SANITIZE=undefined
     cmake --build "$UBSAN_DIR" -j
-    (cd "$UBSAN_DIR" && ctest --output-on-failure -L 'simd|layout')
+    (cd "$UBSAN_DIR" && ctest --output-on-failure -L 'simd|layout|telemetry')
 fi
 
 echo "tier1: OK"
