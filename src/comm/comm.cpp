@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/hash.hpp"
+#include "exec/exec.hpp"
 #include "prof/prof.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -440,6 +441,11 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     for (int r = 0; r < nranks_; ++r) {
         threads.emplace_back([this, r, &fn, &errors] {
             telemetry::set_thread_label("rank" + std::to_string(r));
+            // Hybrid ranks×threads: rank r binds worker team r, so each
+            // rank's parallel_for dispatches onto its own disjoint
+            // thread team (carved from the process-wide core budget)
+            // instead of all ranks contending for one pool.
+            const exec::TeamGuard team(r);
             Communicator comm(*this, r);
             try {
                 fn(comm);

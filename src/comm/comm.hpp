@@ -221,8 +221,11 @@ public:
 
     [[nodiscard]] int size() const { return nranks_; }
 
-    /// Execute fn on every rank (one thread each) and join. Exceptions
-    /// thrown by any rank are collected and the first is rethrown.
+    /// Execute fn on every rank (one thread each) and join. Each rank
+    /// thread is bound to exec worker team r for its lifetime, so
+    /// `--ranks R --threads T` composes into R disjoint teams of T
+    /// threads (hybrid mode). Exceptions thrown by any rank are
+    /// collected and the first is rethrown.
     void run(const std::function<void(Communicator&)>& fn);
 
     /// One-shot: build a world, run, and return its traffic accounting.

@@ -9,12 +9,20 @@
 namespace mfc::exec {
 
 /// mfc::exec — the thread-parallel execution layer under the pencil
-/// kernels. One process-wide worker pool runs chunked loops with static
-/// row partitioning:
+/// kernels. The process owns a set of worker *teams*, each a disjoint
+/// group of threads carved from one process-wide core budget; chunked
+/// loops dispatch onto the calling thread's team with work-stealing
+/// chunk scheduling:
 ///
 ///     exec::parallel_for("weno_x", 0, rows, [&](long long lo, long long hi) {
 ///         for (long long row = lo; row < hi; ++row) { ... }
 ///     });
+///
+/// Hybrid ranks×threads execution (`mfc run --ranks R --threads T`):
+/// each simMPI rank thread binds its own team via TeamGuard (comm::World
+/// does this automatically), so R dispatchers each drive T threads
+/// without contending for a single pool — the single-node analogue of
+/// one MPI rank per device filled with fine-grained parallelism.
 ///
 /// Contracts the solver relies on:
 ///
@@ -23,29 +31,80 @@ namespace mfc::exec {
 ///    profile-identical to a plain loop. This is the default.
 ///  - **Partition independence.** Callers must make chunk bodies
 ///    independent (disjoint writes, no cross-row reads of written data),
-///    so results do not depend on where chunk boundaries fall; then
-///    `--threads N` reproduces `--threads 1` bitwise.
+///    so results do not depend on where chunk boundaries fall — nor on
+///    which thread ran a chunk. This is what makes work-stealing safe:
+///    stealing only changes *who* runs a chunk, never its bounds, so
+///    every `--ranks R --threads T` reproduces serial bitwise.
 ///  - **Nested and concurrent safety.** A parallel_for issued from inside
-///    a parallel region, or while another thread (e.g. a simMPI rank)
-///    holds the pool, degrades to the inline serial path instead of
+///    a parallel region, or while another thread holds the calling
+///    thread's team, degrades to the inline serial path instead of
 ///    deadlocking. Rank-level (simMPI) and row-level parallelism compose.
 ///  - **Deterministic reductions.** ordered_reduce splits [begin, end)
 ///    into a chunk grid that depends only on the range, evaluates the
-///    per-chunk partials in parallel, and combines them on the calling
-///    thread in a fixed pairwise tree order — run-to-run and
-///    thread-count-independent results for any combine operation.
+///    per-chunk partials in parallel (chunk c's partial lands in slot c
+///    no matter which thread computed it — owner-ordered completion),
+///    and combines them on the calling thread in a fixed pairwise tree
+///    order — run-to-run, thread-count- and rank-count-independent
+///    results for any combine operation. Cross-rank reductions layer a
+///    rank-ordered gather (comm::Communicator::allreduce) on top, so the
+///    two levels compose deterministically.
 ///
 /// Worker threads open a prof::Zone named after the loop label while
-/// executing their chunk, so profiles and Chrome traces attribute kernel
-/// time per thread (see docs/performance.md).
+/// executing their chunks, so profiles and Chrome traces attribute kernel
+/// time per thread; a nested parallel_for issued from inside a dispatched
+/// (possibly stolen) chunk opens the nested label's zone on the executing
+/// thread (see docs/performance.md).
 
-/// Configured worker count (>= 1). Initialized on first use from the
-/// MFC_NUM_THREADS environment variable, default 1.
+/// Configured worker-team width (threads per team, >= 1). Initialized on
+/// first use from the MFC_NUM_THREADS environment variable, default 1.
 [[nodiscard]] int num_threads();
 
-/// Set the worker count (--threads N). Blocks until the pool is idle;
-/// call from the main thread at startup, not from inside kernels.
+/// Set the per-team worker count (--threads N). Blocks until every team
+/// is idle; call from the main thread at startup, not from inside
+/// kernels.
 void set_num_threads(int n);
+
+/// Process-wide core budget: the total number of extra worker threads
+/// all teams together may spawn. Teams that would exceed it run with the
+/// slots the budget grants (down to dispatcher-only, i.e. inline).
+/// Initialized from MFC_CORE_BUDGET, default 256 (the hard thread cap).
+[[nodiscard]] int core_budget();
+void set_core_budget(int n);
+
+/// Chunk scheduling policy. Steal (the default) oversubscribes the chunk
+/// grid and lets idle slots pull chunks from the fullest peer, so
+/// mixed-cost rows (WENO5 vs IGR, boundary shell vs interior core) stop
+/// costing idle time; Static is the legacy one-contiguous-range-per-slot
+/// partitioning, kept selectable (MFC_EXEC_PARTITION=static) for A/B
+/// measurement. Results are bitwise identical either way.
+enum class Partition { Static, Steal };
+[[nodiscard]] Partition partition();
+void set_partition(Partition p);
+
+/// Transpose tile height for the solver's y/z sweeps: how many
+/// x-adjacent pencils are staged per tile. Compile-time default
+/// MFCPP_TILE_ROWS (8 = one 64-byte line of doubles), overridable at
+/// runtime via MFC_TILE_ROWS or set_tile_rows(); recorded in bench
+/// metadata. Any value >= 1 is bitwise-neutral (tiling only regroups
+/// pure copies).
+[[nodiscard]] int tile_rows();
+void set_tile_rows(int n);
+
+/// Binds the calling thread to worker team `team_id` for the guard's
+/// lifetime (previous binding restored on destruction). Teams are
+/// created lazily and persist for the process; threads that never bind
+/// share team 0. comm::World::run binds rank r to team r, which is what
+/// makes `--ranks R --threads T` a true R×T hybrid.
+class TeamGuard {
+public:
+    explicit TeamGuard(int team_id);
+    TeamGuard(const TeamGuard&) = delete;
+    TeamGuard& operator=(const TeamGuard&) = delete;
+    ~TeamGuard();
+
+private:
+    void* prev_;
+};
 
 /// True while the calling thread is executing a parallel_for/
 /// ordered_reduce body (used by the nested-dispatch guard; exposed for
@@ -55,10 +114,12 @@ void set_num_threads(int n);
 /// Chunk body: process rows [chunk_begin, chunk_end).
 using ChunkFn = std::function<void(long long, long long)>;
 
-/// Run `body` over [begin, end) split into one contiguous chunk per
-/// thread (static partitioning). Empty ranges return immediately; empty
-/// chunks are skipped. `label` must be a string literal (it keys
-/// prof zones by pointer).
+/// Run `body` over [begin, end) split into contiguous chunks dispatched
+/// on the calling thread's team (work-stealing by default; see
+/// Partition). Chunk boundaries depend only on the range and the
+/// configured thread count — never on which thread runs a chunk. Empty
+/// ranges return immediately; empty chunks are skipped. `label` must be
+/// a string literal (it keys prof zones by pointer).
 void parallel_for(const char* label, long long begin, long long end,
                   const ChunkFn& body);
 

@@ -17,13 +17,20 @@ std::string to_string(const IgrParams& p) {
 }
 
 void igr_elliptic_solve(const IgrParams& params, const Field& source,
-                        double dx, bool warm, Field& sigma) {
+                        double dx, bool warm, Field& sigma,
+                        const IgrInterfaceMask& iface,
+                        const std::function<void(Field&)>& exchange) {
     PROF_ZONE("igr_elliptic");
     MFC_REQUIRE(params.iter_solver == 1 || params.iter_solver == 2,
                 "igr_iter_solver must be 1 (Jacobi) or 2 (Gauss-Seidel)");
     const Extents e = source.extents();
     const double alf = params.alf_factor * dx * dx;
     const double inv_dx2 = 1.0 / (dx * dx);
+    // Rank-interface faces read the exchanged ghost; global-boundary faces
+    // clamp to the edge cell (homogeneous Neumann, the serial behavior).
+    const bool ifx_lo = iface[0][0], ifx_hi = iface[0][1];
+    const bool ify_lo = iface[1][0], ify_hi = iface[1][1];
+    const bool ifz_lo = iface[2][0], ifz_hi = iface[2][1];
 
     // Active-dimension neighbor count for the discrete Laplacian.
     const int active = e.dims() == 0 ? 1 : e.dims();
@@ -68,10 +75,14 @@ void igr_elliptic_solve(const IgrParams& params, const Field& source,
         const double* sp = s.ptr(0, j, k);
         const double* src = source.ptr(0, j, k);
         double* dp = dst.ptr(0, j, k);
-        const double* sjm = s.ptr(0, j > 0 ? j - 1 : j, k);
-        const double* sjp = s.ptr(0, j < e.ny - 1 ? j + 1 : j, k);
-        const double* skm = s.ptr(0, j, k > 0 ? k - 1 : k);
-        const double* skp = s.ptr(0, j, k < e.nz - 1 ? k + 1 : k);
+        const double* sjm =
+            s.ptr(0, j > 0 ? j - 1 : (ify_lo ? -1 : j), k);
+        const double* sjp =
+            s.ptr(0, j < e.ny - 1 ? j + 1 : (ify_hi ? e.ny : j), k);
+        const double* skm =
+            s.ptr(0, j, k > 0 ? k - 1 : (ifz_lo ? -1 : k));
+        const double* skp =
+            s.ptr(0, j, k < e.nz - 1 ? k + 1 : (ifz_hi ? e.nz : k));
 
         const auto cell_block = [&](auto bwtag, int i) {
             constexpr int BW = decltype(bwtag)::value;
@@ -88,8 +99,9 @@ void igr_elliptic_solve(const IgrParams& params, const Field& source,
         const auto scalar_cell = [&](int i) {
             double nb = 0.0;
             if (e.nx > 1) {
-                nb += (i > 0 ? sp[i - 1] : sp[i]) +
-                      (i < e.nx - 1 ? sp[i + 1] : sp[i]);
+                nb += (i > 0 ? sp[i - 1] : (ifx_lo ? sp[-1] : sp[i])) +
+                      (i < e.nx - 1 ? sp[i + 1]
+                                    : (ifx_hi ? sp[e.nx] : sp[i]));
             }
             if (e.ny > 1) nb += sjm[i] + sjp[i];
             if (e.nz > 1) nb += skm[i] + skp[i];
@@ -106,6 +118,9 @@ void igr_elliptic_solve(const IgrParams& params, const Field& source,
     Field next = sigma; // Jacobi needs a second buffer
     const long long rows = static_cast<long long>(e.ny) * e.nz;
     for (int it = 0; it < iters; ++it) {
+        // Refresh the iterate's rank ghosts so interface cells read the
+        // neighbor's previous iterate — exactly the serial stencil.
+        if (exchange && params.iter_solver == 1) exchange(sigma);
         if (params.iter_solver == 1) {
             simd::dispatch([&](auto wc) {
                 exec::parallel_for("igr_elliptic", 0, rows,
@@ -126,6 +141,9 @@ void igr_elliptic_solve(const IgrParams& params, const Field& source,
             }
         }
     }
+    // The IGR sweeps read sigma's rank ghosts too (face averaging at
+    // interface cells) — leave them current with the converged iterate.
+    if (exchange) exchange(sigma);
 }
 
 } // namespace mfc

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <functional>
 #include <string>
 
 #include "core/field.hpp"
@@ -28,11 +30,30 @@ struct IgrParams {
 
 [[nodiscard]] std::string to_string(const IgrParams& p);
 
+/// Local faces that adjoin another rank's block rather than the global
+/// domain boundary ([dim][0] = low side). The relaxation stencil clamps
+/// (homogeneous Neumann) at global boundaries only; at rank interfaces it
+/// reads the exchanged ghost value, so a decomposed solve reproduces the
+/// serial one bitwise.
+using IgrInterfaceMask = std::array<std::array<bool, 2>, 3>;
+
 /// One elliptic solve for the entropic pressure. `sigma` is read as the
 /// warm start and overwritten with the regularized result; `source` holds
 /// alf * rho * velocity-gradient contraction, precomputed by the caller.
 /// dx is the (uniform) grid spacing; inactive dimensions are skipped.
+///
+/// Decomposed runs pass `iface` (which faces adjoin a neighboring rank)
+/// and `exchange` (fills sigma's one-deep face ghosts from the neighbor
+/// interiors, a collective over the Cartesian topology). The exchange is
+/// invoked before every Jacobi iteration and once after the last, so both
+/// the iterate and the returned sigma carry current rank ghosts — the
+/// decomposed Jacobi solve is then bitwise-identical to the serial one.
+/// Gauss-Seidel (iter_solver = 2) propagates updates sequentially across
+/// the whole domain within one sweep and therefore stays rank-local
+/// (clamped at every local face); it is not decomposition-invariant.
 void igr_elliptic_solve(const IgrParams& params, const Field& source,
-                        double dx, bool warm, Field& sigma);
+                        double dx, bool warm, Field& sigma,
+                        const IgrInterfaceMask& iface = {},
+                        const std::function<void(Field&)>& exchange = {});
 
 } // namespace mfc

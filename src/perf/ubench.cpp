@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "exec/exec.hpp"
 #include "numerics/vec_axpy.hpp"
 #include "numerics/vec_igr.hpp"
 #include "numerics/vec_riemann.hpp"
@@ -413,22 +414,24 @@ UbenchResult bench_scatter_row(const UbenchOptions& o) {
 }
 
 UbenchResult bench_transpose_tile(const UbenchOptions& o) {
-    // The replacement (src/solver/rhs.cpp transpose_in): 8 x-adjacent
-    // pencils staged into contiguous tile rows, walking the pencil cell
-    // outermost so each step moves one whole unit-stride 64-byte run.
-    // Covers the same o.cells total cells as gather_row, 8 per step.
-    constexpr int kTileRows = 8;
-    const int len = o.cells / kTileRows;
+    // The replacement (src/solver/rhs.cpp transpose_in): tile_rows()
+    // x-adjacent pencils staged into contiguous tile rows, walking the
+    // pencil cell outermost so each step moves one whole unit-stride run
+    // (64 bytes at the default height of 8). Uses the live tile height
+    // so MFC_TILE_ROWS retuning is measurable here. Covers the same
+    // o.cells total cells as gather_row, tile_rows() per step.
+    const int tile_rows = exec::tile_rows();
+    const int len = std::max(1, o.cells / tile_rows);
     const int pitch = len;
     std::vector<double> plane;
-    fill_plane(len * kPencilStride + kTileRows, plane);
-    std::vector<double> tile(static_cast<std::size_t>(kTileRows) * pitch);
+    fill_plane(len * kPencilStride + tile_rows, plane);
+    std::vector<double> tile(static_cast<std::size_t>(tile_rows) * pitch);
     const double min_ns = time_min_ns(o.reps, [&] {
         const double* p = plane.data();
         double* t = tile.data();
         for (int c = 0; c < len; ++c) {
             const double* pc = p + static_cast<std::size_t>(c) * kPencilStride;
-            for (int b = 0; b < kTileRows; ++b) {
+            for (int b = 0; b < tile_rows; ++b) {
                 t[b * pitch + c] = pc[b];
             }
         }
@@ -437,7 +440,7 @@ UbenchResult bench_transpose_tile(const UbenchOptions& o) {
     // gather_row's ns/cell.
     UbenchResult r = make_result("transpose_tile", o, kTransposeTileCost,
                                  min_ns, digest(tile));
-    r.ns_per_cell = min_ns / (static_cast<double>(len) * kTileRows);
+    r.ns_per_cell = min_ns / (static_cast<double>(len) * tile_rows);
     r.gbs = r.ns_per_cell > 0.0
                 ? kTransposeTileCost.bytes_per_cell / r.ns_per_cell
                 : 0.0;

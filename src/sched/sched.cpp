@@ -1,8 +1,11 @@
 #include "sched/sched.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <vector>
 
 #include "core/error.hpp"
+#include "exec/exec.hpp"
 #include "prof/prof.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -98,27 +101,69 @@ void TaskGraph::run() {
         }
         if (progressed) continue;
 
-        // Lowest-id runnable compute node next (deterministic replay).
-        NodeId pick = -1;
+        // Runnable compute nodes next, gathered in id order.
+        std::vector<NodeId> batch;
         for (std::size_t i = 0; i < n; ++i) {
             if (!nodes_[i].fn) continue;
             if (stats_[i].ready_ns >= 0 && stats_[i].done_ns < 0) {
-                pick = static_cast<NodeId>(i);
-                break;
+                batch.push_back(static_cast<NodeId>(i));
             }
         }
-        if (pick >= 0) {
-            Node& node = nodes_[static_cast<std::size_t>(pick)];
-            NodeStats& st = stats_[static_cast<std::size_t>(pick)];
-            const std::int64_t begin = prof::clock_ns();
-            {
-                prof::Zone zone(node.name);
-                node.fn();
+        if (batch.size() == 1 || exec::num_threads() <= 1 ||
+            exec::in_parallel()) {
+            // Single ready node (or serial): run it here so its internal
+            // parallel_for keeps the whole team.
+            if (!batch.empty()) {
+                const NodeId pick = batch.front();
+                Node& node = nodes_[static_cast<std::size_t>(pick)];
+                NodeStats& st = stats_[static_cast<std::size_t>(pick)];
+                const std::int64_t begin = prof::clock_ns();
+                {
+                    prof::Zone zone(node.name);
+                    node.fn();
+                }
+                const std::int64_t end = prof::clock_ns();
+                st.exec_ns += end - begin;
+                complete(pick, end - t0);
+                ++done;
+                continue;
             }
-            const std::int64_t end = prof::clock_ns();
-            st.exec_ns += end - begin;
-            complete(pick, end - t0);
-            ++done;
+        } else if (batch.size() > 1) {
+            // Several independent nodes are ready: execute them
+            // concurrently on the calling rank's team. Ready-together
+            // nodes have edge-independent (disjoint) write sets by the
+            // graph contract, and each body's internal parallel_for
+            // degrades to the serial-identical inline path, so per-node
+            // arithmetic is unchanged. Completion is committed in node-id
+            // order afterwards (owner-ordered), keeping trace() and
+            // successor ready-stamps deterministic for a given readiness
+            // pattern; exceptions rethrow lowest-id first.
+            const std::size_t k = batch.size();
+            std::vector<std::int64_t> node_begin(k, 0);
+            std::vector<std::int64_t> node_end(k, 0);
+            std::vector<std::exception_ptr> errors(k);
+            exec::detail::parallel_chunks(
+                "sched_nodes", static_cast<int>(k), [&](int b) {
+                    Node& node =
+                        nodes_[static_cast<std::size_t>(batch[static_cast<std::size_t>(b)])];
+                    node_begin[static_cast<std::size_t>(b)] = prof::clock_ns();
+                    try {
+                        prof::Zone zone(node.name);
+                        node.fn();
+                    } catch (...) {
+                        errors[static_cast<std::size_t>(b)] =
+                            std::current_exception();
+                    }
+                    node_end[static_cast<std::size_t>(b)] = prof::clock_ns();
+                });
+            for (std::size_t b = 0; b < k; ++b) {
+                if (errors[b]) std::rethrow_exception(errors[b]);
+                const NodeId id = batch[b];
+                stats_[static_cast<std::size_t>(id)].exec_ns +=
+                    node_end[b] - node_begin[b];
+                complete(id, node_end[b] - t0);
+                ++done;
+            }
             continue;
         }
 

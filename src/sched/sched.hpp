@@ -11,9 +11,12 @@ namespace mfc::sched {
 /// expresses each evaluation as nodes with explicit edges instead of
 /// barriers: halo posts go out first, ghost-independent interior work
 /// runs while messages are in flight, and boundary work is gated on the
-/// halo wait that feeds it. The graph executes on the calling rank's
-/// thread — node bodies parallelize internally over the src/exec worker
-/// pool exactly as the synchronous path does, so the per-cell arithmetic
+/// halo wait that feeds it. A lone ready compute node executes on the
+/// calling rank's thread and parallelizes internally over the rank's
+/// src/exec worker team exactly as the synchronous path does; when
+/// several independent compute nodes are ready together they execute
+/// concurrently on the team (each body then runs its internal loops on
+/// the serial-identical inline path). Either way the per-cell arithmetic
 /// and its ordering are untouched and results stay bitwise identical.
 ///
 /// Two node kinds:
@@ -26,10 +29,11 @@ namespace mfc::sched {
 ///     between "ready" and "complete" is where comm hides under compute.
 ///
 /// Execution order is deterministic: among runnable compute nodes the
-/// lowest id runs first, so a graph always replays the same node
-/// sequence for a given completion pattern; bitwise output identity is
-/// independent of the completion pattern because nodes with overlapping
-/// write sets are always ordered by edges.
+/// lowest id runs (and a concurrent ready batch completes) in id order,
+/// so a graph always replays the same node sequence for a given
+/// completion pattern; bitwise output identity is independent of the
+/// completion pattern because nodes with overlapping write sets are
+/// always ordered by edges.
 class TaskGraph {
 public:
     using NodeId = int;

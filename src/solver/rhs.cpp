@@ -81,13 +81,16 @@ void cell_of(int dim, int c, int t1, int t2, int& i, int& j, int& k) {
     }
 }
 
-// Transverse (y/z) sweeps stage up to kTileRows x-adjacent pencils
-// through one cache-blocked transpose tile per tile of rows. The fast
+// Transverse (y/z) sweeps stage up to exec::tile_rows() x-adjacent
+// pencils through one cache-blocked transpose tile per tile of rows
+// (compile default MFCPP_TILE_ROWS = 8, runtime-overridable via
+// MFC_TILE_ROWS; the bench records the value in its metadata). The fast
 // transverse index t1 is x for dims 1 and 2 (see cell_of), so the `b`
 // direction below walks unit-stride memory: each transpose step moves a
-// contiguous run of kTileRows doubles — a full 64-byte line — where the
-// per-row strided gather this replaces used 8 of every 64 bytes fetched.
-constexpr int kTileRows = 8;
+// contiguous run of tile-height doubles — at the default 8, a full
+// 64-byte line — where the per-row strided gather this replaces used 8
+// of every 64 bytes fetched. Any height >= 1 is bitwise-neutral: the
+// tile only regroups pure copies.
 
 /// Tile row pitch: round `len` up so every tile row starts 64-byte-
 /// aligned within the (aligned) arena block.
@@ -553,7 +556,7 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
     // x-sweeps read the pencil in place: field rows are SoA-contiguous
     // along x, so rowp[q] points straight at the backing store and the
     // divergence writes dq the same way — zero gather/scatter. y/z
-    // sweeps stage kTileRows pencils at a time through a transpose tile.
+    // sweeps stage tile_rows() pencils at a time through a transpose tile.
     const int row_len = n + 2 * r + 2;
     const int row0 = span.c_lo - 1 - r;
     const auto row_at = [row0](int c) { return c - row0; };
@@ -578,7 +581,7 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
     const bool direct = dim == 0; // unit-stride: read/write fields in place
-    const int tmax = direct ? 1 : kTileRows;
+    const int tmax = direct ? 1 : exec::tile_rows();
     const int prim_pitch = tile_pitch(row_len);
     const int dq_pitch = tile_pitch(n);
 
@@ -615,13 +618,13 @@ void RhsEvaluator::sweep_weno_w(int dim, const SweepSpan& span, StateArray& dq,
         for (long long t = lo; t < hi;) {
             const int t1 = span.t1_lo + static_cast<int>(t % span1);
             const int t2 = span.t2_lo + static_cast<int>(t / span1);
-            // Tile height: up to kTileRows pencils, clipped to the t1
+            // Tile height: up to tmax pencils, clipped to the t1
             // line and to this chunk (chunks are partition-independent
             // per-pencil work, so clipping only regroups pure copies).
             const int tb =
                 direct ? 1
                        : static_cast<int>(std::min<long long>(
-                             std::min<long long>(kTileRows, span1 - t % span1),
+                             std::min<long long>(tmax, span1 - t % span1),
                              hi - t));
 
             if (!direct) {
@@ -848,7 +851,7 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
     const bool timed = MFC_PROF_COMPILED != 0 && prof::enabled();
 
     const bool direct = dim == 0;
-    const int tmax = direct ? 1 : kTileRows;
+    const int tmax = direct ? 1 : exec::tile_rows();
     const int prim_pitch = tile_pitch(row_len);
     const int dq_pitch = tile_pitch(n);
 
@@ -881,7 +884,7 @@ void RhsEvaluator::sweep_weno_char(int dim, const SweepSpan& span,
             const int tb =
                 direct ? 1
                        : static_cast<int>(std::min<long long>(
-                             std::min<long long>(kTileRows, span1 - t % span1),
+                             std::min<long long>(tmax, span1 - t % span1),
                              hi - t));
 
             if (!direct) {
@@ -1108,7 +1111,8 @@ void RhsEvaluator::compute_igr_sigma() {
             }
         });
     });
-    igr_elliptic_solve(igr_, igr_source_, dx(0), sigma_warm_, sigma_);
+    igr_elliptic_solve(igr_, igr_source_, dx(0), sigma_warm_, sigma_,
+                       rank_iface_, sigma_exchange_);
     sigma_warm_ = true;
 }
 
@@ -1132,7 +1136,7 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
     const int nfaces = n + 1;
 
     const bool direct = dim == 0;
-    const int tmax = direct ? 1 : kTileRows;
+    const int tmax = direct ? 1 : exec::tile_rows();
     const int prim_pitch = tile_pitch(row_len);
     const int dq_pitch = tile_pitch(n);
 
@@ -1148,8 +1152,11 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
             direct ? nullptr
                    : frame.doubles(static_cast<std::size_t>(neq) * tmax *
                                    dq_pitch);
-        // Sigma at cells [c_lo - 1, c_hi], clamped to the interior
-        // (homogeneous Neumann, consistent with the elliptic solve).
+        // Sigma at cells [c_lo - 1, c_hi]: clamped to the interior at
+        // global boundaries (homogeneous Neumann, consistent with the
+        // elliptic solve), read from the exchanged rank ghost at
+        // decomposition interfaces — serial and decomposed runs then see
+        // the same face averages bitwise.
         double* sig_row = frame.doubles(static_cast<std::size_t>(n + 2));
         double* flux_row =
             frame.doubles(static_cast<std::size_t>(nfaces) * neq);
@@ -1161,7 +1168,7 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
             const int tb =
                 direct ? 1
                        : static_cast<int>(std::min<long long>(
-                             std::min<long long>(kTileRows, span1 - t % span1),
+                             std::min<long long>(tmax, span1 - t % span1),
                              hi - t));
 
             if (!direct) {
@@ -1200,9 +1207,15 @@ void RhsEvaluator::sweep_igr_w(int dim, const SweepSpan& span, StateArray& dq,
                                            dq_pitch;
                 }
             }
+            const int sig_lo = rank_iface_[static_cast<std::size_t>(dim)][0]
+                                   ? -1
+                                   : 0;
+            const int sig_hi = rank_iface_[static_cast<std::size_t>(dim)][1]
+                                   ? n_full
+                                   : n_full - 1;
             for (int c = span.c_lo - 1; c <= span.c_hi; ++c) {
                 int i = 0, j = 0, k = 0;
-                cell_of(dim, std::clamp(c, 0, n_full - 1), t1 + b, t2, i, j,
+                cell_of(dim, std::clamp(c, sig_lo, sig_hi), t1 + b, t2, i, j,
                         k);
                 sig_row[c - span.c_lo + 1] = sigma_(i, j, k);
             }

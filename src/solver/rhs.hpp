@@ -1,9 +1,12 @@
 #pragma once
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/field.hpp"
 #include "grid/grid.hpp"
+#include "numerics/igr.hpp"
 #include "solver/case_config.hpp"
 
 namespace mfc {
@@ -89,6 +92,19 @@ public:
     /// any IGR sweep_span of the evaluation.
     void compute_igr_sigma();
 
+    /// Decomposed runs: which local faces adjoin another rank (not the
+    /// global boundary) and how to fill sigma's one-deep face ghosts from
+    /// the neighbor interiors (collective; invoked inside the elliptic
+    /// solve every Jacobi iteration and once after it). With both set,
+    /// the decomposed IGR path is bitwise-identical to the serial one;
+    /// defaults (all faces global, no exchange) reproduce the serial
+    /// clamped solve.
+    void set_rank_interfaces(const IgrInterfaceMask& iface,
+                             std::function<void(Field&)> sigma_exchange) {
+        rank_iface_ = iface;
+        sigma_exchange_ = std::move(sigma_exchange);
+    }
+
     /// True when the sweep along `dim` has more than one cell.
     [[nodiscard]] bool dim_active(int dim) const;
 
@@ -149,6 +165,8 @@ private:
     Field sigma_;
     Field igr_source_;
     bool sigma_warm_ = false;
+    IgrInterfaceMask rank_iface_{};
+    std::function<void(Field&)> sigma_exchange_;
 
     // Row scratch (edge values, fluxes, gathered pencils) lives in
     // per-thread exec::scratch_arena() frames inside the sweep bodies, so

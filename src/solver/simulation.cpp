@@ -72,6 +72,24 @@ Simulation::Simulation(const CaseConfig& config, comm::CartComm& cart)
         faces_.face[static_cast<std::size_t>(d)][1] =
             cart.neighbor(d, +1) == comm::kProcNull;
     }
+    if (cfg_.igr.enabled) {
+        // The elliptic solve clamps only at the *global* boundary (the
+        // serial stencil, even for periodic cases); decomposition
+        // interfaces read exchanged sigma ghosts instead, which is what
+        // makes decomposed IGR bitwise-identical to serial.
+        const int global_n[3] = {cfg_.grid.cells.nx, cfg_.grid.cells.ny,
+                                 cfg_.grid.cells.nz};
+        const int local_n[3] = {block_.cells.nx, block_.cells.ny,
+                                block_.cells.nz};
+        for (int d = 0; d < 3; ++d) {
+            const auto s = static_cast<std::size_t>(d);
+            sigma_iface_[s][0] = block_.offset[s] > 0;
+            sigma_iface_[s][1] =
+                block_.offset[s] + local_n[d] < global_n[d];
+        }
+        rhs_->set_rank_interfaces(
+            sigma_iface_, [this](Field& s) { exchange_sigma_halos(s); });
+    }
 }
 
 void Simulation::initialize() {
@@ -143,6 +161,68 @@ void Simulation::fill_ghosts(StateArray& q) {
             PROF_ZONE("bc");
             apply_boundary_conditions_dim(lay_, cfg_.bc, all,
                                           /*serial_periodic=*/true, d, q);
+        }
+    }
+}
+
+void Simulation::exchange_sigma_halos(Field& s) {
+    // One-deep face planes only: the Jacobi stencil and the IGR sweep
+    // gather never read sigma's edge or corner ghosts. Tags 910+ keep the
+    // planes distinct from the state halo exchange (tags 2d, 2d+1), whose
+    // nonblocking requests may be in flight concurrently on the overlap
+    // path.
+    PROF_ZONE("sigma_halo");
+    comm::Communicator& comm = cart_->comm();
+    const int n[3] = {block_.cells.nx, block_.cells.ny, block_.cells.nz};
+    for (int d = 0; d < 3; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        const bool lo = sigma_iface_[sd][0];
+        const bool hi = sigma_iface_[sd][1];
+        if (!lo && !hi) continue;
+        const int d1 = d == 0 ? 1 : 0; // transverse dims
+        const int d2 = d == 2 ? 1 : 2;
+        const std::size_t count =
+            static_cast<std::size_t>(n[d1]) * static_cast<std::size_t>(n[d2]);
+        const auto plane = [&](int c, bool to_buf, double* buf) {
+            std::size_t at = 0;
+            int idx[3];
+            idx[d] = c;
+            for (int b = 0; b < n[d2]; ++b) {
+                idx[d2] = b;
+                for (int a = 0; a < n[d1]; ++a) {
+                    idx[d1] = a;
+                    double& cell = s(idx[0], idx[1], idx[2]);
+                    if (to_buf) {
+                        buf[at++] = cell;
+                    } else {
+                        cell = buf[at++];
+                    }
+                }
+            }
+        };
+        const int tag_up = 910 + 2 * d;   // data moving toward +d
+        const int tag_down = 911 + 2 * d; // data moving toward -d
+        std::vector<double> send_lo(lo ? count : 0), send_hi(hi ? count : 0);
+        std::vector<double> recv_lo(lo ? count : 0), recv_hi(hi ? count : 0);
+        if (hi) {
+            plane(n[d] - 1, true, send_hi.data());
+            comm.send_doubles(cart_->neighbor(d, +1), tag_up, send_hi.data(),
+                              count);
+        }
+        if (lo) {
+            plane(0, true, send_lo.data());
+            comm.send_doubles(cart_->neighbor(d, -1), tag_down, send_lo.data(),
+                              count);
+        }
+        if (lo) {
+            comm.recv_doubles(cart_->neighbor(d, -1), tag_up, recv_lo.data(),
+                              count);
+            plane(-1, false, recv_lo.data());
+        }
+        if (hi) {
+            comm.recv_doubles(cart_->neighbor(d, +1), tag_down, recv_hi.data(),
+                              count);
+            plane(n[d], false, recv_hi.data());
         }
     }
 }
@@ -348,6 +428,94 @@ std::uint64_t Simulation::state_hash() const {
             }
         }
     }
+    mix(&sim_time_, sizeof sim_time_);
+    const std::int64_t steps = steps_done_;
+    mix(&steps, sizeof steps);
+    return h;
+}
+
+std::uint64_t Simulation::global_state_hash() const {
+    if (cart_ == nullptr) return state_hash();
+    comm::Communicator& comm = cart_->comm();
+    const int neq = lay_.num_eqns();
+
+    // Pack the local interior in (eq, k, j, i) order.
+    const std::size_t local_cells =
+        static_cast<std::size_t>(block_.cells.cells());
+    std::vector<double> local(local_cells * static_cast<std::size_t>(neq));
+    std::size_t n = 0;
+    for (int q = 0; q < neq; ++q) {
+        const Field& f = q_.eq(q);
+        for (int k = 0; k < block_.cells.nz; ++k) {
+            for (int j = 0; j < block_.cells.ny; ++j) {
+                for (int i = 0; i < block_.cells.nx; ++i) {
+                    local[n++] = f(i, j, k);
+                }
+            }
+        }
+    }
+
+    if (comm.rank() != 0) {
+        // Block geometry first, then the payload; same tag (FIFO per
+        // source) keeps them paired.
+        const std::array<std::int64_t, 6> header = {
+            block_.cells.nx,   block_.cells.ny,   block_.cells.nz,
+            block_.offset[0],  block_.offset[1],  block_.offset[2]};
+        comm.send(0, 905, header.data(), sizeof header);
+        comm.send(0, 905, local.data(), local.size() * sizeof(double));
+        return 0;
+    }
+
+    // Rank 0: assemble the global interior and hash it in global order,
+    // so the fingerprint cannot depend on how the domain was split.
+    const Extents g = cfg_.grid.cells;
+    std::vector<double> global(static_cast<std::size_t>(g.cells()) *
+                               static_cast<std::size_t>(neq));
+    const auto scatter = [&](const Extents& e, const std::array<int, 3>& off,
+                             const double* data) {
+        std::size_t m = 0;
+        for (int q = 0; q < neq; ++q) {
+            for (int k = 0; k < e.nz; ++k) {
+                for (int j = 0; j < e.ny; ++j) {
+                    for (int i = 0; i < e.nx; ++i) {
+                        const std::size_t gi = static_cast<std::size_t>(
+                            ((static_cast<long long>(q) * g.nz +
+                              (off[2] + k)) *
+                                 g.ny +
+                             (off[1] + j)) *
+                                g.nx +
+                            (off[0] + i));
+                        global[gi] = data[m++];
+                    }
+                }
+            }
+        }
+    };
+    scatter(block_.cells, block_.offset, local.data());
+    for (int r = 1; r < comm.size(); ++r) {
+        std::array<std::int64_t, 6> header{};
+        comm.recv(r, 905, header.data(), sizeof header);
+        const Extents e{static_cast<int>(header[0]),
+                        static_cast<int>(header[1]),
+                        static_cast<int>(header[2])};
+        const std::array<int, 3> off = {static_cast<int>(header[3]),
+                                        static_cast<int>(header[4]),
+                                        static_cast<int>(header[5])};
+        std::vector<double> buf(static_cast<std::size_t>(e.cells()) *
+                                static_cast<std::size_t>(neq));
+        comm.recv(r, 905, buf.data(), buf.size() * sizeof(double));
+        scatter(e, off, buf.data());
+    }
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](const void* data, std::size_t bytes) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t b = 0; b < bytes; ++b) {
+            h ^= p[b];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const double v : global) mix(&v, sizeof v);
     mix(&sim_time_, sizeof sim_time_);
     const std::int64_t steps = steps_done_;
     mix(&steps, sizeof steps);

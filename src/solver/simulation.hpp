@@ -95,6 +95,15 @@ public:
     /// exact fault-free state.
     [[nodiscard]] std::uint64_t state_hash() const;
 
+    /// Decomposition-invariant bitwise fingerprint: the *global* interior
+    /// in global (eq, k, j, i) order plus the marching metadata.
+    /// Decomposed runs gather every rank's block to rank 0 (collective —
+    /// all ranks must call it); rank 0 returns the hash, other ranks
+    /// return 0. Serial runs return exactly state_hash(). The value is
+    /// identical for every ranks×threads decomposition of a case, which
+    /// is what `mfc run --hash` prints and the hybrid parity tests pin.
+    [[nodiscard]] std::uint64_t global_state_hash() const;
+
     /// Global conserved totals (density per fluid, momenta, energy),
     /// scaled by cell volume; allreduced across ranks when decomposed.
     [[nodiscard]] std::vector<double> conserved_totals();
@@ -111,12 +120,18 @@ public:
 
 private:
     void fill_ghosts(StateArray& q);
+    /// Fill the one-deep face ghosts of the IGR sigma field from the
+    /// neighbor interiors (decomposed runs; collective per Jacobi
+    /// iteration). Faces on the global boundary are left to the solve's
+    /// clamped stencil.
+    void exchange_sigma_halos(Field& s);
 
     CaseConfig cfg_;
     EquationLayout lay_;
     comm::CartComm* cart_ = nullptr;
     LocalBlock block_;
     PhysicalFaces faces_;
+    IgrInterfaceMask sigma_iface_{};
     std::unique_ptr<RhsEvaluator> rhs_;
     std::unique_ptr<OverlapRhs> overlap_;
     bool overlap_enabled_ = false;

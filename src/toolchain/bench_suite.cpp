@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
+#include <map>
+#include <thread>
 #include <utility>
 
 #include <unistd.h>
@@ -78,6 +81,22 @@ BenchSuite::BenchSuite(double mem_per_rank_gb, int ranks, BenchOptions options)
     for (const int t : options_.thread_counts) {
         MFC_REQUIRE(t >= 1, "bench: thread counts must be positive");
     }
+    for (const auto& [r, t] : options_.rank_thread_grid) {
+        MFC_REQUIRE(r >= 1 && t >= 1,
+                    "bench: --ranks-threads entries must be positive RxT");
+    }
+}
+
+std::vector<std::pair<int, int>> auto_rank_thread_grid() {
+    const int budget =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    std::vector<std::pair<int, int>> grid;
+    for (int r = 1; r <= budget; r *= 2) {
+        for (int t = 1; r * t <= budget; t *= 2) {
+            grid.emplace_back(r, t);
+        }
+    }
+    return grid;
 }
 
 const std::vector<std::string>& BenchSuite::case_names() {
@@ -92,12 +111,17 @@ const std::vector<std::string>& BenchSuite::case_names() {
 }
 
 CaseConfig BenchSuite::case_config(const std::string& name) const {
+    return case_config_sized(name, ranks_);
+}
+
+CaseConfig BenchSuite::case_config_sized(const std::string& name,
+                                         int ranks) const {
     // The per-rank memory target fixes the local block edge; the global
     // grid scales with the rank count, keeping memory per rank constant
     // ("automatically scales to any number of MPI ranks", Section 5).
     const int base_eqns = 8;
     int edge = edge_from_memory(mem_gb_, base_eqns);
-    const double rank_scale = std::cbrt(static_cast<double>(ranks_));
+    const double rank_scale = std::cbrt(static_cast<double>(ranks));
     edge = std::max(8, static_cast<int>(edge * rank_scale));
 
     CaseConfig c = standardized_benchmark_case(edge, /*t_step_stop=*/5);
@@ -250,6 +274,41 @@ BenchCaseResult BenchSuite::run_case(const std::string& name) const {
     return r;
 }
 
+double BenchSuite::sweep_case_grind(const CaseConfig& config,
+                                    int nranks) const {
+    // Pure timing run: no profiling, no phase reduction — the sweep is
+    // about one number per (R, T, case) cell.
+    const ProfilingScope profiling(false);
+    const int warmup = options_.warmup_steps;
+    if (nranks == 1) {
+        Simulation sim(config);
+        sim.initialize();
+        for (int s = 0; s < warmup; ++s) sim.step();
+        sim.reset_instrumentation();
+        sim.run();
+        return sim.grindtime();
+    }
+    double grind = 0.0;
+    comm::World world(nranks);
+    world.run([&](comm::Communicator& comm) {
+        const std::array<int, 3> dims = comm::dims_create(nranks, 3);
+        std::array<bool, 3> periodic{};
+        for (int d = 0; d < 3; ++d) {
+            periodic[static_cast<std::size_t>(d)] =
+                config.bc[static_cast<std::size_t>(d)][0] == BcType::Periodic;
+        }
+        comm::CartComm cart(comm, dims, periodic);
+        Simulation sim(config, cart);
+        sim.initialize();
+        for (int s = 0; s < warmup; ++s) sim.step();
+        sim.reset_instrumentation();
+        comm.barrier();
+        sim.run();
+        if (comm.rank() == 0) grind = sim.grindtime();
+    });
+    return grind;
+}
+
 BenchSuite::OverlapCaseResult
 BenchSuite::run_overlap_case(const std::string& name) const {
     const CaseConfig config = case_config(name);
@@ -260,11 +319,12 @@ BenchSuite::run_overlap_case(const std::string& name) const {
     const ProfilingScope profiling(false);
     const TelemetryScope telem(true);
 
-    // One decomposed run; returns rank 0's grindtime, the rank-order FNV
-    // fold of the per-rank state hashes, and (overlap runs) the scheduler
-    // communication exposure read from the telemetry registry. Ranks are
-    // threads of this process, so the registry delta over the run window
-    // already is the all-rank sum the old per-rank allreduce computed.
+    // One decomposed run; returns rank 0's grindtime, the
+    // decomposition-invariant global state hash, and (overlap runs) the
+    // scheduler communication exposure read from the telemetry registry.
+    // Ranks are threads of this process, so the registry delta over the
+    // run window already is the all-rank sum the old per-rank allreduce
+    // computed.
     struct RunResult {
         double grind_ns = 0.0;
         std::uint64_t hash = 0;
@@ -296,19 +356,10 @@ BenchSuite::run_overlap_case(const std::string& name) const {
             if (comm.rank() == 0) before = telemetry::snapshot();
             comm.barrier();
             sim.run();
-            const std::uint64_t mine = sim.state_hash();
+            const std::uint64_t mine = sim.global_state_hash();
             if (comm.rank() == 0) {
-                std::uint64_t combined = 0xcbf29ce484222325ull;
-                combined = (combined ^ mine) * 0x100000001b3ull;
-                for (int r = 1; r < comm.size(); ++r) {
-                    std::uint64_t h = 0;
-                    comm.recv(r, 902, &h, sizeof h);
-                    combined = (combined ^ h) * 0x100000001b3ull;
-                }
-                res.hash = combined;
+                res.hash = mine;
                 res.grind_ns = sim.grindtime();
-            } else {
-                comm.send(0, 902, &mine, sizeof mine);
             }
         });
         if (overlap) {
@@ -385,6 +436,12 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
     root["metadata"]["hostname"].set(Value(host_name()));
     root["metadata"]["compiler"].set(Value(compiler_id()));
     root["metadata"]["flags"].set(Value(build_flags()));
+    // Execution-layer tunables behind the numbers: the transpose tile
+    // height and the chunk scheduling policy both move grindtimes.
+    root["metadata"]["tile_rows"].set(
+        Value(static_cast<long long>(exec::tile_rows())));
+    root["metadata"]["partition"].set(Value(std::string(
+        exec::partition() == exec::Partition::Steal ? "steal" : "static")));
 
     const int prev_threads = exec::num_threads();
     const auto emit_case = [](Yaml& node, const BenchCaseResult& r) {
@@ -420,6 +477,47 @@ Yaml BenchSuite::run_all(const std::string& invocation) const {
         }
     }
     exec::set_num_threads(prev_threads);
+    if (!options_.rank_thread_grid.empty()) {
+        // R×T decomposition sweep (--ranks-threads): every combination
+        // runs the same globally-sized problem (serial sizing, unlike the
+        // weak-scaling `cases:` section), so grindtimes are comparable
+        // across decompositions and `optimal:` names the best way to
+        // spend this host's cores on that fixed problem.
+        Yaml& sweep = root["rank_thread_sweep"];
+        sweep["budget"].set(Value(static_cast<long long>(
+            std::max(1U, std::thread::hardware_concurrency()))));
+        struct Best {
+            double grind_ns = std::numeric_limits<double>::infinity();
+            int ranks = 1;
+            int threads = 1;
+        };
+        std::map<std::string, Best> best;
+        for (const auto& [nranks, nthreads] : options_.rank_thread_grid) {
+            exec::set_num_threads(nthreads);
+            const std::string combo =
+                "r" + std::to_string(nranks) + "xt" + std::to_string(nthreads);
+            for (const std::string& name : case_names()) {
+                const double g =
+                    sweep_case_grind(case_config_sized(name, 1), nranks);
+                sweep["combos"][combo][name]["grindtime_ns"].set(Value(g));
+                Best& b = best[name];
+                if (g > 0.0 && g < b.grind_ns) {
+                    b.grind_ns = g;
+                    b.ranks = nranks;
+                    b.threads = nthreads;
+                }
+            }
+        }
+        exec::set_num_threads(prev_threads);
+        for (const auto& [name, b] : best) {
+            Yaml& node = sweep["optimal"][name];
+            node["ranks"].set(Value(static_cast<long long>(b.ranks)));
+            node["threads"].set(Value(static_cast<long long>(b.threads)));
+            node["grindtime_ns"].set(Value(b.grind_ns));
+        }
+        sweep["combos"].sort_keys();
+        sweep["optimal"].sort_keys();
+    }
     {
         // Kernel microbenchmarks ride along so a whole-case grindtime
         // regression in bench_diff can be localized to one kernel without
@@ -608,7 +706,9 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate,
     std::string out;
     const Yaml* ref_meta = find(reference, "metadata");
     const Yaml* cand_meta = find(candidate, "metadata");
-    for (const char* key : {"threads", "hostname", "compiler", "flags"}) {
+    for (const char* key :
+         {"threads", "tile_rows", "partition", "hostname", "compiler",
+          "flags"}) {
         out += meta_line(ref_meta, cand_meta, key);
     }
     if (!out.empty()) out += "\n";
@@ -690,6 +790,51 @@ std::string bench_diff_report(const Yaml& reference, const Yaml& candidate,
         }
         out += "\n";
         out += ov.str();
+    }
+
+    // Hybrid decomposition comparison (`mfc bench --ranks-threads`): per
+    // case the grindtime-optimal R×T decomposition each side found and
+    // the best-vs-best speedup. Sides without a `rank_thread_sweep:`
+    // section degrade to "n/a".
+    const Yaml* ref_rt = find(reference, "rank_thread_sweep");
+    const Yaml* cand_rt = find(candidate, "rank_thread_sweep");
+    if (ref_rt != nullptr || cand_rt != nullptr) {
+        TextTable rt({"Decomposition case", "Ref best", "Cand best",
+                      "Ref [ns]", "Cand [ns]", "Speedup"});
+        for (int col = 1; col <= 5; ++col)
+            rt.set_align(col, TextTable::Align::Right);
+        const auto optimal_of = [&](const Yaml* side, const std::string& name,
+                                    double& grind) -> std::string {
+            const Yaml* opt = side != nullptr ? find(*side, "optimal") : nullptr;
+            const Yaml* entry = opt != nullptr ? find(*opt, name) : nullptr;
+            double r = 0.0;
+            double t = 0.0;
+            if (entry == nullptr || !scalar_of(*entry, "ranks", r) ||
+                !scalar_of(*entry, "threads", t) ||
+                !scalar_of(*entry, "grindtime_ns", grind))
+                return "n/a";
+            return std::to_string(static_cast<int>(r)) + "x" +
+                   std::to_string(static_cast<int>(t));
+        };
+        const Yaml* keys_side = ref_rt != nullptr ? ref_rt : cand_rt;
+        const Yaml* keys_opt = find(*keys_side, "optimal");
+        if (keys_opt != nullptr) {
+            for (const std::string& name : keys_opt->keys()) {
+                double ref_g = 0.0;
+                double cand_g = 0.0;
+                const std::string ref_best = optimal_of(ref_rt, name, ref_g);
+                const std::string cand_best = optimal_of(cand_rt, name, cand_g);
+                rt.add_row(
+                    {name, ref_best, cand_best,
+                     ref_best != "n/a" ? format_fixed(ref_g, 3) : "n/a",
+                     cand_best != "n/a" ? format_fixed(cand_g, 3) : "n/a",
+                     ref_best != "n/a" && cand_best != "n/a" && cand_g > 0.0
+                         ? format_fixed(ref_g / cand_g, 2) + "x"
+                         : "n/a"});
+            }
+        }
+        out += "\n";
+        out += rt.str();
     }
 
     const Yaml* ref_res = find(reference, "resilience");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/table.hpp"
@@ -65,7 +66,18 @@ struct BenchOptions {
     /// class is always emitted; the non-deterministic classes are opt-in
     /// so the default summary stays byte-comparable.
     bool timing = false;
+    /// Hybrid decompositions to sweep (--ranks-threads): (ranks, threads)
+    /// pairs, each running all five cases at the *serial* problem size
+    /// decomposed over R ranks of T worker threads, emitted as a
+    /// `rank_thread_sweep:` section with the grindtime-optimal
+    /// decomposition per case. Empty (the default) skips the sweep.
+    std::vector<std::pair<int, int>> rank_thread_grid;
 };
+
+/// Feasible R×T decompositions of this host for --ranks-threads auto:
+/// power-of-two rank and thread counts with R*T within the hardware
+/// concurrency (always at least 1x1).
+[[nodiscard]] std::vector<std::pair<int, int>> auto_rank_thread_grid();
 
 /// The automated benchmark suite (Section 5): five cases covering the
 /// most commonly used features, each sized from a memory-per-rank target
@@ -103,6 +115,15 @@ public:
     [[nodiscard]] Yaml run_all(const std::string& invocation) const;
 
 private:
+    /// case_config at an explicit rank count (the sweep sizes every
+    /// decomposition from ranks=1 so grindtimes stay comparable).
+    [[nodiscard]] CaseConfig case_config_sized(const std::string& name,
+                                               int ranks) const;
+    /// One unprofiled timing run of `config` decomposed over `nranks`;
+    /// returns rank 0's grindtime. Used by the rank_thread_sweep.
+    [[nodiscard]] double sweep_case_grind(const CaseConfig& config,
+                                          int nranks) const;
+
     double mem_gb_;
     int ranks_;
     BenchOptions options_;

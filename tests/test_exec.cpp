@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "comm/cart.hpp"
+#include "comm/comm.hpp"
 #include "exec/exec.hpp"
+#include "prof/prof.hpp"
 #include "solver/simulation.hpp"
 
 namespace mfc {
@@ -18,6 +24,16 @@ struct ThreadScope {
     }
     ~ThreadScope() { exec::set_num_threads(prev_); }
     int prev_;
+};
+
+/// Restores the chunk-partition policy on scope exit so static/steal
+/// A/B tests cannot leak into other tests.
+struct PartitionScope {
+    explicit PartitionScope(exec::Partition p) : prev_(exec::partition()) {
+        exec::set_partition(p);
+    }
+    ~PartitionScope() { exec::set_partition(prev_); }
+    exec::Partition prev_;
 };
 
 TEST(Exec, EmptyRangeNeverInvokesBody) {
@@ -56,6 +72,78 @@ TEST(Exec, FullRangeCoverageWithDisjointChunks) {
         }
     });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, WorkStealingExecutesEveryRowExactlyOnce) {
+    // The exactly-once contract of the stealing scheduler: unique chunk
+    // indices come from a single fetch_add per slot plus the steal
+    // fetch_add, so no row may ever run twice or be skipped — even when
+    // the cost profile forces heavy stealing (the first quarter of the
+    // rows is ~100x more expensive than the rest).
+    ThreadScope threads(4);
+    PartitionScope part(exec::Partition::Steal);
+    const long long n = 4096;
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+        std::atomic<long long> total{0};
+        exec::parallel_for("test_steal_once", 0, n,
+                           [&](long long lo, long long hi) {
+                               for (long long t = lo; t < hi; ++t) {
+                                   volatile double sink = 0.0;
+                                   const int cost = t < n / 4 ? 1000 : 10;
+                                   for (int i = 0; i < cost; ++i) {
+                                       sink = sink + 1.0 / (1.0 + i);
+                                   }
+                                   hits[static_cast<std::size_t>(t)]
+                                       .fetch_add(1, std::memory_order_relaxed);
+                                   total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                               }
+                           });
+        EXPECT_EQ(total.load(), n) << "rep " << rep;
+        for (long long t = 0; t < n; ++t) {
+            ASSERT_EQ(hits[static_cast<std::size_t>(t)].load(), 1)
+                << "row " << t << ", rep " << rep;
+        }
+    }
+}
+
+TEST(Exec, NestedParallelForAttributesRowsToExecutingThread) {
+    // A nested parallel_for issued from inside a dispatched (possibly
+    // stolen) chunk degrades to inline execution but must still open the
+    // nested label's prof zone on the executing thread, so stolen rows
+    // are attributed under the thread that actually ran them. A spin
+    // barrier on each slot's first chunk forces every slot — dispatcher
+    // and workers — through the nested loop, so the merged profile must
+    // contain the worker-side "t_outer/t_inner" path.
+    ThreadScope threads(4);
+    PartitionScope part(exec::Partition::Steal);
+    prof::set_enabled(true);
+    prof::reset();
+    const int nslots = 4;
+    std::atomic<int> arrivals{0};
+    // n = 8 rows -> 8 single-row chunks over 4 slots; slot s starts at
+    // row 2s, so the even rows are the four slots' first chunks.
+    exec::parallel_for("t_outer", 0, 8, [&](long long lo, long long hi) {
+        for (long long t = lo; t < hi; ++t) {
+            if (t % 2 == 0) {
+                arrivals.fetch_add(1);
+                while (arrivals.load() < nslots) std::this_thread::yield();
+            }
+            exec::parallel_for("t_inner", 0, 4, [](long long ilo,
+                                                   long long ihi) {
+                volatile double sink = 0.0;
+                for (long long i = ilo; i < ihi; ++i) {
+                    sink = sink + static_cast<double>(i);
+                }
+            });
+        }
+    });
+    const prof::Report r = prof::snapshot();
+    prof::set_enabled(false);
+    prof::reset();
+    EXPECT_NE(r.find("t_outer/t_inner"), nullptr)
+        << "no worker recorded the nested zone under its own label";
 }
 
 TEST(Exec, NestedParallelForRunsInline) {
@@ -190,6 +278,42 @@ std::uint64_t run_case_hash(int nthreads) {
     return sim.state_hash();
 }
 
+TEST(Exec, StaticAndStealPartitionsAreBitwiseIdentical) {
+    // Stealing changes which thread runs a chunk, never the chunk grid,
+    // so a full simulation and an ordered reduction must agree bitwise
+    // between the two policies.
+    const auto reduce = [] {
+        return exec::ordered_reduce<double>(
+            "test_part_reduce", 0, 5000, 0.0,
+            [](long long lo, long long hi) {
+                double s = 0.0;
+                for (long long t = lo; t < hi; ++t) {
+                    s += 1.0 / (1.0 + static_cast<double>(t));
+                }
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    std::uint64_t steal_hash = 0;
+    std::uint64_t static_hash = 0;
+    double steal_sum = 0.0;
+    double static_sum = 0.0;
+    {
+        PartitionScope part(exec::Partition::Steal);
+        steal_hash = run_case_hash(4);
+        ThreadScope threads(4);
+        steal_sum = reduce();
+    }
+    {
+        PartitionScope part(exec::Partition::Static);
+        static_hash = run_case_hash(4);
+        ThreadScope threads(4);
+        static_sum = reduce();
+    }
+    EXPECT_EQ(steal_hash, static_hash);
+    EXPECT_EQ(steal_sum, static_sum);
+}
+
 TEST(Exec, ThreadedSimulationIsBitwiseIdenticalToSerial) {
     // The headline determinism claim: --threads N reproduces --threads 1
     // bitwise (FNV-1a over every interior double), because chunk bodies
@@ -219,6 +343,85 @@ TEST(Exec, ThreadedIgrSimulationIsBitwiseIdenticalToSerial) {
     };
     const std::uint64_t serial = run_igr(1);
     EXPECT_EQ(serial, run_igr(4));
+}
+
+// --- hybrid ranks x threads parity --------------------------------------
+
+/// Small variant of the shock-bubble case so the full R x T sweep stays
+/// affordable under TSan: 24x24 interior, decomposable by 1/2/4 ranks.
+CaseConfig hybrid_case() {
+    CaseConfig c = two_phase_2d_case();
+    c.grid.cells = Extents{24, 24, 1};
+    c.t_step_stop = 5;
+    return c;
+}
+
+/// Decomposition-invariant hash of one hybrid run: R simMPI rank threads
+/// (each bound to its own worker team by comm::World) of T worker
+/// threads each. Rank 0's global_state_hash is the fingerprint.
+std::uint64_t hybrid_hash(const CaseConfig& c, int ranks, int threads,
+                          bool overlap) {
+    ThreadScope scope(threads);
+    const std::array<bool, 3> periodic = {c.bc[0][0] == BcType::Periodic,
+                                          c.bc[1][0] == BcType::Periodic,
+                                          c.bc[2][0] == BcType::Periodic};
+    std::uint64_t h = 0;
+    comm::World world(ranks);
+    world.run([&](comm::Communicator& comm) {
+        const std::array<int, 3> dims = comm::dims_create(ranks, 2);
+        comm::CartComm cart(comm, dims, periodic);
+        Simulation sim(c, cart);
+        sim.set_overlap(overlap);
+        sim.initialize();
+        sim.run();
+        const std::uint64_t mine = sim.global_state_hash();
+        if (comm.rank() == 0) h = mine;
+    });
+    return h;
+}
+
+/// The acceptance sweep: every ranks x threads decomposition, sync and
+/// overlap, must reproduce the serial (no-cart, one-thread) run bitwise.
+void expect_hybrid_parity(const CaseConfig& c) {
+    std::uint64_t serial = 0;
+    {
+        ThreadScope scope(1);
+        Simulation sim(c);
+        sim.initialize();
+        sim.run();
+        serial = sim.global_state_hash();
+    }
+    for (const bool overlap : {false, true}) {
+        for (const int ranks : {1, 2, 4}) {
+            for (const int threads : {1, 2, 4}) {
+                EXPECT_EQ(serial, hybrid_hash(c, ranks, threads, overlap))
+                    << "ranks " << ranks << ", threads " << threads
+                    << (overlap ? ", overlap" : ", sync");
+            }
+        }
+    }
+}
+
+TEST(HybridParity, FiveEquationShockBubble) {
+    expect_hybrid_parity(hybrid_case());
+}
+
+TEST(HybridParity, IgrEllipticSolve) {
+    CaseConfig c = hybrid_case();
+    c.igr.enabled = true;
+    c.igr.order = 5;
+    c.igr.alf_factor = 10.0;
+    c.igr.num_iters = 3;
+    c.igr.num_warm_start_iters = 3;
+    c.igr.iter_solver = 1;
+    c.validate();
+    expect_hybrid_parity(c);
+}
+
+TEST(HybridParity, SixEquationModel) {
+    CaseConfig c = hybrid_case();
+    c.model = ModelKind::SixEquation;
+    expect_hybrid_parity(c);
 }
 
 } // namespace

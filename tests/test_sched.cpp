@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/cart.hpp"
@@ -142,6 +144,43 @@ TEST(TaskGraph, StatsRecordExecutionWindows) {
     // b becomes ready only once a is done.
     EXPECT_GE(st[static_cast<std::size_t>(b)].ready_ns,
               st[static_cast<std::size_t>(a)].done_ns);
+}
+
+TEST(TaskGraph, IndependentReadyNodesRunConcurrentlyOnTeam) {
+    // With a worker team bound, a batch of independent ready compute
+    // nodes executes concurrently (each node occupies its own team
+    // slot), while completion — stats, trace, successor release — stays
+    // in id order. Each node waits until all three are simultaneously
+    // in flight, which can only resolve if the scheduler really ran
+    // them on distinct threads.
+    const int prev_threads = exec::num_threads();
+    exec::set_num_threads(4);
+    sched::TaskGraph g;
+    std::atomic<int> inside{0};
+    std::atomic<int> peak{0};
+    std::atomic<bool> released{false};
+    const auto body = [&] {
+        const int now = inside.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (seen < now && !peak.compare_exchange_weak(seen, now)) {
+        }
+        // Latched: the third node in flight releases everyone, so the
+        // wait cannot outlive the rendezvous it is probing for.
+        if (now == 3) released.store(true);
+        for (long long spin = 0; !released.load() && spin < 40'000'000;
+             ++spin) {
+            std::this_thread::yield();
+        }
+        inside.fetch_sub(1);
+    };
+    const auto a = g.add("a", body);
+    const auto b = g.add("b", body);
+    const auto c = g.add("c", body);
+    g.run();
+    exec::set_num_threads(prev_threads);
+    EXPECT_GE(peak.load(), 2);
+    EXPECT_EQ(g.trace(),
+              (std::vector<sched::TaskGraph::NodeId>{a, b, c}));
 }
 
 // --- overlap graph vs synchronous path ----------------------------------

@@ -193,7 +193,17 @@ int cmd_bench(const Args& args) {
                     "                              UQ campaign\n"
                     "          [--timing]          add the scheduling: and\n"
                     "                              timing: telemetry classes\n"
-                    "                              to the metrics: section\n");
+                    "                              to the metrics: section\n"
+                    "          [--ranks-threads <auto|RxT[,RxT...]>]\n"
+                    "                              add a rank_thread_sweep:\n"
+                    "                              section timing every given\n"
+                    "                              hybrid decomposition (e.g.\n"
+                    "                              1x1,2x2,4x1) at the serial\n"
+                    "                              problem size and reporting\n"
+                    "                              the grindtime-optimal one;\n"
+                    "                              auto enumerates power-of-2\n"
+                    "                              R*T within this host's\n"
+                    "                              core count\n");
         return 0;
     }
     const Toolchain tc;
@@ -211,10 +221,33 @@ int cmd_bench(const Args& args) {
             options.thread_counts.push_back(static_cast<int>(parse_int(t)));
         }
     }
+    if (args.has("ranks-threads")) {
+        const std::string spec = args.get("ranks-threads");
+        if (spec == "auto") {
+            options.rank_thread_grid = toolchain::auto_rank_thread_grid();
+        } else {
+            for (const std::string& combo : split(spec, ',')) {
+                const std::size_t x = combo.find('x');
+                if (x == std::string::npos || x == 0 ||
+                    x + 1 >= combo.size()) {
+                    std::fprintf(stderr,
+                                 "mfc bench: --ranks-threads entries must be "
+                                 "RxT (got '%s')\n",
+                                 combo.c_str());
+                    return 2;
+                }
+                options.rank_thread_grid.emplace_back(
+                    static_cast<int>(parse_int(combo.substr(0, x))),
+                    static_cast<int>(parse_int(combo.substr(x + 1))));
+            }
+        }
+    }
     std::string invocation = "mfc bench --mem " + args.get("mem", "0.001") +
                              " -n " + std::to_string(ranks);
     if (args.has("threads"))
         invocation += " --threads " + args.get("threads");
+    if (args.has("ranks-threads"))
+        invocation += " --ranks-threads " + args.get("ranks-threads");
     if (options.overlap) invocation += " --overlap";
     Yaml out = tc.bench(mem, ranks, options).run_all(invocation);
     if (args.has("ensemble")) {
@@ -395,6 +428,10 @@ int cmd_run(const Args& args) {
             "mfc run <case-file> [--out <golden.txt>] [--threads <n>]\n"
             "        [--ranks <r>] [--overlap] [--hash] [--metrics <f.yml>]\n\n"
             "  --ranks <r>   decomposed run through simMPI (default: serial)\n"
+            "  --threads <t> worker threads per rank; with --ranks R the\n"
+            "                process runs R disjoint teams of T threads each\n"
+            "                (hybrid mode, bitwise-identical to serial for\n"
+            "                every R x T)\n"
             "  --overlap     route RHS evaluations through the task-graph\n"
             "                scheduler (src/sched): halos are posted\n"
             "                nonblocking and interior sweeps run while they\n"
@@ -450,19 +487,14 @@ int cmd_run(const Args& args) {
             sim.initialize();
             sim.run();
 
-            // Fold per-rank hashes into one fingerprint in rank order.
-            const std::uint64_t mine = sim.state_hash();
+            // Decomposition-invariant fingerprint: blocks gather to rank
+            // 0 and hash in global order, so the printed value is
+            // identical for every --ranks/--threads combination.
+            const std::uint64_t mine = sim.global_state_hash();
             if (comm.rank() == 0) {
-                combined = (combined ^ mine) * 0x100000001b3ull;
-                for (int r = 1; r < ranks; ++r) {
-                    std::uint64_t h = 0;
-                    comm.recv(r, 901, &h, sizeof h);
-                    combined = (combined ^ h) * 0x100000001b3ull;
-                }
+                combined = mine;
                 wall_s = sim.wall_seconds();
                 evals = sim.rhs_evals();
-            } else {
-                comm.send(0, 901, &mine, sizeof mine);
             }
         });
 

@@ -28,6 +28,17 @@ OVER_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --overlap --hash \
     echo "tier1: overlap hash $OVER_HASH != sync hash $SYNC_HASH" >&2
     exit 1; }
 
+# Hybrid smoke: a 2-rank x 2-thread run must reproduce the serial state
+# hash bitwise — the ranks x threads determinism contract (`mfc run
+# --hash` prints the decomposition-invariant global hash).
+SERIAL_HASH=$("$MFC" run tests/data/sod.case --hash \
+    | grep 'state hash' | awk '{print $3}')
+HYBRID_HASH=$("$MFC" run tests/data/sod.case --ranks 2 --threads 2 --hash \
+    | grep 'state hash' | awk '{print $3}')
+[ -n "$SERIAL_HASH" ] && [ "$SERIAL_HASH" = "$HYBRID_HASH" ] || {
+    echo "tier1: hybrid 2x2 hash $HYBRID_HASH != serial hash $SERIAL_HASH" >&2
+    exit 1; }
+
 # Telemetry determinism smoke: the deterministic metrics section written
 # by `mfc run --metrics` must be byte-identical across reruns and across
 # thread counts — counters merge in name-sorted order from thread-local
@@ -52,6 +63,14 @@ cmp "$BUILD_DIR/tier1_m_a.yml" "$BUILD_DIR/tier1_m_c.yml" || {
 # Skippable on slow or throttled hosts.
 if [ "${MFC_SKIP_PERF_SMOKE:-0}" != "1" ]; then
     "$MFC" ubench --cells 4096 --reps 9 --check tools/ubench_ref.yml
+
+    # Decomposition-sweep smoke: the rank_thread_sweep section must
+    # measure every requested R x T combination and bench_diff must
+    # render its Decomposition table against itself without failures.
+    "$MFC" bench --mem 0.0002 -n 1 --ranks-threads 1x1,2x1,1x2,2x2 \
+        -o "$BUILD_DIR/tier1_bench_rt.yml"
+    "$MFC" bench_diff "$BUILD_DIR/tier1_bench_rt.yml" \
+        "$BUILD_DIR/tier1_bench_rt.yml"
 fi
 
 # Profiling smoke: serial and decomposed, with trace + YAML export.
@@ -100,13 +119,16 @@ fi
 # runs. The "telemetry" label rides along in both sanitizer legs: the
 # registry's thread-local shards are read concurrently by trace sampling
 # and crash dumps (TSan), and the log2 bucket arithmetic must stay
-# UB-free (UBSan). MFCPP_SANITIZE=off skips (e.g. toolchains without
-# TSan runtimes).
+# UB-free (UBSan). The "hybrid" label adds the ranks x threads
+# composition suites — work-stealing exactly-once, static/steal parity,
+# and the R x T bitwise sweep — so chunk stealing and team-bound rank
+# threads are raced under TSan every tier-1 run. MFCPP_SANITIZE=off
+# skips (e.g. toolchains without TSan runtimes).
 if [ "${MFCPP_SANITIZE:-thread}" = "thread" ]; then
     TSAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$TSAN_DIR" -S . -DMFCPP_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j
-    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched|layout|telemetry')
+    (cd "$TSAN_DIR" && ctest --output-on-failure -L 'thread|sched|layout|telemetry|hybrid')
 fi
 
 # Undefined-behavior smoke: rebuild with MFCPP_SANITIZE=undefined and run
